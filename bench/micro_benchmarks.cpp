@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks for the hot paths of the simulator and
+// the protocol layer: event-queue churn, max-min reallocation, range
+// parsing, probe-race bookkeeping and RNG sampling.
+#include <benchmark/benchmark.h>
+
+#include "flow/flow_simulator.hpp"
+#include "flow/max_min.hpp"
+#include "http/parser.hpp"
+#include "http/range.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace idr;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>((i * 7919) % n), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_EventCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(sim.schedule_at(static_cast<double>(i), [] {}));
+    }
+    for (sim::EventId id : ids) sim.cancel(id);
+    sim.run();
+  }
+}
+BENCHMARK(BM_EventCancel);
+
+std::pair<std::vector<flow::Rate>, std::vector<flow::FlowDemand>>
+make_allocation_instance(std::size_t links, std::size_t flows,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<flow::Rate> capacities(links);
+  for (auto& c : capacities) c = rng.uniform(1e5, 1e7);
+  std::vector<flow::FlowDemand> demands(flows);
+  for (auto& d : demands) {
+    const auto hops = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    d.links = rng.sample_without_replacement(links, hops);
+    d.cap = rng.bernoulli(0.5) ? rng.uniform(1e4, 1e6)
+                               : flow::kUnlimitedRate;
+  }
+  return {capacities, demands};
+}
+
+void BM_MaxMinAllocate(benchmark::State& state) {
+  const auto links = static_cast<std::size_t>(state.range(0));
+  const auto flows = static_cast<std::size_t>(state.range(1));
+  const auto [capacities, demands] =
+      make_allocation_instance(links, flows, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::max_min_allocate(capacities, demands));
+  }
+}
+BENCHMARK(BM_MaxMinAllocate)
+    ->Args({16, 8})
+    ->Args({64, 16})
+    ->Args({256, 64});
+
+void BM_FlowSimulatorChurn(benchmark::State& state) {
+  // 8 flows arriving and draining over a 4-link chain with reallocation
+  // on every arrival/departure.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Topology topo;
+    std::vector<net::NodeId> nodes;
+    for (int i = 0; i < 5; ++i) {
+      nodes.push_back(topo.add_node("n" + std::to_string(i)));
+    }
+    net::Path path;
+    for (int i = 0; i < 4; ++i) {
+      path.links.push_back(
+          topo.add_link(nodes[i], nodes[i + 1], 1e6, 0.01));
+    }
+    flow::FlowSimulator fsim(sim, topo, util::Rng(1));
+    flow::FlowOptions opt;
+    opt.model_slow_start = false;
+    int done = 0;
+    for (int i = 0; i < 8; ++i) {
+      sim.schedule_at(static_cast<double>(i) * 0.1, [&, i] {
+        fsim.start_flow(path, 1e5 * (i + 1), opt,
+                        [&](const flow::FlowStats&) { ++done; });
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_FlowSimulatorChurn);
+
+void BM_RangeParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::parse_range_header("bytes=102400-"));
+    benchmark::DoNotOptimize(
+        http::parse_range_header("bytes=0-102399"));
+    benchmark::DoNotOptimize(http::parse_range_header("bytes=-500"));
+  }
+}
+BENCHMARK(BM_RangeParse);
+
+void BM_ResponseParse(benchmark::State& state) {
+  http::Response resp;
+  resp.status = 206;
+  resp.reason = "Partial Content";
+  resp.headers.add("Content-Range", "bytes 0-102399/4000000");
+  resp.body.assign(102400, 'x');
+  const std::string wire = resp.serialize();
+  for (auto _ : state) {
+    http::ResponseParser p;
+    benchmark::DoNotOptimize(p.feed(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_ResponseParse);
+
+void BM_RngLognormal(benchmark::State& state) {
+  util::Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal_mean_cv(2.0, 0.4));
+  }
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_RngSampleWithoutReplacement(benchmark::State& state) {
+  util::Rng rng(29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.sample_without_replacement(35, 10));
+  }
+}
+BENCHMARK(BM_RngSampleWithoutReplacement);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Runs a small Section 2 study and writes the raw dataset to CSV files —
+// the workflow for anyone who wants to plot the figures with their own
+// tooling instead of reading the bench binaries' ASCII output.
+//
+//   ./export_dataset [output-dir]   (default ".")
+#include <cstdio>
+#include <string>
+
+#include "testbed/export.hpp"
+#include "testbed/section2.hpp"
+#include "testbed/section4.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idr;
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  testbed::Section2Config s2;
+  s2.seed = 2007;
+  s2.assignment = testbed::RelayAssignment::AprioriGood;
+  s2.transfers_per_session = 30;
+  s2.interval = util::minutes(3);
+  std::printf("running Section 2 (good-relay dataset)...\n");
+  const testbed::Section2Result good = testbed::run_section2(s2);
+
+  s2.assignment = testbed::RelayAssignment::RotateSampled;
+  s2.relays_per_client = 4;
+  std::printf("running Section 2 (rotation dataset)...\n");
+  const testbed::Section2Result rotation = testbed::run_section2(s2);
+
+  testbed::Section4Config s4;
+  s4.seed = 2007;
+  s4.set_sizes = {1, 3, 5, 10, 20, 35};
+  s4.transfers = 60;
+  s4.interval = util::seconds(45);
+  std::printf("running Section 4 (random-set sweep)...\n");
+  const testbed::Section4Result sweep = testbed::run_section4(s4);
+
+  const std::string obs_path = dir + "/observations.csv";
+  const std::string util_path = dir + "/relay_utilization.csv";
+  const std::string sweep_path = dir + "/random_set_sweep.csv";
+  testbed::observations_csv(good.sessions).write_file(obs_path);
+  testbed::relay_utilization_csv(rotation.sessions).write_file(util_path);
+  testbed::random_set_sweep_csv(sweep).write_file(sweep_path);
+
+  std::printf("wrote %s (%zu transfers)\n", obs_path.c_str(),
+              good.sessions.size() * 30);
+  std::printf("wrote %s (%zu relays)\n", util_path.c_str(),
+              testbed::relay_utilization_summary(rotation.sessions).size());
+  std::printf("wrote %s (%zu cells)\n", sweep_path.c_str(),
+              sweep.cells.size());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Real sockets, no simulation: starts an HTTP origin server and two relay
+// daemons on loopback, shapes the origin so the "direct path" is slow,
+// then runs the paper's probe race over actual TCP connections and
+// reports which path carried the file.
+//
+// The origin differentiates direct vs. relayed requests by the Via header
+// the relay appends — the loopback stand-in for asymmetric wide-area
+// paths.
+#include <cstdio>
+#include <optional>
+
+#include "rt/http_server.hpp"
+#include "rt/probe_race.hpp"
+#include "rt/relay_daemon.hpp"
+
+int main() {
+  using namespace idr::rt;
+
+  Reactor reactor;
+
+  // 1. The origin: one 2 MB resource. Direct requests are throttled to
+  //    ~120 KB/s; relayed requests stream at ~500 KB/s.
+  HttpOriginServer origin(reactor, 0);
+  constexpr std::uint64_t kSize = 2'000'000;
+  origin.add_resource("/big.bin", kSize);
+  origin.set_shaping_policy([](const idr::http::Request& request) {
+    return request.headers.has("Via") ? 500e3 : 120e3;
+  });
+
+  // 2. Two relay daemons — the paper's "forwarding service".
+  RelayDaemon relay_a(reactor, 0);
+  RelayDaemon relay_b(reactor, 0);
+
+  std::printf("origin  on 127.0.0.1:%u (direct shaped to 120 KB/s)\n",
+              origin.port());
+  std::printf("relay A on 127.0.0.1:%u\n", relay_a.port());
+  std::printf("relay B on 127.0.0.1:%u\n\n", relay_b.port());
+
+  // 3. Race the first 100 KB over all three paths; fetch the rest over
+  //    the winner.
+  RaceSpec spec;
+  spec.origin = Endpoint{"127.0.0.1", origin.port()};
+  spec.path = "/big.bin";
+  spec.resource_size = kSize;
+  spec.probe_bytes = 100'000;
+  spec.relays = {Endpoint{"127.0.0.1", relay_a.port()},
+                 Endpoint{"127.0.0.1", relay_b.port()}};
+
+  std::optional<RaceResult> outcome;
+  start_probe_race(reactor, spec,
+                   [&](const RaceResult& r) { outcome = r; });
+
+  const double deadline = reactor.now() + 60.0;
+  while (!outcome && reactor.now() < deadline) reactor.poll(0.05);
+
+  if (!outcome || !outcome->ok) {
+    std::printf("race failed: %s\n",
+                outcome ? outcome->error.c_str() : "timeout");
+    return 1;
+  }
+  std::printf("winner: %s\n",
+              outcome->chose_indirect
+                  ? (outcome->relay_index == 0 ? "relay A" : "relay B")
+                  : "direct path");
+  std::printf("probe decided after  %.2f s\n", outcome->probe_elapsed);
+  std::printf("2 MB delivered in    %.2f s (%.0f KB/s)\n",
+              outcome->total_elapsed, outcome->throughput() / 1000.0);
+  std::printf("body integrity       %s\n",
+              outcome->body_verified ? "verified" : "FAILED");
+  std::printf("relay A forwarded %zu transfer(s), relay B %zu\n",
+              relay_a.transfers_forwarded(), relay_b.transfers_forwarded());
+  return 0;
+}

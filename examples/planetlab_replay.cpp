@@ -1,0 +1,62 @@
+// Replays a scaled-down version of the paper's Section 2 study on the
+// synthetic PlanetLab: every international client probe-races a static
+// relay against its direct path to eBay, and the summary statistics are
+// printed next to the paper's headline numbers.
+#include <cstdio>
+
+#include "testbed/section2.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace idr;
+
+  testbed::Section2Config config;
+  config.seed = 2007;
+  config.relays_per_client = 3;
+  config.transfers_per_session = 25;
+  config.interval = util::minutes(3);
+
+  std::printf("running %zu clients x %zu relays x %zu transfers...\n",
+              testbed::client_sites().size(), config.relays_per_client,
+              config.transfers_per_session);
+  const testbed::Section2Result result = testbed::run_section2(config);
+
+  util::SampleSet improvements;
+  improvements.add_all(testbed::indirect_improvements(result.sessions));
+
+  std::printf("\n-- aggregate --\n");
+  std::printf("indirect-path utilization: %.0f %%  (paper: 45 %%)\n",
+              100.0 * testbed::overall_utilization(result.sessions));
+  if (!improvements.empty()) {
+    std::printf("avg improvement when indirect: %+.1f %% (paper: +49 %%)\n",
+                improvements.mean());
+    std::printf("median improvement:            %+.1f %% (paper: +37 %%)\n",
+                improvements.median());
+  }
+
+  std::printf("\n-- per-client direct throughput and utilization --\n");
+  util::TextTable table({"Client", "Direct (Mbps)", "Category",
+                         "Indirect chosen (%)"});
+  for (const auto& site : testbed::client_sites()) {
+    util::OnlineStats direct;
+    std::size_t chosen = 0, total = 0;
+    for (const auto& s : result.sessions) {
+      if (s.client != site.name) continue;
+      direct.merge(s.direct_rate_stats);
+      chosen += s.indirect_count();
+      total += s.transfers.size();
+    }
+    if (total == 0) continue;
+    table.row()
+        .cell(std::string(site.name))
+        .cell(util::to_mbps(direct.mean()), 2)
+        .cell(std::string(core::category_name(
+            core::categorize_throughput(direct.mean()))))
+        .cell(100.0 * static_cast<double>(chosen) /
+                  static_cast<double>(total),
+              0);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

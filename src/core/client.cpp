@@ -1,0 +1,71 @@
+#include "core/client.hpp"
+
+#include "util/error.hpp"
+
+namespace idr::core {
+
+IndirectRoutingClient::IndirectRoutingClient(
+    overlay::TransferEngine& engine, const ClientConfig& config,
+    std::unique_ptr<SelectionPolicy> policy, util::Rng rng)
+    : engine_(engine), config_(config), policy_(std::move(policy)),
+      rng_(rng) {
+  IDR_REQUIRE(config_.server != nullptr, "client: null server");
+  IDR_REQUIRE(config_.client_node != net::kInvalidNode,
+              "client: invalid client node");
+  IDR_REQUIRE(policy_ != nullptr, "client: null policy");
+  IDR_REQUIRE(config_.probe_bytes > 0.0, "client: non-positive probe size");
+}
+
+void IndirectRoutingClient::register_relay(net::NodeId relay,
+                                           std::string name) {
+  IDR_REQUIRE(relay != config_.client_node &&
+                  relay != config_.server->node(),
+              "register_relay: relay coincides with an endpoint");
+  stats_.add_relay(relay, std::move(name));
+}
+
+void IndirectRoutingClient::set_policy(
+    std::unique_ptr<SelectionPolicy> policy) {
+  IDR_REQUIRE(policy != nullptr, "set_policy: null policy");
+  policy_ = std::move(policy);
+}
+
+void IndirectRoutingClient::fetch(
+    std::function<void(const FetchRecord&)> on_done) {
+  IDR_REQUIRE(on_done != nullptr, "fetch: null callback");
+
+  const std::vector<net::NodeId> candidates =
+      policy_->choose_candidates(stats_, rng_);
+  for (net::NodeId relay : candidates) stats_.note_appearance(relay);
+
+  RaceSpec spec;
+  spec.client = config_.client_node;
+  spec.server = config_.server;
+  spec.resource = config_.resource;
+  spec.probe_bytes = config_.probe_bytes;
+  spec.candidate_relays = candidates;
+  spec.tcp = config_.tcp;
+
+  const util::TimePoint start =
+      engine_.flow_simulator().simulator().now();
+  start_probe_race(
+      engine_, spec,
+      [this, candidates, start, on_done = std::move(on_done)](
+          const RaceOutcome& outcome) {
+        if (outcome.ok && outcome.chose_indirect) {
+          stats_.note_selection(outcome.relay);
+        }
+        FetchRecord record;
+        record.outcome = outcome;
+        record.candidates = candidates;
+        record.start_time = start;
+        on_done(record);
+      });
+}
+
+void IndirectRoutingClient::record_improvement(net::NodeId relay,
+                                               double improvement_pct) {
+  stats_.note_improvement(relay, improvement_pct);
+}
+
+}  // namespace idr::core

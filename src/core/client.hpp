@@ -1,0 +1,69 @@
+// IndirectRoutingClient — the library's top-level facade.
+//
+// Ties together a selection policy (which relays to probe), the probe race
+// (which path wins), and per-relay statistics (utilization history, which
+// the weighted policy feeds back into selection). One instance models one
+// client host talking to one server, like a single PlanetLab client in the
+// paper.
+#pragma once
+
+#include <memory>
+
+#include "core/probe_race.hpp"
+#include "core/relay_stats.hpp"
+#include "core/selection_policy.hpp"
+
+namespace idr::core {
+
+struct ClientConfig {
+  net::NodeId client_node = net::kInvalidNode;
+  const overlay::WebServerModel* server = nullptr;
+  std::string resource;
+  Bytes probe_bytes = kDefaultProbeBytes;
+  flow::TcpConfig tcp{};
+};
+
+/// Outcome of one selected fetch, with the candidates that were probed.
+struct FetchRecord {
+  RaceOutcome outcome;
+  std::vector<net::NodeId> candidates;
+  util::TimePoint start_time = 0.0;
+};
+
+class IndirectRoutingClient {
+ public:
+  IndirectRoutingClient(overlay::TransferEngine& engine,
+                        const ClientConfig& config,
+                        std::unique_ptr<SelectionPolicy> policy,
+                        util::Rng rng);
+
+  /// Registers a relay as available to this client.
+  void register_relay(net::NodeId relay, std::string name);
+
+  /// Performs one transfer: asks the policy for candidates, races them
+  /// against the direct path, fetches the file over the winner, and
+  /// updates appearance/selection statistics. The callback fires in
+  /// simulated time.
+  void fetch(std::function<void(const FetchRecord&)> on_done);
+
+  /// Attaches an improvement observation (vs. the concurrent plain direct
+  /// download, measured externally) to the relay that served the transfer.
+  void record_improvement(net::NodeId relay, double improvement_pct);
+
+  const RelayStatsTable& stats() const { return stats_; }
+  const ClientConfig& config() const { return config_; }
+  SelectionPolicy& policy() { return *policy_; }
+
+  /// Replaces the selection policy mid-run (used by policy-comparison
+  /// benches); history in the stats table is preserved.
+  void set_policy(std::unique_ptr<SelectionPolicy> policy);
+
+ private:
+  overlay::TransferEngine& engine_;
+  ClientConfig config_;
+  std::unique_ptr<SelectionPolicy> policy_;
+  util::Rng rng_;
+  RelayStatsTable stats_;
+};
+
+}  // namespace idr::core

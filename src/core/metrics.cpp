@@ -1,0 +1,70 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace idr::core {
+
+double improvement_pct(Rate selected, Rate direct) {
+  IDR_REQUIRE(direct > 0.0, "improvement_pct: non-positive direct rate");
+  IDR_REQUIRE(selected >= 0.0, "improvement_pct: negative selected rate");
+  return 100.0 * (selected - direct) / direct;
+}
+
+double penalty_pct(Rate selected, Rate direct) {
+  IDR_REQUIRE(selected > 0.0, "penalty_pct: non-positive selected rate");
+  IDR_REQUIRE(direct >= 0.0, "penalty_pct: negative direct rate");
+  return 100.0 * (direct - selected) / selected;
+}
+
+ThroughputCategory categorize_throughput(Rate average_direct) {
+  const double mbps = util::to_mbps(average_direct);
+  if (mbps <= 1.5) return ThroughputCategory::Low;
+  if (mbps <= 3.0) return ThroughputCategory::Medium;
+  return ThroughputCategory::High;
+}
+
+std::string_view category_name(ThroughputCategory c) {
+  switch (c) {
+    case ThroughputCategory::Low: return "Low";
+    case ThroughputCategory::Medium: return "Medium";
+    case ThroughputCategory::High: return "High";
+  }
+  return "?";
+}
+
+VariabilityClass classify_variability(
+    const util::OnlineStats& direct_throughput, double cv_threshold) {
+  return direct_throughput.cv() <= cv_threshold ? VariabilityClass::Low
+                                                : VariabilityClass::High;
+}
+
+std::string_view variability_name(VariabilityClass v) {
+  return v == VariabilityClass::Low ? "LowVar" : "HighVar";
+}
+
+PenaltySummary summarize_penalties(
+    const std::vector<std::pair<Rate, Rate>>& selected_direct_pairs) {
+  PenaltySummary summary;
+  summary.total_points = selected_direct_pairs.size();
+  util::OnlineStats penalties;
+  for (const auto& [selected, direct] : selected_direct_pairs) {
+    if (improvement_pct(selected, direct) < 0.0) {
+      penalties.add(penalty_pct(selected, direct));
+    }
+  }
+  summary.penalty_points = penalties.count();
+  if (summary.total_points > 0) {
+    summary.penalty_fraction = static_cast<double>(summary.penalty_points) /
+                               static_cast<double>(summary.total_points);
+  }
+  if (!penalties.empty()) {
+    summary.avg_penalty_pct = penalties.mean();
+    summary.stddev_penalty_pct = penalties.stddev();
+    summary.max_penalty_pct = penalties.max();
+  }
+  return summary;
+}
+
+}  // namespace idr::core

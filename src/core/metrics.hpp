@@ -1,0 +1,62 @@
+// The paper's performance metrics and client classifications.
+#pragma once
+
+#include <string_view>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace idr::core {
+
+using util::Rate;
+
+/// Throughput improvement in percent, relative to the DIRECT path:
+///   100 * (T_selected - T_direct) / T_direct.
+/// This is the paper's Fig. 1/2/3/6 metric; it is bounded below by -100.
+double improvement_pct(Rate selected, Rate direct);
+
+/// Penalty in percent, relative to the SELECTED path:
+///   100 * (T_direct - T_selected) / T_selected.
+/// Table I reports penalties up to 3840 %, which is only expressible
+/// relative to the selected path (improvement_pct cannot go below -100).
+/// Positive iff the selection lost to the direct path.
+double penalty_pct(Rate selected, Rate direct);
+
+/// The paper's client classes by average direct-path throughput:
+/// Low 0-1.5 Mbps, Medium 1.5-3.0 Mbps, High > 3.0 Mbps.
+enum class ThroughputCategory { Low, Medium, High };
+
+ThroughputCategory categorize_throughput(Rate average_direct);
+std::string_view category_name(ThroughputCategory c);
+
+/// Direct-path variability classes, split by coefficient of variation of
+/// the measured direct throughputs. The paper's Table I "low variability"
+/// filter keeps Low/Medium clients whose direct path is stable.
+enum class VariabilityClass { Low, High };
+
+/// Default CV threshold separating stable from variable direct paths.
+inline constexpr double kVariabilityCvThreshold = 0.30;
+
+VariabilityClass classify_variability(
+    const util::OnlineStats& direct_throughput,
+    double cv_threshold = kVariabilityCvThreshold);
+
+std::string_view variability_name(VariabilityClass v);
+
+/// Aggregate penalty statistics over a set of improvement observations,
+/// as in Table I: the fraction of experiments with negative improvement,
+/// and the mean / stddev / max of the penalties among them.
+struct PenaltySummary {
+  double penalty_fraction = 0.0;  // share of experiments that lost
+  double avg_penalty_pct = 0.0;
+  double stddev_penalty_pct = 0.0;
+  double max_penalty_pct = 0.0;
+  std::size_t total_points = 0;
+  std::size_t penalty_points = 0;
+};
+
+/// `selected_direct_pairs` holds (T_selected, T_direct) rate pairs.
+PenaltySummary summarize_penalties(
+    const std::vector<std::pair<Rate, Rate>>& selected_direct_pairs);
+
+}  // namespace idr::core

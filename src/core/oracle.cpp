@@ -1,0 +1,42 @@
+#include "core/oracle.hpp"
+
+#include "util/error.hpp"
+
+namespace idr::core {
+
+InstantaneousOraclePolicy::InstantaneousOraclePolicy(
+    const net::Topology& topo, net::NodeId client, net::NodeId server)
+    : topo_(topo), client_(client), server_(server) {
+  IDR_REQUIRE(client != net::kInvalidNode && server != net::kInvalidNode,
+              "oracle: invalid endpoints");
+}
+
+util::Rate InstantaneousOraclePolicy::path_bandwidth(
+    std::optional<net::NodeId> relay) const {
+  std::optional<net::Path> path;
+  if (relay) {
+    path = net::via_relay(topo_, server_, *relay, client_);
+  } else {
+    path = net::shortest_path(topo_, server_, client_);
+  }
+  if (!path) return 0.0;
+  return topo_.path_bottleneck(*path);
+}
+
+std::vector<net::NodeId> InstantaneousOraclePolicy::choose_candidates(
+    const RelayStatsTable& stats, util::Rng&) {
+  const util::Rate direct = path_bandwidth(std::nullopt);
+  net::NodeId best = net::kInvalidNode;
+  util::Rate best_rate = direct;
+  for (const RelayRecord& r : stats.records()) {
+    const util::Rate rate = path_bandwidth(r.relay);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best = r.relay;
+    }
+  }
+  if (best == net::kInvalidNode) return {};
+  return {best};
+}
+
+}  // namespace idr::core

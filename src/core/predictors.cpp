@@ -1,0 +1,62 @@
+#include "core/predictors.hpp"
+
+#include "util/error.hpp"
+
+namespace idr::core {
+
+EwmaSelector::EwmaSelector(std::size_t options, double alpha, double epsilon)
+    : scores_(options), alpha_(alpha), epsilon_(epsilon) {
+  IDR_REQUIRE(options > 0, "EwmaSelector: no options");
+  IDR_REQUIRE(alpha > 0.0 && alpha <= 1.0, "EwmaSelector: alpha outside (0,1]");
+  IDR_REQUIRE(epsilon >= 0.0 && epsilon < 1.0,
+              "EwmaSelector: epsilon outside [0,1)");
+}
+
+std::size_t EwmaSelector::choose(util::Rng& rng) {
+  // Measure every arm once before going greedy.
+  for (std::size_t i = 0; i < scores_.size(); ++i) {
+    if (!scores_[i].seen) return i;
+  }
+  if (scores_.size() > 1 && rng.bernoulli(epsilon_)) {
+    // Explore: uniform over the non-greedy arms.
+    const std::size_t greedy = best();
+    auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(scores_.size()) - 2));
+    if (pick >= greedy) ++pick;
+    return pick;
+  }
+  return best();
+}
+
+void EwmaSelector::observe(std::size_t option, util::Rate throughput) {
+  IDR_REQUIRE(option < scores_.size(), "EwmaSelector: bad option");
+  IDR_REQUIRE(throughput >= 0.0, "EwmaSelector: negative throughput");
+  Arm& arm = scores_[option];
+  if (!arm.seen) {
+    arm.seen = true;
+    arm.ewma = throughput;
+  } else {
+    arm.ewma = alpha_ * throughput + (1.0 - alpha_) * arm.ewma;
+  }
+}
+
+std::optional<util::Rate> EwmaSelector::score(std::size_t option) const {
+  IDR_REQUIRE(option < scores_.size(), "EwmaSelector: bad option");
+  if (!scores_[option].seen) return std::nullopt;
+  return scores_[option].ewma;
+}
+
+std::size_t EwmaSelector::best() const {
+  std::size_t best_index = SIZE_MAX;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < scores_.size(); ++i) {
+    if (scores_[i].seen && scores_[i].ewma > best_score) {
+      best_score = scores_[i].ewma;
+      best_index = i;
+    }
+  }
+  IDR_REQUIRE(best_index != SIZE_MAX, "EwmaSelector::best: no observations");
+  return best_index;
+}
+
+}  // namespace idr::core

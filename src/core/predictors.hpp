@@ -1,0 +1,57 @@
+// Alternative path predictors, for comparison against the paper's
+// initial-segment probe race (ablation A2).
+//
+// The probe race measures every candidate on every transfer and charges
+// the measurement to the transfer itself. A history-based predictor skips
+// the probes: it keeps an EWMA of each option's past throughput and picks
+// the best, exploring occasionally. It is cheaper but reacts slowly —
+// exactly the trade-off the ablation quantifies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace idr::core {
+
+/// Epsilon-greedy EWMA selector over path options. Option 0 is
+/// conventionally the direct path; options 1..n are relays, but the class
+/// is agnostic — it scores opaque option indices.
+class EwmaSelector {
+ public:
+  /// `alpha` is the EWMA weight of the newest observation; `epsilon` the
+  /// exploration probability (uniform over non-greedy options).
+  EwmaSelector(std::size_t options, double alpha = 0.3,
+               double epsilon = 0.1);
+
+  std::size_t options() const { return scores_.size(); }
+
+  /// Picks the next option: unmeasured options first (round-robin), then
+  /// greedy on the EWMA with epsilon exploration.
+  std::size_t choose(util::Rng& rng);
+
+  /// Records the measured throughput of an option.
+  void observe(std::size_t option, util::Rate throughput);
+
+  /// Current EWMA score; nullopt if never observed.
+  std::optional<util::Rate> score(std::size_t option) const;
+
+  /// Index of the best-scored option (greedy arm); options never observed
+  /// lose to any observed one. Requires at least one observation.
+  std::size_t best() const;
+
+ private:
+  struct Arm {
+    bool seen = false;
+    double ewma = 0.0;
+  };
+  std::vector<Arm> scores_;
+  double alpha_;
+  double epsilon_;
+};
+
+}  // namespace idr::core

@@ -1,0 +1,171 @@
+#include "core/probe_race.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace idr::core {
+
+namespace {
+
+struct RaceState {
+  overlay::TransferEngine* engine = nullptr;
+  RaceSpec spec;
+  RaceCallback on_done;
+  util::TimePoint start_time = 0.0;
+  Bytes file_size = 0.0;
+
+  struct Entry {
+    overlay::TransferHandle handle = 0;
+    std::optional<net::NodeId> relay;
+    bool finished = false;
+  };
+  std::vector<Entry> probes;
+  std::size_t pending = 0;
+  bool decided = false;
+
+  void finish_error(std::string error) {
+    RaceOutcome outcome;
+    outcome.ok = false;
+    outcome.error = std::move(error);
+    on_done(outcome);
+  }
+};
+
+void on_probe_done(const std::shared_ptr<RaceState>& state,
+                   std::size_t index, const overlay::TransferResult& result);
+
+void launch(const std::shared_ptr<RaceState>& state) {
+  const auto size = state->spec.server->resource_size(state->spec.resource);
+  if (!size) {
+    state->finish_error("unknown resource " + state->spec.resource);
+    return;
+  }
+  state->file_size = *size;
+  state->start_time = state->engine->flow_simulator().simulator().now();
+
+  // Direct probe first, then one per candidate relay. The probe range is
+  // bytes=0-(x-1); if the file is smaller than x the range resolves to the
+  // whole file and the race decides everything.
+  std::vector<std::optional<net::NodeId>> lanes;
+  lanes.emplace_back(std::nullopt);
+  for (net::NodeId relay : state->spec.candidate_relays) {
+    lanes.emplace_back(relay);
+  }
+
+  const auto probe_span = static_cast<std::uint64_t>(
+      std::llround(std::min(state->spec.probe_bytes, state->file_size)));
+  IDR_REQUIRE(probe_span > 0, "probe race: zero probe size");
+
+  state->probes.resize(lanes.size());
+  state->pending = lanes.size();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    state->probes[i].relay = lanes[i];
+    overlay::TransferRequest req;
+    req.client = state->spec.client;
+    req.server = state->spec.server;
+    req.resource = state->spec.resource;
+    req.range = http::range_first_bytes(probe_span);
+    req.relay = lanes[i];
+    req.tcp = state->spec.tcp;
+    const std::size_t index = i;
+    state->probes[i].handle = state->engine->begin(
+        req, [state, index](const overlay::TransferResult& result) {
+          on_probe_done(state, index, result);
+        });
+  }
+}
+
+void finish_success(const std::shared_ptr<RaceState>& state,
+                    const std::optional<net::NodeId>& winner,
+                    util::Duration probe_elapsed,
+                    const overlay::TransferResult* remainder) {
+  RaceOutcome outcome;
+  outcome.ok = true;
+  outcome.chose_indirect = winner.has_value();
+  outcome.relay = winner.value_or(net::kInvalidNode);
+  outcome.probe_elapsed = probe_elapsed;
+  outcome.total_elapsed =
+      state->engine->flow_simulator().simulator().now() - state->start_time;
+  outcome.total_bytes = state->file_size;
+  if (remainder != nullptr) {
+    outcome.remainder_bytes = remainder->bytes;
+    outcome.remainder_elapsed = remainder->elapsed();
+  }
+  state->on_done(outcome);
+}
+
+void on_probe_done(const std::shared_ptr<RaceState>& state,
+                   std::size_t index, const overlay::TransferResult& result) {
+  auto& probe = state->probes[index];
+  probe.finished = true;
+  --state->pending;
+
+  if (state->decided) return;  // a loser draining out; already cancelled?
+
+  if (!result.ok) {
+    if (state->pending == 0) {
+      state->finish_error("all probes failed: " + result.error);
+    }
+    return;  // other lanes still racing
+  }
+
+  // First successful probe wins the race.
+  state->decided = true;
+  const std::optional<net::NodeId> winner = probe.relay;
+  const util::Duration probe_elapsed =
+      result.finish_time - state->start_time;
+
+  for (auto& other : state->probes) {
+    if (!other.finished) state->engine->cancel(other.handle);
+  }
+
+  const auto probe_span = static_cast<std::uint64_t>(
+      std::llround(std::min(state->spec.probe_bytes, state->file_size)));
+  const auto total = static_cast<std::uint64_t>(
+      std::llround(state->file_size));
+  if (probe_span >= total) {
+    // The probe covered the whole file.
+    finish_success(state, winner, probe_elapsed, nullptr);
+    return;
+  }
+
+  overlay::TransferRequest rest;
+  rest.client = state->spec.client;
+  rest.server = state->spec.server;
+  rest.resource = state->spec.resource;
+  rest.range = http::range_from_offset(probe_span);
+  rest.relay = winner;
+  // The winner's connection is still open (keep-alive): the remainder
+  // request skips handshakes and slow start.
+  rest.warm_connection = true;
+  rest.tcp = state->spec.tcp;
+  state->engine->begin(
+      rest, [state, winner, probe_elapsed](
+                const overlay::TransferResult& remainder) {
+        if (!remainder.ok) {
+          state->finish_error("remainder transfer failed: " +
+                              remainder.error);
+          return;
+        }
+        finish_success(state, winner, probe_elapsed, &remainder);
+      });
+}
+
+}  // namespace
+
+void start_probe_race(overlay::TransferEngine& engine, const RaceSpec& spec,
+                      RaceCallback on_done) {
+  IDR_REQUIRE(spec.server != nullptr, "start_probe_race: null server");
+  IDR_REQUIRE(spec.probe_bytes > 0.0,
+              "start_probe_race: non-positive probe size");
+  IDR_REQUIRE(on_done != nullptr, "start_probe_race: null callback");
+  auto state = std::make_shared<RaceState>();
+  state->engine = &engine;
+  state->spec = spec;
+  state->on_done = std::move(on_done);
+  launch(state);
+}
+
+}  // namespace idr::core

@@ -1,0 +1,83 @@
+// The paper's predictor: race the first x bytes of the file over the
+// direct path and over each candidate indirect path simultaneously (HTTP
+// range request "bytes=0-(x-1)"); whichever path completes the probe first
+// is predicted fastest, the other probes are aborted, and the remaining
+// n-x bytes are fetched over the winner ("bytes=x-").
+//
+// The client-perceived throughput of the whole operation is
+// n / (time from race start to last byte of the remainder) — probing
+// overhead is charged to the selection, exactly as in the paper.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "overlay/transfer_engine.hpp"
+
+namespace idr::core {
+
+using util::Bytes;
+using util::Duration;
+using util::Rate;
+
+/// The paper's experimentally determined probe size: large enough to get
+/// past slow-start, small enough to keep overhead low.
+inline constexpr Bytes kDefaultProbeBytes = 100.0 * 1000.0;  // 100 KB
+
+struct RaceSpec {
+  net::NodeId client = net::kInvalidNode;
+  const overlay::WebServerModel* server = nullptr;
+  std::string resource;
+  Bytes probe_bytes = kDefaultProbeBytes;
+  /// Indirect candidates; the direct path always races too.
+  std::vector<net::NodeId> candidate_relays;
+  flow::TcpConfig tcp{};
+};
+
+struct RaceOutcome {
+  bool ok = false;
+  std::string error;
+
+  bool chose_indirect = false;
+  net::NodeId relay = net::kInvalidNode;  // winner, when indirect
+
+  /// Time from race start to the first probe completing.
+  Duration probe_elapsed = 0.0;
+  /// Time from race start to the full file delivered over the winner.
+  Duration total_elapsed = 0.0;
+  Bytes total_bytes = 0.0;
+  /// The "bytes=x-" remainder phase on the winner (zero when the probe
+  /// covered the whole file).
+  Bytes remainder_bytes = 0.0;
+  Duration remainder_elapsed = 0.0;
+
+  /// Client-perceived throughput of the selected path, probe included.
+  Rate selected_throughput() const {
+    return total_elapsed > 0.0 ? total_bytes / total_elapsed : 0.0;
+  }
+
+  /// Steady-phase throughput of the selected path: the remainder transfer
+  /// alone, free of the n-way probe contention. Falls back to the whole
+  /// operation when the probe covered the file. This is the Section 4
+  /// metric — with up to 35 concurrent probes, charging the race to the
+  /// transfer would measure probing cost, not path quality.
+  Rate steady_throughput() const {
+    if (remainder_bytes > 0.0 && remainder_elapsed > 0.0) {
+      return remainder_bytes / remainder_elapsed;
+    }
+    return selected_throughput();
+  }
+};
+
+using RaceCallback = std::function<void(const RaceOutcome&)>;
+
+/// Starts the race; the callback fires in simulated time. The race owns
+/// its transfers and cleans up losers. Lifetime is self-managed (shared
+/// state kept alive by the engine callbacks), so no handle is returned —
+/// races always terminate because every underlying transfer does.
+void start_probe_race(overlay::TransferEngine& engine, const RaceSpec& spec,
+                      RaceCallback on_done);
+
+}  // namespace idr::core

@@ -1,0 +1,78 @@
+#include "core/relay_stats.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace idr::core {
+
+void RelayStatsTable::add_relay(net::NodeId relay, std::string name) {
+  if (has_relay(relay)) return;
+  RelayRecord record;
+  record.relay = relay;
+  record.name = std::move(name);
+  records_.push_back(std::move(record));
+}
+
+bool RelayStatsTable::has_relay(net::NodeId relay) const {
+  for (const auto& r : records_) {
+    if (r.relay == relay) return true;
+  }
+  return false;
+}
+
+RelayRecord& RelayStatsTable::mutable_record(net::NodeId relay) {
+  for (auto& r : records_) {
+    if (r.relay == relay) return r;
+  }
+  ::idr::util::fail("RelayStatsTable: unknown relay");
+}
+
+const RelayRecord& RelayStatsTable::record(net::NodeId relay) const {
+  for (const auto& r : records_) {
+    if (r.relay == relay) return r;
+  }
+  ::idr::util::fail("RelayStatsTable: unknown relay");
+}
+
+void RelayStatsTable::note_appearance(net::NodeId relay) {
+  ++mutable_record(relay).appearances;
+}
+
+void RelayStatsTable::note_selection(net::NodeId relay) {
+  ++mutable_record(relay).selections;
+}
+
+void RelayStatsTable::note_improvement(net::NodeId relay,
+                                       double improvement_pct) {
+  mutable_record(relay).improvement_pct.add(improvement_pct);
+}
+
+std::vector<RelayRecord> RelayStatsTable::by_utilization() const {
+  std::vector<RelayRecord> sorted = records_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const RelayRecord& a, const RelayRecord& b) {
+                     return a.utilization() > b.utilization();
+                   });
+  return sorted;
+}
+
+std::vector<RelayRecord> RelayStatsTable::top(std::size_t k) const {
+  std::vector<RelayRecord> sorted = by_utilization();
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+std::vector<std::pair<net::NodeId, double>>
+RelayStatsTable::selection_weights(double exploration_floor) const {
+  IDR_REQUIRE(exploration_floor >= 0.0,
+              "selection_weights: negative exploration floor");
+  std::vector<std::pair<net::NodeId, double>> weights;
+  weights.reserve(records_.size());
+  for (const auto& r : records_) {
+    weights.emplace_back(r.relay, r.utilization() + exploration_floor);
+  }
+  return weights;
+}
+
+}  // namespace idr::core

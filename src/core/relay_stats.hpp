@@ -1,0 +1,71 @@
+// Per-relay bookkeeping: how often a relay appeared in the candidate
+// (random) set, how often it was actually chosen, and the improvement it
+// delivered. This is the data behind the paper's Tables II/III and Fig. 5,
+// and the input to the utilization-weighted selection policy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/stats.hpp"
+
+namespace idr::core {
+
+struct RelayRecord {
+  net::NodeId relay = net::kInvalidNode;
+  std::string name;
+  /// Times the relay was a candidate (appeared in the probe set).
+  std::size_t appearances = 0;
+  /// Times its indirect path was the one selected for the transfer.
+  std::size_t selections = 0;
+  /// Improvement (percent, vs. direct) of transfers routed through it.
+  util::OnlineStats improvement_pct;
+
+  /// Section 4's utilization: selected / appeared.
+  double utilization() const {
+    return appearances == 0 ? 0.0
+                            : static_cast<double>(selections) /
+                                  static_cast<double>(appearances);
+  }
+};
+
+class RelayStatsTable {
+ public:
+  /// Registers a relay; idempotent per relay id.
+  void add_relay(net::NodeId relay, std::string name);
+
+  bool has_relay(net::NodeId relay) const;
+  std::size_t relay_count() const { return records_.size(); }
+
+  void note_appearance(net::NodeId relay);
+  void note_selection(net::NodeId relay);
+  /// Records the improvement (vs. the concurrent direct measurement) of a
+  /// transfer routed through `relay`. Kept separate from note_selection
+  /// because the direct-path reference is measured by a parallel plain
+  /// client, so it is only known after the fact.
+  void note_improvement(net::NodeId relay, double improvement_pct);
+
+  const RelayRecord& record(net::NodeId relay) const;
+
+  /// All records, sorted by descending utilization (Table II/III order).
+  std::vector<RelayRecord> by_utilization() const;
+
+  /// Top-k by utilization; fewer if the table is smaller.
+  std::vector<RelayRecord> top(std::size_t k) const;
+
+  /// Selection weights for the utilization-weighted policy: utilization
+  /// plus a floor so unexplored relays keep non-zero probability.
+  std::vector<std::pair<net::NodeId, double>> selection_weights(
+      double exploration_floor = 0.05) const;
+
+  const std::vector<RelayRecord>& records() const { return records_; }
+
+ private:
+  RelayRecord& mutable_record(net::NodeId relay);
+  std::vector<RelayRecord> records_;
+};
+
+}  // namespace idr::core

@@ -1,0 +1,76 @@
+#include "core/selection_policy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace idr::core {
+
+std::vector<net::NodeId> DirectOnlyPolicy::choose_candidates(
+    const RelayStatsTable&, util::Rng&) {
+  return {};
+}
+
+StaticRelayPolicy::StaticRelayPolicy(net::NodeId relay) : relay_(relay) {
+  IDR_REQUIRE(relay != net::kInvalidNode, "StaticRelayPolicy: invalid relay");
+}
+
+std::vector<net::NodeId> StaticRelayPolicy::choose_candidates(
+    const RelayStatsTable& stats, util::Rng&) {
+  IDR_REQUIRE(stats.has_relay(relay_),
+              "StaticRelayPolicy: relay not registered in stats table");
+  return {relay_};
+}
+
+UniformRandomSubsetPolicy::UniformRandomSubsetPolicy(std::size_t subset_size)
+    : subset_size_(subset_size) {
+  IDR_REQUIRE(subset_size_ > 0, "UniformRandomSubsetPolicy: n must be > 0");
+}
+
+std::vector<net::NodeId> UniformRandomSubsetPolicy::choose_candidates(
+    const RelayStatsTable& stats, util::Rng& rng) {
+  const auto& records = stats.records();
+  const std::size_t n = std::min(subset_size_, records.size());
+  const auto picks = rng.sample_without_replacement(records.size(), n);
+  std::vector<net::NodeId> out;
+  out.reserve(n);
+  for (std::size_t i : picks) out.push_back(records[i].relay);
+  return out;
+}
+
+WeightedRandomSubsetPolicy::WeightedRandomSubsetPolicy(
+    std::size_t subset_size, double exploration_floor)
+    : subset_size_(subset_size), exploration_floor_(exploration_floor) {
+  IDR_REQUIRE(subset_size_ > 0, "WeightedRandomSubsetPolicy: n must be > 0");
+  IDR_REQUIRE(exploration_floor_ > 0.0,
+              "WeightedRandomSubsetPolicy: floor must be positive so every "
+              "relay stays reachable");
+}
+
+std::vector<net::NodeId> WeightedRandomSubsetPolicy::choose_candidates(
+    const RelayStatsTable& stats, util::Rng& rng) {
+  auto weighted = stats.selection_weights(exploration_floor_);
+  const std::size_t n = std::min(subset_size_, weighted.size());
+  std::vector<net::NodeId> out;
+  out.reserve(n);
+  // Successive weighted draws without replacement.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<double> weights;
+    weights.reserve(weighted.size());
+    for (const auto& [relay, w] : weighted) weights.push_back(w);
+    const std::size_t pick = rng.weighted_index(weights);
+    out.push_back(weighted[pick].first);
+    weighted.erase(weighted.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return out;
+}
+
+std::vector<net::NodeId> FullSetPolicy::choose_candidates(
+    const RelayStatsTable& stats, util::Rng&) {
+  std::vector<net::NodeId> out;
+  out.reserve(stats.relay_count());
+  for (const auto& r : stats.records()) out.push_back(r.relay);
+  return out;
+}
+
+}  // namespace idr::core

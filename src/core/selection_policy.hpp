@@ -1,0 +1,91 @@
+// Intermediate-node (relay) selection policies — Section 4 of the paper.
+//
+// A policy chooses which relays to *probe* for a given transfer; the probe
+// race (probe_race.hpp) then picks the winner among {direct} ∪ candidates.
+// The paper evaluates a uniform random subset of size n (Fig. 6) and
+// suggests utilization-weighted sampling as future work; both are here,
+// alongside the static single relay of Section 2 and a full-set baseline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/relay_stats.hpp"
+#include "util/rng.hpp"
+
+namespace idr::core {
+
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  /// Returns the relays to probe for the next transfer. `stats` carries
+  /// the registered relay set and their history; `rng` is the caller's
+  /// stream (policies must not keep their own hidden state streams).
+  virtual std::vector<net::NodeId> choose_candidates(
+      const RelayStatsTable& stats, util::Rng& rng) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Never probes any relay: the direct path is always used. Baseline.
+class DirectOnlyPolicy final : public SelectionPolicy {
+ public:
+  std::vector<net::NodeId> choose_candidates(const RelayStatsTable&,
+                                             util::Rng&) override;
+  const char* name() const override { return "direct-only"; }
+};
+
+/// Always probes one fixed relay (the Section 2 methodology).
+class StaticRelayPolicy final : public SelectionPolicy {
+ public:
+  explicit StaticRelayPolicy(net::NodeId relay);
+  std::vector<net::NodeId> choose_candidates(const RelayStatsTable&,
+                                             util::Rng&) override;
+  const char* name() const override { return "static-relay"; }
+
+ private:
+  net::NodeId relay_;
+};
+
+/// Uniformly random subset of n relays from the full set (the Section 4
+/// "random set"). n is clamped to the full-set size.
+class UniformRandomSubsetPolicy final : public SelectionPolicy {
+ public:
+  explicit UniformRandomSubsetPolicy(std::size_t subset_size);
+  std::vector<net::NodeId> choose_candidates(const RelayStatsTable& stats,
+                                             util::Rng& rng) override;
+  const char* name() const override { return "uniform-random-subset"; }
+  std::size_t subset_size() const { return subset_size_; }
+
+ private:
+  std::size_t subset_size_;
+};
+
+/// Random subset of n relays sampled without replacement with probability
+/// proportional to historical utilization (+ an exploration floor) — the
+/// enhancement the paper's conclusion proposes: "use the utilization data
+/// to weight the likelihood of a node appearing in the random set".
+class WeightedRandomSubsetPolicy final : public SelectionPolicy {
+ public:
+  WeightedRandomSubsetPolicy(std::size_t subset_size,
+                             double exploration_floor = 0.05);
+  std::vector<net::NodeId> choose_candidates(const RelayStatsTable& stats,
+                                             util::Rng& rng) override;
+  const char* name() const override { return "weighted-random-subset"; }
+
+ private:
+  std::size_t subset_size_;
+  double exploration_floor_;
+};
+
+/// Probes every registered relay. Upper bound on achievable improvement
+/// (at maximal probing overhead).
+class FullSetPolicy final : public SelectionPolicy {
+ public:
+  std::vector<net::NodeId> choose_candidates(const RelayStatsTable& stats,
+                                             util::Rng&) override;
+  const char* name() const override { return "full-set"; }
+};
+
+}  // namespace idr::core

@@ -1,0 +1,80 @@
+#include "flow/background_traffic.hpp"
+
+#include "util/error.hpp"
+
+namespace idr::flow {
+
+BackgroundTrafficSource::BackgroundTrafficSource(FlowSimulator& fsim,
+                                                 const Params& params,
+                                                 util::Rng rng)
+    : fsim_(fsim), params_(params), rng_(rng) {
+  IDR_REQUIRE(!params_.path.empty(), "background traffic: empty path");
+  IDR_REQUIRE(params_.arrival_rate > 0.0,
+              "background traffic: non-positive arrival rate");
+  IDR_REQUIRE(params_.mean_size > 0.0,
+              "background traffic: non-positive mean size");
+  IDR_REQUIRE(params_.pareto_alpha == 0.0 || params_.pareto_alpha > 1.0,
+              "background traffic: pareto alpha must be > 1 (finite mean) "
+              "or 0 for exponential sizes");
+}
+
+BackgroundTrafficSource::~BackgroundTrafficSource() {
+  stop(/*abort_active=*/true);
+}
+
+void BackgroundTrafficSource::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next_arrival();
+}
+
+void BackgroundTrafficSource::stop(bool abort_active) {
+  if (running_) {
+    fsim_.simulator().cancel(next_arrival_);
+    running_ = false;
+  }
+  if (abort_active) {
+    // cancel_flow mutates active_ indirectly only via our completion
+    // callback, which will not run for cancelled flows; safe to iterate
+    // over a copy.
+    const auto flows = active_;
+    for (FlowId id : flows) fsim_.cancel_flow(id);
+    active_.clear();
+  }
+}
+
+Bytes BackgroundTrafficSource::draw_size() {
+  if (params_.pareto_alpha == 0.0) {
+    return rng_.exponential(params_.mean_size);
+  }
+  // Pareto(x_m, alpha) has mean x_m * alpha / (alpha - 1); solve x_m for
+  // the requested mean.
+  const double alpha = params_.pareto_alpha;
+  const double x_m = params_.mean_size * (alpha - 1.0) / alpha;
+  return rng_.pareto(x_m, alpha);
+}
+
+void BackgroundTrafficSource::schedule_next_arrival() {
+  const util::Duration gap = rng_.exponential(1.0 / params_.arrival_rate);
+  next_arrival_ = fsim_.simulator().schedule_in(gap, [this] {
+    if (!running_) return;
+    spawn_flow();
+    schedule_next_arrival();
+  });
+}
+
+void BackgroundTrafficSource::spawn_flow() {
+  FlowOptions options;
+  options.tcp = params_.tcp;
+  options.model_slow_start = params_.model_slow_start;
+  const Bytes size = std::max(1.0, draw_size());
+  ++started_;
+  const FlowId id = fsim_.start_flow(
+      params_.path, size, options, [this](const FlowStats& stats) {
+        ++completed_;
+        active_.erase(stats.id);
+      });
+  active_.insert(id);
+}
+
+}  // namespace idr::flow

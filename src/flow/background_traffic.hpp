@@ -1,0 +1,76 @@
+// Poisson background cross-traffic.
+//
+// The testbed's default multiplexing model folds cross-traffic into
+// time-varying link capacities (net::CapacityProcess), which is cheap and
+// calibratable. This class provides the explicit alternative: finite
+// background flows arrive as a Poisson process with (optionally
+// heavy-tailed) sizes and compete in the max-min allocator like any other
+// flow. Used by the multiplexing ablation and available to library users
+// who want closed-loop interaction between foreground and cross traffic.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "flow/flow_simulator.hpp"
+
+namespace idr::flow {
+
+class BackgroundTrafficSource {
+ public:
+  struct Params {
+    /// Path every background flow takes.
+    net::Path path;
+    /// Poisson arrival rate, flows/second.
+    double arrival_rate = 0.1;
+    /// Mean flow size in bytes.
+    Bytes mean_size = 5e6;
+    /// Pareto shape for sizes; values > 1 give a heavy tail with the
+    /// requested mean. 0 selects exponential sizes instead.
+    double pareto_alpha = 1.5;
+    /// TCP parameters of background flows.
+    TcpConfig tcp{};
+    bool model_slow_start = true;
+  };
+
+  /// Does not start generating until start() is called.
+  BackgroundTrafficSource(FlowSimulator& fsim, const Params& params,
+                          util::Rng rng);
+  ~BackgroundTrafficSource();
+
+  BackgroundTrafficSource(const BackgroundTrafficSource&) = delete;
+  BackgroundTrafficSource& operator=(const BackgroundTrafficSource&) =
+      delete;
+
+  void start();
+  /// Stops new arrivals; in-flight background flows drain naturally
+  /// (pass `abort_active` to cancel them too).
+  void stop(bool abort_active = false);
+
+  bool running() const { return running_; }
+  std::size_t flows_started() const { return started_; }
+  std::size_t flows_completed() const { return completed_; }
+  std::size_t flows_active() const { return active_.size(); }
+
+  /// Long-run offered load on the path, bytes/second
+  /// (= arrival_rate * mean_size).
+  Rate offered_load() const {
+    return params_.arrival_rate * params_.mean_size;
+  }
+
+ private:
+  void schedule_next_arrival();
+  void spawn_flow();
+  Bytes draw_size();
+
+  FlowSimulator& fsim_;
+  Params params_;
+  util::Rng rng_;
+  bool running_ = false;
+  sim::EventId next_arrival_ = 0;
+  std::size_t started_ = 0;
+  std::size_t completed_ = 0;
+  std::unordered_set<FlowId> active_;
+};
+
+}  // namespace idr::flow

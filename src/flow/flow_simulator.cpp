@@ -1,0 +1,227 @@
+#include "flow/flow_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/max_min.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace idr::flow {
+
+namespace {
+// Slow-start stops ramping once its cap reaches this bound even if the
+// steady-state ceiling is unbounded (lossless path): beyond it the links,
+// not the window, constrain the flow.
+constexpr Rate kSlowStartStopBound = 12.5e9;  // 100 Gbit/s
+}  // namespace
+
+FlowSimulator::FlowSimulator(sim::Simulator& sim, net::Topology& topo,
+                             util::Rng rng)
+    : sim_(sim), topo_(topo), rng_(rng) {}
+
+void FlowSimulator::attach_capacity_process(
+    net::LinkId link, std::unique_ptr<net::CapacityProcess> process) {
+  IDR_REQUIRE(process != nullptr, "attach_capacity_process: null process");
+  IDR_REQUIRE(!capacity_slots_.contains(link),
+              "attach_capacity_process: link already has a process");
+  auto [it, inserted] = capacity_slots_.emplace(
+      link, CapacitySlot{std::move(process),
+                         rng_.child(0x9000 + static_cast<std::uint64_t>(link)),
+                         0});
+  CapacitySlot& slot = it->second;
+  advance_progress();
+  topo_.mutable_link(link).capacity = slot.process->initial(slot.rng);
+  reallocate();
+  schedule_capacity_change(link);
+}
+
+void FlowSimulator::schedule_capacity_change(net::LinkId link) {
+  CapacitySlot& slot = capacity_slots_.at(link);
+  const net::CapacityChange change = slot.process->next(slot.rng);
+  if (std::isinf(change.dwell)) return;  // process has gone quiescent
+  slot.event = sim_.schedule_in(change.dwell, [this, link, change] {
+    advance_progress();
+    topo_.mutable_link(link).capacity = std::max(change.capacity, 1.0);
+    reallocate();
+    schedule_capacity_change(link);
+  });
+}
+
+FlowId FlowSimulator::start_flow(const net::Path& path, Bytes size,
+                                 const FlowOptions& options,
+                                 CompletionCallback on_done) {
+  IDR_REQUIRE(!path.empty(), "start_flow: empty path");
+  IDR_REQUIRE(size > 0.0, "start_flow: non-positive size");
+  IDR_REQUIRE(options.cap_scale > 0.0 && options.cap_scale <= 1.0,
+              "start_flow: cap_scale outside (0,1]");
+
+  advance_progress();
+
+  FlowState f;
+  f.id = ++next_id_;
+  f.path = path;
+  f.size = size;
+  f.remaining = size;
+  f.start = sim_.now();
+  f.tcp = options.tcp;
+  f.cap_scale = options.cap_scale;
+  f.extra_cap = options.extra_cap;
+  f.rtt = options.rtt > 0.0 ? options.rtt : topo_.path_rtt(path);
+  IDR_REQUIRE(f.rtt > 0.0, "start_flow: zero RTT (add propagation delay)");
+  if (options.ceiling_override > 0.0) {
+    f.ceiling = options.ceiling_override;
+  } else {
+    const double loss =
+        options.loss >= 0.0 ? options.loss : topo_.path_loss(path);
+    f.ceiling = steady_state_ceiling(f.tcp, f.rtt, loss);
+  }
+  f.on_done = std::move(on_done);
+
+  if (options.model_slow_start) {
+    f.in_slow_start = true;
+    f.ss_round = 0;
+    f.ss_cap = slow_start_cap(f.tcp, f.rtt, 0);
+    const FlowId id = f.id;
+    f.ss_event =
+        sim_.schedule_in(f.rtt, [this, id] { on_slow_start_round(id); });
+  }
+
+  const FlowId id = f.id;
+  flows_.emplace(id, std::move(f));
+  reallocate();
+  return id;
+}
+
+void FlowSimulator::on_slow_start_round(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  FlowState& f = it->second;
+  advance_progress();
+  ++f.ss_round;
+  f.ss_cap = slow_start_cap(f.tcp, f.rtt, f.ss_round);
+  const Rate stop_at = std::min(f.ceiling, kSlowStartStopBound);
+  if (f.ss_cap >= stop_at) {
+    f.in_slow_start = false;  // ramp complete; ceiling governs from here
+  } else {
+    f.ss_event =
+        sim_.schedule_in(f.rtt, [this, id] { on_slow_start_round(id); });
+  }
+  reallocate();
+}
+
+bool FlowSimulator::cancel_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advance_progress();
+  FlowState& f = it->second;
+  if (f.in_slow_start) sim_.cancel(f.ss_event);
+  if (f.completion_armed) sim_.cancel(f.completion_event);
+  flows_.erase(it);
+  reallocate();
+  return true;
+}
+
+Rate FlowSimulator::current_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  IDR_REQUIRE(it != flows_.end(), "current_rate: unknown flow");
+  return it->second.rate;
+}
+
+Bytes FlowSimulator::bytes_remaining(FlowId id) const {
+  const auto it = flows_.find(id);
+  IDR_REQUIRE(it != flows_.end(), "bytes_remaining: unknown flow");
+  const FlowState& f = it->second;
+  const Duration dt = sim_.now() - last_progress_;
+  return std::max(0.0, f.remaining - f.rate * dt);
+}
+
+void FlowSimulator::set_extra_cap(FlowId id, Rate cap) {
+  const auto it = flows_.find(id);
+  IDR_REQUIRE(it != flows_.end(), "set_extra_cap: unknown flow");
+  IDR_REQUIRE(cap >= 0.0, "set_extra_cap: negative cap");
+  advance_progress();
+  it->second.extra_cap = cap;
+  reallocate();
+}
+
+Rate FlowSimulator::effective_cap(const FlowState& f) {
+  const Rate tcp_cap =
+      f.in_slow_start ? std::min(f.ss_cap, f.ceiling) : f.ceiling;
+  return std::min(tcp_cap * f.cap_scale, f.extra_cap);
+}
+
+void FlowSimulator::advance_progress() {
+  const TimePoint now = sim_.now();
+  const Duration dt = now - last_progress_;
+  if (dt > 0.0) {
+    for (auto& [id, f] : flows_) {
+      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    }
+  }
+  last_progress_ = now;
+}
+
+void FlowSimulator::arm_completion(FlowState& f) {
+  if (f.completion_armed) {
+    sim_.cancel(f.completion_event);
+    f.completion_armed = false;
+  }
+  if (f.rate <= 0.0) return;  // parked until capacity appears
+  const Duration eta = f.remaining / f.rate;
+  const FlowId id = f.id;
+  f.completion_event = sim_.schedule_in(eta, [this, id] { on_completion(id); });
+  f.completion_armed = true;
+}
+
+void FlowSimulator::reallocate() {
+  ++reallocations_;
+
+  std::vector<Rate> capacities(topo_.link_count());
+  for (std::size_t l = 0; l < capacities.size(); ++l) {
+    capacities[l] = topo_.link(static_cast<net::LinkId>(l)).capacity;
+  }
+
+  std::vector<FlowDemand> demands;
+  std::vector<FlowState*> order;
+  demands.reserve(flows_.size());
+  order.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    FlowDemand d;
+    d.links.reserve(f.path.links.size());
+    for (net::LinkId l : f.path.links) d.links.push_back(l);
+    d.cap = effective_cap(f);
+    demands.push_back(std::move(d));
+    order.push_back(&f);
+  }
+
+  const std::vector<Rate> rates = max_min_allocate(capacities, demands);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i]->rate = rates[i];
+    arm_completion(*order[i]);
+  }
+}
+
+void FlowSimulator::on_completion(FlowId id) {
+  const auto it = flows_.find(id);
+  IDR_REQUIRE(it != flows_.end(), "on_completion: unknown flow");
+  advance_progress();
+  FlowState& f = it->second;
+  // The event was armed for exactly remaining/rate at the then-current
+  // rate; if any event fired in between, reallocate() re-armed it. Allow a
+  // byte of floating-point slack.
+  IDR_REQUIRE(f.remaining <= 1.0 + 1e-6 * f.size,
+              "on_completion: flow not actually drained");
+  FlowStats stats;
+  stats.id = f.id;
+  stats.size = f.size;
+  stats.start_time = f.start;
+  stats.finish_time = sim_.now();
+  if (f.in_slow_start) sim_.cancel(f.ss_event);
+  CompletionCallback cb = std::move(f.on_done);
+  flows_.erase(it);
+  reallocate();
+  if (cb) cb(stats);
+}
+
+}  // namespace idr::flow

@@ -1,0 +1,171 @@
+// Event-driven fluid ("flow-level") network simulator.
+//
+// Flows drain bytes over paths at their max-min fair share of link
+// capacity, further capped by a per-flow TCP model (slow-start ramp and
+// loss/RTT ceiling). Rates change only at discrete events — flow arrival,
+// flow completion, a slow-start round boundary, or a link-capacity change —
+// so completion times between events are exact, not time-stepped.
+//
+// This is the standard fidelity/performance point for studying transfer
+// throughput over minutes-to-hours timescales: packet dynamics are
+// abstracted into the TCP rate caps, while bandwidth sharing, path
+// diversity and temporal variability are modelled exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/capacity_process.hpp"
+#include "net/topology.hpp"
+#include "flow/tcp_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace idr::flow {
+
+using util::Bytes;
+using util::Duration;
+using util::Rate;
+using util::TimePoint;
+
+using FlowId = std::uint64_t;
+
+/// Final accounting for a completed flow.
+struct FlowStats {
+  FlowId id = 0;
+  Bytes size = 0.0;
+  TimePoint start_time = 0.0;
+  TimePoint finish_time = 0.0;
+
+  Duration elapsed() const { return finish_time - start_time; }
+  /// Bytes per second averaged over the flow's lifetime.
+  Rate average_rate() const {
+    return elapsed() > 0.0 ? size / elapsed() : 0.0;
+  }
+};
+
+using CompletionCallback = std::function<void(const FlowStats&)>;
+
+struct FlowOptions {
+  TcpConfig tcp{};
+  /// Model the slow-start ramp (per-RTT doubling of the rate cap). The
+  /// probe-racing experiments depend on this; long background flows can
+  /// turn it off.
+  bool model_slow_start = true;
+  /// RTT used by the TCP model; 0 derives 2 * path propagation delay.
+  Duration rtt = 0.0;
+  /// End-to-end loss for the PFTK ceiling; negative derives from the path.
+  double loss = -1.0;
+  /// Explicit steady-state ceiling; 0 derives min(PFTK, rwnd/RTT) from
+  /// rtt/loss. A split-TCP relay transfer passes min(leg ceilings) here,
+  /// since each leg recovers losses independently.
+  Rate ceiling_override = 0.0;
+  /// Multiplier (0, 1] applied to the TCP cap; models fixed inefficiency
+  /// such as application-layer relay overhead.
+  double cap_scale = 1.0;
+  /// Additional absolute rate cap (e.g. imposed by a coupled relay leg).
+  Rate extra_cap = kUnlimitedRate;
+};
+
+class FlowSimulator {
+ public:
+  /// The simulator mutates link capacities in `topo` as capacity processes
+  /// fire; both references must outlive this object.
+  FlowSimulator(sim::Simulator& sim, net::Topology& topo, util::Rng rng);
+
+  FlowSimulator(const FlowSimulator&) = delete;
+  FlowSimulator& operator=(const FlowSimulator&) = delete;
+
+  /// Attaches a time-varying capacity process to a link. Applies the
+  /// process's initial capacity immediately and schedules future changes.
+  void attach_capacity_process(net::LinkId link,
+                               std::unique_ptr<net::CapacityProcess> process);
+
+  /// Starts a transfer of `size` bytes along `path`. The callback fires
+  /// when the last byte drains (it may start new flows). Returns a handle
+  /// usable with cancel_flow()/observers while the flow is active.
+  FlowId start_flow(const net::Path& path, Bytes size,
+                    const FlowOptions& options, CompletionCallback on_done);
+
+  /// Aborts an active flow without firing its callback. Returns false if
+  /// the flow already finished or is unknown.
+  bool cancel_flow(FlowId id);
+
+  bool flow_active(FlowId id) const { return flows_.contains(id); }
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Current allocated rate of an active flow.
+  Rate current_rate(FlowId id) const;
+  /// Bytes still to transfer, accounting for progress up to now().
+  Bytes bytes_remaining(FlowId id) const;
+
+  /// Tightens/loosens a flow's external rate cap and reallocates.
+  void set_extra_cap(FlowId id, Rate cap);
+
+  sim::Simulator& simulator() { return sim_; }
+  const net::Topology& topology() const { return topo_; }
+
+  /// Total max-min reallocation passes performed (for microbenchmarks and
+  /// performance regressions).
+  std::uint64_t reallocations() const { return reallocations_; }
+
+  /// Derives a decorrelated RNG stream from this simulator's root seed;
+  /// used by higher layers (e.g. the transfer engine's setup jitter) so a
+  /// world stays fully determined by its construction seed.
+  util::Rng derive_rng(std::uint64_t salt) const { return rng_.child(salt); }
+
+ private:
+  struct FlowState {
+    FlowId id = 0;
+    net::Path path;
+    Bytes size = 0.0;
+    Bytes remaining = 0.0;
+    TimePoint start = 0.0;
+    Rate rate = 0.0;
+    Rate ceiling = kUnlimitedRate;  // steady-state TCP ceiling
+    Rate extra_cap = kUnlimitedRate;
+    double cap_scale = 1.0;
+    Duration rtt = 0.0;
+    bool in_slow_start = false;
+    int ss_round = 0;
+    Rate ss_cap = kUnlimitedRate;
+    TcpConfig tcp{};
+    sim::EventId ss_event = 0;
+    sim::EventId completion_event = 0;
+    bool completion_armed = false;
+    CompletionCallback on_done;
+  };
+
+  struct CapacitySlot {
+    std::unique_ptr<net::CapacityProcess> process;
+    util::Rng rng;
+    sim::EventId event = 0;
+  };
+
+  /// Effective cap of a flow right now (TCP ramp/ceiling, scale, external).
+  static Rate effective_cap(const FlowState& f);
+
+  /// Drains remaining bytes for time elapsed since the last accounting.
+  void advance_progress();
+
+  /// Recomputes all rates and re-arms completion events.
+  void reallocate();
+
+  void arm_completion(FlowState& f);
+  void on_completion(FlowId id);
+  void on_slow_start_round(FlowId id);
+  void schedule_capacity_change(net::LinkId link);
+
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  util::Rng rng_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::unordered_map<net::LinkId, CapacitySlot> capacity_slots_;
+  TimePoint last_progress_ = 0.0;
+  FlowId next_id_ = 0;
+  std::uint64_t reallocations_ = 0;
+};
+
+}  // namespace idr::flow

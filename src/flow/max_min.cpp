@@ -1,0 +1,110 @@
+#include "flow/max_min.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "flow/tcp_model.hpp"
+#include "util/error.hpp"
+
+namespace idr::flow {
+
+std::vector<Rate> max_min_allocate(const std::vector<Rate>& capacities,
+                                   const std::vector<FlowDemand>& flows) {
+  const std::size_t num_links = capacities.size();
+  const std::size_t num_flows = flows.size();
+
+  std::vector<Rate> rate(num_flows, 0.0);
+  std::vector<bool> fixed(num_flows, false);
+  std::vector<Rate> avail = capacities;
+  // Unfixed-flow count per link.
+  std::vector<std::size_t> active(num_links, 0);
+
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    IDR_REQUIRE(flows[f].cap >= 0.0, "max_min: negative cap");
+    if (flows[f].links.empty()) {
+      // Degenerate local flow: no shared resource constrains it.
+      rate[f] = std::isinf(flows[f].cap) ? 0.0 : flows[f].cap;
+      fixed[f] = true;
+      continue;
+    }
+    for (std::size_t l : flows[f].links) {
+      IDR_REQUIRE(l < num_links, "max_min: link index out of range");
+      IDR_REQUIRE(capacities[l] > 0.0, "max_min: non-positive capacity");
+      ++active[l];
+    }
+  }
+
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (!fixed[f]) ++remaining;
+  }
+
+  while (remaining > 0) {
+    // Water level achievable on each link if all its unfixed flows rise
+    // equally; the binding constraint this round is the smallest of the
+    // link levels and the smallest unfixed cap.
+    Rate link_level = std::numeric_limits<Rate>::infinity();
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (active[l] > 0) {
+        link_level = std::min(
+            link_level,
+            std::max(avail[l], 0.0) / static_cast<Rate>(active[l]));
+      }
+    }
+    Rate cap_level = std::numeric_limits<Rate>::infinity();
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (!fixed[f]) cap_level = std::min(cap_level, flows[f].cap);
+    }
+
+    auto freeze = [&](std::size_t f, Rate r) {
+      rate[f] = r;
+      fixed[f] = true;
+      --remaining;
+      for (std::size_t l : flows[f].links) {
+        avail[l] -= r;
+        --active[l];
+      }
+    };
+
+    if (cap_level <= link_level) {
+      // Cap-bound flows saturate first: give them exactly their cap. This
+      // is feasible because cap_level <= every link's equal-share level.
+      for (std::size_t f = 0; f < num_flows; ++f) {
+        if (!fixed[f] && flows[f].cap <= cap_level) {
+          freeze(f, flows[f].cap);
+        }
+      }
+    } else {
+      // Some link saturates at link_level: freeze every unfixed flow that
+      // crosses a link whose level equals the minimum.
+      IDR_REQUIRE(std::isfinite(link_level),
+                  "max_min: unbounded flows with no finite constraint");
+      std::vector<bool> saturated(num_links, false);
+      for (std::size_t l = 0; l < num_links; ++l) {
+        if (active[l] > 0) {
+          const Rate level =
+              std::max(avail[l], 0.0) / static_cast<Rate>(active[l]);
+          // Tolerate fp noise when comparing levels.
+          if (level <= link_level * (1.0 + 1e-12)) saturated[l] = true;
+        }
+      }
+      bool froze_any = false;
+      for (std::size_t f = 0; f < num_flows; ++f) {
+        if (fixed[f]) continue;
+        for (std::size_t l : flows[f].links) {
+          if (saturated[l]) {
+            freeze(f, link_level);
+            froze_any = true;
+            break;
+          }
+        }
+      }
+      IDR_REQUIRE(froze_any, "max_min: no progress (internal error)");
+    }
+  }
+
+  return rate;
+}
+
+}  // namespace idr::flow

@@ -1,0 +1,39 @@
+// Max-min fair rate allocation with per-flow rate caps.
+//
+// Given link capacities and a set of flows (each a set of links plus an
+// optional cap), computes the unique max-min fair allocation by progressive
+// filling: raise a common water level; a flow is frozen when it hits its
+// cap or when one of its links saturates. Exposed as a pure function so it
+// can be property-tested independently of the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace idr::flow {
+
+using util::Rate;
+
+struct FlowDemand {
+  /// Indices into the capacity vector; a flow may cross a link at most once.
+  std::vector<std::size_t> links;
+  /// Per-flow rate cap (slow-start ramp, TCP ceiling, relay coupling).
+  /// Use kUnlimitedRate for none.
+  Rate cap = 0.0;
+};
+
+/// Computes max-min fair rates. `capacities[l]` must be > 0 for every link
+/// referenced by a flow. Flows with empty link sets receive their cap
+/// (or 0 if the cap is unbounded — such flows are degenerate).
+///
+/// Postconditions (verified by tests):
+///  * sum of rates on each link <= capacity (+ epsilon),
+///  * every flow is bottlenecked: it either meets its cap or crosses a
+///    saturated link where no other flow through that link has a higher
+///    rate.
+std::vector<Rate> max_min_allocate(const std::vector<Rate>& capacities,
+                                   const std::vector<FlowDemand>& flows);
+
+}  // namespace idr::flow

@@ -1,0 +1,52 @@
+#include "flow/tcp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idr::flow {
+
+Rate pftk_ceiling(const TcpConfig& cfg, Duration rtt, double loss) {
+  IDR_REQUIRE(rtt > 0.0, "pftk_ceiling: non-positive RTT");
+  IDR_REQUIRE(loss >= 0.0 && loss < 1.0, "pftk_ceiling: loss outside [0,1)");
+  if (loss == 0.0) return kUnlimitedRate;
+  // Padhye, Firoiu, Towsley, Kurose (SIGCOMM '98), eq. (30) approximation:
+  //   B(p) = MSS / (RTT*sqrt(2bp/3) + T0*min(1, 3*sqrt(3bp/8))*p*(1+32p^2))
+  // with b = 1 (no delayed-ACK correction; it only shifts constants).
+  const double p = loss;
+  const double term_cong = rtt * std::sqrt(2.0 * p / 3.0);
+  const double term_to = cfg.rto *
+                         std::min(1.0, 3.0 * std::sqrt(3.0 * p / 8.0)) * p *
+                         (1.0 + 32.0 * p * p);
+  return cfg.mss / (term_cong + term_to);
+}
+
+Rate rwnd_ceiling(const TcpConfig& cfg, Duration rtt) {
+  IDR_REQUIRE(rtt > 0.0, "rwnd_ceiling: non-positive RTT");
+  return cfg.receiver_window / rtt;
+}
+
+Rate steady_state_ceiling(const TcpConfig& cfg, Duration rtt, double loss) {
+  return std::min(pftk_ceiling(cfg, rtt, loss), rwnd_ceiling(cfg, rtt));
+}
+
+Rate slow_start_cap(const TcpConfig& cfg, Duration rtt, int round) {
+  IDR_REQUIRE(rtt > 0.0, "slow_start_cap: non-positive RTT");
+  IDR_REQUIRE(round >= 0, "slow_start_cap: negative round");
+  const double cwnd_bytes =
+      cfg.initial_window_segments * cfg.mss * std::pow(2.0, round);
+  return cwnd_bytes / rtt;
+}
+
+int rounds_to_reach(const TcpConfig& cfg, Duration rtt, Rate target) {
+  // cwnd doubles per round, so even a 100 Gbps target is reached within
+  // ~40 rounds; bound defensively.
+  constexpr int kMaxRounds = 64;
+  for (int k = 0; k < kMaxRounds; ++k) {
+    if (slow_start_cap(cfg, rtt, k) >= target) return k;
+  }
+  return kMaxRounds;
+}
+
+}  // namespace idr::flow

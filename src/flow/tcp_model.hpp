@@ -1,0 +1,55 @@
+// Flow-level TCP throughput model.
+//
+// A bulk TCP transfer's rate is modelled as the minimum of three terms:
+//   1. its max-min fair share of path capacity (computed by the allocator),
+//   2. the loss/RTT steady-state ceiling (PFTK formula, Padhye et al.),
+//   3. a slow-start ramp: cwnd doubles each RTT from an initial window.
+// The paper's probe size x = 100 KB exists precisely to get past (3), so
+// the ramp is modelled explicitly rather than folded into a startup delay.
+#pragma once
+
+#include <limits>
+
+#include "util/units.hpp"
+
+namespace idr::flow {
+
+using util::Bytes;
+using util::Duration;
+using util::Rate;
+
+struct TcpConfig {
+  Bytes mss = 1460.0;
+  /// Initial congestion window (RFC 3390-era two segments; the paper's
+  /// measurements predate IW10).
+  double initial_window_segments = 2.0;
+  /// Retransmission timeout used by the PFTK ceiling.
+  Duration rto = 0.2;
+  /// Receiver window; caps the rate at rwnd/RTT. 64 KB was the common
+  /// un-scaled default on 2005-era PlanetLab hosts, but window scaling was
+  /// widespread, so the library defaults to a larger value.
+  Bytes receiver_window = 1024.0 * 1024.0;
+};
+
+/// PFTK steady-state throughput ceiling in bytes/second; +infinity when the
+/// loss rate is zero. `loss` in [0, 1).
+Rate pftk_ceiling(const TcpConfig& cfg, Duration rtt, double loss);
+
+/// Receiver-window ceiling: rwnd / rtt (infinite for rtt == 0).
+Rate rwnd_ceiling(const TcpConfig& cfg, Duration rtt);
+
+/// Combined steady-state ceiling: min(PFTK, rwnd/RTT).
+Rate steady_state_ceiling(const TcpConfig& cfg, Duration rtt, double loss);
+
+/// Rate cap during slow-start round `k` (0-based): the sender can emit at
+/// most cwnd_k / RTT where cwnd_k = initial_window * 2^k segments.
+Rate slow_start_cap(const TcpConfig& cfg, Duration rtt, int round);
+
+/// Number of slow-start rounds before the ramp cap reaches `target`
+/// (i.e. the smallest k with slow_start_cap(k) >= target). Saturates at a
+/// small bound since the cap doubles each round.
+int rounds_to_reach(const TcpConfig& cfg, Duration rtt, Rate target);
+
+inline constexpr Rate kUnlimitedRate = std::numeric_limits<Rate>::infinity();
+
+}  // namespace idr::flow

@@ -1,0 +1,141 @@
+#include "http/message.hpp"
+
+#include "util/strings.hpp"
+
+namespace idr::http {
+
+using util::iequals;
+
+std::string_view method_name(Method m) {
+  switch (m) {
+    case Method::GET: return "GET";
+    case Method::HEAD: return "HEAD";
+    case Method::POST: return "POST";
+    case Method::PUT: return "PUT";
+    case Method::DELETE: return "DELETE";
+    case Method::CONNECT: return "CONNECT";
+    case Method::OPTIONS: return "OPTIONS";
+    case Method::TRACE: return "TRACE";
+  }
+  return "GET";
+}
+
+std::optional<Method> parse_method(std::string_view s) {
+  static constexpr Method kAll[] = {Method::GET,     Method::HEAD,
+                                    Method::POST,    Method::PUT,
+                                    Method::DELETE,  Method::CONNECT,
+                                    Method::OPTIONS, Method::TRACE};
+  for (Method m : kAll) {
+    if (s == method_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+void HeaderMap::add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void HeaderMap::set(std::string name, std::string value) {
+  remove(name);
+  add(std::move(name), std::move(value));
+}
+
+std::optional<std::string> HeaderMap::get(std::string_view name) const {
+  for (const auto& [k, v] : entries_) {
+    if (iequals(k, name)) return v;
+  }
+  return std::nullopt;
+}
+
+std::size_t HeaderMap::remove(std::string_view name) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_,
+                [&](const auto& kv) { return iequals(kv.first, name); });
+  return before - entries_.size();
+}
+
+namespace {
+
+std::string serialize_headers(const HeaderMap& headers,
+                              const std::string& body,
+                              bool force_content_length) {
+  std::string out;
+  bool has_length = false;
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const auto& [k, v] = headers.entry(i);
+    if (iequals(k, "Content-Length")) has_length = true;
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  if (!has_length && (force_content_length || !body.empty())) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string Request::serialize() const {
+  std::string out(method_name(method));
+  out += ' ';
+  out += target;
+  out += ' ';
+  out += version;
+  out += "\r\n";
+  out += serialize_headers(headers, body, /*force_content_length=*/false);
+  return out;
+}
+
+std::string Response::serialize() const {
+  std::string out = version + ' ' + std::to_string(status) + ' ' + reason +
+                    "\r\n";
+  // Responses always carry an explicit length so the client can frame the
+  // body without connection-close semantics.
+  out += serialize_headers(headers, body, /*force_content_length=*/true);
+  return out;
+}
+
+std::string_view default_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 206: return "Partial Content";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 416: return "Range Not Satisfiable";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::optional<UrlParts> parse_http_url(std::string_view url) {
+  constexpr std::string_view kScheme = "http://";
+  if (!util::starts_with(url, kScheme)) return std::nullopt;
+  url.remove_prefix(kScheme.size());
+  UrlParts parts;
+  const std::size_t slash = url.find('/');
+  std::string_view authority =
+      slash == std::string_view::npos ? url : url.substr(0, slash);
+  parts.path = slash == std::string_view::npos
+                   ? "/"
+                   : std::string(url.substr(slash));
+  const std::size_t colon = authority.find(':');
+  if (colon == std::string_view::npos) {
+    parts.host = std::string(authority);
+  } else {
+    parts.host = std::string(authority.substr(0, colon));
+    const auto port = util::parse_u64(authority.substr(colon + 1));
+    if (!port || *port == 0 || *port > 65535) return std::nullopt;
+    parts.port = static_cast<std::uint16_t>(*port);
+  }
+  if (parts.host.empty()) return std::nullopt;
+  return parts;
+}
+
+}  // namespace idr::http

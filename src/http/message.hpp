@@ -1,0 +1,80 @@
+// HTTP/1.1 message model: just enough of RFC 7230/7233 for the paper's
+// methodology — GET with Range, 200/206/416 responses, Content-Length
+// framing, and forward-proxy absolute-form targets. Shared by the simulated
+// overlay (which cares about Range arithmetic) and the real socket runtime
+// (which also serializes/parses the wire format).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idr::http {
+
+enum class Method { GET, HEAD, POST, PUT, DELETE, CONNECT, OPTIONS, TRACE };
+
+std::string_view method_name(Method m);
+std::optional<Method> parse_method(std::string_view s);
+
+/// Ordered, case-insensitive header collection. Preserves insertion order
+/// (proxies should not reorder); lookups are linear — header counts are
+/// tiny.
+class HeaderMap {
+ public:
+  /// Appends a header (duplicates allowed, as on the wire).
+  void add(std::string name, std::string value);
+  /// Replaces all headers of `name` with a single value.
+  void set(std::string name, std::string value);
+  /// First value of `name`, if present.
+  std::optional<std::string> get(std::string_view name) const;
+  bool has(std::string_view name) const { return get(name).has_value(); }
+  /// Removes all headers of `name`; returns how many were removed.
+  std::size_t remove(std::string_view name);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::pair<std::string, std::string>& entry(std::size_t i) const {
+    return entries_.at(i);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct Request {
+  Method method = Method::GET;
+  /// Origin-form ("/path") or absolute-form ("http://host/path", as sent
+  /// to a forward proxy).
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  /// Serializes to the wire format (adds Content-Length when a body is
+  /// present and none is set).
+  std::string serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  std::string serialize() const;
+};
+
+std::string_view default_reason(int status);
+
+/// Splits an absolute-form target into {host, port, path}; returns nullopt
+/// unless the scheme is http. "http://h:8080/x" -> {"h", 8080, "/x"}.
+struct UrlParts {
+  std::string host;
+  std::uint16_t port = 80;
+  std::string path = "/";
+};
+std::optional<UrlParts> parse_http_url(std::string_view url);
+
+}  // namespace idr::http

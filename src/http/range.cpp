@@ -1,0 +1,120 @@
+#include "http/range.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace idr::http {
+
+using util::parse_u64;
+using util::trim;
+
+std::optional<RangeSpec> parse_range_header(std::string_view value) {
+  value = trim(value);
+  constexpr std::string_view kUnit = "bytes=";
+  if (!util::starts_with(value, kUnit)) return std::nullopt;
+  value.remove_prefix(kUnit.size());
+  if (value.find(',') != std::string_view::npos) {
+    return std::nullopt;  // multi-range not supported
+  }
+  const std::size_t dash = value.find('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  const std::string_view lhs = trim(value.substr(0, dash));
+  const std::string_view rhs = trim(value.substr(dash + 1));
+
+  RangeSpec spec;
+  if (lhs.empty()) {
+    // Suffix form: bytes=-n
+    const auto n = parse_u64(rhs);
+    if (!n) return std::nullopt;
+    spec.suffix_length = *n;
+    return spec;
+  }
+  const auto first = parse_u64(lhs);
+  if (!first) return std::nullopt;
+  spec.first = *first;
+  if (!rhs.empty()) {
+    const auto last = parse_u64(rhs);
+    if (!last) return std::nullopt;
+    spec.last = *last;
+  }
+  return spec;
+}
+
+std::string format_range_header(const RangeSpec& spec) {
+  std::string out = "bytes=";
+  if (spec.suffix_length) {
+    out += '-';
+    out += std::to_string(*spec.suffix_length);
+    return out;
+  }
+  out += std::to_string(spec.first.value_or(0));
+  out += '-';
+  if (spec.last) out += std::to_string(*spec.last);
+  return out;
+}
+
+RangeSpec range_first_bytes(std::uint64_t n) {
+  RangeSpec spec;
+  spec.first = 0;
+  spec.last = n == 0 ? 0 : n - 1;
+  return spec;
+}
+
+RangeSpec range_from_offset(std::uint64_t offset) {
+  RangeSpec spec;
+  spec.first = offset;
+  return spec;
+}
+
+RangeSpec range_suffix(std::uint64_t n) {
+  RangeSpec spec;
+  spec.suffix_length = n;
+  return spec;
+}
+
+std::optional<ByteRange> resolve_range(const RangeSpec& spec,
+                                       std::uint64_t total) {
+  if (total == 0) return std::nullopt;
+  if (spec.suffix_length) {
+    if (*spec.suffix_length == 0) return std::nullopt;
+    const std::uint64_t n = std::min(*spec.suffix_length, total);
+    return ByteRange{total - n, total - 1};
+  }
+  if (!spec.first) return std::nullopt;
+  if (*spec.first >= total) return std::nullopt;
+  std::uint64_t last = total - 1;
+  if (spec.last) {
+    if (*spec.last < *spec.first) return std::nullopt;
+    last = std::min(*spec.last, total - 1);
+  }
+  return ByteRange{*spec.first, last};
+}
+
+std::string format_content_range(const ByteRange& range,
+                                 std::uint64_t total) {
+  return "bytes " + std::to_string(range.first) + '-' +
+         std::to_string(range.last) + '/' + std::to_string(total);
+}
+
+std::optional<std::pair<ByteRange, std::uint64_t>> parse_content_range(
+    std::string_view value) {
+  value = trim(value);
+  constexpr std::string_view kUnit = "bytes ";
+  if (!util::starts_with(value, kUnit)) return std::nullopt;
+  value.remove_prefix(kUnit.size());
+  const std::size_t dash = value.find('-');
+  const std::size_t slash = value.find('/');
+  if (dash == std::string_view::npos || slash == std::string_view::npos ||
+      dash > slash) {
+    return std::nullopt;
+  }
+  const auto first = parse_u64(trim(value.substr(0, dash)));
+  const auto last = parse_u64(trim(value.substr(dash + 1, slash - dash - 1)));
+  const auto total = parse_u64(trim(value.substr(slash + 1)));
+  if (!first || !last || !total) return std::nullopt;
+  if (*last < *first || *last >= *total) return std::nullopt;
+  return std::make_pair(ByteRange{*first, *last}, *total);
+}
+
+}  // namespace idr::http

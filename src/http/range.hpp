@@ -1,0 +1,59 @@
+// RFC 7233 byte-range subset: single ranges only, which is all the paper's
+// methodology needs ("Range: bytes=0-102399" for the probe, then
+// "bytes=102400-" for the remainder).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace idr::http {
+
+/// A resolved byte range: inclusive [first, last], as in Content-Range.
+struct ByteRange {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+
+  std::uint64_t length() const { return last - first + 1; }
+  bool operator==(const ByteRange&) const = default;
+};
+
+/// A range spec as sent by the client, before resolution against the
+/// representation length. Exactly one of the three forms:
+///   bytes=a-b   (both set),  bytes=a-  (only first),  bytes=-n  (suffix)
+struct RangeSpec {
+  std::optional<std::uint64_t> first;
+  std::optional<std::uint64_t> last;
+  std::optional<std::uint64_t> suffix_length;
+
+  bool operator==(const RangeSpec&) const = default;
+};
+
+/// Parses a Range header value ("bytes=100-199"). Returns nullopt for
+/// other units, multi-range lists, or malformed input.
+std::optional<RangeSpec> parse_range_header(std::string_view value);
+
+/// Formats the header value for a spec ("bytes=100-199").
+std::string format_range_header(const RangeSpec& spec);
+
+/// Convenience constructors.
+RangeSpec range_first_bytes(std::uint64_t n);          // bytes=0-(n-1)
+RangeSpec range_from_offset(std::uint64_t offset);     // bytes=offset-
+RangeSpec range_suffix(std::uint64_t n);               // bytes=-n
+
+/// Resolves a spec against a representation of `total` bytes per RFC 7233
+/// §2.1. Returns nullopt when unsatisfiable (first >= total, or a suffix
+/// of 0, or an inverted a-b).
+std::optional<ByteRange> resolve_range(const RangeSpec& spec,
+                                       std::uint64_t total);
+
+/// Formats "bytes first-last/total" for Content-Range.
+std::string format_content_range(const ByteRange& range, std::uint64_t total);
+
+/// Parses a Content-Range value; returns {range, total}. Rejects the
+/// unknown-length form "bytes a-b/*".
+std::optional<std::pair<ByteRange, std::uint64_t>> parse_content_range(
+    std::string_view value);
+
+}  // namespace idr::http

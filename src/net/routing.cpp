@@ -1,0 +1,77 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace idr::net {
+
+std::optional<Path> shortest_path(const Topology& topo, NodeId from,
+                                  NodeId to) {
+  IDR_REQUIRE(from < topo.node_count() && to < topo.node_count(),
+              "shortest_path: unknown endpoint");
+  IDR_REQUIRE(from != to, "shortest_path: from == to");
+
+  const auto n = topo.node_count();
+  std::vector<Duration> dist(n, std::numeric_limits<Duration>::infinity());
+  std::vector<LinkId> via(n, kInvalidLink);
+
+  using QEntry = std::pair<Duration, NodeId>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> heap;
+  dist[from] = 0.0;
+  heap.emplace(0.0, from);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    if (u == to) break;
+    // End hosts terminate routes; only the source may originate from one.
+    if (u != from && !topo.node(u).transit) continue;
+    for (LinkId l : topo.out_links(u)) {
+      const Link& link = topo.link(l);
+      const Duration nd = d + link.prop_delay;
+      if (nd < dist[link.to]) {
+        dist[link.to] = nd;
+        via[link.to] = l;
+        heap.emplace(nd, link.to);
+      }
+    }
+  }
+
+  if (via[to] == kInvalidLink) return std::nullopt;
+
+  Path path;
+  for (NodeId u = to; u != from; u = topo.link(via[u]).from) {
+    path.links.push_back(via[u]);
+  }
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+Path concatenate(const Topology& topo, const Path& first,
+                 const Path& second) {
+  IDR_REQUIRE(!first.empty() && !second.empty(),
+              "concatenate: empty operand");
+  IDR_REQUIRE(topo.path_destination(first) == topo.path_source(second),
+              "concatenate: junction mismatch");
+  Path joined = first;
+  joined.links.insert(joined.links.end(), second.links.begin(),
+                      second.links.end());
+  return joined;
+}
+
+std::optional<Path> via_relay(const Topology& topo, NodeId client,
+                              NodeId relay, NodeId server) {
+  IDR_REQUIRE(relay != client && relay != server,
+              "via_relay: relay coincides with an endpoint");
+  const auto leg1 = shortest_path(topo, client, relay);
+  if (!leg1) return std::nullopt;
+  const auto leg2 = shortest_path(topo, relay, server);
+  if (!leg2) return std::nullopt;
+  return concatenate(topo, *leg1, *leg2);
+}
+
+}  // namespace idr::net

@@ -1,0 +1,26 @@
+// Shortest-path routing over a Topology. The "direct" Internet path of the
+// paper is modelled as the minimum-propagation-delay route; indirect paths
+// are formed by concatenating the direct routes client->relay and
+// relay->server (one-hop source routing at the overlay layer).
+#pragma once
+
+#include <optional>
+
+#include "net/topology.hpp"
+
+namespace idr::net {
+
+/// Dijkstra by propagation delay. Returns nullopt when unreachable.
+std::optional<Path> shortest_path(const Topology& topo, NodeId from,
+                                  NodeId to);
+
+/// Concatenates two paths where `first` ends at `second`'s source.
+/// Throws util::Error if the junction does not match.
+Path concatenate(const Topology& topo, const Path& first, const Path& second);
+
+/// Builds the overlay indirect path client -> relay -> server from the two
+/// underlying direct routes. Returns nullopt if either leg is unreachable.
+std::optional<Path> via_relay(const Topology& topo, NodeId client,
+                              NodeId relay, NodeId server);
+
+}  // namespace idr::net

@@ -1,0 +1,195 @@
+#include "overlay/transfer_engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace idr::overlay {
+
+TransferEngine::TransferEngine(flow::FlowSimulator& fsim)
+    : fsim_(fsim), jitter_rng_(fsim.derive_rng(0x7E57)) {}
+
+void TransferEngine::set_setup_jitter(Duration max_extra) {
+  IDR_REQUIRE(max_extra >= 0.0, "set_setup_jitter: negative jitter");
+  setup_jitter_max_ = max_extra;
+}
+
+void TransferEngine::set_relay_params(net::NodeId relay,
+                                      const RelayParams& params) {
+  IDR_REQUIRE(params.efficiency > 0.0 && params.efficiency <= 1.0,
+              "set_relay_params: efficiency outside (0,1]");
+  IDR_REQUIRE(params.processing_delay >= 0.0,
+              "set_relay_params: negative processing delay");
+  relay_params_[relay] = params;
+}
+
+const RelayParams& TransferEngine::relay_params(net::NodeId relay) const {
+  const auto it = relay_params_.find(relay);
+  return it == relay_params_.end() ? default_relay_params_ : it->second;
+}
+
+void TransferEngine::fail_async(TransferHandle handle, std::string error) {
+  Active& active = transfers_.at(handle);
+  active.result.ok = false;
+  active.result.error = std::move(error);
+  active.setup_event = fsim_.simulator().schedule_in(
+      0.0, [this, handle] { finish(handle); });
+}
+
+TransferHandle TransferEngine::begin(const TransferRequest& request,
+                                     TransferCallback on_done) {
+  IDR_REQUIRE(request.server != nullptr, "begin: null server");
+  IDR_REQUIRE(on_done != nullptr, "begin: null callback");
+
+  const TransferHandle handle = ++next_handle_;
+  Active& active = transfers_[handle];
+  active.on_done = std::move(on_done);
+  active.result.start_time = fsim_.simulator().now();
+  active.result.indirect = request.relay.has_value();
+  active.result.relay = request.relay.value_or(net::kInvalidNode);
+
+  const auto bytes =
+      request.server->transfer_size(request.resource, request.range);
+  if (!bytes) {
+    fail_async(handle, "resource not found or range unsatisfiable");
+    return handle;
+  }
+  active.result.bytes = *bytes;
+
+  const net::Topology& topo = fsim_.topology();
+  const net::NodeId server_node = request.server->node();
+
+  // All paths are computed in the data direction (server -> client).
+  net::Path data_path;
+  flow::FlowOptions options;
+  options.tcp = request.tcp;
+  Duration setup_delay = 0.0;
+
+  if (!request.relay) {
+    const auto direct = net::shortest_path(topo, server_node, request.client);
+    if (!direct) {
+      fail_async(handle, "no direct route");
+      return handle;
+    }
+    data_path = *direct;
+    const Duration rtt = topo.path_rtt(data_path);
+    options.rtt = rtt;
+    options.loss = topo.path_loss(data_path);
+    if (request.warm_connection) {
+      // Keep-alive: the request's one-way trip, window already open.
+      setup_delay = 0.5 * rtt;
+      options.model_slow_start = false;
+    } else {
+      // TCP handshake + request/first-byte exchange before data flows.
+      setup_delay = 2.0 * rtt;
+    }
+  } else {
+    const net::NodeId relay = *request.relay;
+    const auto leg_sr = net::shortest_path(topo, server_node, relay);
+    const auto leg_rc = net::shortest_path(topo, relay, request.client);
+    if (!leg_sr || !leg_rc) {
+      fail_async(handle, "no route via relay");
+      return handle;
+    }
+    data_path = net::concatenate(topo, *leg_sr, *leg_rc);
+    const RelayParams& rp = relay_params(relay);
+    const Duration rtt_sr = topo.path_rtt(*leg_sr);
+    const Duration rtt_rc = topo.path_rtt(*leg_rc);
+    // The slower ramping leg's slow start is the delivery-rate envelope;
+    // with a persistent upstream, only the client-side leg ramps.
+    options.rtt =
+        rp.persistent_upstream ? rtt_rc : std::max(rtt_sr, rtt_rc);
+    // Split TCP: each leg recovers losses independently, so the combined
+    // ceiling is the min of per-leg ceilings — not the (worse) ceiling of
+    // the compounded loss over the full RTT.
+    options.ceiling_override = std::min(
+        flow::steady_state_ceiling(options.tcp, rtt_sr,
+                                   topo.path_loss(*leg_sr)),
+        flow::steady_state_ceiling(options.tcp, rtt_rc,
+                                   topo.path_loss(*leg_rc)));
+    options.extra_cap = rp.max_forward_rate;
+    if (request.warm_connection) {
+      // Keep-alive through the proxy: request forwarded over both warm
+      // legs, windows already open.
+      setup_delay = 0.5 * (rtt_rc + rtt_sr) + rp.processing_delay;
+      options.model_slow_start = false;
+    } else if (rp.persistent_upstream) {
+      // Client->relay handshake + request; the upstream connection is
+      // already established, so only the request's upstream round trip.
+      setup_delay = 2.0 * rtt_rc + 0.5 * rtt_sr + rp.processing_delay;
+    } else {
+      // Client->relay handshake + request, relay->server handshake +
+      // request, plus relay processing.
+      setup_delay = 2.0 * rtt_rc + 2.0 * rtt_sr + rp.processing_delay;
+    }
+  }
+
+  active.tail_delay = topo.path_delay(data_path);
+
+  if (setup_jitter_max_ > 0.0) {
+    setup_delay += jitter_rng_.uniform(0.0, setup_jitter_max_);
+  }
+
+  // Application-layer relaying is not free: the proxy moves slightly more
+  // bytes than it delivers (buffer copies, re-framing). Model this as byte
+  // inflation so the overhead bites whether the transfer is link-bound or
+  // window-bound. The result still reports delivered (goodput) bytes.
+  util::Bytes size = *bytes;
+  if (request.relay) {
+    size /= relay_params(*request.relay).efficiency;
+  }
+  const net::Path path = data_path;
+  active.setup_event = fsim_.simulator().schedule_in(
+      setup_delay, [this, handle, path, size, options] {
+        Active& a = transfers_.at(handle);
+        a.in_setup = false;
+        a.flow = fsim_.start_flow(
+            path, size, options, [this, handle](const flow::FlowStats&) {
+              Active& done = transfers_.at(handle);
+              // Last byte reaches the client one propagation delay after
+              // the sender drains it.
+              done.in_tail = true;
+              done.tail_event = fsim_.simulator().schedule_in(
+                  done.tail_delay, [this, handle] {
+                    transfers_.at(handle).result.ok = true;
+                    finish(handle);
+                  });
+            });
+      });
+  return handle;
+}
+
+void TransferEngine::finish(TransferHandle handle) {
+  const auto it = transfers_.find(handle);
+  IDR_REQUIRE(it != transfers_.end(), "finish: unknown transfer");
+  Active active = std::move(it->second);
+  transfers_.erase(it);
+  active.result.finish_time = fsim_.simulator().now();
+  active.on_done(active.result);
+}
+
+bool TransferEngine::cancel(TransferHandle handle) {
+  const auto it = transfers_.find(handle);
+  if (it == transfers_.end()) return false;
+  Active& active = it->second;
+  if (active.in_setup) {
+    fsim_.simulator().cancel(active.setup_event);
+  } else if (active.in_tail) {
+    fsim_.simulator().cancel(active.tail_event);
+  } else {
+    fsim_.cancel_flow(active.flow);
+  }
+  transfers_.erase(it);
+  return true;
+}
+
+Rate TransferEngine::current_rate(TransferHandle handle) const {
+  const auto it = transfers_.find(handle);
+  IDR_REQUIRE(it != transfers_.end(), "current_rate: unknown transfer");
+  const Active& active = it->second;
+  if (active.in_setup || active.in_tail) return 0.0;
+  return fsim_.flow_active(active.flow) ? fsim_.current_rate(active.flow)
+                                        : 0.0;
+}
+
+}  // namespace idr::overlay

@@ -1,0 +1,143 @@
+// Maps an HTTP (possibly ranged) download over a direct or indirect path
+// onto the flow simulator, adding the latency components the fluid model
+// abstracts away: TCP/HTTP setup handshakes, relay processing delay, and
+// the one-way delivery tail.
+//
+// An indirect transfer is split-TCP: two independent connections
+// (server->relay, relay->client) coupled by the relay's forward buffer.
+// In the fluid approximation its delivery rate is the min of the two legs'
+// rates, which the engine realizes as ONE flow over the concatenated path
+// with
+//   * slow-start RTT  = max(leg RTTs)   (the slower ramp is the envelope),
+//   * TCP ceiling     = min(leg ceilings) (each leg recovers loss
+//                       independently — the split-TCP advantage),
+//   * byte inflation  = 1 / relay forwarding efficiency (proxy overhead,
+//                       one cause of the paper's penalties).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "flow/flow_simulator.hpp"
+#include "net/routing.hpp"
+#include "overlay/web_server.hpp"
+
+namespace idr::overlay {
+
+using util::Duration;
+using util::Rate;
+using util::TimePoint;
+
+/// Per-relay forwarding characteristics.
+struct RelayParams {
+  /// Request-processing latency added once per transfer.
+  Duration processing_delay = util::milliseconds(5);
+  /// Goodput fraction (0, 1]: the proxy moves 1/efficiency network bytes
+  /// per delivered byte (application-layer copy/re-framing overhead).
+  double efficiency = 0.97;
+  /// Absolute forwarding-rate cap; kUnlimitedRate for none.
+  Rate max_forward_rate = flow::kUnlimitedRate;
+  /// Whether the relay maintains persistent (keep-alive, warm-window)
+  /// connections to origin servers, as production forward proxies do.
+  /// Saves the upstream handshake and the upstream slow-start ramp on
+  /// every transfer; the client-side leg still pays both.
+  bool persistent_upstream = true;
+};
+
+struct TransferRequest {
+  net::NodeId client = net::kInvalidNode;
+  const WebServerModel* server = nullptr;
+  std::string resource;
+  std::optional<http::RangeSpec> range;  // absent = whole resource
+  /// If set, route indirectly via this relay node.
+  std::optional<net::NodeId> relay;
+  /// True when the request rides an already-established connection along
+  /// this path (HTTP keep-alive): no TCP/proxy handshakes — only the
+  /// request's one-way trip — and no slow-start restart, since the
+  /// congestion window is already open. The probe race uses this for the
+  /// "bytes=x-" remainder request on the winning path.
+  bool warm_connection = false;
+  flow::TcpConfig tcp{};
+};
+
+struct TransferResult {
+  bool ok = false;
+  std::string error;  // set when !ok (no route, 404, bad range)
+  util::Bytes bytes = 0.0;
+  TimePoint start_time = 0.0;
+  TimePoint finish_time = 0.0;
+  bool indirect = false;
+  net::NodeId relay = net::kInvalidNode;
+
+  Duration elapsed() const { return finish_time - start_time; }
+  /// Client-perceived throughput: bytes over wall-clock including setup.
+  Rate throughput() const {
+    return elapsed() > 0.0 ? bytes / elapsed() : 0.0;
+  }
+};
+
+using TransferHandle = std::uint64_t;
+using TransferCallback = std::function<void(const TransferResult&)>;
+
+class TransferEngine {
+ public:
+  explicit TransferEngine(flow::FlowSimulator& fsim);
+
+  TransferEngine(const TransferEngine&) = delete;
+  TransferEngine& operator=(const TransferEngine&) = delete;
+
+  /// Registers forwarding parameters for a relay node. Transfers via an
+  /// unregistered relay use default RelayParams.
+  void set_relay_params(net::NodeId relay, const RelayParams& params);
+  const RelayParams& relay_params(net::NodeId relay) const;
+
+  /// Adds uniform random extra latency in [0, max_extra] to every
+  /// transfer's setup phase: end-host scheduling, DNS, accept-queue and
+  /// process load — substantial on 2005 PlanetLab nodes, and the noise
+  /// that lets near-tied paths occasionally win a probe race. 0 disables.
+  void set_setup_jitter(Duration max_extra);
+
+  /// Starts a transfer; the callback fires (in simulated time) with the
+  /// outcome. Immediate failures (no route, unknown resource, bad range)
+  /// are reported through the callback on the next simulator step, so the
+  /// caller sees one uniform async interface.
+  TransferHandle begin(const TransferRequest& request,
+                       TransferCallback on_done);
+
+  /// Aborts an in-flight transfer; its callback will not fire.
+  /// Returns false if already finished/unknown.
+  bool cancel(TransferHandle handle);
+
+  /// Instantaneous delivery rate of an in-flight transfer (0 during setup).
+  Rate current_rate(TransferHandle handle) const;
+
+  std::size_t in_flight() const { return transfers_.size(); }
+  flow::FlowSimulator& flow_simulator() { return fsim_; }
+
+ private:
+  struct Active {
+    TransferResult result;
+    TransferCallback on_done;
+    bool in_setup = true;
+    sim::EventId setup_event = 0;
+    flow::FlowId flow = 0;
+    Duration tail_delay = 0.0;
+    sim::EventId tail_event = 0;
+    bool in_tail = false;
+  };
+
+  void fail_async(TransferHandle handle, std::string error);
+  void finish(TransferHandle handle);
+
+  flow::FlowSimulator& fsim_;
+  std::unordered_map<net::NodeId, RelayParams> relay_params_;
+  RelayParams default_relay_params_{};
+  Duration setup_jitter_max_ = 0.0;
+  util::Rng jitter_rng_;
+  std::unordered_map<TransferHandle, Active> transfers_;
+  TransferHandle next_handle_ = 0;
+};
+
+}  // namespace idr::overlay

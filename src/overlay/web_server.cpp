@@ -1,0 +1,45 @@
+#include "overlay/web_server.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idr::overlay {
+
+WebServerModel::WebServerModel(net::NodeId node, std::string host)
+    : node_(node), host_(std::move(host)) {
+  IDR_REQUIRE(!host_.empty(), "WebServerModel: empty host");
+}
+
+void WebServerModel::add_resource(std::string path, Bytes size_bytes) {
+  IDR_REQUIRE(!path.empty() && path.front() == '/',
+              "add_resource: path must start with '/'");
+  IDR_REQUIRE(size_bytes > 0.0, "add_resource: non-positive size");
+  IDR_REQUIRE(!resource_size(path).has_value(),
+              "add_resource: duplicate path " + path);
+  resources_.emplace_back(std::move(path), size_bytes);
+}
+
+std::optional<Bytes> WebServerModel::resource_size(
+    std::string_view path) const {
+  for (const auto& [p, size] : resources_) {
+    if (p == path) return size;
+  }
+  return std::nullopt;
+}
+
+std::optional<Bytes> WebServerModel::transfer_size(
+    std::string_view path,
+    const std::optional<http::RangeSpec>& range) const {
+  const auto size = resource_size(path);
+  if (!size) return std::nullopt;
+  if (!range) return size;
+  // The fluid model's fractional sizes only arise internally; resources
+  // registered via the public API are whole bytes.
+  const auto total = static_cast<std::uint64_t>(std::llround(*size));
+  const auto resolved = http::resolve_range(*range, total);
+  if (!resolved) return std::nullopt;
+  return static_cast<Bytes>(resolved->length());
+}
+
+}  // namespace idr::overlay

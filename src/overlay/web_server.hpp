@@ -1,0 +1,46 @@
+// Simulated origin web server: a node that serves named, fixed-size
+// resources and honours single byte ranges — the model counterpart of the
+// eBay/Google/MSN/Yahoo servers in the paper.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/range.hpp"
+#include "net/topology.hpp"
+#include "util/units.hpp"
+
+namespace idr::overlay {
+
+using util::Bytes;
+
+class WebServerModel {
+ public:
+  WebServerModel(net::NodeId node, std::string host);
+
+  net::NodeId node() const { return node_; }
+  const std::string& host() const { return host_; }
+
+  /// Registers a resource; paths must be unique and start with '/'.
+  void add_resource(std::string path, Bytes size_bytes);
+
+  /// Full size of a resource, or nullopt for a 404.
+  std::optional<Bytes> resource_size(std::string_view path) const;
+
+  /// Bytes a (possibly ranged) GET of `path` transfers, resolved per RFC
+  /// 7233. nullopt when the resource is missing or the range is
+  /// unsatisfiable.
+  std::optional<Bytes> transfer_size(
+      std::string_view path,
+      const std::optional<http::RangeSpec>& range) const;
+
+  std::size_t resource_count() const { return resources_.size(); }
+
+ private:
+  net::NodeId node_;
+  std::string host_;
+  std::vector<std::pair<std::string, Bytes>> resources_;
+};
+
+}  // namespace idr::overlay

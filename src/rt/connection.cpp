@@ -1,0 +1,172 @@
+#include "rt/connection.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace idr::rt {
+
+std::shared_ptr<Connection> Connection::adopt(Reactor& reactor,
+                                              FdHandle fd) {
+  IDR_REQUIRE(fd.valid(), "Connection::adopt: invalid fd");
+  auto conn = std::shared_ptr<Connection>(
+      new Connection(reactor, std::move(fd)));
+  conn->arm();
+  return conn;
+}
+
+Connection::Connection(Reactor& reactor, FdHandle fd)
+    : reactor_(reactor), fd_(std::move(fd)) {}
+
+Connection::~Connection() { close(); }
+
+void Connection::arm() {
+  // Keep a weak reference: the reactor callback must not extend the
+  // connection's life after the owner drops it — close() deregisters.
+  std::weak_ptr<Connection> weak = weak_from_this();
+  reactor_.add_fd(fd_.get(), read_enabled_, !send_queue_.empty(),
+                  [weak](IoEvents events) {
+                    if (auto self = weak.lock()) self->handle_events(events);
+                  });
+  registered_ = true;
+}
+
+void Connection::await_connect(ConnectCallback cb) {
+  IDR_REQUIRE(cb != nullptr, "await_connect: null callback");
+  IDR_REQUIRE(!connecting_, "await_connect: already awaiting");
+  connecting_ = true;
+  on_connect_ = std::move(cb);
+  reactor_.update_fd(fd_.get(), read_enabled_, true);
+}
+
+void Connection::handle_events(IoEvents events) {
+  if (closed()) return;
+  // Keep self alive through the callbacks below.
+  auto self = shared_from_this();
+
+  if (connecting_ && (events.writable || events.error)) {
+    connecting_ = false;
+    const int err = connect_error(fd_.get());
+    ConnectCallback cb = std::move(on_connect_);
+    on_connect_ = nullptr;
+    if (err != 0) {
+      if (registered_) {
+        reactor_.remove_fd(fd_.get());
+        registered_ = false;
+      }
+      fd_.reset();
+      if (cb) cb(std::strerror(err));
+      return;
+    }
+    reactor_.update_fd(fd_.get(), read_enabled_, !send_queue_.empty());
+    if (cb) cb("");
+    if (closed()) return;
+  }
+
+  if (events.readable && read_enabled_) handle_readable();
+  if (closed()) return;
+  if (events.writable && !connecting_) handle_writable();
+  if (closed()) return;
+  if (events.error) {
+    // Drain any pending bytes first happened above; report as closed.
+    fail("socket error/hangup");
+  }
+}
+
+void Connection::handle_readable() {
+  std::array<char, 64 * 1024> buffer;
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), buffer.data(), buffer.size(), 0);
+    if (n > 0) {
+      bytes_received_ += static_cast<std::size_t>(n);
+      if (on_data_) {
+        // Invoke through a copy: the handler may close() this connection,
+        // which clears on_data_ — destroying the very closure that is
+        // executing unless we keep it alive here.
+        DataCallback cb = on_data_;
+        cb(std::string_view(buffer.data(), static_cast<std::size_t>(n)));
+      }
+      if (closed() || !read_enabled_) return;
+      continue;
+    }
+    if (n == 0) {
+      fail("");  // orderly EOF
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    fail(std::strerror(errno));
+    return;
+  }
+}
+
+void Connection::handle_writable() {
+  while (!send_queue_.empty()) {
+    const std::string& chunk = send_queue_.front();
+    const char* data = chunk.data() + send_offset_;
+    const std::size_t len = chunk.size() - send_offset_;
+    const ssize_t n = ::send(fd_.get(), data, len, MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_sent_ += static_cast<std::size_t>(n);
+      send_offset_ += static_cast<std::size_t>(n);
+      if (send_offset_ == chunk.size()) {
+        send_queue_.pop_front();
+        send_offset_ = 0;
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    fail(std::strerror(errno));
+    return;
+  }
+  reactor_.update_fd(fd_.get(), read_enabled_, !send_queue_.empty());
+}
+
+void Connection::write(std::string_view data) {
+  IDR_REQUIRE(!closed(), "write on closed connection");
+  if (data.empty()) return;
+  send_queue_.emplace_back(data);
+  if (!connecting_) {
+    // Try an eager flush; fall back to EPOLLOUT.
+    handle_writable();
+  }
+}
+
+std::size_t Connection::send_backlog() const {
+  std::size_t total = 0;
+  for (const auto& chunk : send_queue_) total += chunk.size();
+  return total - send_offset_;
+}
+
+void Connection::set_read_enabled(bool enabled) {
+  if (read_enabled_ == enabled || closed()) return;
+  read_enabled_ = enabled;
+  reactor_.update_fd(fd_.get(), read_enabled_, !send_queue_.empty());
+}
+
+void Connection::close() {
+  if (closed()) return;
+  if (registered_) {
+    reactor_.remove_fd(fd_.get());
+    registered_ = false;
+  }
+  fd_.reset();
+  on_data_ = nullptr;
+  on_close_ = nullptr;
+  on_connect_ = nullptr;
+}
+
+void Connection::fail(const std::string& error) {
+  if (closed()) return;
+  CloseCallback cb = std::move(on_close_);
+  close();
+  if (cb) cb(error);
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,80 @@
+// Buffered asynchronous TCP connection bound to a Reactor.
+//
+// Owns the fd; delivers inbound bytes via on_data, drains an outbound
+// queue when the socket is writable, and reports EOF/errors via on_close.
+// Lifetime: Connections are managed via shared_ptr because callbacks may
+// destroy the owner mid-event.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rt/reactor.hpp"
+#include "rt/socket.hpp"
+
+namespace idr::rt {
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  /// Wraps an already-connected (or connecting) non-blocking fd.
+  static std::shared_ptr<Connection> adopt(Reactor& reactor, FdHandle fd);
+
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  using DataCallback = std::function<void(std::string_view)>;
+  /// `error` is empty on orderly EOF.
+  using CloseCallback = std::function<void(const std::string& error)>;
+  using ConnectCallback = std::function<void(const std::string& error)>;
+
+  void set_on_data(DataCallback cb) { on_data_ = std::move(cb); }
+  void set_on_close(CloseCallback cb) { on_close_ = std::move(cb); }
+
+  /// For fds from connect_nonblocking: fires once the connect resolves.
+  /// Must be called before any data is written.
+  void await_connect(ConnectCallback cb);
+
+  /// Queues bytes for sending; transparently waits for writability.
+  void write(std::string_view data);
+
+  /// Stops reading/writing and closes the socket. on_close does NOT fire
+  /// for a locally-initiated close.
+  void close();
+
+  /// Pauses/resumes delivery of on_data (flow control for relays).
+  void set_read_enabled(bool enabled);
+
+  bool closed() const { return !fd_.valid(); }
+  std::size_t bytes_received() const { return bytes_received_; }
+  std::size_t bytes_sent() const { return bytes_sent_; }
+  /// Bytes queued but not yet written to the kernel.
+  std::size_t send_backlog() const;
+  int fd() const { return fd_.get(); }
+
+ private:
+  Connection(Reactor& reactor, FdHandle fd);
+  void arm();
+  void handle_events(IoEvents events);
+  void handle_readable();
+  void handle_writable();
+  void fail(const std::string& error);
+
+  Reactor& reactor_;
+  FdHandle fd_;
+  DataCallback on_data_;
+  CloseCallback on_close_;
+  ConnectCallback on_connect_;
+  bool connecting_ = false;
+  bool read_enabled_ = true;
+  std::deque<std::string> send_queue_;
+  std::size_t send_offset_ = 0;  // into send_queue_.front()
+  std::size_t bytes_received_ = 0;
+  std::size_t bytes_sent_ = 0;
+  bool registered_ = false;
+};
+
+}  // namespace idr::rt

@@ -1,0 +1,183 @@
+#include "rt/http_client.hpp"
+
+#include "http/parser.hpp"
+#include "rt/http_server.hpp"
+#include "util/error.hpp"
+
+namespace idr::rt {
+
+namespace {
+
+struct FetchState {
+  Reactor* reactor = nullptr;
+  FetchRequest request;
+  FetchCallback on_done;
+  std::shared_ptr<Connection> conn;
+  http::ResponseParser parser;
+  FetchResult result;
+  std::uint64_t verify_offset = 0;  // absolute offset of next body byte
+  bool verify_ok = true;
+  bool range_resolved = false;
+  bool finished = false;
+  TimerId timeout_timer = 0;
+
+  void finish(bool ok, const std::string& error) {
+    if (finished) return;
+    finished = true;
+    reactor_cancel();
+    if (conn) conn->close();
+    result.ok = ok;
+    result.error = error;
+    result.finish_time = reactor->now();
+    if (on_done) on_done(result);
+  }
+
+  void reactor_cancel() {
+    if (timeout_timer != 0) {
+      reactor->cancel_timer(timeout_timer);
+      timeout_timer = 0;
+    }
+  }
+};
+
+void on_response_progress(const std::shared_ptr<FetchState>& state,
+                          std::string_view data) {
+  while (!data.empty() && !state->finished) {
+    const std::size_t before_body = state->parser.body_remaining();
+    const bool in_headers =
+        state->parser.state() == http::ParseState::Headers;
+    const std::size_t used = state->parser.feed(data);
+
+    if (state->parser.state() == http::ParseState::Error) {
+      state->finish(false, "response parse error: " +
+                               state->parser.error());
+      return;
+    }
+
+    // Header completion: learn the body's absolute offset for integrity
+    // checking (Content-Range on 206, zero on 200).
+    if (in_headers &&
+        state->parser.state() != http::ParseState::Headers &&
+        !state->range_resolved) {
+      state->range_resolved = true;
+      state->result.status = state->parser.response().status;
+      state->result.first_byte_time = state->reactor->now();
+      if (const auto cr =
+              state->parser.response().headers.get("Content-Range")) {
+        if (const auto parsed = http::parse_content_range(*cr)) {
+          state->verify_offset = parsed->first.first;
+        }
+      }
+    }
+
+    // Verify any body bytes delivered by this feed.
+    if (state->range_resolved) {
+      const std::string& body = state->parser.response().body;
+      const std::uint64_t have = body.size();
+      static_cast<void>(before_body);
+      // Verify bytes we have not checked yet.
+      const std::uint64_t checked = state->result.body_bytes;
+      for (std::uint64_t i = checked; i < have; ++i) {
+        if (body[static_cast<std::size_t>(i)] !=
+            resource_byte(state->verify_offset + i)) {
+          state->verify_ok = false;
+        }
+      }
+      state->result.body_bytes = have;
+    }
+
+    if (state->parser.state() == http::ParseState::Complete) {
+      state->result.body_verified =
+          state->verify_ok && state->result.status / 100 == 2;
+      state->finish(state->result.status / 100 == 2,
+                    state->result.status / 100 == 2
+                        ? ""
+                        : "http status " +
+                              std::to_string(state->result.status));
+      return;
+    }
+    data.remove_prefix(used);
+    if (used == 0) {
+      state->finish(false, "parser made no progress");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void FetchHandle::cancel() {
+  if (auto locked = state_.lock()) {
+    auto state = std::static_pointer_cast<FetchState>(locked);
+    state->finished = true;  // suppress the callback
+    state->reactor_cancel();
+    if (state->conn) state->conn->close();
+  }
+}
+
+FetchHandle fetch(Reactor& reactor, const FetchRequest& request,
+                  FetchCallback on_done) {
+  IDR_REQUIRE(on_done != nullptr, "fetch: null callback");
+  IDR_REQUIRE(request.origin.port != 0, "fetch: origin port required");
+
+  auto state = std::make_shared<FetchState>();
+  state->reactor = &reactor;
+  state->request = request;
+  state->on_done = std::move(on_done);
+  state->result.start_time = reactor.now();
+
+  const Endpoint& connect_to =
+      request.proxy ? *request.proxy : request.origin;
+
+  FdHandle fd;
+  try {
+    fd = connect_nonblocking(connect_to.host, connect_to.port);
+  } catch (const util::Error& e) {
+    // Report asynchronously for a uniform interface.
+    reactor.add_timer(0.0, [state, error = std::string(e.what())] {
+      state->finish(false, error);
+    });
+    return FetchHandle(state);
+  }
+
+  state->conn = Connection::adopt(reactor, std::move(fd));
+  state->conn->set_on_data([state](std::string_view data) {
+    on_response_progress(state, data);
+  });
+  state->conn->set_on_close([state](const std::string& error) {
+    if (!state->finished) {
+      state->finish(false, error.empty() ? "connection closed early"
+                                         : error);
+    }
+  });
+
+  state->timeout_timer = reactor.add_timer(request.timeout_s, [state] {
+    state->finish(false, "timeout");
+  });
+
+  state->conn->await_connect([state](const std::string& error) {
+    if (state->finished) return;
+    if (!error.empty()) {
+      state->finish(false, "connect: " + error);
+      return;
+    }
+    http::Request req;
+    req.method = http::Method::GET;
+    const std::string authority =
+        state->request.origin.host + ":" +
+        std::to_string(state->request.origin.port);
+    req.target = state->request.proxy
+                     ? "http://" + authority + state->request.path
+                     : state->request.path;
+    req.headers.add("Host", authority);
+    if (state->request.range) {
+      req.headers.add("Range",
+                      http::format_range_header(*state->request.range));
+    }
+    state->conn->write(req.serialize());
+  });
+
+  return FetchHandle(state);
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,74 @@
+// Asynchronous HTTP/1.1 GET client for the real-socket runtime.
+//
+// One fetch = one connection (optionally via a forward proxy, in which
+// case the request line carries the absolute-form URL, as the paper's
+// measurement framework did). Reports status, body size, wall-clock
+// timings and an integrity check against the deterministic origin body.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "http/range.hpp"
+#include "rt/connection.hpp"
+
+namespace idr::rt {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct FetchRequest {
+  Endpoint origin;
+  std::string path = "/";
+  std::optional<http::RangeSpec> range;
+  /// When set, connect here and send an absolute-form request instead.
+  std::optional<Endpoint> proxy;
+  /// Abort if the response hasn't completed within this many seconds.
+  double timeout_s = 30.0;
+};
+
+struct FetchResult {
+  bool ok = false;
+  std::string error;
+  int status = 0;
+  std::uint64_t body_bytes = 0;
+  double start_time = 0.0;   // reactor clock
+  double first_byte_time = 0.0;
+  double finish_time = 0.0;
+  /// True when every body byte matched the deterministic origin pattern
+  /// at its Content-Range offset.
+  bool body_verified = false;
+
+  double elapsed() const { return finish_time - start_time; }
+  double throughput() const {  // bytes/s over the whole operation
+    return elapsed() > 0.0 ? static_cast<double>(body_bytes) / elapsed()
+                           : 0.0;
+  }
+};
+
+using FetchCallback = std::function<void(const FetchResult&)>;
+
+/// Handle for cancelling an in-flight fetch (losing probes in a race).
+class FetchHandle {
+ public:
+  FetchHandle() = default;
+  explicit FetchHandle(std::weak_ptr<void> state) : state_(std::move(state)) {}
+  /// Aborts the fetch; its callback will not fire. No-op if finished.
+  void cancel();
+  bool active() const { return !state_.expired(); }
+
+ private:
+  std::weak_ptr<void> state_;
+};
+
+/// Starts a GET; the callback fires on the reactor loop exactly once
+/// (unless cancelled).
+FetchHandle fetch(Reactor& reactor, const FetchRequest& request,
+                  FetchCallback on_done);
+
+}  // namespace idr::rt

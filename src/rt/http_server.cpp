@@ -1,0 +1,200 @@
+#include "rt/http_server.hpp"
+
+#include <algorithm>
+
+#include "http/range.hpp"
+#include "util/error.hpp"
+
+namespace idr::rt {
+
+char resource_byte(std::uint64_t offset) {
+  // Cheap keyed pattern: varies with offset, cycles slowly, printable.
+  return static_cast<char>('A' + ((offset * 131 + (offset >> 7)) % 53));
+}
+
+struct HttpOriginServer::Session {
+  std::shared_ptr<Connection> conn;
+  http::RequestParser parser;
+  // Body streaming state for the in-flight response.
+  std::uint64_t body_offset = 0;
+  std::uint64_t body_remaining = 0;
+  double rate = 0.0;  // bytes/s; 0 = unthrottled
+  double next_send_at = 0.0;
+  bool sending = false;
+};
+
+HttpOriginServer::HttpOriginServer(Reactor& reactor, std::uint16_t port)
+    : reactor_(reactor), listen_fd_(listen_loopback(port)) {
+  port_ = local_port(listen_fd_.get());
+  reactor_.add_fd(listen_fd_.get(), true, false,
+                  [this](IoEvents) { on_accept(); });
+}
+
+HttpOriginServer::~HttpOriginServer() {
+  reactor_.remove_fd(listen_fd_.get());
+  for (auto& session : sessions_) session->conn->close();
+}
+
+void HttpOriginServer::add_resource(std::string path, std::uint64_t size) {
+  IDR_REQUIRE(!path.empty() && path.front() == '/',
+              "add_resource: path must start with '/'");
+  IDR_REQUIRE(size > 0, "add_resource: zero size");
+  resources_[std::move(path)] = size;
+}
+
+void HttpOriginServer::set_shaping_policy(ShapingPolicy policy) {
+  shaping_ = std::move(policy);
+}
+
+void HttpOriginServer::on_accept() {
+  while (auto fd = accept_nonblocking(listen_fd_.get())) {
+    start_session(std::move(*fd));
+  }
+}
+
+void HttpOriginServer::start_session(FdHandle fd) {
+  auto session = std::make_shared<Session>();
+  session->conn = Connection::adopt(reactor_, std::move(fd));
+  sessions_.insert(session);
+
+  std::weak_ptr<Session> weak = session;
+  session->conn->set_on_close([this, weak](const std::string&) {
+    if (auto s = weak.lock()) sessions_.erase(s);
+  });
+  session->conn->set_on_data([this, weak](std::string_view data) {
+    auto s = weak.lock();
+    if (!s) return;
+    while (!data.empty()) {
+      const std::size_t used = s->parser.feed(data);
+      data.remove_prefix(used);
+      if (s->parser.state() == http::ParseState::Error) {
+        http::Response bad;
+        bad.status = 400;
+        bad.reason = std::string(http::default_reason(400));
+        s->conn->write(bad.serialize());
+        s->conn->close();
+        sessions_.erase(s);
+        return;
+      }
+      if (s->parser.state() == http::ParseState::Complete) {
+        handle_request(s);
+        if (!s->conn || s->conn->closed()) return;
+        s->parser.reset();  // pipeline-friendly: keep-alive next request
+      }
+    }
+  });
+}
+
+http::Response HttpOriginServer::make_response(
+    const http::Request& request, std::uint64_t* body_offset,
+    std::uint64_t* body_length) const {
+  *body_offset = 0;
+  *body_length = 0;
+  http::Response resp;
+
+  // Accept absolute-form targets (a client may talk to us as if through
+  // a proxy) by stripping the authority.
+  std::string path = request.target;
+  if (const auto url = http::parse_http_url(path)) path = url->path;
+
+  const auto it = resources_.find(path);
+  if (request.method != http::Method::GET) {
+    resp.status = 400;
+  } else if (it == resources_.end()) {
+    resp.status = 404;
+  } else {
+    const std::uint64_t total = it->second;
+    const auto range_header = request.headers.get("Range");
+    if (!range_header) {
+      resp.status = 200;
+      *body_length = total;
+    } else {
+      const auto spec = http::parse_range_header(*range_header);
+      const auto resolved =
+          spec ? http::resolve_range(*spec, total) : std::nullopt;
+      if (!resolved) {
+        resp.status = 416;
+        resp.headers.add("Content-Range",
+                         "bytes */" + std::to_string(total));
+      } else {
+        resp.status = 206;
+        resp.headers.add("Content-Range",
+                         http::format_content_range(*resolved, total));
+        *body_offset = resolved->first;
+        *body_length = resolved->length();
+      }
+    }
+  }
+  resp.reason = std::string(http::default_reason(resp.status));
+  resp.headers.add("Server", "indiroute-origin/1.0");
+  resp.headers.set("Content-Length", std::to_string(*body_length));
+  return resp;
+}
+
+void HttpOriginServer::handle_request(
+    const std::shared_ptr<Session>& session) {
+  const http::Request& request = session->parser.request();
+  ++requests_served_;
+
+  std::uint64_t offset = 0, length = 0;
+  const http::Response resp = make_response(request, &offset, &length);
+  session->conn->write(resp.serialize());
+
+  session->body_offset = offset;
+  session->body_remaining = length;
+  session->rate = shaping_ ? shaping_(request) : 0.0;
+  session->next_send_at = reactor_.now();
+  if (!session->sending && length > 0) {
+    session->sending = true;
+    pump_body(session);
+  }
+}
+
+void HttpOriginServer::pump_body(const std::shared_ptr<Session>& session) {
+  if (session->conn->closed()) {
+    session->sending = false;
+    return;
+  }
+  if (session->body_remaining == 0) {
+    session->sending = false;
+    return;
+  }
+  // Backpressure: don't run ahead of the socket.
+  constexpr std::size_t kMaxBacklog = 256 * 1024;
+  if (session->conn->send_backlog() < kMaxBacklog) {
+    // Chunk size: unthrottled sends stream 64 KiB at a time; throttled
+    // sends pace ~20 chunks per second.
+    std::uint64_t chunk = 64 * 1024;
+    double delay = 0.0;
+    if (session->rate > 0.0) {
+      chunk = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(session->rate / 20.0));
+      delay = static_cast<double>(chunk) / session->rate;
+    }
+    chunk = std::min(chunk, session->body_remaining);
+    std::string body(static_cast<std::size_t>(chunk), '\0');
+    for (std::uint64_t i = 0; i < chunk; ++i) {
+      body[static_cast<std::size_t>(i)] =
+          resource_byte(session->body_offset + i);
+    }
+    session->conn->write(body);
+    session->body_offset += chunk;
+    session->body_remaining -= chunk;
+    if (session->body_remaining == 0) {
+      session->sending = false;
+      return;
+    }
+    std::weak_ptr<Session> weak = session;
+    reactor_.add_timer(delay, [this, weak] {
+      if (auto s = weak.lock()) pump_body(s);
+    });
+    return;
+  }
+  // Socket backed up: retry shortly.
+  std::weak_ptr<Session> weak = session;
+  reactor_.add_timer(0.005, [this, weak] {
+    if (auto s = weak.lock()) pump_body(s);
+  });
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,67 @@
+// Real-socket HTTP/1.1 origin server: serves fixed-size resources with
+// deterministic bodies, honours single byte ranges (RFC 7233), and can
+// shape each response's send rate through a pluggable policy — which is
+// how tests and examples emulate the paper's path asymmetry on loopback
+// (e.g. throttle requests without a Via header to model a slow direct
+// path, relayed ones faster).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "rt/connection.hpp"
+
+namespace idr::rt {
+
+/// Deterministic resource byte at a given offset (so clients can verify
+/// integrity of ranged reassembly).
+char resource_byte(std::uint64_t offset);
+
+class HttpOriginServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral). Serving starts immediately;
+  /// run the reactor to make progress.
+  HttpOriginServer(Reactor& reactor, std::uint16_t port = 0);
+  ~HttpOriginServer();
+
+  HttpOriginServer(const HttpOriginServer&) = delete;
+  HttpOriginServer& operator=(const HttpOriginServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  void add_resource(std::string path, std::uint64_t size);
+
+  /// Bytes/second granted to a response; 0 = unthrottled. Evaluated per
+  /// request, so policies can differentiate direct vs. relayed requests.
+  using ShapingPolicy = std::function<double(const http::Request&)>;
+  void set_shaping_policy(ShapingPolicy policy);
+
+  std::size_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Session;
+  void on_accept();
+  void start_session(FdHandle fd);
+  void handle_request(const std::shared_ptr<Session>& session);
+  void pump_body(const std::shared_ptr<Session>& session);
+  http::Response make_response(const http::Request& request,
+                               std::uint64_t* body_offset,
+                               std::uint64_t* body_length) const;
+
+  Reactor& reactor_;
+  FdHandle listen_fd_;
+  std::uint16_t port_ = 0;
+  std::unordered_map<std::string, std::uint64_t> resources_;
+  ShapingPolicy shaping_;
+  std::size_t requests_served_ = 0;
+  std::unordered_set<std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace idr::rt

@@ -1,0 +1,130 @@
+#include "rt/probe_race.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace idr::rt {
+
+namespace {
+
+struct RaceState {
+  Reactor* reactor = nullptr;
+  RaceSpec spec;
+  RaceCallback on_done;
+  double start_time = 0.0;
+  std::vector<FetchHandle> lanes;  // lane 0 = direct, i+1 = relays[i]
+  std::size_t pending = 0;
+  bool decided = false;
+  bool finished = false;
+  bool probe_verified = true;
+
+  void finish(const RaceResult& result) {
+    if (finished) return;
+    finished = true;
+    for (auto& lane : lanes) lane.cancel();
+    on_done(result);
+  }
+
+  void fail(const std::string& error) {
+    RaceResult result;
+    result.ok = false;
+    result.error = error;
+    finish(result);
+  }
+};
+
+void on_probe_done(const std::shared_ptr<RaceState>& state,
+                   std::size_t lane, const FetchResult& result) {
+  --state->pending;
+  if (state->decided || state->finished) return;
+  if (!result.ok) {
+    if (state->pending == 0) {
+      state->fail("all probes failed: " + result.error);
+    }
+    return;
+  }
+
+  state->decided = true;
+  state->probe_verified = result.body_verified;
+  const double probe_elapsed = state->reactor->now() - state->start_time;
+  // Abort the losers.
+  for (std::size_t i = 0; i < state->lanes.size(); ++i) {
+    if (i != lane) state->lanes[i].cancel();
+  }
+
+  const bool indirect = lane > 0;
+  const std::size_t relay_index = indirect ? lane - 1 : SIZE_MAX;
+
+  if (state->spec.probe_bytes >= state->spec.resource_size) {
+    RaceResult final;
+    final.ok = true;
+    final.chose_indirect = indirect;
+    final.relay_index = relay_index;
+    final.probe_elapsed = probe_elapsed;
+    final.total_elapsed = probe_elapsed;
+    final.total_bytes = state->spec.resource_size;
+    final.body_verified = state->probe_verified;
+    state->finish(final);
+    return;
+  }
+
+  FetchRequest rest;
+  rest.origin = state->spec.origin;
+  rest.path = state->spec.path;
+  rest.range = http::range_from_offset(state->spec.probe_bytes);
+  if (indirect) rest.proxy = state->spec.relays[relay_index];
+  rest.timeout_s = state->spec.timeout_s;
+  fetch(*state->reactor, rest,
+        [state, indirect, relay_index, probe_elapsed](
+            const FetchResult& remainder) {
+          if (!remainder.ok) {
+            state->fail("remainder failed: " + remainder.error);
+            return;
+          }
+          RaceResult final;
+          final.ok = true;
+          final.chose_indirect = indirect;
+          final.relay_index = relay_index;
+          final.probe_elapsed = probe_elapsed;
+          final.total_elapsed = state->reactor->now() - state->start_time;
+          final.total_bytes = state->spec.resource_size;
+          final.body_verified =
+              state->probe_verified && remainder.body_verified;
+          state->finish(final);
+        });
+}
+
+}  // namespace
+
+void start_probe_race(Reactor& reactor, const RaceSpec& spec,
+                      RaceCallback on_done) {
+  IDR_REQUIRE(on_done != nullptr, "start_probe_race: null callback");
+  IDR_REQUIRE(spec.resource_size > 0, "start_probe_race: zero resource");
+  IDR_REQUIRE(spec.probe_bytes > 0, "start_probe_race: zero probe");
+
+  auto state = std::make_shared<RaceState>();
+  state->reactor = &reactor;
+  state->spec = spec;
+  state->on_done = std::move(on_done);
+  state->start_time = reactor.now();
+
+  const std::uint64_t probe =
+      std::min(spec.probe_bytes, spec.resource_size);
+  state->pending = 1 + spec.relays.size();
+  for (std::size_t lane = 0; lane < 1 + spec.relays.size(); ++lane) {
+    FetchRequest req;
+    req.origin = spec.origin;
+    req.path = spec.path;
+    req.range = http::range_first_bytes(probe);
+    if (lane > 0) req.proxy = spec.relays[lane - 1];
+    req.timeout_s = spec.timeout_s;
+    state->lanes.push_back(
+        fetch(reactor, req, [state, lane](const FetchResult& result) {
+          on_probe_done(state, lane, result);
+        }));
+  }
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,49 @@
+// The paper's probe race over real sockets: request the first x bytes of
+// the resource over the direct path and through each candidate relay
+// simultaneously; the first lane to deliver its probe wins, the losers
+// are aborted, and the remaining bytes are fetched over the winner.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rt/http_client.hpp"
+#include "rt/relay_daemon.hpp"
+
+namespace idr::rt {
+
+struct RaceSpec {
+  Endpoint origin;
+  std::string path = "/";
+  std::uint64_t resource_size = 0;  // must match the origin's resource
+  std::uint64_t probe_bytes = 100 * 1000;
+  /// Candidate relay endpoints; the direct path always races too.
+  std::vector<Endpoint> relays;
+  double timeout_s = 30.0;
+};
+
+struct RaceResult {
+  bool ok = false;
+  std::string error;
+  bool chose_indirect = false;
+  std::size_t relay_index = SIZE_MAX;  // into RaceSpec::relays
+  double probe_elapsed = 0.0;
+  double total_elapsed = 0.0;
+  std::uint64_t total_bytes = 0;
+  bool body_verified = false;
+
+  double throughput() const {
+    return total_elapsed > 0.0
+               ? static_cast<double>(total_bytes) / total_elapsed
+               : 0.0;
+  }
+};
+
+using RaceCallback = std::function<void(const RaceResult&)>;
+
+/// Starts the race on the reactor; the callback fires exactly once.
+void start_probe_race(Reactor& reactor, const RaceSpec& spec,
+                      RaceCallback on_done);
+
+}  // namespace idr::rt

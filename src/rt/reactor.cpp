@@ -1,0 +1,143 @@
+#include "rt/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idr::rt {
+
+Reactor::Reactor() : origin_(std::chrono::steady_clock::now()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  IDR_REQUIRE(epoll_fd_ >= 0, "epoll_create1 failed");
+}
+
+Reactor::~Reactor() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+namespace {
+std::uint32_t to_mask(bool want_read, bool want_write) {
+  std::uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+}  // namespace
+
+void Reactor::add_fd(int fd, bool want_read, bool want_write,
+                     IoCallback cb) {
+  IDR_REQUIRE(fd >= 0, "add_fd: bad fd");
+  IDR_REQUIRE(cb != nullptr, "add_fd: null callback");
+  IDR_REQUIRE(!fds_.contains(fd), "add_fd: fd already registered");
+  epoll_event ev{};
+  ev.events = to_mask(want_read, want_write);
+  ev.data.fd = fd;
+  IDR_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+              "epoll_ctl ADD failed");
+  fds_[fd] = FdState{std::move(cb), want_read, want_write};
+}
+
+void Reactor::update_fd(int fd, bool want_read, bool want_write) {
+  auto it = fds_.find(fd);
+  IDR_REQUIRE(it != fds_.end(), "update_fd: unknown fd");
+  if (it->second.want_read == want_read &&
+      it->second.want_write == want_write) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = to_mask(want_read, want_write);
+  ev.data.fd = fd;
+  IDR_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+              "epoll_ctl MOD failed");
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+}
+
+void Reactor::remove_fd(int fd) {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fds_.erase(it);
+}
+
+TimerId Reactor::add_timer(double delay_s, std::function<void()> cb) {
+  IDR_REQUIRE(delay_s >= 0.0, "add_timer: negative delay");
+  IDR_REQUIRE(cb != nullptr, "add_timer: null callback");
+  const TimerId id = ++next_timer_;
+  timer_queue_.push(TimerEntry{now() + delay_s, id});
+  timers_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Reactor::cancel_timer(TimerId id) { return timers_.erase(id) > 0; }
+
+double Reactor::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin_)
+      .count();
+}
+
+void Reactor::run_due_timers() {
+  const double t = now();
+  while (!timer_queue_.empty() && timer_queue_.top().deadline <= t) {
+    const TimerId id = timer_queue_.top().id;
+    timer_queue_.pop();
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) continue;  // cancelled
+    std::function<void()> cb = std::move(it->second);
+    timers_.erase(it);
+    cb();
+  }
+}
+
+int Reactor::next_timeout_ms() const {
+  // Skip cancelled entries at the head without mutating (const): a
+  // cancelled head just means we may wake early and loop again.
+  if (timer_queue_.empty()) return -1;
+  const double delta = timer_queue_.top().deadline - now();
+  if (delta <= 0.0) return 0;
+  return static_cast<int>(std::min(60000.0, std::ceil(delta * 1000.0)));
+}
+
+bool Reactor::poll(double max_wait_s) {
+  int timeout_ms =
+      static_cast<int>(std::llround(std::max(0.0, max_wait_s) * 1000.0));
+  const int timer_ms = next_timeout_ms();
+  if (timer_ms >= 0) timeout_ms = std::min(timeout_ms, timer_ms);
+
+  std::array<epoll_event, 64> events{};
+  const int n = ::epoll_wait(epoll_fd_, events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+  bool fired = false;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) continue;  // removed by an earlier callback
+    IoEvents io;
+    const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+    io.readable = (mask & EPOLLIN) != 0;
+    io.writable = (mask & EPOLLOUT) != 0;
+    io.error = (mask & (EPOLLERR | EPOLLHUP)) != 0;
+    // Copy the callback: it may remove_fd (erasing the state) mid-call.
+    IoCallback cb = it->second.callback;
+    cb(io);
+    fired = true;
+  }
+  run_due_timers();
+  return fired || n > 0;
+}
+
+void Reactor::run() {
+  stopped_ = false;
+  while (!stopped_) {
+    if (fds_.empty() && timers_.empty()) return;  // nothing to wait for
+    poll(1.0);
+  }
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,85 @@
+// Single-threaded epoll reactor with monotonic timers — the event loop
+// under the real-socket overlay runtime (origin server, relay daemon,
+// client, probe race). Everything runs on the loop thread; no locks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace idr::rt {
+
+/// Event mask bits passed to I/O callbacks.
+struct IoEvents {
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  // EPOLLERR / EPOLLHUP
+};
+
+using TimerId = std::uint64_t;
+
+class Reactor {
+ public:
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  using IoCallback = std::function<void(IoEvents)>;
+
+  /// Registers a non-blocking fd. The callback fires on the loop for
+  /// every ready event until remove_fd.
+  void add_fd(int fd, bool want_read, bool want_write, IoCallback cb);
+  /// Changes interest set.
+  void update_fd(int fd, bool want_read, bool want_write);
+  /// Unregisters; safe to call from inside the fd's own callback.
+  void remove_fd(int fd);
+
+  /// One-shot timer after `delay_s` seconds (monotonic clock).
+  TimerId add_timer(double delay_s, std::function<void()> cb);
+  bool cancel_timer(TimerId id);
+
+  /// Runs until stop() is called or there is nothing left to wait for
+  /// (no fds, no timers).
+  void run();
+  void stop() { stopped_ = true; }
+
+  /// Polls once with at most `max_wait_s`; returns whether any event or
+  /// timer fired. Useful for tests.
+  bool poll(double max_wait_s);
+
+  /// Seconds since reactor construction (monotonic).
+  double now() const;
+
+ private:
+  struct FdState {
+    IoCallback callback;
+    bool want_read = false;
+    bool want_write = false;
+  };
+  struct TimerEntry {
+    double deadline;
+    TimerId id;
+    bool operator>(const TimerEntry& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return id > other.id;
+    }
+  };
+
+  void run_due_timers();
+  int next_timeout_ms() const;
+
+  int epoll_fd_ = -1;
+  std::chrono::steady_clock::time_point origin_;
+  std::unordered_map<int, FdState> fds_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>> timer_queue_;
+  std::unordered_map<TimerId, std::function<void()>> timers_;
+  TimerId next_timer_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace idr::rt

@@ -1,0 +1,175 @@
+#include "rt/relay_daemon.hpp"
+
+#include "http/message.hpp"
+#include "util/error.hpp"
+
+namespace idr::rt {
+
+struct RelayDaemon::Session {
+  std::shared_ptr<Connection> client;
+  std::shared_ptr<Connection> upstream;
+  http::RequestParser request_parser;
+  http::ResponseParser response_parser;
+  bool forwarding = false;  // response bytes streaming client-ward
+};
+
+RelayDaemon::RelayDaemon(Reactor& reactor, std::uint16_t port)
+    : reactor_(reactor), listen_fd_(listen_loopback(port)) {
+  port_ = local_port(listen_fd_.get());
+  reactor_.add_fd(listen_fd_.get(), true, false,
+                  [this](IoEvents) { on_accept(); });
+}
+
+RelayDaemon::~RelayDaemon() {
+  reactor_.remove_fd(listen_fd_.get());
+  for (auto& session : sessions_) {
+    session->client->close();
+    if (session->upstream) session->upstream->close();
+  }
+}
+
+void RelayDaemon::on_accept() {
+  while (auto fd = accept_nonblocking(listen_fd_.get())) {
+    start_session(std::move(*fd));
+  }
+}
+
+void RelayDaemon::drop(const std::shared_ptr<Session>& session) {
+  session->client->close();
+  if (session->upstream) session->upstream->close();
+  sessions_.erase(session);
+}
+
+void RelayDaemon::reject(const std::shared_ptr<Session>& session,
+                         int status) {
+  http::Response resp;
+  resp.status = status;
+  resp.reason = std::string(http::default_reason(status));
+  session->client->write(resp.serialize());
+  drop(session);
+}
+
+void RelayDaemon::start_session(FdHandle fd) {
+  auto session = std::make_shared<Session>();
+  session->client = Connection::adopt(reactor_, std::move(fd));
+  sessions_.insert(session);
+
+  std::weak_ptr<Session> weak = session;
+  session->client->set_on_close([this, weak](const std::string&) {
+    if (auto s = weak.lock()) {
+      if (s->upstream) s->upstream->close();
+      sessions_.erase(s);
+    }
+  });
+  session->client->set_on_data([this, weak](std::string_view data) {
+    auto s = weak.lock();
+    if (!s || s->forwarding) return;  // ignore pipelined extra bytes
+    s->request_parser.feed(data);
+    if (s->request_parser.state() == http::ParseState::Error) {
+      reject(s, 400);
+      return;
+    }
+    if (s->request_parser.state() == http::ParseState::Complete) {
+      connect_upstream(s);
+    }
+  });
+}
+
+void RelayDaemon::resume_when_drained(std::weak_ptr<Session> session) {
+  auto s = session.lock();
+  if (!s || s->client->closed()) return;
+  constexpr std::size_t kLowWater = 256 * 1024;
+  if (s->client->send_backlog() > kLowWater) {
+    reactor_.add_timer(0.01,
+                       [this, session] { resume_when_drained(session); });
+    return;
+  }
+  if (s->upstream && !s->upstream->closed()) {
+    s->upstream->set_read_enabled(true);
+  }
+}
+
+void RelayDaemon::drop_when_drained(std::weak_ptr<Session> session) {
+  auto s = session.lock();
+  if (!s) return;
+  if (!s->client->closed() && s->client->send_backlog() > 0) {
+    reactor_.add_timer(0.005,
+                       [this, session] { drop_when_drained(session); });
+    return;
+  }
+  drop(s);
+}
+
+void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
+  const http::Request& request = session->request_parser.request();
+  const auto url = http::parse_http_url(request.target);
+  if (!url || request.method != http::Method::GET) {
+    reject(session, 400);
+    return;
+  }
+
+  FdHandle fd;
+  try {
+    fd = connect_nonblocking(url->host, url->port);
+  } catch (const util::Error&) {
+    reject(session, 502);
+    return;
+  }
+  session->upstream = Connection::adopt(reactor_, std::move(fd));
+  session->forwarding = true;
+  ++transfers_;
+
+  std::weak_ptr<Session> weak = session;
+  session->upstream->set_on_close([this, weak](const std::string&) {
+    if (auto s = weak.lock()) {
+      // Upstream gone: if the response was already fully relayed this is
+      // benign; otherwise the truncated stream tells the client.
+      drop(s);
+    }
+  });
+  session->upstream->set_on_data([this, weak](std::string_view data) {
+    auto s = weak.lock();
+    if (!s) return;
+    // Stream bytes through; track framing so the session can be dropped
+    // cleanly at message end.
+    s->response_parser.feed(data);
+    s->client->write(data);
+    bytes_forwarded_ += data.size();
+    // Backpressure: pause upstream reads while the client leg is backed
+    // up; resume from a cheap poll timer.
+    constexpr std::size_t kHighWater = 512 * 1024;
+    if (s->client->send_backlog() > kHighWater) {
+      s->upstream->set_read_enabled(false);
+      reactor_.add_timer(0.01, [this, w2 = std::weak_ptr<Session>(s)] {
+        resume_when_drained(w2);
+      });
+    }
+    if (s->response_parser.state() == http::ParseState::Complete) {
+      // One transfer per connection: close the upstream; keep the client
+      // connection open until its send queue drains, then close it too.
+      s->upstream->close();
+      drop_when_drained(s);
+    }
+  });
+
+  session->upstream->await_connect(
+      [this, weak, url = *url](const std::string& error) {
+        auto s = weak.lock();
+        if (!s) return;
+        if (!error.empty()) {
+          reject(s, 504);
+          return;
+        }
+        // Forward the request in origin-form with a Via header — both
+        // correct proxy behaviour and the seam tests use to emulate
+        // asymmetric path quality at the origin.
+        http::Request upstream_req = s->request_parser.request();
+        upstream_req.target = url.path;
+        upstream_req.headers.set("Host", url.host + ":" +
+                                             std::to_string(url.port));
+        upstream_req.headers.add("Via", "1.1 indiroute-relay");
+        s->upstream->write(upstream_req.serialize());
+      });
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,51 @@
+// The forwarding service the paper deployed on every intermediate node:
+// an HTTP forward proxy. A client sends an absolute-form GET; the relay
+// connects to the origin (or reuses a warm connection), forwards the
+// request with a Via header appended, and streams the response back,
+// applying backpressure so a slow client leg does not buffer the world.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "http/parser.hpp"
+#include "rt/connection.hpp"
+
+namespace idr::rt {
+
+class RelayDaemon {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral).
+  RelayDaemon(Reactor& reactor, std::uint16_t port = 0);
+  ~RelayDaemon();
+
+  RelayDaemon(const RelayDaemon&) = delete;
+  RelayDaemon& operator=(const RelayDaemon&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  std::size_t transfers_forwarded() const { return transfers_; }
+  std::uint64_t bytes_forwarded() const { return bytes_forwarded_; }
+
+ private:
+  struct Session;
+  void on_accept();
+  void start_session(FdHandle fd);
+  void connect_upstream(const std::shared_ptr<Session>& session);
+  void reject(const std::shared_ptr<Session>& session, int status);
+  void drop(const std::shared_ptr<Session>& session);
+  /// Re-enables upstream reads once the client leg's backlog drains.
+  void resume_when_drained(std::weak_ptr<Session> session);
+  /// Closes the session once its last bytes reach the kernel.
+  void drop_when_drained(std::weak_ptr<Session> session);
+
+  Reactor& reactor_;
+  FdHandle listen_fd_;
+  std::uint16_t port_ = 0;
+  std::size_t transfers_ = 0;
+  std::uint64_t bytes_forwarded_ = 0;
+  std::unordered_set<std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace idr::rt

@@ -1,0 +1,119 @@
+#include "rt/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace idr::rt {
+
+FdHandle& FdHandle::operator=(FdHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+int FdHandle::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void FdHandle::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  IDR_REQUIRE(flags >= 0, "fcntl F_GETFL failed");
+  IDR_REQUIRE(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "fcntl F_SETFL failed");
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+FdHandle listen_loopback(std::uint16_t port, int backlog) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  IDR_REQUIRE(fd.valid(), "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  IDR_REQUIRE(::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              std::string("bind failed: ") + std::strerror(errno));
+  IDR_REQUIRE(::listen(fd.get(), backlog) == 0, "listen failed");
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  IDR_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+                  0,
+              "getsockname failed");
+  return ntohs(addr.sin_port);
+}
+
+std::optional<FdHandle> accept_nonblocking(int listen_fd) {
+  const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    ::idr::util::fail(std::string("accept failed: ") +
+                      std::strerror(errno));
+  }
+  return FdHandle(fd);
+}
+
+FdHandle connect_nonblocking(const std::string& host, std::uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  IDR_REQUIRE(fd.valid(), "socket() failed");
+  set_nonblocking(fd.get());
+
+  sockaddr_in addr = loopback_addr(port);
+  if (host != "localhost" && host != "127.0.0.1") {
+    IDR_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "connect: cannot parse host " + host);
+  }
+  const int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::idr::util::fail(std::string("connect failed: ") +
+                      std::strerror(errno));
+  }
+  return fd;
+}
+
+int connect_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return errno;
+  }
+  return err;
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,49 @@
+// Thin RAII and non-blocking-socket helpers over POSIX TCP sockets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace idr::rt {
+
+/// Owning file-descriptor handle.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { reset(); }
+  FdHandle(FdHandle&& other) noexcept : fd_(other.release()) {}
+  FdHandle& operator=(FdHandle&& other) noexcept;
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a non-blocking listening socket on 127.0.0.1:`port`
+/// (port 0 = ephemeral). Throws util::Error on failure.
+FdHandle listen_loopback(std::uint16_t port, int backlog = 64);
+
+/// Local port a socket is bound to.
+std::uint16_t local_port(int fd);
+
+/// Accepts one pending connection as non-blocking; nullopt when the
+/// accept queue is empty.
+std::optional<FdHandle> accept_nonblocking(int listen_fd);
+
+/// Starts a non-blocking connect to host:port (IPv4 dotted or
+/// "localhost"). The socket completes asynchronously — wait for
+/// writability and check connect_finished(). Throws on immediate errors.
+FdHandle connect_nonblocking(const std::string& host, std::uint16_t port);
+
+/// After writability: 0 if connected, else the errno of the failure.
+int connect_error(int fd);
+
+}  // namespace idr::rt

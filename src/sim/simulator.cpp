@@ -1,0 +1,108 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace idr::sim {
+
+EventId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  IDR_REQUIRE(t >= now_, "schedule_at: time in the past");
+  IDR_REQUIRE(fn != nullptr, "schedule_at: null callback");
+  const EventId id = ++next_seq_;
+  queue_.push(Entry{t, id, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::schedule_in(Duration delay, std::function<void()> fn) {
+  IDR_REQUIRE(delay >= 0.0, "schedule_in: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void Simulator::skip_cancelled() {
+  while (!queue_.empty()) {
+    const auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+TimePoint Simulator::next_event_time() const {
+  auto* self = const_cast<Simulator*>(this);
+  self->skip_cancelled();
+  IDR_REQUIRE(!queue_.empty(), "next_event_time: queue empty");
+  return queue_.top().time;
+}
+
+bool Simulator::pop_and_run() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
+  const Entry top = queue_.top();
+  queue_.pop();
+  now_ = top.time;
+  auto it = callbacks_.find(top.id);
+  IDR_REQUIRE(it != callbacks_.end(), "event with no callback");
+  // Move the callback out before erasing so the callback can schedule or
+  // cancel other events (including re-using this id slot) safely.
+  std::function<void()> fn = std::move(it->second);
+  callbacks_.erase(it);
+  ++executed_;
+  fn();
+  return true;
+}
+
+std::size_t Simulator::run_until(TimePoint t) {
+  IDR_REQUIRE(t >= now_, "run_until: time in the past");
+  std::size_t ran = 0;
+  while (true) {
+    skip_cancelled();
+    if (queue_.empty() || queue_.top().time > t) break;
+    pop_and_run();
+    ++ran;
+  }
+  now_ = t;
+  return ran;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t ran = 0;
+  while (ran < max_events && pop_and_run()) ++ran;
+  return ran;
+}
+
+bool Simulator::step() { return pop_and_run(); }
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period,
+                             std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  IDR_REQUIRE(period_ > 0.0, "PeriodicTimer: period must be positive");
+  IDR_REQUIRE(fn_ != nullptr, "PeriodicTimer: null callback");
+  arm();
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::arm() {
+  pending_ = sim_.schedule_in(period_, [this] {
+    // Re-arm before running the callback so the callback sees a live timer
+    // it can stop().
+    arm();
+    fn_();
+  });
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+}  // namespace idr::sim

@@ -1,0 +1,116 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and a queue of timestamped callbacks.
+// Events at equal timestamps fire in scheduling order (FIFO), which makes
+// runs deterministic. Cancellation is O(1) amortized: cancelled events are
+// tombstoned and skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace idr::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Handle for a scheduled event; valid until the event fires or is
+/// cancelled.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time. Starts at 0.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (must be >= 0).
+  EventId schedule_in(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or the id is unknown.
+  bool cancel(EventId id);
+
+  /// Runs events with timestamp <= `t`, then advances the clock to `t`
+  /// (even if the queue drains earlier). Returns the number of events run.
+  std::size_t run_until(TimePoint t);
+
+  /// Runs until the queue is empty or `max_events` have fired.
+  /// Returns the number of events run.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  bool empty() const { return pending() == 0; }
+
+  /// Timestamp of the next pending event; requires !empty().
+  TimePoint next_event_time() const;
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;  // FIFO tie-break among equal timestamps
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops tombstoned entries off the top of the heap.
+  void skip_cancelled();
+  bool pop_and_run();
+
+  TimePoint now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  // Callbacks keyed by id; detached from Entry so cancel() can free the
+  // closure immediately.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+/// Repeating timer: runs `fn` every `period`, starting `period` from
+/// creation, until stop() or destruction. The callback may stop the timer.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn);
+  ~PeriodicTimer();
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventId pending_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace idr::sim

@@ -1,0 +1,54 @@
+#include "testbed/export.hpp"
+
+namespace idr::testbed {
+
+util::CsvWriter observations_csv(
+    const std::vector<SessionResult>& sessions) {
+  util::CsvWriter csv({"client", "session_relay", "start_time_s", "ok",
+                       "chose_indirect", "chosen_relay",
+                       "selected_mbps", "selected_steady_mbps",
+                       "direct_mbps", "improvement_pct",
+                       "improvement_steady_pct"});
+  for (const SessionResult& s : sessions) {
+    for (const TransferObservation& t : s.transfers) {
+      csv.add_row({t.client, t.session_relay,
+                   util::format_fixed(t.start_time, 1),
+                   t.ok ? "1" : "0", t.chose_indirect ? "1" : "0",
+                   t.chosen_relay,
+                   util::format_fixed(util::to_mbps(t.selected_rate), 4),
+                   util::format_fixed(util::to_mbps(t.selected_steady_rate),
+                                      4),
+                   util::format_fixed(util::to_mbps(t.direct_rate), 4),
+                   util::format_fixed(t.improvement_pct, 2),
+                   util::format_fixed(t.improvement_steady_pct, 2)});
+    }
+  }
+  return csv;
+}
+
+util::CsvWriter relay_utilization_csv(
+    const std::vector<SessionResult>& sessions) {
+  util::CsvWriter csv(
+      {"relay", "avg_utilization", "stdev", "rms", "sessions"});
+  for (const RelayUtilizationSummary& r :
+       relay_utilization_summary(sessions)) {
+    csv.add_row({r.relay, util::format_fixed(r.average, 4),
+                 util::format_fixed(r.stdev, 4),
+                 util::format_fixed(r.rms, 4),
+                 std::to_string(r.sessions)});
+  }
+  return csv;
+}
+
+util::CsvWriter random_set_sweep_csv(const Section4Result& result) {
+  util::CsvWriter csv({"client", "set_size", "avg_improvement_pct",
+                       "utilization"});
+  for (const Section4Cell& cell : result.cells) {
+    csv.add_row({cell.client, std::to_string(cell.set_size),
+                 util::format_fixed(cell.avg_improvement_pct, 2),
+                 util::format_fixed(cell.utilization, 4)});
+  }
+  return csv;
+}
+
+}  // namespace idr::testbed

@@ -1,0 +1,21 @@
+// CSV export of experiment data, for external plotting/analysis.
+#pragma once
+
+#include "testbed/records.hpp"
+#include "testbed/section4.hpp"
+#include "util/table.hpp"
+
+namespace idr::testbed {
+
+/// One row per transfer: client, session relay, time, selection, rates
+/// (Mbps) and improvements (percent).
+util::CsvWriter observations_csv(const std::vector<SessionResult>& sessions);
+
+/// One row per relay: average/stdev/RMS utilization (the Fig. 5 series).
+util::CsvWriter relay_utilization_csv(
+    const std::vector<SessionResult>& sessions);
+
+/// One row per (client, set size): the Fig. 6 series.
+util::CsvWriter random_set_sweep_csv(const Section4Result& result);
+
+}  // namespace idr::testbed

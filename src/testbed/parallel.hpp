@@ -1,0 +1,38 @@
+// Minimal deterministic fork-join helper for the Monte-Carlo drivers.
+//
+// Tasks are indexed; each worker claims the next index atomically and
+// writes its result into a preallocated slot, so the output order is the
+// task order regardless of thread count — determinism is preserved because
+// every task derives its randomness from its own index, never from shared
+// streams.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace idr::testbed {
+
+/// Number of worker threads to use: `requested`, or the hardware
+/// concurrency when `requested == 0` (min 1).
+unsigned resolve_threads(unsigned requested);
+
+/// Runs fn(0..count-1) across `threads` workers. Rethrows the first task
+/// exception (by task index) after all workers stop.
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Maps fn over [0, count) into a vector, preserving index order.
+template <typename T>
+std::vector<T> parallel_map(std::size_t count, unsigned threads,
+                            const std::function<T(std::size_t)>& fn) {
+  std::vector<T> results(count);
+  parallel_for(count, threads,
+               [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace idr::testbed

@@ -1,0 +1,143 @@
+#include "testbed/records.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace idr::testbed {
+
+std::size_t SessionResult::indirect_count() const {
+  std::size_t n = 0;
+  for (const auto& t : transfers) {
+    if (t.ok && t.chose_indirect) ++n;
+  }
+  return n;
+}
+
+double SessionResult::utilization() const {
+  if (transfers.empty()) return 0.0;
+  return static_cast<double>(indirect_count()) /
+         static_cast<double>(transfers.size());
+}
+
+core::ThroughputCategory SessionResult::category() const {
+  return core::categorize_throughput(direct_rate_stats.mean());
+}
+
+core::VariabilityClass SessionResult::variability(
+    double cv_threshold) const {
+  return core::classify_variability(direct_rate_stats, cv_threshold);
+}
+
+std::vector<double> indirect_improvements(
+    const std::vector<SessionResult>& sessions) {
+  std::vector<double> out;
+  for (const SessionResult& s : sessions) {
+    for (const TransferObservation& t : s.transfers) {
+      if (t.ok && t.chose_indirect) out.push_back(t.improvement_pct);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<Rate, Rate>> indirect_rate_pairs(
+    const std::vector<SessionResult>& sessions) {
+  return indirect_rate_pairs_if(sessions,
+                                [](const SessionResult&) { return true; });
+}
+
+std::vector<ClientTopRelays> top_relays_per_client(
+    const std::vector<SessionResult>& sessions, std::size_t k) {
+  // Collate per (client, relay) utilization; a Section 2 session is
+  // exactly one such pair.
+  std::map<std::string, std::vector<RelayUtilizationEntry>> per_client;
+  for (const SessionResult& s : sessions) {
+    if (s.session_relay.empty()) continue;
+    per_client[s.client].push_back(
+        RelayUtilizationEntry{s.session_relay, s.utilization()});
+  }
+  std::vector<ClientTopRelays> out;
+  for (auto& [client, entries] : per_client) {
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.utilization > b.utilization;
+                     });
+    if (entries.size() > k) entries.resize(k);
+    out.push_back(ClientTopRelays{client, std::move(entries)});
+  }
+  return out;
+}
+
+std::vector<RelayUtilizationSummary> relay_utilization_summary(
+    const std::vector<SessionResult>& sessions) {
+  struct Accum {
+    std::size_t chosen = 0;
+    std::size_t possible = 0;
+    util::OnlineStats per_session;  // session utilizations
+  };
+  std::map<std::string, Accum> by_relay;
+  for (const SessionResult& s : sessions) {
+    if (s.session_relay.empty()) continue;
+    Accum& a = by_relay[s.session_relay];
+    a.chosen += s.indirect_count();
+    a.possible += s.transfers.size();
+    a.per_session.add(s.utilization());
+  }
+  std::vector<RelayUtilizationSummary> out;
+  for (const auto& [relay, a] : by_relay) {
+    RelayUtilizationSummary row;
+    row.relay = relay;
+    row.average = a.possible == 0 ? 0.0
+                                  : static_cast<double>(a.chosen) /
+                                        static_cast<double>(a.possible);
+    row.stdev = a.per_session.stddev();
+    row.rms = a.per_session.rms();
+    row.sessions = a.per_session.count();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+double overall_utilization(const std::vector<SessionResult>& sessions) {
+  std::size_t chosen = 0, possible = 0;
+  for (const SessionResult& s : sessions) {
+    chosen += s.indirect_count();
+    possible += s.transfers.size();
+  }
+  return possible == 0 ? 0.0
+                       : static_cast<double>(chosen) /
+                             static_cast<double>(possible);
+}
+
+std::vector<ImprovementVsThroughputPoint> improvement_vs_throughput_points(
+    const std::vector<SessionResult>& sessions) {
+  std::vector<ImprovementVsThroughputPoint> points;
+  for (const SessionResult& s : sessions) {
+    for (const TransferObservation& t : s.transfers) {
+      if (!t.ok || !t.chose_indirect) continue;
+      points.push_back(ImprovementVsThroughputPoint{
+          s.client, t.chosen_relay, util::to_mbps(t.direct_rate),
+          t.improvement_pct});
+    }
+  }
+  return points;
+}
+
+std::vector<IndirectThroughputSample> indirect_throughput_timeseries(
+    const std::vector<SessionResult>& sessions) {
+  std::vector<IndirectThroughputSample> samples;
+  for (const SessionResult& s : sessions) {
+    for (const TransferObservation& t : s.transfers) {
+      if (!t.ok || !t.chose_indirect) continue;
+      samples.push_back(IndirectThroughputSample{
+          s.client, t.start_time, util::to_mbps(t.selected_rate)});
+    }
+  }
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.time < b.time;
+                   });
+  return samples;
+}
+
+}  // namespace idr::testbed

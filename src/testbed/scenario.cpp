@@ -1,0 +1,156 @@
+#include "testbed/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace idr::testbed {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ScenarioGenerator::ScenarioGenerator(std::uint64_t seed, ScenarioKnobs knobs)
+    : seed_(seed), knobs_(knobs) {
+  IDR_REQUIRE(knobs_.file_size > 0.0 && knobs_.probe_bytes > 0.0,
+              "ScenarioKnobs: sizes must be positive");
+  IDR_REQUIRE(knobs_.relay_idio_cv >= 0.0 && knobs_.relay_wan_cv >= 0.0,
+              "ScenarioKnobs: negative CV");
+}
+
+namespace {
+
+/// One-way propagation delay between two sites, by region pair.
+util::Duration draw_delay(bool a_usa, bool b_usa, util::Rng& rng) {
+  if (a_usa && b_usa) return util::milliseconds(rng.uniform(15.0, 45.0));
+  if (a_usa || b_usa) return util::milliseconds(rng.uniform(40.0, 110.0));
+  return util::milliseconds(rng.uniform(60.0, 160.0));
+}
+
+}  // namespace
+
+WorldParams ScenarioGenerator::make_world(
+    const SiteProfile& client, const std::vector<const SiteProfile*>& relays,
+    const SiteProfile& server, double client_inbound_mbps_override) const {
+  WorldParams params;
+  params.client_name = std::string(client.name);
+  params.server_name = std::string(server.name);
+  params.file_size = knobs_.file_size;
+  params.probe_bytes = knobs_.probe_bytes;
+  params.relay_params = knobs_.relay_params;
+
+  const double inbound_mbps = client_inbound_mbps_override > 0.0
+                                  ? client_inbound_mbps_override
+                                  : client.inbound_mbps;
+
+  // One derived stream per concern, keyed by the sites involved, so adding
+  // a relay to the set never perturbs the parameters of the others.
+  const std::uint64_t client_key = seed_ ^ (fnv1a(client.name) * 3) ^
+                                   (fnv1a(server.name) * 7);
+  util::Rng direct_rng{util::splitmix64(client_key)};
+
+  // Client access link: stable, the potential shared bottleneck.
+  params.access.mean =
+      knobs_.access_inbound_mult > 0.0
+          ? util::mbps(inbound_mbps * knobs_.access_inbound_mult)
+          : util::mbps(client.access_mbps);
+  params.access.cv = 0.0;
+  params.access.delay = util::milliseconds(4.0);
+  params.access.loss = 1e-4;
+
+  // Direct wide-area segment server -> client gateway.
+  params.direct_wan.mean = util::mbps(inbound_mbps);
+  params.direct_wan.cv = client.variability_cv * knobs_.client_cv_scale;
+  // High-variability paths are not just wider — they are *faster*: their
+  // throughput decorrelates on the timescale of a single transfer, which
+  // is exactly what defeats the initial-segment predictor and produces
+  // the paper's penalties (probe right, remainder wrong). Stable paths
+  // keep the configured slow dynamics.
+  if (params.direct_wan.cv > 0.42) {
+    params.direct_wan.rho = 0.55;
+    params.direct_wan.step = 8.0;
+  } else if (params.direct_wan.cv > 0.30) {
+    params.direct_wan.rho = 0.75;
+    params.direct_wan.step = knobs_.direct_step;
+  } else {
+    params.direct_wan.rho = knobs_.direct_rho;
+    params.direct_wan.step = knobs_.direct_step;
+  }
+  params.direct_wan.jumps = client.jumpy;
+  params.direct_wan.jump_multiplier = 0.12;
+  // Episodes are short relative to the transfer cadence: a probe taken
+  // during one frequently selects the indirect path just before the
+  // direct path snaps back — the paper's large High-client penalties.
+  params.direct_wan.normal_dwell = util::minutes(4.0);
+  params.direct_wan.degraded_dwell = util::seconds(30.0);
+  params.direct_wan.delay = draw_delay(server.usa, client.usa, direct_rng);
+  params.direct_wan.loss = client.base_loss * direct_rng.uniform(0.85, 1.2);
+
+  std::uint64_t roster_hash = 0;
+  for (const SiteProfile* relay : relays) {
+    IDR_REQUIRE(relay != nullptr, "make_world: null relay profile");
+    roster_hash ^= fnv1a(relay->name);
+    params.relay_names.emplace_back(relay->name);
+
+    util::Rng pair_rng{util::splitmix64(client_key ^
+                                        (fnv1a(relay->name) * 11))};
+
+    // Relay -> client gateway: the leg the paper identifies as the
+    // indirect path's bottleneck. Its mean combines the client's inbound
+    // base, the relay's global goodness, and an idiosyncratic per-pair
+    // factor (throughput diversity).
+    LinkSpec leg;
+    const double idio =
+        pair_rng.lognormal_mean_cv(1.0, knobs_.relay_idio_cv);
+    const double leg_base_mbps =
+        knobs_.relay_base_scale *
+        std::pow(inbound_mbps, knobs_.relay_inbound_exponent);
+    leg.mean = util::mbps(leg_base_mbps * relay->relay_goodness * idio);
+    leg.cv = knobs_.relay_wan_cv;
+    leg.rho = 0.97;
+    leg.step = knobs_.relay_step;
+    leg.jumps = pair_rng.bernoulli(knobs_.relay_jump_fraction);
+    leg.jump_multiplier = 0.45;
+    leg.normal_dwell = util::minutes(25.0);
+    leg.degraded_dwell = util::minutes(2.0);
+    // A client's paths to US relays ride the same intercontinental
+    // segment as its direct path, so their propagation delays are highly
+    // correlated — without this, a lucky short-RTT relay would get a
+    // spurious slow-start ramp advantage in every probe race.
+    if (relay->usa != client.usa) {
+      leg.delay = std::max(0.035, params.direct_wan.delay +
+                                      pair_rng.uniform(-0.015, 0.030));
+    } else {
+      leg.delay = draw_delay(relay->usa, client.usa, pair_rng);
+    }
+    const double loss_idio = pair_rng.lognormal_mean_cv(1.0, 0.35);
+    leg.loss = std::clamp(client.base_loss * knobs_.relay_loss_scale *
+                              loss_idio / relay->relay_goodness,
+                          1e-4, 0.03);
+    params.relay_wan.push_back(leg);
+
+    // Server -> relay: fat and steady (US university to US datacenter);
+    // rarely the bottleneck, as the paper assumes.
+    LinkSpec sr;
+    sr.mean = util::mbps(std::min(server.inbound_mbps, relay->inbound_mbps));
+    sr.cv = 0.10;
+    sr.rho = 0.9;
+    sr.step = util::seconds(60.0);
+    sr.delay = draw_delay(server.usa, relay->usa, pair_rng);
+    sr.loss = relay->base_loss;
+    params.server_relay.push_back(sr);
+  }
+
+  params.process_seed =
+      util::splitmix64(client_key ^ (roster_hash * 13) ^ 0xABCDEF);
+  return params;
+}
+
+}  // namespace idr::testbed

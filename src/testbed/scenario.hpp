@@ -1,0 +1,88 @@
+// Deterministic world-parameter generation from site profiles.
+//
+// All idiosyncratic variation (per-pair path quality, delays, losses) is
+// derived from FNV-hashed site names mixed with the scenario seed, so a
+// given (seed, client, relays, server) always yields the same WorldParams
+// — the mirrored plain/selecting worlds depend on this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "testbed/sites.hpp"
+#include "testbed/world.hpp"
+
+namespace idr::testbed {
+
+struct ScenarioKnobs {
+  util::Bytes file_size = util::megabytes(4);
+  util::Bytes probe_bytes = util::kilobytes(100);
+
+  /// Relay-leg mean bandwidth is
+  ///   relay_base_scale * inbound^relay_inbound_exponent * goodness * idio
+  /// (inbound in Mbps). The exponent < 1 captures the paper's central
+  /// observation that indirect-path throughput is largely a property of
+  /// the overlay link, "fairly constant" across time and only weakly
+  /// coupled to how good the client's direct path is — which is what
+  /// makes improvement inversely related to client throughput (Fig. 3)
+  /// and gives High-throughput clients their penalties.
+  double relay_base_scale = 1.30;
+  double relay_inbound_exponent = 0.55;
+  /// Lognormal CV of the per-(client, relay) path-quality factor — the
+  /// "throughput diversity" knob.
+  double relay_idio_cv = 0.30;
+  /// Temporal CV of relay-leg available bandwidth (the paper observes
+  /// indirect paths are steadier than direct ones — Fig. 4).
+  double relay_wan_cv = 0.15;
+  /// Fraction of (client, relay) legs that suffer occasional mild jump
+  /// episodes (residual penalties on otherwise stable clients).
+  double relay_jump_fraction = 0.15;
+  /// Relay-leg loss relative to the client's direct-path loss (before the
+  /// per-relay goodness divisor).
+  double relay_loss_scale = 0.8;
+
+  /// If > 0, the client access capacity becomes inbound * this multiple
+  /// (overriding the site profile) — the natural ceiling on indirect
+  /// gains and the source of shared-bottleneck penalties.
+  double access_inbound_mult = 0.0;
+  /// Scales every client's temporal variability (ablation knob).
+  double client_cv_scale = 1.0;
+
+  /// Direct-path capacity dynamics: resample period and AR(1) persistence.
+  /// The defaults give dips lasting on the order of a minute — longer than
+  /// a probe, comparable to a transfer — which is the paper's penalty
+  /// mechanism (prediction right for the probe, wrong for the tail).
+  util::Duration direct_step = 10.0;
+  double direct_rho = 0.90;
+  util::Duration relay_step = 60.0;   // relay-leg capacity resample
+
+  overlay::RelayParams relay_params{};
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(std::uint64_t seed, ScenarioKnobs knobs = {});
+
+  /// Builds the world for one client talking to one server through the
+  /// given candidate relays. `client_inbound_mbps_override` (> 0) replaces
+  /// the profile's direct-path mean — Section 4 pins Duke/Italy/Sweden to
+  /// the Low/Medium bands this way.
+  WorldParams make_world(const SiteProfile& client,
+                         const std::vector<const SiteProfile*>& relays,
+                         const SiteProfile& server,
+                         double client_inbound_mbps_override = 0.0) const;
+
+  std::uint64_t seed() const { return seed_; }
+  const ScenarioKnobs& knobs() const { return knobs_; }
+
+ private:
+  std::uint64_t seed_;
+  ScenarioKnobs knobs_;
+};
+
+/// Stable 64-bit FNV-1a over a string (used for per-site seed derivation;
+/// std::hash is not guaranteed stable across implementations).
+std::uint64_t fnv1a(std::string_view s);
+
+}  // namespace idr::testbed

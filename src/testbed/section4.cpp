@@ -1,0 +1,108 @@
+#include "testbed/section4.hpp"
+
+#include <algorithm>
+
+#include "testbed/parallel.hpp"
+#include "testbed/session.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace idr::testbed {
+
+const Section4Cell& Section4Result::cell(const std::string& client,
+                                         std::size_t set_size) const {
+  for (const auto& c : cells) {
+    if (c.client == client && c.set_size == set_size) return c;
+  }
+  ::idr::util::fail("Section4Result: no cell for " + client + "/n=" +
+                    std::to_string(set_size));
+}
+
+std::vector<const SiteProfile*> section4_relays(
+    const Section4Config& config, const std::string& client,
+    std::size_t count) {
+  std::vector<const SiteProfile*> roster;
+  auto excluded = [&](std::string_view name) {
+    if (name == client) return true;
+    return std::find(config.clients.begin(), config.clients.end(),
+                     std::string(name)) != config.clients.end();
+  };
+  for (const auto& r : relay_sites()) {
+    if (!excluded(r.name) && roster.size() < count) roster.push_back(&r);
+  }
+  for (const auto& c : client_sites()) {
+    if (!excluded(c.name) && roster.size() < count) roster.push_back(&c);
+  }
+  IDR_REQUIRE(roster.size() == count,
+              "section4_relays: not enough sites for requested roster");
+  return roster;
+}
+
+Section4Result run_section4(const Section4Config& config) {
+  IDR_REQUIRE(config.client_inbound_mbps.size() == config.clients.size(),
+              "Section4Config: inbound overrides must parallel clients");
+  const SiteProfile& server = find_site(config.server);
+  const ScenarioGenerator generator(config.seed, config.knobs);
+
+  struct Task {
+    std::size_t client_index = 0;
+    std::size_t set_size = 0;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t c = 0; c < config.clients.size(); ++c) {
+    for (std::size_t n : config.set_sizes) {
+      tasks.push_back(Task{c, n});
+    }
+  }
+
+  auto run_task = [&](std::size_t i) -> Section4Cell {
+    const Task& task = tasks[i];
+    const std::string& client_name = config.clients[task.client_index];
+    const SiteProfile& client = find_site(client_name);
+    const auto roster =
+        section4_relays(config, client_name, config.relay_count);
+
+    SessionSpec spec;
+    spec.params = generator.make_world(
+        client, roster, server,
+        config.client_inbound_mbps[task.client_index]);
+    spec.transfers = config.transfers;
+    spec.interval = config.interval;
+    spec.client_seed = util::splitmix64(
+        config.seed ^ fnv1a(client_name) ^ (task.set_size * 1000003ULL));
+    const std::size_t n = task.set_size;
+    const SubsetPolicyKind kind = config.policy;
+    spec.policy_factory =
+        [n, kind](ClientWorld&) -> std::unique_ptr<core::SelectionPolicy> {
+      if (kind == SubsetPolicyKind::Weighted) {
+        return std::make_unique<core::WeightedRandomSubsetPolicy>(n);
+      }
+      return std::make_unique<core::UniformRandomSubsetPolicy>(n);
+    };
+
+    SessionOutput output = run_session(spec);
+
+    Section4Cell cell;
+    cell.client = client_name;
+    cell.set_size = task.set_size;
+    cell.utilization = output.result.utilization();
+    util::OnlineStats improvements;
+    for (const auto& t : output.result.transfers) {
+      // Section 4's metric is the steady-phase throughput of the selected
+      // path: with up to 35 concurrent probes, charging the race to the
+      // transfer would plot probing cost, not path quality.
+      if (t.ok) improvements.add(t.improvement_steady_pct);
+    }
+    cell.avg_improvement_pct = improvements.mean();
+    cell.session = std::move(output.result);
+    cell.relay_stats = std::move(output.relay_stats);
+    return cell;
+  };
+
+  Section4Result result;
+  result.cells =
+      parallel_map<Section4Cell>(tasks.size(), config.threads, run_task);
+  return result;
+}
+
+}  // namespace idr::testbed

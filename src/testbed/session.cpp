@@ -1,0 +1,94 @@
+#include "testbed/session.hpp"
+
+#include "util/error.hpp"
+
+namespace idr::testbed {
+
+SessionOutput run_session(const SessionSpec& spec) {
+  IDR_REQUIRE(spec.transfers > 0, "run_session: no transfers");
+  IDR_REQUIRE(spec.interval > 0.0, "run_session: non-positive interval");
+  IDR_REQUIRE(spec.policy_factory != nullptr,
+              "run_session: null policy factory");
+
+  // --- World A: the plain client, always direct. -------------------------
+  ClientWorld world_a(spec.params, /*attach_relay_processes=*/false);
+  struct DirectSample {
+    bool done = false;
+    util::Rate rate = 0.0;
+  };
+  std::vector<DirectSample> directs(spec.transfers);
+  std::size_t pending_a = spec.transfers;
+  for (std::size_t k = 0; k < spec.transfers; ++k) {
+    const util::TimePoint when =
+        1.0 + static_cast<double>(k) * spec.interval;
+    world_a.simulator().schedule_at(when, [&, k] {
+      world_a.begin_direct_download(
+          [&, k](const overlay::TransferResult& result) {
+            directs[k].done = result.ok;
+            directs[k].rate = result.throughput();
+            --pending_a;
+          });
+    });
+  }
+  while (pending_a > 0) {
+    IDR_REQUIRE(world_a.simulator().step(),
+                "run_session: world A drained with transfers pending");
+  }
+
+  // --- World B: the selecting client, same bandwidth sample paths. -------
+  ClientWorld world_b(spec.params, /*attach_relay_processes=*/true);
+  auto client = world_b.make_client(spec.policy_factory(world_b),
+                                    util::Rng(spec.client_seed));
+
+  SessionOutput output;
+  SessionResult& session = output.result;
+  session.client = spec.params.client_name;
+  session.session_relay = spec.session_relay_label;
+  session.transfers.resize(spec.transfers);
+
+  std::size_t pending_b = spec.transfers;
+  for (std::size_t k = 0; k < spec.transfers; ++k) {
+    const util::TimePoint when =
+        1.0 + static_cast<double>(k) * spec.interval;
+    world_b.simulator().schedule_at(when, [&, k, when] {
+      client->fetch([&, k, when](const core::FetchRecord& record) {
+        TransferObservation& obs = session.transfers[k];
+        obs.client = spec.params.client_name;
+        obs.session_relay = spec.session_relay_label;
+        obs.start_time = when;
+        obs.ok = record.outcome.ok && directs[k].done;
+        obs.chose_indirect = record.outcome.chose_indirect;
+        if (obs.ok) {
+          obs.selected_rate = record.outcome.selected_throughput();
+          obs.selected_steady_rate = record.outcome.steady_throughput();
+          obs.direct_rate = directs[k].rate;
+          obs.improvement_pct =
+              core::improvement_pct(obs.selected_rate, obs.direct_rate);
+          obs.improvement_steady_pct = core::improvement_pct(
+              obs.selected_steady_rate, obs.direct_rate);
+          if (record.outcome.chose_indirect) {
+            obs.chosen_relay =
+                world_b.relay_name_of(record.outcome.relay);
+            // Relay history carries the steady metric: it scores the
+            // path, not the probing cost of this particular race.
+            client->record_improvement(record.outcome.relay,
+                                       obs.improvement_steady_pct);
+          }
+        }
+        --pending_b;
+      });
+    });
+  }
+  while (pending_b > 0) {
+    IDR_REQUIRE(world_b.simulator().step(),
+                "run_session: world B drained with transfers pending");
+  }
+
+  for (const DirectSample& d : directs) {
+    if (d.done) session.direct_rate_stats.add(d.rate);
+  }
+  output.relay_stats = client->stats();
+  return output;
+}
+
+}  // namespace idr::testbed

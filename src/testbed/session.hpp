@@ -1,0 +1,38 @@
+// Shared session runner: executes one client's measurement session — N
+// transfers at a fixed cadence — in a pair of mirrored worlds (plain
+// direct reference in world A, selecting client in world B) and joins the
+// per-transfer observations.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "testbed/records.hpp"
+#include "testbed/world.hpp"
+
+namespace idr::testbed {
+
+struct SessionSpec {
+  WorldParams params;
+  /// Builds the selecting client's policy once the world exists (policies
+  /// need node ids, e.g. StaticRelayPolicy).
+  std::function<std::unique_ptr<core::SelectionPolicy>(ClientWorld&)>
+      policy_factory;
+  std::size_t transfers = 100;
+  util::Duration interval = util::minutes(6);
+  /// Seed for the selecting client's policy stream.
+  std::uint64_t client_seed = 1;
+  /// Label stored as TransferObservation::session_relay (the static relay
+  /// name for Section 2 sessions, empty for Section 4).
+  std::string session_relay_label;
+};
+
+struct SessionOutput {
+  SessionResult result;
+  /// Final per-relay history of the selecting client (Table III input).
+  core::RelayStatsTable relay_stats;
+};
+
+SessionOutput run_session(const SessionSpec& spec);
+
+}  // namespace idr::testbed

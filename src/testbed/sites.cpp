@@ -1,0 +1,139 @@
+#include "testbed/sites.hpp"
+
+#include "util/error.hpp"
+
+namespace idr::testbed {
+
+// Client calibration notes (mapped to the paper's observations):
+//  * Most international clients sit in the Low/Medium direct-throughput
+//    bands — these gain most and are the paper's target population.
+//  * Four clients (Australia 1, Singapore, Taiwan, UK) are High-throughput
+//    with jumpy, highly variable direct paths. Table II shows exactly
+//    these with the lowest indirect utilizations, and Table I attributes
+//    the large penalties to this class.
+//  * Canada/Greece/Israel/Italy have poor-but-stable direct paths: their
+//    Table II utilizations are ~99%.
+const std::vector<SiteProfile>& client_sites() {
+  static const std::vector<SiteProfile> sites = {
+      // name, domain, usa, inbound, cv, jumpy, loss, access, goodness
+      {"Australia 1", "plnode02.cs.mu.oz.au", false, 6.0, 0.40, true,
+       0.0002, 13.0, 0.8},
+      {"Australia 2", "planet-lab-1.csse.monash.edu.au", false, 2.2, 0.40,
+       false, 0.0008, 5.0, 0.8},
+      {"Beirut", "planetlab1.aub.edu.lb", false, 0.8, 0.16, false, 0.0016,
+       1.8, 0.5},
+      {"Berlin", "planetlab1.info.ucl.ac.be", false, 1.4, 0.20, false,
+       0.0007, 3.2, 0.9},
+      {"Brazil", "planetlab2.lsd.ufcg.edu.br", false, 1.0, 0.42, false,
+       0.0012, 2.2, 0.6},
+      {"Canada", "planetlab1.enel.ucalgary.ca", false, 0.7, 0.12, false,
+       0.0018, 1.6, 1.0},
+      {"Denmark", "planetlab2.diku.dk", false, 1.8, 0.24, false, 0.0006,
+       4.0, 0.9},
+      {"Finland", "planetlab2.hiit.fi", false, 1.2, 0.16, false, 0.0007,
+       2.8, 0.9},
+      {"France", "planetlab2.eurecom.fr", false, 2.0, 0.28, false, 0.0006,
+       4.5, 0.9},
+      {"Greece", "planetlab1.cslab.ece.ntua.gr", false, 0.6, 0.12, false,
+       0.0017, 1.4, 0.7},
+      {"Iceland", "planetlab1.ru.is", false, 1.0, 0.20, false, 0.0009, 2.2,
+       0.7},
+      {"India", "planetlab1.iiitb.ac.in", false, 0.7, 0.24, false, 0.0018,
+       1.6, 0.5},
+      {"Israel", "planetlab2.bgu.ac.il", false, 0.8, 0.14, false, 0.0014,
+       1.8, 0.6},
+      {"Italy", "planetlab1.polito.it", false, 1.2, 0.18, false, 0.0010,
+       2.8, 0.8},
+      {"Korea", "arari.snu.ac.kr", false, 2.4, 0.45, false, 0.0006, 5.5,
+       0.9},
+      {"Norway", "planetlab1.ifi.uio.no", false, 1.3, 0.20, false, 0.0007,
+       3.0, 0.9},
+      {"Russia", "planet-lab.iki.rssi.ru", false, 1.0, 0.40, false, 0.0014,
+       2.2, 0.6},
+      {"Singapore", "soccf-planet-001.comp.nus.edu.sg", false, 8.0, 0.44,
+       true, 0.00015, 18.0, 0.9},
+      {"Sweden", "planetlab1.sics.se", false, 1.8, 0.20, false, 0.0006,
+       4.0, 0.9},
+      {"Switzerland", "planetlab02.ethz.ch", false, 1.4, 0.20, false,
+       0.0006, 3.2, 0.9},
+      {"Taiwan", "ent1.cs.nccu.edu.tw", false, 6.5, 0.40, true, 0.0002,
+       14.0, 0.8},
+      {"UK", "planetlab1.rn.informatics.scitech.susx.ac.uk", false, 9.0,
+       0.48, true, 0.00012, 20.0, 0.9},
+  };
+  return sites;
+}
+
+// Relay goodness drives the popularity overlap the paper observes in
+// Table II: a handful of intermediates (NYU, Upenn, UIUC, Princeton,
+// Notre Dame, ...) are heavily used by many clients.
+const std::vector<SiteProfile>& relay_sites() {
+  static const std::vector<SiteProfile> sites = {
+      {"CMU", "planetlab-2.cmcl.cs.cmu.edu", true, 50.0, 0.12, false,
+       0.00030, 200.0, 0.95},
+      {"Berkeley", "planetlab1.millennium.berkeley.edu", true, 60.0, 0.12,
+       false, 0.00024, 200.0, 1.15},
+      {"Caltech", "planlab1.cs.caltech.edu", true, 55.0, 0.12, false,
+       0.00026, 200.0, 1.20},
+      {"Columbia", "planetlab1.comet.columbia.edu", true, 45.0, 0.14, false,
+       0.00036, 150.0, 1.02},
+      {"Duke", "planetlab1.cs.duke.edu", true, 55.0, 0.12, false, 0.00028,
+       200.0, 1.10},
+      {"Georgia Tech", "planet.cc.gt.atl.ga.us", true, 55.0, 0.12, false,
+       0.00028, 200.0, 1.20},
+      {"Harvard", "lefthand.eecs.harvard.edu", true, 55.0, 0.12, false,
+       0.00026, 200.0, 1.25},
+      {"Michigan", "planetlab1.eecs.umich.edu", true, 50.0, 0.13, false,
+       0.00030, 200.0, 1.02},
+      {"MIT", "planetlab1.csail.mit.edu", true, 50.0, 0.13, false, 0.00030,
+       200.0, 1.02},
+      {"Notre Dame", "planetlab1.cse.nd.edu", true, 55.0, 0.12, false,
+       0.00026, 200.0, 1.30},
+      {"NYU", "planet1.scs.cs.nyu.edu", true, 60.0, 0.11, false, 0.00020,
+       200.0, 1.50},
+      {"Princeton", "planetlab-1.cs.princeton.edu", true, 60.0, 0.11, false,
+       0.00022, 200.0, 1.35},
+      {"Rice", "ricepl-1.cs.rice.edu", true, 45.0, 0.14, false, 0.00036,
+       150.0, 0.95},
+      {"Stanford", "planetlab-1.stanford.edu", true, 55.0, 0.12, false,
+       0.00028, 200.0, 1.10},
+      {"Texas", "planetlab1.csres.utexas.edu", true, 55.0, 0.12, false,
+       0.00026, 200.0, 1.25},
+      {"UCLA", "planetlab2.cs.ucla.edu", true, 40.0, 0.16, false, 0.00050,
+       150.0, 0.85},
+      {"UCSD", "planetlab2.ucsd.edu", true, 40.0, 0.16, false, 0.00056,
+       150.0, 0.80},
+      {"UIUC", "planetlab1.cs.uiuc.edu", true, 60.0, 0.11, false, 0.00022,
+       200.0, 1.40},
+      {"Upenn", "planetlab1.cis.upenn.edu", true, 60.0, 0.11, false, 0.00020,
+       200.0, 1.45},
+      {"Washington", "planetlab01.cs.washington.edu", true, 55.0, 0.12,
+       false, 0.00026, 200.0, 1.15},
+      {"Wisconsin", "planetlab1.cs.wisc.edu", true, 55.0, 0.12, false,
+       0.00026, 200.0, 1.10},
+  };
+  return sites;
+}
+
+const std::vector<SiteProfile>& server_sites() {
+  static const std::vector<SiteProfile> sites = {
+      {"eBay", "ebay.com", true, 500.0, 0.05, false, 0.0005, 2000.0, 1.0},
+      {"Google", "google.com", true, 500.0, 0.05, false, 0.0004, 2000.0,
+       1.0},
+      {"MSN", "microsoft.com", true, 500.0, 0.05, false, 0.0005, 2000.0,
+       1.0},
+      {"Yahoo", "yahoo.com", true, 500.0, 0.05, false, 0.0005, 2000.0, 1.0},
+  };
+  return sites;
+}
+
+const SiteProfile& find_site(std::string_view name) {
+  for (const auto* table : {&client_sites(), &relay_sites(), &server_sites()}) {
+    for (const SiteProfile& s : *table) {
+      if (s.name == name) return s;
+    }
+  }
+  ::idr::util::fail("find_site: unknown site " + std::string(name));
+}
+
+}  // namespace idr::testbed

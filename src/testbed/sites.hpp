@@ -1,0 +1,57 @@
+// The synthetic PlanetLab: the paper's client nodes (Table IV), relay
+// nodes (Table V) and destination servers, with per-site connectivity
+// profiles.
+//
+// The profiles are calibration inputs, not measurements: they are chosen
+// so the population reproduces the paper's *regimes* — international
+// clients mostly in the Low (0-1.5 Mbps) and Medium (1.5-3 Mbps) direct-
+// throughput categories, a few High-throughput clients with jumpy direct
+// paths (these generate Table I's large penalties and Table II's
+// low-utilization rows like Singapore/UK), and US relays with fat, stable
+// paths to the US servers.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace idr::testbed {
+
+struct SiteProfile {
+  std::string_view name;
+  std::string_view domain;  // PlanetLab host name, from the paper's appendix
+  bool usa = false;
+  /// Mean available bandwidth of the site's wide-area *inbound* paths
+  /// (what a download into this site sees), Mbps.
+  double inbound_mbps = 1.0;
+  /// Temporal coefficient of variation of available bandwidth on paths
+  /// involving this site.
+  double variability_cv = 0.25;
+  /// Whether the site's direct paths suffer Markov-modulated degradation
+  /// jumps (severe transient drops).
+  bool jumpy = false;
+  /// Baseline packet loss on the site's wide-area paths.
+  double base_loss = 0.003;
+  /// Access-link capacity, Mbps (the possible shared bottleneck of all
+  /// paths into the site).
+  double access_mbps = 40.0;
+  /// Relay "goodness" multiplier: quality of the site's paths when used
+  /// as an intermediate (drives the Table II/III popularity structure).
+  double relay_goodness = 1.0;
+};
+
+/// The 22 international client nodes of Table IV.
+const std::vector<SiteProfile>& client_sites();
+
+/// The 21 US intermediate nodes of Table V.
+const std::vector<SiteProfile>& relay_sites();
+
+/// The four destination web servers (eBay, Google, MSN, Yahoo).
+const std::vector<SiteProfile>& server_sites();
+
+/// Looks up a site by name across all three tables; throws util::Error if
+/// absent.
+const SiteProfile& find_site(std::string_view name);
+
+}  // namespace idr::testbed

@@ -1,0 +1,29 @@
+// Error-handling helpers: a library-wide exception type and an assertion
+// macro for internal invariants that stays active in release builds (the
+// simulator's correctness depends on them and their cost is negligible next
+// to the work they guard).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace idr::util {
+
+/// Thrown for API misuse and violated preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+}  // namespace idr::util
+
+/// Internal invariant check; throws idr::util::Error with location info.
+#define IDR_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::idr::util::fail(std::string(__FILE__) + ":" +                       \
+                        std::to_string(__LINE__) + ": " + (msg));           \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,86 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace idr::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  IDR_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  IDR_REQUIRE(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);  // guard fp edge at hi
+    ++counts_[idx];
+  }
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t max_bar) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  peak = std::max({peak, underflow_, overflow_});
+
+  std::string out;
+  char line[256];
+  auto emit = [&](const char* label_lo, const char* label_hi,
+                  std::size_t count) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(count) / static_cast<double>(peak) *
+                     static_cast<double>(max_bar)));
+    const double pct = total_ == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(count) /
+                                 static_cast<double>(total_);
+    std::snprintf(line, sizeof(line), "  [%8s,%8s) %-*s %zu (%.1f%%)\n",
+                  label_lo, label_hi, static_cast<int>(max_bar),
+                  std::string(bar, '#').c_str(), count, pct);
+    out += line;
+  };
+
+  char lo_buf[32], hi_buf[32];
+  if (underflow_ > 0) emit("-inf", "lo", underflow_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(lo_buf, sizeof(lo_buf), "%.4g", bin_lo(i));
+    std::snprintf(hi_buf, sizeof(hi_buf), "%.4g", bin_hi(i));
+    emit(lo_buf, hi_buf, counts_[i]);
+  }
+  if (overflow_ > 0) emit("hi", "+inf", overflow_);
+  return out;
+}
+
+}  // namespace idr::util

@@ -1,0 +1,52 @@
+// Fixed-bin histogram used to regenerate the paper's Fig. 1 / Fig. 2
+// improvement distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace idr::util {
+
+/// Equal-width histogram over [lo, hi) with explicit underflow/overflow
+/// buckets, plus an ASCII renderer for the bench binaries.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width buckets covering [lo, hi).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+  /// [bin_lo, bin_hi) edges of bucket i.
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  /// Fraction of all samples (including under/overflow) landing in bucket i.
+  double fraction(std::size_t bin) const;
+
+  /// Index of the fullest bucket; 0 if the histogram is empty.
+  std::size_t mode_bin() const;
+
+  /// Renders rows like "  [  0,  10) ######## 123 (12.3%)".
+  /// `max_bar` is the width of the longest bar.
+  std::string render(std::size_t max_bar = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace idr::util

@@ -1,0 +1,35 @@
+// Minimal leveled logger. The experiment drivers run millions of simulated
+// transfers, so logging defaults to Warn; tests and examples can raise it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace idr::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped before formatting cost
+/// matters (callers should still guard expensive argument construction).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr: "[level] message". Thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace idr::util
+
+#define IDR_LOG(level, expr)                                              \
+  do {                                                                    \
+    if (static_cast<int>(level) >=                                        \
+        static_cast<int>(::idr::util::log_level())) {                     \
+      std::ostringstream idr_log_oss_;                                    \
+      idr_log_oss_ << expr;                                               \
+      ::idr::util::log_message(level, idr_log_oss_.str());                \
+    }                                                                     \
+  } while (0)
+
+#define IDR_DEBUG(expr) IDR_LOG(::idr::util::LogLevel::Debug, expr)
+#define IDR_INFO(expr) IDR_LOG(::idr::util::LogLevel::Info, expr)
+#define IDR_WARN(expr) IDR_LOG(::idr::util::LogLevel::Warn, expr)
+#define IDR_ERROR(expr) IDR_LOG(::idr::util::LogLevel::Error, expr)

@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idr::util {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::child(std::uint64_t salt) const {
+  // Hash the salt against a draw-independent fingerprint of this stream's
+  // seed state. Using the engine state directly would make child() depend
+  // on how many draws preceded it; instead we copy the engine and take one
+  // deterministic output from the copy.
+  std::mt19937_64 copy = engine_;
+  const std::uint64_t fingerprint = copy();
+  return Rng(std::mt19937_64(splitmix64(fingerprint ^ splitmix64(salt))));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  IDR_REQUIRE(lo <= hi, "uniform: lo > hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  IDR_REQUIRE(lo <= hi, "uniform_int: lo > hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  IDR_REQUIRE(stddev >= 0.0, "normal: negative stddev");
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  IDR_REQUIRE(mean > 0.0, "lognormal_mean_cv: mean must be positive");
+  IDR_REQUIRE(cv >= 0.0, "lognormal_mean_cv: negative cv");
+  if (cv == 0.0) return mean;
+  // For X ~ LogNormal(mu, sigma^2): E[X] = exp(mu + sigma^2/2),
+  // CV^2 = exp(sigma^2) - 1. Invert for (mu, sigma).
+  const double sigma2 = std::log1p(cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(engine_);
+}
+
+double Rng::exponential(double mean) {
+  IDR_REQUIRE(mean > 0.0, "exponential: mean must be positive");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  IDR_REQUIRE(x_m > 0.0 && alpha > 0.0, "pareto: parameters must be positive");
+  // Inverse-CDF sampling; 1 - U is in (0, 1].
+  const double u = 1.0 - uniform();
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  IDR_REQUIRE(k <= n, "sample_without_replacement: k > n");
+  // Partial Fisher-Yates: O(n) space, O(k) swaps.
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  IDR_REQUIRE(!weights.empty(), "weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) {
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(weights.size()) - 1));
+  }
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= std::max(weights[i], 0.0);
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point slack on the last bucket
+}
+
+}  // namespace idr::util

@@ -1,0 +1,195 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace idr::util {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  sum_sq_ += x * x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  sum_sq_ += other.sum_sq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double OnlineStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::rms() const {
+  return n_ == 0 ? 0.0 : std::sqrt(sum_sq_ / static_cast<double>(n_));
+}
+
+double OnlineStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double OnlineStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double OnlineStats::cv() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / std::abs(m);
+}
+
+void SampleSet::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void SampleSet::merge(const SampleSet& other) { add_all(other.samples_); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double x : samples_) m2 += (x - m) * (x - m);
+  return std::sqrt(m2 / static_cast<double>(samples_.size()));
+}
+
+double SampleSet::min() const {
+  IDR_REQUIRE(!samples_.empty(), "SampleSet::min on empty set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  IDR_REQUIRE(!samples_.empty(), "SampleSet::max on empty set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  IDR_REQUIRE(!samples_.empty(), "SampleSet::quantile on empty set");
+  IDR_REQUIRE(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::fraction_in(double lo, double hi) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t k = 0;
+  for (double x : samples_) {
+    if (x >= lo && x < hi) ++k;
+  }
+  return static_cast<double>(k) / static_cast<double>(samples_.size());
+}
+
+double SampleSet::fraction_below(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t k = 0;
+  for (double x : samples_) {
+    if (x < threshold) ++k;
+  }
+  return static_cast<double>(k) / static_cast<double>(samples_.size());
+}
+
+double linear_regression_slope(const std::vector<double>& x,
+                               const std::vector<double>& y) {
+  IDR_REQUIRE(x.size() == y.size(), "regression: size mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) return std::numeric_limits<double>::quiet_NaN();
+  const double mx =
+      std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(n);
+  const double my =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  if (sxx == 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return sxy / sxx;
+}
+
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  IDR_REQUIRE(x.size() == y.size(), "correlation: size mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) return std::numeric_limits<double>::quiet_NaN();
+  const double mx =
+      std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(n);
+  const double my =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Fractional ranks with ties averaged (midrank method).
+std::vector<double> midranks(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_correlation(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  IDR_REQUIRE(x.size() == y.size(), "correlation: size mismatch");
+  if (x.size() < 2) return std::numeric_limits<double>::quiet_NaN();
+  return pearson_correlation(midranks(x), midranks(y));
+}
+
+}  // namespace idr::util

@@ -1,0 +1,91 @@
+// Streaming and batch statistics used throughout the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace idr::util {
+
+/// Single-pass accumulator for mean / variance / RMS / extrema.
+///
+/// Uses Welford's algorithm for the second moment, so it is numerically
+/// stable for the long accumulation runs the Monte-Carlo drivers produce.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Population variance (divides by n). Zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// sqrt(E[x^2]); the "RMS" column of the paper's Fig. 5.
+  double rms() const;
+  double min() const;
+  double max() const;
+  /// Coefficient of variation: stddev / |mean|; 0 when mean is 0.
+  double cv() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;        // sum of squared deviations from the mean
+  double sum_sq_ = 0.0;    // sum of x^2, for RMS
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch sample set with exact quantiles. Keeps all samples; intended for
+/// experiment post-processing, not hot paths.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add_all(const std::vector<double>& xs);
+  void merge(const SampleSet& other);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Exact quantile by linear interpolation between order statistics;
+  /// q in [0, 1]. Requires a non-empty set.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Fraction of samples x with lo <= x < hi.
+  double fraction_in(double lo, double hi) const;
+  /// Fraction of samples strictly below the threshold.
+  double fraction_below(double threshold) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Least-squares slope of y against x; NaN when fewer than two points or
+/// zero x-variance. Used to test the paper's trend claims (Fig. 3 downward,
+/// Fig. 4 flat).
+double linear_regression_slope(const std::vector<double>& x,
+                               const std::vector<double>& y);
+
+/// Pearson correlation coefficient; NaN when undefined.
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Spearman rank correlation; NaN when undefined. Used for the
+/// utilization-vs-improvement correlation the paper reports in Table III.
+double spearman_correlation(const std::vector<double>& x,
+                            const std::vector<double>& y);
+
+}  // namespace idr::util

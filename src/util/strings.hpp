@@ -1,0 +1,28 @@
+// Small string utilities shared by the HTTP parser and the report writers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idr::util {
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative decimal integer; rejects sign characters, empty
+/// input, trailing garbage and overflow.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+}  // namespace idr::util

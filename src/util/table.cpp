@@ -1,0 +1,113 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace idr::util {
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  IDR_REQUIRE(!header_.empty(), "TextTable: empty header");
+}
+
+TextTable& TextTable::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& value) {
+  IDR_REQUIRE(!cells_.empty(), "TextTable: cell() before row()");
+  IDR_REQUIRE(cells_.back().size() < header_.size(),
+              "TextTable: more cells than header columns");
+  cells_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+TextTable& TextTable::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto pad = [](const std::string& s, std::size_t w) {
+    return s + std::string(w - s.size() + 2, ' ');
+  };
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += pad(header_[c], width[c]);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += pad(std::string(width[c], '-'), width[c]);
+  }
+  out += '\n';
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += pad(row[c], width[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  IDR_REQUIRE(row.size() == header_.size(), "CsvWriter: row width mismatch");
+  rows_.push_back(row);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::str() const {
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += escape(row[i]);
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  IDR_REQUIRE(f.good(), "CsvWriter: cannot open " + path);
+  f << str();
+  IDR_REQUIRE(f.good(), "CsvWriter: write failed for " + path);
+}
+
+}  // namespace idr::util

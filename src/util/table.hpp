@@ -1,0 +1,54 @@
+// Plain-text table renderer for the bench binaries, which print the same
+// rows the paper's tables/figures report, plus a small CSV writer so the
+// series can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace idr::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  TextTable& row();
+  TextTable& cell(const std::string& value);
+  TextTable& cell(double value, int precision = 1);
+  TextTable& cell(std::size_t value);
+
+  /// Renders with a header rule, e.g.
+  ///   Node        Utilization (%)  Improvement (%)
+  ///   ----        ---------------  ---------------
+  ///   Texas       76.1             71.0
+  std::string render() const;
+
+  std::size_t rows() const { return cells_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Minimal CSV emission (quotes cells containing separators/quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+  void add_row(const std::vector<std::string>& row);
+  std::string str() const;
+  /// Writes to a file; throws idr::util::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by both writers).
+std::string format_fixed(double value, int precision);
+
+}  // namespace idr::util

@@ -1,0 +1,56 @@
+// Unit helpers shared across the library.
+//
+// The simulator works in SI base units: seconds for time, bytes for data,
+// bytes/second for rates. These are plain doubles (the flow-level model is
+// continuous), with named constructors/accessors so call sites read in the
+// units the paper uses (Mbps, KB, minutes) without ad-hoc conversion
+// factors scattered through the code.
+#pragma once
+
+#include <cstdint>
+
+namespace idr::util {
+
+/// Simulated time in seconds since the start of the run.
+using TimePoint = double;
+/// A span of simulated time, in seconds.
+using Duration = double;
+
+inline constexpr Duration kMillisecond = 1e-3;
+inline constexpr Duration kSecond = 1.0;
+inline constexpr Duration kMinute = 60.0;
+inline constexpr Duration kHour = 3600.0;
+
+constexpr Duration milliseconds(double ms) { return ms * kMillisecond; }
+constexpr Duration seconds(double s) { return s; }
+constexpr Duration minutes(double m) { return m * kMinute; }
+constexpr Duration hours(double h) { return h * kHour; }
+
+/// Data sizes, in bytes. Fractional bytes are meaningful in the fluid model.
+using Bytes = double;
+
+inline constexpr Bytes kKB = 1000.0;
+inline constexpr Bytes kMB = 1000.0 * 1000.0;
+
+constexpr Bytes kilobytes(double kb) { return kb * kKB; }
+constexpr Bytes megabytes(double mb) { return mb * kMB; }
+
+/// Transfer rates, in bytes per second.
+using Rate = double;
+
+/// Converts a rate expressed in megabits/second (the unit the paper reports)
+/// to bytes/second.
+constexpr Rate mbps(double megabits_per_second) {
+  return megabits_per_second * 1e6 / 8.0;
+}
+
+/// Converts a rate in bytes/second back to megabits/second for reporting.
+constexpr double to_mbps(Rate bytes_per_second) {
+  return bytes_per_second * 8.0 / 1e6;
+}
+
+constexpr Rate kbps(double kilobits_per_second) {
+  return kilobits_per_second * 1e3 / 8.0;
+}
+
+}  // namespace idr::util

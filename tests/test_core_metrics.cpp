@@ -1,0 +1,101 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace idr::core {
+namespace {
+
+using util::mbps;
+
+TEST(Improvement, PaperExamples) {
+  // Doubling throughput is +100 %; halving is -50 % (paper Section 3.1).
+  EXPECT_DOUBLE_EQ(improvement_pct(2.0, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(0.5, 1.0), -50.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(1.0, 1.0), 0.0);
+}
+
+TEST(Improvement, BoundedBelow) {
+  EXPECT_DOUBLE_EQ(improvement_pct(0.0, 5.0), -100.0);
+  EXPECT_GT(improvement_pct(1e-9, 5.0), -100.0);
+}
+
+TEST(Improvement, InvalidInputsThrow) {
+  EXPECT_THROW(improvement_pct(1.0, 0.0), util::Error);
+  EXPECT_THROW(improvement_pct(-1.0, 1.0), util::Error);
+}
+
+TEST(Penalty, RelativeToSelectedPath) {
+  // Direct at 39.4x the selected path is a 3840 % penalty — Table I's
+  // maximum is only expressible in this form.
+  EXPECT_NEAR(penalty_pct(1.0, 39.4), 3840.0, 1e-9);
+  EXPECT_DOUBLE_EQ(penalty_pct(1.0, 2.0), 100.0);
+  EXPECT_DOUBLE_EQ(penalty_pct(2.0, 1.0), -50.0);  // negative = we won
+}
+
+TEST(Penalty, SignsMirrorImprovement) {
+  for (double selected : {0.5, 1.0, 2.0, 7.0}) {
+    const double imp = improvement_pct(selected, 1.0);
+    const double pen = penalty_pct(selected, 1.0);
+    EXPECT_EQ(imp < 0, pen > 0);
+    EXPECT_EQ(imp > 0, pen < 0);
+  }
+}
+
+TEST(Categories, PaperThresholds) {
+  EXPECT_EQ(categorize_throughput(mbps(0.5)), ThroughputCategory::Low);
+  EXPECT_EQ(categorize_throughput(mbps(1.5)), ThroughputCategory::Low);
+  EXPECT_EQ(categorize_throughput(mbps(1.51)), ThroughputCategory::Medium);
+  EXPECT_EQ(categorize_throughput(mbps(3.0)), ThroughputCategory::Medium);
+  EXPECT_EQ(categorize_throughput(mbps(3.01)), ThroughputCategory::High);
+  EXPECT_EQ(category_name(ThroughputCategory::Medium), "Medium");
+}
+
+TEST(Variability, SplitsOnCv) {
+  util::OnlineStats stable, wild;
+  for (int i = 0; i < 100; ++i) {
+    stable.add(100.0 + (i % 2));         // CV ~ 0
+    wild.add(i % 2 == 0 ? 20.0 : 200.0); // CV ~ 0.8
+  }
+  EXPECT_EQ(classify_variability(stable), VariabilityClass::Low);
+  EXPECT_EQ(classify_variability(wild), VariabilityClass::High);
+  // Threshold is adjustable.
+  EXPECT_EQ(classify_variability(wild, 2.0), VariabilityClass::Low);
+  EXPECT_EQ(variability_name(VariabilityClass::High), "HighVar");
+}
+
+TEST(PenaltySummary, CountsAndMoments) {
+  // Three wins, one loss (selected 1 vs direct 3 -> penalty 200 %).
+  std::vector<std::pair<util::Rate, util::Rate>> pairs = {
+      {2.0, 1.0}, {3.0, 1.0}, {1.5, 1.0}, {1.0, 3.0}};
+  const PenaltySummary s = summarize_penalties(pairs);
+  EXPECT_EQ(s.total_points, 4u);
+  EXPECT_EQ(s.penalty_points, 1u);
+  EXPECT_DOUBLE_EQ(s.penalty_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(s.avg_penalty_pct, 200.0);
+  EXPECT_DOUBLE_EQ(s.max_penalty_pct, 200.0);
+  EXPECT_DOUBLE_EQ(s.stddev_penalty_pct, 0.0);
+}
+
+TEST(PenaltySummary, NoLosses) {
+  const PenaltySummary s = summarize_penalties({{2.0, 1.0}, {1.1, 1.0}});
+  EXPECT_EQ(s.penalty_points, 0u);
+  EXPECT_DOUBLE_EQ(s.penalty_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_penalty_pct, 0.0);
+}
+
+TEST(PenaltySummary, Empty) {
+  const PenaltySummary s = summarize_penalties({});
+  EXPECT_EQ(s.total_points, 0u);
+  EXPECT_DOUBLE_EQ(s.penalty_fraction, 0.0);
+}
+
+TEST(PenaltySummary, TiesAreNotPenalties) {
+  const PenaltySummary s = summarize_penalties({{1.0, 1.0}});
+  EXPECT_EQ(s.penalty_points, 0u);
+}
+
+}  // namespace
+}  // namespace idr::core

@@ -1,0 +1,209 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <map>
+#include <set>
+
+#include "core/relay_stats.hpp"
+#include "core/selection_policy.hpp"
+#include "util/error.hpp"
+
+namespace idr::core {
+namespace {
+
+RelayStatsTable make_table(std::size_t n) {
+  RelayStatsTable table;
+  for (std::size_t i = 0; i < n; ++i) {
+    table.add_relay(static_cast<net::NodeId>(i + 10),
+                    "relay" + std::to_string(i));
+  }
+  return table;
+}
+
+TEST(RelayStats, RegistrationIdempotent) {
+  RelayStatsTable table;
+  table.add_relay(5, "a");
+  table.add_relay(5, "a-again");
+  EXPECT_EQ(table.relay_count(), 1u);
+  EXPECT_EQ(table.record(5).name, "a");
+  EXPECT_TRUE(table.has_relay(5));
+  EXPECT_FALSE(table.has_relay(6));
+  EXPECT_THROW(table.record(6), util::Error);
+}
+
+TEST(RelayStats, UtilizationRatio) {
+  RelayStatsTable table = make_table(1);
+  const net::NodeId r = 10;
+  EXPECT_DOUBLE_EQ(table.record(r).utilization(), 0.0);
+  for (int i = 0; i < 4; ++i) table.note_appearance(r);
+  table.note_selection(r);
+  EXPECT_DOUBLE_EQ(table.record(r).utilization(), 0.25);
+}
+
+TEST(RelayStats, ImprovementAccumulates) {
+  RelayStatsTable table = make_table(1);
+  table.note_improvement(10, 50.0);
+  table.note_improvement(10, 70.0);
+  EXPECT_EQ(table.record(10).improvement_pct.count(), 2u);
+  EXPECT_DOUBLE_EQ(table.record(10).improvement_pct.mean(), 60.0);
+}
+
+TEST(RelayStats, SortedByUtilization) {
+  RelayStatsTable table = make_table(3);
+  // relay 10: 1/2, relay 11: 1/1, relay 12: 0/1
+  table.note_appearance(10);
+  table.note_appearance(10);
+  table.note_selection(10);
+  table.note_appearance(11);
+  table.note_selection(11);
+  table.note_appearance(12);
+  const auto sorted = table.by_utilization();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].relay, 11u);
+  EXPECT_EQ(sorted[1].relay, 10u);
+  EXPECT_EQ(sorted[2].relay, 12u);
+  const auto top2 = table.top(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].relay, 11u);
+}
+
+TEST(RelayStats, SelectionWeightsHaveFloor) {
+  RelayStatsTable table = make_table(2);
+  table.note_appearance(10);
+  table.note_selection(10);
+  const auto weights = table.selection_weights(0.1);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0].second, 1.1);
+  EXPECT_DOUBLE_EQ(weights[1].second, 0.1);  // unexplored still reachable
+}
+
+TEST(DirectOnly, ReturnsNothing) {
+  RelayStatsTable table = make_table(5);
+  util::Rng rng(1);
+  DirectOnlyPolicy policy;
+  EXPECT_TRUE(policy.choose_candidates(table, rng).empty());
+}
+
+TEST(StaticRelay, AlwaysTheSame) {
+  RelayStatsTable table = make_table(5);
+  util::Rng rng(1);
+  StaticRelayPolicy policy(12);
+  for (int i = 0; i < 10; ++i) {
+    const auto c = policy.choose_candidates(table, rng);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c[0], 12u);
+  }
+}
+
+TEST(StaticRelay, UnregisteredRelayThrows) {
+  RelayStatsTable table = make_table(2);
+  util::Rng rng(1);
+  StaticRelayPolicy policy(99);
+  EXPECT_THROW(policy.choose_candidates(table, rng), util::Error);
+}
+
+TEST(UniformSubset, SizeAndDistinctness) {
+  RelayStatsTable table = make_table(10);
+  util::Rng rng(2);
+  UniformRandomSubsetPolicy policy(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto c = policy.choose_candidates(table, rng);
+    EXPECT_EQ(c.size(), 4u);
+    std::set<net::NodeId> unique(c.begin(), c.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (net::NodeId id : c) EXPECT_TRUE(table.has_relay(id));
+  }
+}
+
+TEST(UniformSubset, ClampsToFullSet) {
+  RelayStatsTable table = make_table(3);
+  util::Rng rng(3);
+  UniformRandomSubsetPolicy policy(10);
+  EXPECT_EQ(policy.choose_candidates(table, rng).size(), 3u);
+}
+
+TEST(UniformSubset, CoversAllRelaysOverTime) {
+  RelayStatsTable table = make_table(8);
+  util::Rng rng(4);
+  UniformRandomSubsetPolicy policy(2);
+  std::set<net::NodeId> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (net::NodeId id : policy.choose_candidates(table, rng)) {
+      seen.insert(id);
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(WeightedSubset, PrefersUtilizedRelays) {
+  RelayStatsTable table = make_table(2);
+  // relay 10 heavily utilized; relay 11 never chosen.
+  for (int i = 0; i < 100; ++i) {
+    table.note_appearance(10);
+    table.note_selection(10);
+    table.note_appearance(11);
+  }
+  util::Rng rng(5);
+  WeightedRandomSubsetPolicy policy(1, 0.05);
+  std::map<net::NodeId, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    ++counts[policy.choose_candidates(table, rng).at(0)];
+  }
+  // Weights are 1.05 vs 0.05: the hot relay should dominate ~95/5.
+  EXPECT_GT(counts[10], counts[11] * 10);
+  EXPECT_GT(counts[11], 0);  // exploration floor keeps it alive
+}
+
+TEST(WeightedSubset, WithoutHistoryActsUniformly) {
+  RelayStatsTable table = make_table(4);
+  util::Rng rng(6);
+  WeightedRandomSubsetPolicy policy(2, 0.05);
+  std::map<net::NodeId, int> counts;
+  for (int i = 0; i < 4000; ++i) {
+    for (net::NodeId id : policy.choose_candidates(table, rng)) {
+      ++counts[id];
+    }
+  }
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(count / 4000.0, 0.5, 0.05) << id;
+  }
+}
+
+TEST(WeightedSubset, DistinctMembers) {
+  RelayStatsTable table = make_table(5);
+  table.note_appearance(10);
+  table.note_selection(10);
+  util::Rng rng(7);
+  WeightedRandomSubsetPolicy policy(3, 0.05);
+  for (int i = 0; i < 100; ++i) {
+    const auto c = policy.choose_candidates(table, rng);
+    std::set<net::NodeId> unique(c.begin(), c.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(FullSet, ReturnsEveryRelay) {
+  RelayStatsTable table = make_table(6);
+  util::Rng rng(8);
+  FullSetPolicy policy;
+  const auto c = policy.choose_candidates(table, rng);
+  EXPECT_EQ(c.size(), 6u);
+}
+
+TEST(Policies, InvalidConstruction) {
+  EXPECT_THROW(UniformRandomSubsetPolicy(0), util::Error);
+  EXPECT_THROW(WeightedRandomSubsetPolicy(0), util::Error);
+  EXPECT_THROW(WeightedRandomSubsetPolicy(2, 0.0), util::Error);
+  EXPECT_THROW(StaticRelayPolicy(net::kInvalidNode), util::Error);
+}
+
+TEST(Policies, Names) {
+  EXPECT_STREQ(DirectOnlyPolicy().name(), "direct-only");
+  EXPECT_STREQ(UniformRandomSubsetPolicy(1).name(),
+               "uniform-random-subset");
+  EXPECT_STREQ(WeightedRandomSubsetPolicy(1).name(),
+               "weighted-random-subset");
+  EXPECT_STREQ(FullSetPolicy().name(), "full-set");
+}
+
+}  // namespace
+}  // namespace idr::core

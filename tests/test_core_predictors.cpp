@@ -1,0 +1,156 @@
+#include "core/predictors.hpp"
+
+#include <gtest/gtest.h>
+#include <map>
+
+#include "core/oracle.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace idr::core {
+namespace {
+
+TEST(Ewma, MeasuresEveryArmFirst) {
+  EwmaSelector s(3);
+  util::Rng rng(1);
+  EXPECT_EQ(s.choose(rng), 0u);
+  s.observe(0, 100.0);
+  EXPECT_EQ(s.choose(rng), 1u);
+  s.observe(1, 200.0);
+  EXPECT_EQ(s.choose(rng), 2u);
+  s.observe(2, 50.0);
+  // All measured: greedy arm is 1.
+  EXPECT_EQ(s.best(), 1u);
+}
+
+TEST(Ewma, GreedyFollowsBestScore) {
+  EwmaSelector s(2, /*alpha=*/0.5, /*epsilon=*/0.0);
+  util::Rng rng(2);
+  s.observe(0, 10.0);
+  s.observe(1, 20.0);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(s.choose(rng), 1u);
+  // Arm 1 collapses; repeated bad observations flip the preference.
+  for (int i = 0; i < 10; ++i) s.observe(1, 1.0);
+  EXPECT_EQ(s.best(), 0u);
+}
+
+TEST(Ewma, EwmaArithmetic) {
+  EwmaSelector s(1, /*alpha=*/0.25);
+  s.observe(0, 100.0);
+  EXPECT_DOUBLE_EQ(*s.score(0), 100.0);  // first observation seeds
+  s.observe(0, 200.0);
+  EXPECT_DOUBLE_EQ(*s.score(0), 0.25 * 200.0 + 0.75 * 100.0);
+}
+
+TEST(Ewma, UnseenArmHasNoScore) {
+  EwmaSelector s(2);
+  EXPECT_FALSE(s.score(0).has_value());
+  EXPECT_THROW(s.best(), util::Error);
+}
+
+TEST(Ewma, EpsilonExploresNonGreedyArms) {
+  EwmaSelector s(3, 0.3, 0.5);
+  util::Rng rng(3);
+  s.observe(0, 1.0);
+  s.observe(1, 100.0);
+  s.observe(2, 1.0);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 4000; ++i) ++counts[s.choose(rng)];
+  // Greedy (1) gets 1 - epsilon = 50 %; exploration splits the other
+  // 50 % between the two non-greedy arms.
+  EXPECT_NEAR(counts[1], 2000, 150);
+  EXPECT_NEAR(counts[0], 1000, 120);
+  EXPECT_NEAR(counts[2], 1000, 120);
+}
+
+TEST(Ewma, ZeroEpsilonNeverExplores) {
+  EwmaSelector s(3, 0.3, 0.0);
+  util::Rng rng(4);
+  s.observe(0, 1.0);
+  s.observe(1, 9.0);
+  s.observe(2, 5.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.choose(rng), 1u);
+}
+
+TEST(Ewma, InvalidConstruction) {
+  EXPECT_THROW(EwmaSelector(0), util::Error);
+  EXPECT_THROW(EwmaSelector(2, 0.0), util::Error);
+  EXPECT_THROW(EwmaSelector(2, 1.5), util::Error);
+  EXPECT_THROW(EwmaSelector(2, 0.5, 1.0), util::Error);
+}
+
+TEST(Ewma, ObserveValidation) {
+  EwmaSelector s(2);
+  EXPECT_THROW(s.observe(5, 1.0), util::Error);
+  EXPECT_THROW(s.observe(0, -1.0), util::Error);
+}
+
+TEST(Oracle, PicksBestInstantaneousRelay) {
+  net::Topology topo;
+  const auto server = topo.add_node("server", false);
+  const auto gw = topo.add_node("gw");
+  const auto client = topo.add_node("client", false);
+  const auto fast = topo.add_node("fast", false);
+  const auto slow = topo.add_node("slow", false);
+  topo.add_link(server, gw, util::mbps(1.0), 0.05);
+  topo.add_link(gw, client, util::mbps(50.0), 0.005);
+  topo.add_link(server, fast, util::mbps(40.0), 0.02);
+  const auto fast_leg = topo.add_link(fast, gw, util::mbps(8.0), 0.05);
+  topo.add_link(server, slow, util::mbps(40.0), 0.02);
+  topo.add_link(slow, gw, util::mbps(2.0), 0.05);
+
+  RelayStatsTable stats;
+  stats.add_relay(fast, "fast");
+  stats.add_relay(slow, "slow");
+  util::Rng rng(5);
+
+  InstantaneousOraclePolicy oracle(topo, client, server);
+  auto picks = oracle.choose_candidates(stats, rng);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], fast);
+
+  // Degrade the fast leg below the direct path: the oracle now prefers
+  // the slow relay (2 > 1 Mbps) — it tracks *current* state.
+  topo.mutable_link(fast_leg).capacity = util::mbps(0.5);
+  picks = oracle.choose_candidates(stats, rng);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], slow);
+}
+
+TEST(Oracle, EmptyWhenDirectDominates) {
+  net::Topology topo;
+  const auto server = topo.add_node("server", false);
+  const auto gw = topo.add_node("gw");
+  const auto client = topo.add_node("client", false);
+  const auto relay = topo.add_node("relay", false);
+  topo.add_link(server, gw, util::mbps(20.0), 0.05);
+  topo.add_link(gw, client, util::mbps(50.0), 0.005);
+  topo.add_link(server, relay, util::mbps(40.0), 0.02);
+  topo.add_link(relay, gw, util::mbps(2.0), 0.05);
+
+  RelayStatsTable stats;
+  stats.add_relay(relay, "relay");
+  util::Rng rng(6);
+  InstantaneousOraclePolicy oracle(topo, client, server);
+  EXPECT_TRUE(oracle.choose_candidates(stats, rng).empty());
+  EXPECT_STREQ(oracle.name(), "instantaneous-oracle");
+}
+
+TEST(Oracle, UnroutableRelayScoresZero) {
+  net::Topology topo;
+  const auto server = topo.add_node("server", false);
+  const auto gw = topo.add_node("gw");
+  const auto client = topo.add_node("client", false);
+  const auto island = topo.add_node("island", false);
+  topo.add_link(server, gw, util::mbps(1.0), 0.05);
+  topo.add_link(gw, client, util::mbps(50.0), 0.005);
+
+  RelayStatsTable stats;
+  stats.add_relay(island, "island");
+  util::Rng rng(7);
+  InstantaneousOraclePolicy oracle(topo, client, server);
+  EXPECT_TRUE(oracle.choose_candidates(stats, rng).empty());
+}
+
+}  // namespace
+}  // namespace idr::core

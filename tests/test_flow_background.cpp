@@ -1,0 +1,177 @@
+#include "flow/background_traffic.hpp"
+
+#include <gtest/gtest.h>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace idr::flow {
+namespace {
+
+using util::mbps;
+
+struct Fixture {
+  sim::Simulator sim;
+  net::Topology topo;
+  std::optional<FlowSimulator> fsim;
+  net::LinkId link = 0;
+
+  explicit Fixture(util::Rate capacity = mbps(10.0)) {
+    const auto a = topo.add_node("a");
+    const auto b = topo.add_node("b");
+    link = topo.add_link(a, b, capacity, 0.02);
+    fsim.emplace(sim, topo, util::Rng(1));
+  }
+
+  BackgroundTrafficSource::Params params() const {
+    BackgroundTrafficSource::Params p;
+    p.path = net::Path{{link}};
+    p.arrival_rate = 0.5;
+    p.mean_size = 1e6;
+    p.model_slow_start = false;
+    return p;
+  }
+};
+
+TEST(BackgroundTraffic, DoesNothingUntilStarted) {
+  Fixture fx;
+  BackgroundTrafficSource source(*fx.fsim, fx.params(), util::Rng(2));
+  fx.sim.run_until(100.0);
+  EXPECT_EQ(source.flows_started(), 0u);
+  EXPECT_FALSE(source.running());
+}
+
+TEST(BackgroundTraffic, ArrivalRateApproximatesPoisson) {
+  Fixture fx(mbps(1000.0));  // fat pipe: flows drain fast
+  auto params = fx.params();
+  params.arrival_rate = 2.0;
+  params.mean_size = 1e4;
+  BackgroundTrafficSource source(*fx.fsim, params, util::Rng(3));
+  source.start();
+  fx.sim.run_until(500.0);
+  // Expect ~1000 arrivals; Poisson sd ~32.
+  EXPECT_NEAR(static_cast<double>(source.flows_started()), 1000.0, 150.0);
+  EXPECT_GT(source.flows_completed(), 900u);
+}
+
+TEST(BackgroundTraffic, OfferedLoadReported) {
+  Fixture fx;
+  auto params = fx.params();
+  params.arrival_rate = 0.25;
+  params.mean_size = 4e6;
+  BackgroundTrafficSource source(*fx.fsim, params, util::Rng(4));
+  EXPECT_DOUBLE_EQ(source.offered_load(), 1e6);
+}
+
+TEST(BackgroundTraffic, StealsBandwidthFromForeground) {
+  // Foreground flow alone: 10 Mbps. With heavy background load it must
+  // slow substantially.
+  auto run = [](bool with_background) {
+    Fixture fx;
+    std::optional<BackgroundTrafficSource> source;
+    if (with_background) {
+      auto params = fx.params();
+      params.arrival_rate = 1.0;
+      params.mean_size = 1.25e6;  // 10 Mbps offered: saturating
+      source.emplace(*fx.fsim, params, util::Rng(5));
+      source->start();
+      fx.sim.run_until(200.0);  // reach steady contention
+    } else {
+      fx.sim.run_until(200.0);
+    }
+    FlowOptions opt;
+    opt.model_slow_start = false;
+    std::optional<FlowStats> done;
+    fx.fsim->start_flow(net::Path{{fx.link}}, 2e6, opt,
+                        [&](const FlowStats& s) { done = s; });
+    while (!done) {
+      IDR_REQUIRE(fx.sim.step(), "drained");
+    }
+    return done->average_rate();
+  };
+  const double alone = run(false);
+  const double contended = run(true);
+  EXPECT_NEAR(alone, mbps(10.0), 1.0);
+  EXPECT_LT(contended, alone * 0.8);
+}
+
+TEST(BackgroundTraffic, StopHaltsNewArrivals) {
+  Fixture fx;
+  BackgroundTrafficSource source(*fx.fsim, fx.params(), util::Rng(6));
+  source.start();
+  fx.sim.run_until(60.0);
+  const std::size_t started = source.flows_started();
+  EXPECT_GT(started, 0u);
+  source.stop();
+  EXPECT_FALSE(source.running());
+  fx.sim.run_until(200.0);
+  EXPECT_EQ(source.flows_started(), started);
+  // In-flight flows drained naturally.
+  EXPECT_EQ(source.flows_active(), 0u);
+  EXPECT_EQ(source.flows_completed(), started);
+}
+
+TEST(BackgroundTraffic, StopAbortActiveCancelsFlows) {
+  Fixture fx(mbps(0.1));  // slow pipe: flows pile up
+  BackgroundTrafficSource source(*fx.fsim, fx.params(), util::Rng(7));
+  source.start();
+  fx.sim.run_until(30.0);
+  EXPECT_GT(source.flows_active(), 0u);
+  source.stop(/*abort_active=*/true);
+  EXPECT_EQ(source.flows_active(), 0u);
+  EXPECT_EQ(fx.fsim->active_flows(), 0u);
+}
+
+TEST(BackgroundTraffic, ParetoSizesAreHeavyTailed) {
+  Fixture fx(mbps(100000.0));
+  auto params = fx.params();
+  params.pareto_alpha = 1.3;
+  params.arrival_rate = 5.0;
+  params.mean_size = 1e5;
+  BackgroundTrafficSource source(*fx.fsim, params, util::Rng(8));
+  source.start();
+  // Observe many flow sizes through the simulator by sampling completion
+  // stats indirectly: just validate the generator's mean via long run.
+  fx.sim.run_until(2000.0);
+  EXPECT_GT(source.flows_started(), 5000u);
+  // Mean size validated through conservation: bytes through the link
+  // cannot be checked directly here; at least the process must keep both
+  // counters coherent.
+  EXPECT_LE(source.flows_completed(), source.flows_started());
+}
+
+TEST(BackgroundTraffic, InvalidParamsThrow) {
+  Fixture fx;
+  auto bad = fx.params();
+  bad.arrival_rate = 0.0;
+  EXPECT_THROW(BackgroundTrafficSource(*fx.fsim, bad, util::Rng(9)),
+               util::Error);
+  bad = fx.params();
+  bad.mean_size = 0.0;
+  EXPECT_THROW(BackgroundTrafficSource(*fx.fsim, bad, util::Rng(9)),
+               util::Error);
+  bad = fx.params();
+  bad.pareto_alpha = 0.9;  // infinite mean
+  EXPECT_THROW(BackgroundTrafficSource(*fx.fsim, bad, util::Rng(9)),
+               util::Error);
+  bad = fx.params();
+  bad.path = net::Path{};
+  EXPECT_THROW(BackgroundTrafficSource(*fx.fsim, bad, util::Rng(9)),
+               util::Error);
+}
+
+TEST(BackgroundTraffic, DestructionCleansUp) {
+  Fixture fx(mbps(0.1));
+  {
+    BackgroundTrafficSource source(*fx.fsim, fx.params(), util::Rng(10));
+    source.start();
+    fx.sim.run_until(30.0);
+    EXPECT_GT(fx.fsim->active_flows(), 0u);
+  }
+  EXPECT_EQ(fx.fsim->active_flows(), 0u);
+}
+
+}  // namespace
+}  // namespace idr::flow

@@ -1,0 +1,187 @@
+#include "flow/max_min.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "flow/tcp_model.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace idr::flow {
+namespace {
+
+constexpr Rate kInf = kUnlimitedRate;
+
+FlowDemand demand(std::vector<std::size_t> links, Rate cap = kInf) {
+  FlowDemand d;
+  d.links = std::move(links);
+  d.cap = cap;
+  return d;
+}
+
+TEST(MaxMin, SingleFlowGetsBottleneck) {
+  const auto rates = max_min_allocate({10.0, 4.0}, {demand({0, 1})});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);
+}
+
+TEST(MaxMin, EqualShareOnSharedLink) {
+  const auto rates =
+      max_min_allocate({9.0}, {demand({0}), demand({0}), demand({0})});
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 3.0);
+}
+
+TEST(MaxMin, TextbookThreeLinkExample) {
+  // Links: L0 cap 10 shared by f0,f1; L1 cap 4 used by f1 only.
+  // f1 bottlenecked at 4 on L1; f0 then takes the remaining 6 on L0.
+  const auto rates =
+      max_min_allocate({10.0, 4.0}, {demand({0}), demand({0, 1})});
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(rates[0], 6.0);
+}
+
+TEST(MaxMin, CapFreesCapacityForOthers) {
+  // Two flows share a 10-capacity link; one is capped at 2, the other
+  // should absorb the slack (8), not stop at the equal share (5).
+  const auto rates =
+      max_min_allocate({10.0}, {demand({0}, 2.0), demand({0})});
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+}
+
+TEST(MaxMin, CapAboveShareIsInert) {
+  const auto rates =
+      max_min_allocate({10.0}, {demand({0}, 100.0), demand({0})});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(MaxMin, ZeroCapFlow) {
+  const auto rates =
+      max_min_allocate({10.0}, {demand({0}, 0.0), demand({0})});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 10.0);
+}
+
+TEST(MaxMin, EmptyPathGetsCapOrZero) {
+  const auto rates =
+      max_min_allocate({}, {demand({}, 7.0), demand({}, kInf)});
+  EXPECT_DOUBLE_EQ(rates[0], 7.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+TEST(MaxMin, NoFlows) {
+  EXPECT_TRUE(max_min_allocate({1.0, 2.0}, {}).empty());
+}
+
+TEST(MaxMin, UnboundedWithNoConstraintThrows) {
+  // A flow with an unbounded cap must cross at least one finite link.
+  EXPECT_NO_THROW(max_min_allocate({5.0}, {demand({0})}));
+}
+
+TEST(MaxMin, ParkingLotFairness) {
+  // Classic parking-lot: one long flow over L0,L1,L2 (cap 1 each) plus a
+  // short flow per link. Max-min gives everyone 0.5.
+  const auto rates = max_min_allocate(
+      {1.0, 1.0, 1.0},
+      {demand({0, 1, 2}), demand({0}), demand({1}), demand({2})});
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 0.5);
+}
+
+TEST(MaxMin, AsymmetricParkingLot) {
+  // L0 cap 1 (long + short0), L1 cap 10 (long + short1).
+  // long and short0 split L0 at 0.5; short1 then gets 9.5 on L1.
+  const auto rates = max_min_allocate(
+      {1.0, 10.0}, {demand({0, 1}), demand({0}), demand({1})});
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(rates[2], 9.5);
+}
+
+TEST(MaxMin, BadInputsThrow) {
+  EXPECT_THROW(max_min_allocate({1.0}, {demand({5})}), util::Error);
+  EXPECT_THROW(max_min_allocate({0.0}, {demand({0})}), util::Error);
+  EXPECT_THROW(max_min_allocate({1.0}, {demand({0}, -1.0)}), util::Error);
+}
+
+// ---- Property tests over random instances --------------------------------
+
+struct RandomInstance {
+  std::vector<Rate> capacities;
+  std::vector<FlowDemand> flows;
+};
+
+RandomInstance make_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  RandomInstance inst;
+  const auto links = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  for (std::size_t l = 0; l < links; ++l) {
+    inst.capacities.push_back(rng.uniform(0.5, 20.0));
+  }
+  const auto flows = static_cast<std::size_t>(rng.uniform_int(1, 16));
+  for (std::size_t f = 0; f < flows; ++f) {
+    const auto hop_count = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(links)));
+    FlowDemand d;
+    d.links = rng.sample_without_replacement(links, hop_count);
+    d.cap = rng.bernoulli(0.4) ? rng.uniform(0.1, 10.0) : kInf;
+    inst.flows.push_back(std::move(d));
+  }
+  return inst;
+}
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, FeasibilityAndBottleneckOptimality) {
+  const RandomInstance inst = make_instance(GetParam());
+  const auto rates = max_min_allocate(inst.capacities, inst.flows);
+  ASSERT_EQ(rates.size(), inst.flows.size());
+
+  // 1. No link oversubscribed.
+  std::vector<double> load(inst.capacities.size(), 0.0);
+  for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+    EXPECT_GE(rates[f], 0.0);
+    if (std::isfinite(inst.flows[f].cap)) {
+      EXPECT_LE(rates[f], inst.flows[f].cap * (1.0 + 1e-9));
+    }
+    for (std::size_t l : inst.flows[f].links) load[l] += rates[f];
+  }
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    EXPECT_LE(load[l], inst.capacities[l] * (1.0 + 1e-9)) << "link " << l;
+  }
+
+  // 2. Max-min bottleneck condition: every flow either meets its cap or
+  // crosses a saturated link on which it has a maximal rate.
+  for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+    if (std::isfinite(inst.flows[f].cap) &&
+        rates[f] >= inst.flows[f].cap * (1.0 - 1e-9)) {
+      continue;  // cap-bottlenecked
+    }
+    bool has_bottleneck_link = false;
+    for (std::size_t l : inst.flows[f].links) {
+      if (load[l] < inst.capacities[l] * (1.0 - 1e-9)) continue;
+      bool is_max_on_link = true;
+      for (std::size_t g = 0; g < inst.flows.size(); ++g) {
+        if (g == f) continue;
+        const auto& gl = inst.flows[g].links;
+        if (std::find(gl.begin(), gl.end(), l) != gl.end() &&
+            rates[g] > rates[f] * (1.0 + 1e-9)) {
+          is_max_on_link = false;
+          break;
+        }
+      }
+      if (is_max_on_link) {
+        has_bottleneck_link = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck_link) << "flow " << f << " not bottlenecked";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MaxMinProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace idr::flow

@@ -1,0 +1,133 @@
+#include "flow/tcp_model.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace idr::flow {
+namespace {
+
+TEST(Pftk, LosslessIsUnbounded) {
+  TcpConfig cfg;
+  EXPECT_TRUE(std::isinf(pftk_ceiling(cfg, 0.1, 0.0)));
+}
+
+TEST(Pftk, MatchesClosedFormAtSmallLoss) {
+  // At small p the timeout term is negligible: B ~ MSS/(RTT*sqrt(2p/3)).
+  TcpConfig cfg;
+  const double rtt = 0.1;
+  const double p = 1e-4;
+  const double expected = cfg.mss / (rtt * std::sqrt(2.0 * p / 3.0));
+  EXPECT_NEAR(pftk_ceiling(cfg, rtt, p) / expected, 1.0, 0.02);
+}
+
+TEST(Pftk, DecreasesWithLoss) {
+  TcpConfig cfg;
+  double prev = pftk_ceiling(cfg, 0.1, 0.0001);
+  for (double p : {0.001, 0.005, 0.01, 0.05, 0.1}) {
+    const double cur = pftk_ceiling(cfg, 0.1, p);
+    EXPECT_LT(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(Pftk, DecreasesWithRtt) {
+  TcpConfig cfg;
+  EXPECT_GT(pftk_ceiling(cfg, 0.05, 0.01), pftk_ceiling(cfg, 0.2, 0.01));
+}
+
+TEST(Pftk, SplitBeatsEndToEnd) {
+  // The split-TCP identity the relay model relies on: two legs with half
+  // the RTT and the same per-leg loss each beat the end-to-end connection
+  // with compounded loss over the full RTT.
+  TcpConfig cfg;
+  const double rtt = 0.2, p = 0.01;
+  const double end_to_end = pftk_ceiling(cfg, rtt, 2 * p - p * p);
+  const double leg = pftk_ceiling(cfg, rtt / 2, p);
+  EXPECT_GT(leg, end_to_end);
+}
+
+TEST(Pftk, InvalidArgsThrow) {
+  TcpConfig cfg;
+  EXPECT_THROW(pftk_ceiling(cfg, 0.0, 0.01), util::Error);
+  EXPECT_THROW(pftk_ceiling(cfg, 0.1, 1.0), util::Error);
+  EXPECT_THROW(pftk_ceiling(cfg, 0.1, -0.1), util::Error);
+}
+
+TEST(Rwnd, CapsAtWindowOverRtt) {
+  TcpConfig cfg;
+  cfg.receiver_window = 65536.0;
+  EXPECT_DOUBLE_EQ(rwnd_ceiling(cfg, 0.1), 655360.0);
+}
+
+TEST(SteadyState, TakesTheMin) {
+  TcpConfig cfg;
+  cfg.receiver_window = 65536.0;
+  const double rtt = 0.1;
+  // Tiny loss: rwnd binds.
+  EXPECT_DOUBLE_EQ(steady_state_ceiling(cfg, rtt, 1e-7),
+                   rwnd_ceiling(cfg, rtt));
+  // Heavy loss: PFTK binds.
+  EXPECT_DOUBLE_EQ(steady_state_ceiling(cfg, rtt, 0.05),
+                   pftk_ceiling(cfg, rtt, 0.05));
+}
+
+TEST(SlowStart, DoublesPerRound) {
+  TcpConfig cfg;
+  const double rtt = 0.1;
+  const double base = slow_start_cap(cfg, rtt, 0);
+  EXPECT_DOUBLE_EQ(base, cfg.initial_window_segments * cfg.mss / rtt);
+  for (int k = 1; k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(slow_start_cap(cfg, rtt, k),
+                     base * std::pow(2.0, k));
+  }
+}
+
+TEST(SlowStart, RoundsToReach) {
+  TcpConfig cfg;
+  const double rtt = 0.1;
+  const double target = slow_start_cap(cfg, rtt, 7);
+  EXPECT_EQ(rounds_to_reach(cfg, rtt, target), 7);
+  // A hair above round 7's cap needs one more round.
+  EXPECT_EQ(rounds_to_reach(cfg, rtt, target * 1.001), 8);
+  // Already reachable at round 0.
+  EXPECT_EQ(rounds_to_reach(cfg, rtt, 1.0), 0);
+}
+
+TEST(SlowStart, RoundsToReachSaturates) {
+  TcpConfig cfg;
+  EXPECT_LE(rounds_to_reach(cfg, 0.1, 1e30), 64);
+}
+
+TEST(SlowStart, InvalidArgsThrow) {
+  TcpConfig cfg;
+  EXPECT_THROW(slow_start_cap(cfg, 0.0, 1), util::Error);
+  EXPECT_THROW(slow_start_cap(cfg, 0.1, -1), util::Error);
+}
+
+// Property: the 100 KB probe of the paper outlasts slow start for typical
+// paths — i.e. by the time 100 KB have been delivered under the ramp, the
+// instantaneous cap has reached a multi-Mbps steady rate. (This is the
+// justification for x = 100 KB in Section 2.1.)
+class ProbeOutlastsSlowStart : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProbeOutlastsSlowStart, RampCompletesWithin100KB) {
+  TcpConfig cfg;
+  const double rtt = GetParam();
+  double delivered = 0.0;
+  int round = 0;
+  // Bytes delivered during rounds until the cap exceeds 2 Mbps.
+  while (slow_start_cap(cfg, rtt, round) < util::mbps(2.0)) {
+    delivered += slow_start_cap(cfg, rtt, round) * rtt;
+    ++round;
+    ASSERT_LT(round, 64);
+  }
+  EXPECT_LT(delivered, 100e3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtts, ProbeOutlastsSlowStart,
+                         ::testing::Values(0.04, 0.08, 0.16, 0.24, 0.32));
+
+}  // namespace
+}  // namespace idr::flow

@@ -1,0 +1,130 @@
+#include "http/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idr::http {
+namespace {
+
+TEST(Method, Names) {
+  EXPECT_EQ(method_name(Method::GET), "GET");
+  EXPECT_EQ(parse_method("GET"), Method::GET);
+  EXPECT_EQ(parse_method("DELETE"), Method::DELETE);
+  EXPECT_FALSE(parse_method("get").has_value());  // methods are case-sensitive
+  EXPECT_FALSE(parse_method("BREW").has_value());
+}
+
+TEST(HeaderMap, CaseInsensitiveLookup) {
+  HeaderMap h;
+  h.add("Content-Length", "10");
+  EXPECT_EQ(h.get("content-length"), "10");
+  EXPECT_EQ(h.get("CONTENT-LENGTH"), "10");
+  EXPECT_TRUE(h.has("Content-length"));
+  EXPECT_FALSE(h.has("Content-Type"));
+}
+
+TEST(HeaderMap, AddKeepsDuplicatesSetReplaces) {
+  HeaderMap h;
+  h.add("X", "1");
+  h.add("X", "2");
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.get("X"), "1");  // first value wins on lookup
+  h.set("x", "3");
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.get("X"), "3");
+}
+
+TEST(HeaderMap, RemoveCountsAll) {
+  HeaderMap h;
+  h.add("A", "1");
+  h.add("a", "2");
+  h.add("B", "3");
+  EXPECT_EQ(h.remove("A"), 2u);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.remove("missing"), 0u);
+}
+
+TEST(Request, SerializeBasics) {
+  Request req;
+  req.method = Method::GET;
+  req.target = "/file";
+  req.headers.add("Host", "ebay.com");
+  req.headers.add("Range", "bytes=0-102399");
+  const std::string wire = req.serialize();
+  EXPECT_EQ(wire.substr(0, 20), "GET /file HTTP/1.1\r\n");
+  EXPECT_NE(wire.find("Host: ebay.com\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Range: bytes=0-102399\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n"), std::string::npos);
+  // No body and no forced Content-Length for requests.
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+}
+
+TEST(Request, SerializeAddsLengthForBody) {
+  Request req;
+  req.method = Method::POST;
+  req.body = "hello";
+  const std::string wire = req.serialize();
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 5), "hello");
+}
+
+TEST(Response, SerializeAlwaysFramesBody) {
+  Response resp;
+  resp.status = 206;
+  resp.reason = "Partial Content";
+  resp.body = "0123456789";
+  const std::string wire = resp.serialize();
+  EXPECT_EQ(wire.substr(0, 26), "HTTP/1.1 206 Partial Conte");
+  EXPECT_NE(wire.find("Content-Length: 10\r\n"), std::string::npos);
+}
+
+TEST(Response, EmptyBodyStillGetsZeroLength) {
+  Response resp;
+  const std::string wire = resp.serialize();
+  EXPECT_NE(wire.find("Content-Length: 0\r\n"), std::string::npos);
+}
+
+TEST(Response, ExplicitLengthNotDuplicated) {
+  Response resp;
+  resp.headers.add("Content-Length", "4");
+  resp.body = "abcd";
+  const std::string wire = resp.serialize();
+  EXPECT_EQ(wire.find("Content-Length"), wire.rfind("Content-Length"));
+}
+
+TEST(DefaultReason, KnownCodes) {
+  EXPECT_EQ(default_reason(200), "OK");
+  EXPECT_EQ(default_reason(206), "Partial Content");
+  EXPECT_EQ(default_reason(416), "Range Not Satisfiable");
+  EXPECT_EQ(default_reason(502), "Bad Gateway");
+  EXPECT_EQ(default_reason(299), "Unknown");
+}
+
+TEST(Url, ParseVariants) {
+  auto p = parse_http_url("http://ebay.com/big.bin");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->host, "ebay.com");
+  EXPECT_EQ(p->port, 80);
+  EXPECT_EQ(p->path, "/big.bin");
+
+  p = parse_http_url("http://127.0.0.1:8080/x/y?z=1");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->host, "127.0.0.1");
+  EXPECT_EQ(p->port, 8080);
+  EXPECT_EQ(p->path, "/x/y?z=1");
+
+  p = parse_http_url("http://host");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->path, "/");
+}
+
+TEST(Url, Rejections) {
+  EXPECT_FALSE(parse_http_url("https://secure").has_value());
+  EXPECT_FALSE(parse_http_url("ftp://x/").has_value());
+  EXPECT_FALSE(parse_http_url("http://").has_value());
+  EXPECT_FALSE(parse_http_url("http://h:0/").has_value());
+  EXPECT_FALSE(parse_http_url("http://h:99999/").has_value());
+  EXPECT_FALSE(parse_http_url("http://h:abc/").has_value());
+}
+
+}  // namespace
+}  // namespace idr::http

@@ -1,0 +1,151 @@
+#include "http/range.hpp"
+
+#include <gtest/gtest.h>
+
+namespace idr::http {
+namespace {
+
+TEST(RangeParse, ClosedForm) {
+  const auto spec = parse_range_header("bytes=100-199");
+  ASSERT_TRUE(spec);
+  EXPECT_EQ(spec->first, 100u);
+  EXPECT_EQ(spec->last, 199u);
+  EXPECT_FALSE(spec->suffix_length.has_value());
+}
+
+TEST(RangeParse, OpenForm) {
+  const auto spec = parse_range_header("bytes=102400-");
+  ASSERT_TRUE(spec);
+  EXPECT_EQ(spec->first, 102400u);
+  EXPECT_FALSE(spec->last.has_value());
+}
+
+TEST(RangeParse, SuffixForm) {
+  const auto spec = parse_range_header("bytes=-500");
+  ASSERT_TRUE(spec);
+  EXPECT_EQ(spec->suffix_length, 500u);
+  EXPECT_FALSE(spec->first.has_value());
+}
+
+TEST(RangeParse, WhitespaceTolerated) {
+  EXPECT_TRUE(parse_range_header("  bytes=0-1  ").has_value());
+  EXPECT_TRUE(parse_range_header("bytes= 0 - 1 ").has_value());
+}
+
+TEST(RangeParse, Rejections) {
+  EXPECT_FALSE(parse_range_header("items=0-1").has_value());
+  EXPECT_FALSE(parse_range_header("bytes=0-1,5-9").has_value());  // multi
+  EXPECT_FALSE(parse_range_header("bytes=").has_value());
+  EXPECT_FALSE(parse_range_header("bytes=abc-").has_value());
+  EXPECT_FALSE(parse_range_header("bytes=5").has_value());       // no dash
+  EXPECT_FALSE(parse_range_header("bytes=5-x").has_value());
+  EXPECT_FALSE(parse_range_header("bytes=-").has_value());
+}
+
+TEST(RangeFormat, RoundTripsThroughParse) {
+  for (const RangeSpec spec :
+       {range_first_bytes(102400), range_from_offset(102400),
+        range_suffix(500)}) {
+    const auto reparsed = parse_range_header(format_range_header(spec));
+    ASSERT_TRUE(reparsed);
+    EXPECT_EQ(*reparsed, spec);
+  }
+}
+
+TEST(RangeConvenience, FirstBytes) {
+  const RangeSpec spec = range_first_bytes(100000);
+  EXPECT_EQ(spec.first, 0u);
+  EXPECT_EQ(spec.last, 99999u);
+  EXPECT_EQ(format_range_header(spec), "bytes=0-99999");
+}
+
+TEST(Resolve, FullWithinResource) {
+  const auto r = resolve_range(range_first_bytes(100), 1000);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (ByteRange{0, 99}));
+  EXPECT_EQ(r->length(), 100u);
+}
+
+TEST(Resolve, ClampsLastToEnd) {
+  const auto r = resolve_range(range_first_bytes(5000), 1000);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (ByteRange{0, 999}));
+}
+
+TEST(Resolve, OpenEndedGoesToEnd) {
+  const auto r = resolve_range(range_from_offset(400), 1000);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (ByteRange{400, 999}));
+}
+
+TEST(Resolve, SuffixTakesTail) {
+  const auto r = resolve_range(range_suffix(100), 1000);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (ByteRange{900, 999}));
+}
+
+TEST(Resolve, SuffixLargerThanResource) {
+  const auto r = resolve_range(range_suffix(5000), 1000);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (ByteRange{0, 999}));
+}
+
+TEST(Resolve, Unsatisfiable) {
+  EXPECT_FALSE(resolve_range(range_from_offset(1000), 1000).has_value());
+  EXPECT_FALSE(resolve_range(range_suffix(0), 1000).has_value());
+  EXPECT_FALSE(resolve_range(range_first_bytes(10), 0).has_value());
+  RangeSpec inverted;
+  inverted.first = 10;
+  inverted.last = 5;
+  EXPECT_FALSE(resolve_range(inverted, 1000).has_value());
+}
+
+TEST(ContentRange, FormatAndParse) {
+  const std::string s = format_content_range(ByteRange{0, 102399}, 4000000);
+  EXPECT_EQ(s, "bytes 0-102399/4000000");
+  const auto parsed = parse_content_range(s);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->first, (ByteRange{0, 102399}));
+  EXPECT_EQ(parsed->second, 4000000u);
+}
+
+TEST(ContentRange, Rejections) {
+  EXPECT_FALSE(parse_content_range("bytes 0-99/*").has_value());
+  EXPECT_FALSE(parse_content_range("bytes 99-0/1000").has_value());
+  EXPECT_FALSE(parse_content_range("bytes 0-1000/1000").has_value());
+  EXPECT_FALSE(parse_content_range("octets 0-9/10").has_value());
+  EXPECT_FALSE(parse_content_range("bytes 0to9/10").has_value());
+}
+
+// Property sweep: resolve + split at x reproduces the paper's two-request
+// pattern exactly: [0, x) followed by [x, n) partitions the file.
+class SplitProperty
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(SplitProperty, ProbePlusRemainderPartitions) {
+  const auto [x, n] = GetParam();
+  const auto probe = resolve_range(range_first_bytes(x), n);
+  ASSERT_TRUE(probe);
+  if (x >= n) {
+    EXPECT_EQ(probe->length(), n);
+    return;  // probe covered the file; no remainder request
+  }
+  const auto rest = resolve_range(range_from_offset(x), n);
+  ASSERT_TRUE(rest);
+  EXPECT_EQ(probe->length() + rest->length(), n);
+  EXPECT_EQ(probe->last + 1, rest->first);
+  EXPECT_EQ(rest->last, n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, SplitProperty,
+    ::testing::Values(std::make_pair(102400ull, 4000000ull),
+                      std::make_pair(1ull, 2ull),
+                      std::make_pair(102400ull, 102401ull),
+                      std::make_pair(102400ull, 102400ull),
+                      std::make_pair(500000ull, 400000ull),
+                      std::make_pair(1ull, 1000000ull)));
+
+}  // namespace
+}  // namespace idr::http

@@ -1,0 +1,202 @@
+// Cross-module property tests: invariants that must hold across randomly
+// generated worlds and parameter sweeps, not just hand-picked cases.
+#include <cmath>
+#include <gtest/gtest.h>
+#include <optional>
+
+#include "core/probe_race.hpp"
+#include "testbed/scenario.hpp"
+#include "testbed/section2.hpp"
+#include "testbed/session.hpp"
+#include "util/error.hpp"
+
+namespace idr {
+namespace {
+
+using testbed::ClientWorld;
+
+// ---- Flow conservation over random multi-flow scenarios -------------------
+
+class FlowConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowConservation, BytesEqualRateTimesTime) {
+  // Random flows with random sizes over a random chain; every completion
+  // must satisfy size == integral of allocated rate (checked implicitly:
+  // completion only fires when remaining ~ 0), and the aggregate drain
+  // of a shared bottleneck must never beat capacity.
+  util::Rng rng(GetParam());
+  sim::Simulator sim;
+  net::Topology topo;
+  const auto hops = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  std::vector<net::NodeId> nodes;
+  for (std::size_t i = 0; i <= hops; ++i) {
+    nodes.push_back(topo.add_node("n" + std::to_string(i)));
+  }
+  net::Path path;
+  double min_capacity = 1e18;
+  for (std::size_t i = 0; i < hops; ++i) {
+    const double cap = rng.uniform(1e5, 2e6);
+    min_capacity = std::min(min_capacity, cap);
+    path.links.push_back(topo.add_link(nodes[i], nodes[i + 1], cap, 0.01));
+  }
+  flow::FlowSimulator fsim(sim, topo, util::Rng(GetParam() + 1));
+
+  const int flows = static_cast<int>(rng.uniform_int(2, 8));
+  double total_bytes = 0.0;
+  double last_finish = 0.0;
+  double first_start = 1e18;
+  int completed = 0;
+  for (int f = 0; f < flows; ++f) {
+    const double start = rng.uniform(0.0, 5.0);
+    const double size = rng.uniform(1e4, 2e6);
+    total_bytes += size;
+    first_start = std::min(first_start, start);
+    sim.schedule_at(start, [&, size] {
+      flow::FlowOptions opt;
+      opt.model_slow_start = rng.bernoulli(0.5);
+      fsim.start_flow(path, size, opt, [&](const flow::FlowStats& s) {
+        ++completed;
+        last_finish = std::max(last_finish, s.finish_time);
+        // Per-flow sanity: the average rate cannot beat the bottleneck.
+        EXPECT_LE(s.average_rate(), min_capacity * (1.0 + 1e-9));
+      });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, flows);
+  // Aggregate conservation: all bytes cannot drain faster than the
+  // bottleneck allows.
+  const double span = last_finish - first_start;
+  EXPECT_GE(span * min_capacity * (1.0 + 1e-9), total_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, FlowConservation,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+// ---- Probe race correctness across random two-relay worlds ----------------
+
+class RaceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RaceProperty, WinnerMatchesBandwidthOrderWhenGapIsLarge) {
+  // When one path has >= 4x the bandwidth of every alternative and the
+  // probe is large enough to exit slow start, the race must choose it.
+  util::Rng rng(GetParam());
+  sim::Simulator sim;
+  net::Topology topo;
+  const auto server = topo.add_node("server", false);
+  const auto gw = topo.add_node("gw");
+  const auto client = topo.add_node("client", false);
+  const auto relay = topo.add_node("relay", false);
+  const bool relay_is_fast = rng.bernoulli(0.5);
+  const double fast = rng.uniform(2e5, 1e6);
+  const double slow = fast / rng.uniform(4.0, 8.0);
+  const double delay = rng.uniform(0.03, 0.09);
+  topo.add_link(server, gw, relay_is_fast ? slow : fast, delay);
+  topo.add_link(gw, client, 1e7, 0.004);
+  topo.add_link(server, relay, 1e7, 0.02);
+  topo.add_link(relay, gw, relay_is_fast ? fast : slow, delay);
+  flow::FlowSimulator fsim(sim, topo, util::Rng(GetParam() * 3 + 1));
+  overlay::WebServerModel origin(server, "origin");
+  origin.add_resource("/f", 2e6);
+  overlay::TransferEngine engine(fsim);
+
+  core::RaceSpec spec;
+  spec.client = client;
+  spec.server = &origin;
+  spec.resource = "/f";
+  spec.probe_bytes = 2e5;  // comfortably past slow start at these rates
+  spec.candidate_relays = {relay};
+  std::optional<core::RaceOutcome> outcome;
+  core::start_probe_race(engine, spec,
+                         [&](const core::RaceOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+  EXPECT_EQ(outcome->chose_indirect, relay_is_fast)
+      << "fast=" << fast << " slow=" << slow << " delay=" << delay;
+  // All transfers cleaned up regardless of outcome.
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_EQ(fsim.active_flows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorlds, RaceProperty,
+                         ::testing::Range<std::uint64_t>(200, 230));
+
+// ---- Session-level invariants over scenario seeds --------------------------
+
+class SessionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionProperty, ObservationsAreInternallyConsistent) {
+  const testbed::ScenarioGenerator gen(GetParam(), {});
+  const auto& client = testbed::client_sites()[GetParam() % 22];
+  const auto& relay = testbed::relay_sites()[(GetParam() * 7) % 21];
+  testbed::SessionSpec spec;
+  spec.params = gen.make_world(client, {&relay}, testbed::find_site("eBay"));
+  spec.transfers = 10;
+  spec.interval = util::minutes(2);
+  spec.client_seed = GetParam() + 5;
+  spec.session_relay_label = std::string(relay.name);
+  spec.policy_factory = [](ClientWorld& world) {
+    return std::make_unique<core::StaticRelayPolicy>(world.relay_node(0));
+  };
+  const testbed::SessionOutput out = testbed::run_session(spec);
+
+  for (const auto& t : out.result.transfers) {
+    ASSERT_TRUE(t.ok);
+    EXPECT_GT(t.selected_rate, 0.0);
+    EXPECT_GT(t.selected_steady_rate, 0.0);
+    EXPECT_GT(t.direct_rate, 0.0);
+    // Improvement must be the metric applied to the recorded rates.
+    EXPECT_NEAR(t.improvement_pct,
+                core::improvement_pct(t.selected_rate, t.direct_rate),
+                1e-9);
+    // The steady phase never loses to the whole operation (it skips the
+    // race and the cold start).
+    EXPECT_GE(t.selected_steady_rate, t.selected_rate * (1.0 - 1e-9));
+    // Selecting the direct path can cost a little (probe overhead) but
+    // the steady phase of the direct path cannot be wildly slower than
+    // the plain mirror unless the network moved under it.
+    if (!t.chose_indirect) {
+      EXPECT_TRUE(t.chosen_relay.empty());
+    } else {
+      EXPECT_EQ(t.chosen_relay, relay.name);
+    }
+  }
+  // Relay accounting matches observations.
+  const auto& record =
+      out.relay_stats.record(out.relay_stats.records().front().relay);
+  EXPECT_EQ(record.appearances, 10u);
+  EXPECT_EQ(record.selections, out.result.indirect_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionProperty,
+                         ::testing::Range<std::uint64_t>(300, 312));
+
+// ---- Probe size monotonicity ----------------------------------------------
+
+TEST(ProbeSizeProperty, LargerProbesMispredictLess) {
+  // Sweep x and check that the fraction of negative picks decreases
+  // (weakly) from tiny to large probes — the mechanism behind the
+  // paper's choice of x = 100 KB.
+  auto negative_fraction = [](double probe_kb) {
+    testbed::Section2Config config;
+    config.seed = 77;
+    config.assignment = testbed::RelayAssignment::AprioriGood;
+    config.clients = {"Italy", "France", "Denmark", "Norway", "Iceland"};
+    config.transfers_per_session = 25;
+    config.interval = util::minutes(3);
+    config.knobs.probe_bytes = util::kilobytes(probe_kb);
+    config.threads = 2;
+    const auto result = testbed::run_section2(config);
+    util::SampleSet imp;
+    imp.add_all(testbed::indirect_improvements(result.sessions));
+    return imp.empty() ? 0.0 : imp.fraction_below(0.0);
+  };
+  const double tiny = negative_fraction(10.0);
+  const double paper = negative_fraction(100.0);
+  const double large = negative_fraction(400.0);
+  EXPECT_GE(tiny, paper - 0.02);
+  EXPECT_GE(paper, large - 0.03);
+}
+
+}  // namespace
+}  // namespace idr

@@ -1,0 +1,187 @@
+// Focused tests for the transfer-engine semantics added for methodology
+// fidelity: warm (keep-alive) connections, persistent upstream relays,
+// setup jitter, byte-inflation efficiency, and the probe race's
+// steady-phase metric.
+#include <cmath>
+#include <gtest/gtest.h>
+#include <optional>
+
+#include "core/probe_race.hpp"
+#include "overlay/transfer_engine.hpp"
+#include "util/error.hpp"
+
+namespace idr::overlay {
+namespace {
+
+using util::mbps;
+using util::milliseconds;
+
+struct World {
+  sim::Simulator sim;
+  net::Topology topo;
+  std::optional<flow::FlowSimulator> fsim;
+  std::optional<WebServerModel> server;
+  std::optional<TransferEngine> engine;
+  net::NodeId server_node, gw, client, relay;
+
+  World() {
+    server_node = topo.add_node("server", false);
+    gw = topo.add_node("gw");
+    client = topo.add_node("client", false);
+    relay = topo.add_node("relay", false);
+    topo.add_link(server_node, gw, mbps(2.0), milliseconds(80));
+    topo.add_link(gw, client, mbps(50), milliseconds(5));
+    topo.add_link(server_node, relay, mbps(40), milliseconds(20));
+    topo.add_link(relay, gw, mbps(8.0), milliseconds(80));
+    fsim.emplace(sim, topo, util::Rng(11));
+    server.emplace(server_node, "server");
+    server->add_resource("/f", 1.0e6);
+    engine.emplace(*fsim);
+  }
+
+  TransferResult run(TransferRequest req) {
+    std::optional<TransferResult> result;
+    engine->begin(req, [&](const TransferResult& r) { result = r; });
+    sim.run();
+    return *result;
+  }
+
+  TransferRequest request(bool via_relay, bool warm) {
+    TransferRequest req;
+    req.client = client;
+    req.server = &*server;
+    req.resource = "/f";
+    if (via_relay) req.relay = relay;
+    req.warm_connection = warm;
+    return req;
+  }
+};
+
+TEST(WarmConnection, FasterThanColdOnDirectPath) {
+  World w1, w2;
+  const TransferResult cold = w1.run(w1.request(false, false));
+  const TransferResult warm = w2.run(w2.request(false, true));
+  ASSERT_TRUE(cold.ok && warm.ok);
+  // Warm skips the handshakes and the slow-start ramp.
+  EXPECT_LT(warm.elapsed(), cold.elapsed());
+  // Drain time alone (1 MB at 250 KB/s = 4 s) dominates the warm case.
+  EXPECT_NEAR(warm.elapsed(), 4.0, 0.5);
+}
+
+TEST(WarmConnection, FasterThanColdViaRelay) {
+  World w1, w2;
+  const TransferResult cold = w1.run(w1.request(true, false));
+  const TransferResult warm = w2.run(w2.request(true, true));
+  ASSERT_TRUE(cold.ok && warm.ok);
+  EXPECT_LT(warm.elapsed(), cold.elapsed());
+}
+
+TEST(PersistentUpstream, SavesSetupLatency) {
+  World w1, w2;
+  RelayParams cold_params;
+  cold_params.persistent_upstream = false;
+  w1.engine->set_relay_params(w1.relay, cold_params);
+  RelayParams warm_params;
+  warm_params.persistent_upstream = true;
+  w2.engine->set_relay_params(w2.relay, warm_params);
+  const TransferResult cold = w1.run(w1.request(true, false));
+  const TransferResult persistent = w2.run(w2.request(true, false));
+  ASSERT_TRUE(cold.ok && persistent.ok);
+  // 1.5 upstream RTTs saved (~60 ms here).
+  EXPECT_LT(persistent.elapsed(), cold.elapsed());
+}
+
+TEST(Efficiency, InflatesNetworkBytesNotGoodput) {
+  World w1, w2;
+  RelayParams lossless;
+  lossless.efficiency = 1.0;
+  w1.engine->set_relay_params(w1.relay, lossless);
+  RelayParams half;
+  half.efficiency = 0.5;
+  w2.engine->set_relay_params(w2.relay, half);
+  const TransferResult full = w1.run(w1.request(true, false));
+  const TransferResult padded = w2.run(w2.request(true, false));
+  ASSERT_TRUE(full.ok && padded.ok);
+  // Both report the same delivered bytes...
+  EXPECT_DOUBLE_EQ(full.bytes, padded.bytes);
+  // ...but the 50 %-efficient relay moved twice the data: one extra
+  // megabyte at the 1 MB/s bottleneck, so about one extra second on top
+  // of setup + slow start.
+  EXPECT_GT(padded.elapsed(), full.elapsed() + 0.8);
+}
+
+TEST(SetupJitter, BoundedAndDeterministicPerSeed) {
+  auto elapsed_with_jitter = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    net::Topology topo;
+    const auto server_node = topo.add_node("server", false);
+    const auto client = topo.add_node("client", false);
+    topo.add_link(server_node, client, mbps(8.0), milliseconds(50));
+    flow::FlowSimulator fsim(sim, topo, util::Rng(seed));
+    WebServerModel server(server_node, "s");
+    server.add_resource("/f", 1e5);
+    TransferEngine engine(fsim);
+    engine.set_setup_jitter(0.5);
+    std::optional<TransferResult> result;
+    TransferRequest req;
+    req.client = client;
+    req.server = &server;
+    req.resource = "/f";
+    engine.begin(req, [&](const TransferResult& r) { result = r; });
+    sim.run();
+    return result->elapsed();
+  };
+  const double a = elapsed_with_jitter(42);
+  const double b = elapsed_with_jitter(42);
+  const double c = elapsed_with_jitter(43);
+  EXPECT_DOUBLE_EQ(a, b);  // same seed, same jitter
+  EXPECT_NE(a, c);         // different seed, different draw
+}
+
+TEST(SetupJitter, ZeroDisablesAndNegativeThrows) {
+  World w;
+  EXPECT_NO_THROW(w.engine->set_setup_jitter(0.0));
+  EXPECT_THROW(w.engine->set_setup_jitter(-0.1), util::Error);
+}
+
+TEST(SteadyThroughput, ExcludesProbePhase) {
+  World w;
+  core::RaceSpec spec;
+  spec.client = w.client;
+  spec.server = &*w.server;
+  spec.resource = "/f";
+  spec.probe_bytes = 2e5;
+  spec.candidate_relays = {w.relay};
+  std::optional<core::RaceOutcome> outcome;
+  core::start_probe_race(*w.engine, spec,
+                         [&](const core::RaceOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+  EXPECT_GT(outcome->remainder_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(outcome->remainder_bytes, 1.0e6 - 2e5);
+  // The steady phase is free of n-way probe contention and cold-start,
+  // so it must beat the whole-operation number.
+  EXPECT_GT(outcome->steady_throughput(),
+            outcome->selected_throughput());
+}
+
+TEST(SteadyThroughput, FallsBackWhenProbeCoversFile) {
+  World w;
+  core::RaceSpec spec;
+  spec.client = w.client;
+  spec.server = &*w.server;
+  spec.resource = "/f";
+  spec.probe_bytes = 5e6;  // > 1 MB file
+  spec.candidate_relays = {w.relay};
+  std::optional<core::RaceOutcome> outcome;
+  core::start_probe_race(*w.engine, spec,
+                         [&](const core::RaceOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+  EXPECT_DOUBLE_EQ(outcome->remainder_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(outcome->steady_throughput(),
+                   outcome->selected_throughput());
+}
+
+}  // namespace
+}  // namespace idr::overlay

@@ -1,0 +1,127 @@
+#include "rt/reactor.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "rt/socket.hpp"
+#include "util/error.hpp"
+
+namespace idr::rt {
+namespace {
+
+void spin_until(Reactor& reactor, double deadline_s,
+                const std::function<bool()>& done) {
+  const double deadline = reactor.now() + deadline_s;
+  while (!done() && reactor.now() < deadline) {
+    reactor.poll(0.02);
+  }
+  ASSERT_TRUE(done()) << "condition not reached within deadline";
+}
+
+TEST(Reactor, TimersFireInOrder) {
+  Reactor reactor;
+  std::vector<int> order;
+  reactor.add_timer(0.03, [&] { order.push_back(3); });
+  reactor.add_timer(0.01, [&] { order.push_back(1); });
+  reactor.add_timer(0.02, [&] { order.push_back(2); });
+  spin_until(reactor, 2.0, [&] { return order.size() == 3; });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Reactor, CancelledTimerDoesNotFire) {
+  Reactor reactor;
+  bool fired = false;
+  const TimerId id = reactor.add_timer(0.01, [&] { fired = true; });
+  EXPECT_TRUE(reactor.cancel_timer(id));
+  EXPECT_FALSE(reactor.cancel_timer(id));
+  bool sentinel = false;
+  reactor.add_timer(0.05, [&] { sentinel = true; });
+  spin_until(reactor, 2.0, [&] { return sentinel; });
+  EXPECT_FALSE(fired);
+}
+
+TEST(Reactor, TimerCanScheduleTimer) {
+  Reactor reactor;
+  int hops = 0;
+  std::function<void()> chain = [&] {
+    if (++hops < 3) reactor.add_timer(0.005, chain);
+  };
+  reactor.add_timer(0.005, chain);
+  spin_until(reactor, 2.0, [&] { return hops == 3; });
+}
+
+TEST(Reactor, PipeReadability) {
+  Reactor reactor;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string received;
+  reactor.add_fd(fds[0], true, false, [&](IoEvents events) {
+    if (events.readable) {
+      char buf[64];
+      const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+      if (n > 0) received.assign(buf, static_cast<std::size_t>(n));
+    }
+  });
+  ASSERT_EQ(::write(fds[1], "ping", 4), 4);
+  spin_until(reactor, 2.0, [&] { return received == "ping"; });
+  reactor.remove_fd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Reactor, RunStopsWhenNothingToWaitFor) {
+  Reactor reactor;
+  int fired = 0;
+  reactor.add_timer(0.005, [&] { ++fired; });
+  reactor.run();  // returns after the last timer, no fds registered
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Reactor, DuplicateFdRejected) {
+  Reactor reactor;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  reactor.add_fd(fds[0], true, false, [](IoEvents) {});
+  EXPECT_THROW(reactor.add_fd(fds[0], true, false, [](IoEvents) {}),
+               util::Error);
+  reactor.remove_fd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Sockets, ListenerGetsEphemeralPort) {
+  FdHandle listener = listen_loopback(0);
+  EXPECT_GT(local_port(listener.get()), 0);
+  // Accept queue empty: non-blocking accept says so rather than blocking.
+  EXPECT_FALSE(accept_nonblocking(listener.get()).has_value());
+}
+
+TEST(Sockets, FdHandleMoveSemantics) {
+  FdHandle a = listen_loopback(0);
+  const int raw = a.get();
+  FdHandle b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.get(), raw);
+  b.reset();
+  EXPECT_FALSE(b.valid());
+}
+
+TEST(Sockets, ConnectToListenerSucceeds) {
+  Reactor reactor;
+  FdHandle listener = listen_loopback(0);
+  const std::uint16_t port = local_port(listener.get());
+  FdHandle client = connect_nonblocking("127.0.0.1", port);
+  bool connected = false;
+  reactor.add_fd(client.get(), false, true, [&](IoEvents events) {
+    if (events.writable && connect_error(client.get()) == 0) {
+      connected = true;
+      reactor.remove_fd(client.get());
+    }
+  });
+  spin_until(reactor, 2.0, [&] { return connected; });
+}
+
+}  // namespace
+}  // namespace idr::rt

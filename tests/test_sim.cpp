@@ -1,0 +1,180 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace idr::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInPast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), util::Error);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), util::Error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWhenEmpty) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(10.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.schedule_at(2.5, [&] { ++count; });
+  EXPECT_EQ(sim.run_until(2.0), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, CallbackCanScheduleMore) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 3) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Simulator, CallbackCanCancelOtherEvent) {
+  Simulator sim;
+  bool second_ran = false;
+  EventId second = 0;
+  sim.schedule_at(1.0, [&] { sim.cancel(second); });
+  second = sim.schedule_at(2.0, [&] { second_ran = true; });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Simulator, StepRunsExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, MaxEventsBound) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_in(1.0, [&] { ++count; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, NextEventTimeSkipsCancelled) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.cancel(a);
+  EXPECT_DOUBLE_EQ(sim.next_event_time(), 2.0);
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTimer timer(sim, 2.0, [&] { times.push_back(sim.now()); });
+  sim.run_until(7.0);
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(PeriodicTimer, StopFromCallback) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 1.0, [&] {
+    if (++fires == 3) timer.stop();
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, DestructionCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(sim, 1.0, [&] { ++fires; });
+    sim.run_until(2.5);
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace idr::sim

@@ -1,0 +1,201 @@
+// Unit tests for the record aggregations and CSV export — built from
+// hand-crafted sessions with known answers.
+#include <gtest/gtest.h>
+
+#include "testbed/export.hpp"
+#include "testbed/parallel.hpp"
+#include "testbed/records.hpp"
+#include "util/error.hpp"
+
+namespace idr::testbed {
+namespace {
+
+TransferObservation obs(const std::string& client,
+                        const std::string& session_relay, bool indirect,
+                        double selected_mbps, double direct_mbps,
+                        double t = 0.0) {
+  TransferObservation o;
+  o.client = client;
+  o.session_relay = session_relay;
+  o.start_time = t;
+  o.ok = true;
+  o.chose_indirect = indirect;
+  o.chosen_relay = indirect ? session_relay : "";
+  o.selected_rate = util::mbps(selected_mbps);
+  o.selected_steady_rate = util::mbps(selected_mbps);
+  o.direct_rate = util::mbps(direct_mbps);
+  o.improvement_pct = core::improvement_pct(o.selected_rate, o.direct_rate);
+  o.improvement_steady_pct = o.improvement_pct;
+  return o;
+}
+
+SessionResult session(const std::string& client, const std::string& relay,
+                      std::vector<TransferObservation> transfers) {
+  SessionResult s;
+  s.client = client;
+  s.session_relay = relay;
+  for (const auto& t : transfers) s.direct_rate_stats.add(t.direct_rate);
+  s.transfers = std::move(transfers);
+  return s;
+}
+
+TEST(Records, SessionAccounting) {
+  SessionResult s = session("C", "R",
+                            {obs("C", "R", true, 2.0, 1.0),
+                             obs("C", "R", false, 1.0, 1.0),
+                             obs("C", "R", true, 1.5, 1.0),
+                             obs("C", "R", false, 0.9, 1.0)});
+  EXPECT_EQ(s.indirect_count(), 2u);
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.5);
+  EXPECT_EQ(s.category(), core::ThroughputCategory::Low);
+  EXPECT_EQ(s.variability(), core::VariabilityClass::Low);
+}
+
+TEST(Records, FailedTransfersExcluded) {
+  TransferObservation bad = obs("C", "R", true, 2.0, 1.0);
+  bad.ok = false;
+  SessionResult s = session("C", "R", {bad, obs("C", "R", true, 2.0, 1.0)});
+  EXPECT_EQ(s.indirect_count(), 1u);
+  EXPECT_EQ(indirect_improvements({s}).size(), 1u);
+}
+
+TEST(Records, IndirectImprovementsOnlyIndirect) {
+  SessionResult s = session("C", "R",
+                            {obs("C", "R", true, 2.0, 1.0),
+                             obs("C", "R", false, 1.0, 1.0)});
+  const auto imps = indirect_improvements({s});
+  ASSERT_EQ(imps.size(), 1u);
+  EXPECT_DOUBLE_EQ(imps[0], 100.0);
+}
+
+TEST(Records, RatePairsMatchFilter) {
+  SessionResult low = session("Low", "R", {obs("Low", "R", true, 2.0, 1.0)});
+  SessionResult high = session(
+      "High", "R", {obs("High", "R", true, 5.0, 4.0)});
+  const auto all = indirect_rate_pairs({low, high});
+  EXPECT_EQ(all.size(), 2u);
+  const auto only_low = indirect_rate_pairs_if(
+      {low, high}, [](const SessionResult& s) {
+        return s.category() == core::ThroughputCategory::Low;
+      });
+  ASSERT_EQ(only_low.size(), 1u);
+  EXPECT_DOUBLE_EQ(only_low[0].first, util::mbps(2.0));
+}
+
+TEST(Records, TopRelaysSortedAndTruncated) {
+  std::vector<SessionResult> sessions;
+  sessions.push_back(session("C", "A", {obs("C", "A", true, 2, 1),
+                                        obs("C", "A", false, 1, 1)}));
+  sessions.push_back(session("C", "B", {obs("C", "B", true, 2, 1),
+                                        obs("C", "B", true, 2, 1)}));
+  sessions.push_back(session("C", "D", {obs("C", "D", false, 1, 1),
+                                        obs("C", "D", false, 1, 1)}));
+  const auto tops = top_relays_per_client(sessions, 2);
+  ASSERT_EQ(tops.size(), 1u);
+  ASSERT_EQ(tops[0].top.size(), 2u);
+  EXPECT_EQ(tops[0].top[0].relay, "B");
+  EXPECT_DOUBLE_EQ(tops[0].top[0].utilization, 1.0);
+  EXPECT_EQ(tops[0].top[1].relay, "A");
+}
+
+TEST(Records, RelayUtilizationAggregatesAcrossClients) {
+  std::vector<SessionResult> sessions;
+  // Relay R: client1 1/2 chosen, client2 2/2 chosen -> avg 3/4.
+  sessions.push_back(session("C1", "R", {obs("C1", "R", true, 2, 1),
+                                         obs("C1", "R", false, 1, 1)}));
+  sessions.push_back(session("C2", "R", {obs("C2", "R", true, 2, 1),
+                                         obs("C2", "R", true, 2, 1)}));
+  const auto rows = relay_utilization_summary(sessions);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].average, 0.75);
+  EXPECT_EQ(rows[0].sessions, 2u);
+  // Stdev over per-session utilizations {0.5, 1.0}.
+  EXPECT_NEAR(rows[0].stdev, 0.25, 1e-12);
+  EXPECT_NEAR(rows[0].rms, std::sqrt((0.25 + 1.0) / 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(overall_utilization(sessions), 0.75);
+}
+
+TEST(Records, TimeseriesSortedByTime) {
+  SessionResult s = session("C", "R",
+                            {obs("C", "R", true, 2.0, 1.0, 30.0),
+                             obs("C", "R", true, 1.5, 1.0, 10.0),
+                             obs("C", "R", false, 1.0, 1.0, 20.0)});
+  const auto samples = indirect_throughput_timeseries({s});
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(samples[1].time, 30.0);
+  EXPECT_DOUBLE_EQ(samples[0].indirect_mbps, 1.5);
+}
+
+TEST(Records, ScatterPointsCarryDirectThroughput) {
+  SessionResult s = session("C", "R", {obs("C", "R", true, 3.0, 1.5)});
+  const auto points = improvement_vs_throughput_points({s});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].direct_mbps, 1.5);
+  EXPECT_DOUBLE_EQ(points[0].improvement_pct, 100.0);
+  EXPECT_EQ(points[0].relay, "R");
+}
+
+TEST(Export, ObservationsCsvShape) {
+  SessionResult s = session("C", "R",
+                            {obs("C", "R", true, 2.0, 1.0),
+                             obs("C", "R", false, 1.0, 1.0)});
+  const std::string csv = observations_csv({s}).str();
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("client,session_relay"), std::string::npos);
+  EXPECT_NE(csv.find("100.00"), std::string::npos);  // the improvement
+}
+
+TEST(Export, RelayUtilizationCsv) {
+  SessionResult s = session("C", "R", {obs("C", "R", true, 2.0, 1.0)});
+  const std::string csv = relay_utilization_csv({s}).str();
+  EXPECT_NE(csv.find("R,1.0000"), std::string::npos);
+}
+
+TEST(Parallel, MapPreservesOrder) {
+  const auto out = parallel_map<int>(
+      100, 4, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(Parallel, SerialAndParallelAgree) {
+  auto task = [](std::size_t i) { return static_cast<int>(i * 7 + 1); };
+  const auto serial = parallel_map<int>(50, 1, task);
+  const auto parallel = parallel_map<int>(50, 8, task);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Parallel, RethrowsLowestIndexError) {
+  EXPECT_THROW(
+      parallel_for(20, 4,
+                   [](std::size_t i) {
+                     if (i % 5 == 0) {
+                       throw util::Error("boom " + std::to_string(i));
+                     }
+                   }),
+      util::Error);
+  try {
+    parallel_for(20, 4, [](std::size_t i) {
+      if (i % 5 == 0) throw util::Error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected throw";
+  } catch (const util::Error& e) {
+    EXPECT_STREQ(e.what(), "boom 0");
+  }
+}
+
+TEST(Parallel, ZeroTasksIsNoop) {
+  EXPECT_NO_THROW(parallel_for(0, 4, [](std::size_t) { FAIL(); }));
+}
+
+TEST(Parallel, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_GE(resolve_threads(0), 1u);
+}
+
+}  // namespace
+}  // namespace idr::testbed

@@ -1,0 +1,153 @@
+// Histogram, table/CSV renderers, string helpers, units.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace idr::util {
+namespace {
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_EQ(h.bins(), 10u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 30.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 40.0);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(4.999);  // bin 0
+  h.add(5.0);    // bin 1
+  h.add(10.0);   // overflow (hi is exclusive)
+  h.add(42.0);   // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 6.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(0.5);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(2.0);
+  h.add(7.0);
+  const std::string out = h.render();
+  EXPECT_NE(out.find("2 (66.7%)"), std::string::npos);
+  EXPECT_NE(out.find("1 (33.3%)"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Node", "Util"});
+  t.row().cell("Texas").cell(76.1, 1);
+  t.row().cell("NU").cell(65.9, 1);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Texas"), std::string::npos);
+  EXPECT_NE(out.find("76.1"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsTooManyCells) {
+  TextTable t({"A"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), Error);
+}
+
+TEST(TextTable, CellBeforeRowThrows) {
+  TextTable t({"A"});
+  EXPECT_THROW(t.cell("x"), Error);
+}
+
+TEST(Csv, EscapesSpecials) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"plain", "with,comma"});
+  w.add_row({"with\"quote", "with\nnewline"});
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, RowWidthEnforced) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), Error);
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\r\n"), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(starts_with("http://x", "http://"));
+  EXPECT_FALSE(starts_with("ht", "http://"));
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("102400"), 102400u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-3").has_value());
+  EXPECT_FALSE(parse_u64("12x").has_value());
+  EXPECT_FALSE(parse_u64("+5").has_value());
+}
+
+TEST(Units, RateConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(mbps(8.0), 1e6);          // 8 Mbit/s == 1 MB/s
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(3.3)), 3.3);
+  EXPECT_DOUBLE_EQ(kbps(8.0), 1000.0);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(minutes(6.0), 360.0);
+  EXPECT_DOUBLE_EQ(hours(10.0), 36000.0);
+  EXPECT_DOUBLE_EQ(milliseconds(250.0), 0.25);
+}
+
+TEST(Units, SizeHelpers) {
+  EXPECT_DOUBLE_EQ(kilobytes(100.0), 100000.0);
+  EXPECT_DOUBLE_EQ(megabytes(2.0), 2e6);
+}
+
+}  // namespace
+}  // namespace idr::util

@@ -1,0 +1,199 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace idr::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsSafe) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.rms(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.rms(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, RmsMatchesDefinition) {
+  OnlineStats s;
+  double sum_sq = 0.0;
+  for (double x : {1.5, -2.0, 3.25, 0.0, -1.0}) {
+    s.add(x);
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(s.rms(), std::sqrt(sum_sq / 5.0), 1e-12);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(7);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(a.rms(), all.rms(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats a_copy = a;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(OnlineStats, CvZeroMeanIsZero) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(-1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(SampleSet, QuantilesExact) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.125), 15.0);  // interpolated
+}
+
+TEST(SampleSet, MedianEvenCount) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(SampleSet, AddAfterQuantileKeepsConsistency) {
+  SampleSet s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(9.0);  // mutation after a sorted read
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(SampleSet, Fractions) {
+  SampleSet s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.fraction_in(0.0, 50.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_below(10.0), 0.1);
+  EXPECT_DOUBLE_EQ(s.fraction_in(90.0, 1000.0), 0.1);
+  EXPECT_DOUBLE_EQ(s.fraction_below(-1.0), 0.0);
+}
+
+TEST(SampleSet, QuantileOutOfRangeThrows) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(1.5), Error);
+  EXPECT_THROW(s.quantile(-0.1), Error);
+}
+
+TEST(SampleSet, EmptyQuantileThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), Error);
+  EXPECT_THROW(s.min(), Error);
+}
+
+TEST(Regression, KnownSlope) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 5, 7, 9};  // slope 2
+  EXPECT_NEAR(linear_regression_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(Regression, FlatSeriesHasZeroSlope) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {5, 5, 5, 5};
+  EXPECT_NEAR(linear_regression_slope(x, y), 0.0, 1e-12);
+}
+
+TEST(Regression, DegenerateReturnsNaN) {
+  EXPECT_TRUE(std::isnan(linear_regression_slope({1.0}, {2.0})));
+  EXPECT_TRUE(std::isnan(linear_regression_slope({1.0, 1.0}, {2.0, 3.0})));
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  EXPECT_NEAR(pearson_correlation(x, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(x, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanIsRankBased) {
+  // Monotone but nonlinear: Pearson < 1, Spearman == 1.
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};
+  EXPECT_LT(pearson_correlation(x, y), 1.0);
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, SizeMismatchThrows) {
+  EXPECT_THROW(pearson_correlation({1.0}, {1.0, 2.0}), Error);
+}
+
+// Property sweep: merge(any split) == sequential accumulation.
+class MergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeProperty, SplitInvariance) {
+  const int split = GetParam();
+  Rng rng(1234 + static_cast<std::uint64_t>(split));
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.lognormal_mean_cv(2.0, 0.7));
+  OnlineStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    whole.add(xs[static_cast<std::size_t>(i)]);
+    (i < split ? left : right).add(xs[static_cast<std::size_t>(i)]);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, MergeProperty,
+                         ::testing::Values(0, 1, 100, 250, 499, 500));
+
+}  // namespace
+}  // namespace idr::util
