@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe_size.dir/ablation_probe_size.cpp.o"
+  "CMakeFiles/ablation_probe_size.dir/ablation_probe_size.cpp.o.d"
+  "ablation_probe_size"
+  "ablation_probe_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

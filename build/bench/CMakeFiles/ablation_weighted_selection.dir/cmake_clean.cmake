@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weighted_selection.dir/ablation_weighted_selection.cpp.o"
+  "CMakeFiles/ablation_weighted_selection.dir/ablation_weighted_selection.cpp.o.d"
+  "ablation_weighted_selection"
+  "ablation_weighted_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weighted_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_improvement_histogram.dir/fig1_improvement_histogram.cpp.o"
+  "CMakeFiles/fig1_improvement_histogram.dir/fig1_improvement_histogram.cpp.o.d"
+  "fig1_improvement_histogram"
+  "fig1_improvement_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_improvement_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

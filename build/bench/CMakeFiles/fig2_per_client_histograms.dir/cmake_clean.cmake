@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_per_client_histograms.dir/fig2_per_client_histograms.cpp.o"
+  "CMakeFiles/fig2_per_client_histograms.dir/fig2_per_client_histograms.cpp.o.d"
+  "fig2_per_client_histograms"
+  "fig2_per_client_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_per_client_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_indirect_throughput_timeseries.dir/fig4_indirect_throughput_timeseries.cpp.o"
+  "CMakeFiles/fig4_indirect_throughput_timeseries.dir/fig4_indirect_throughput_timeseries.cpp.o.d"
+  "fig4_indirect_throughput_timeseries"
+  "fig4_indirect_throughput_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_indirect_throughput_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_indirect_throughput_timeseries.
+# This may be replaced when dependencies are built.

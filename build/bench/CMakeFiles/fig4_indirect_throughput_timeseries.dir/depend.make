@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_indirect_throughput_timeseries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_servers.dir/headline_servers.cpp.o"
+  "CMakeFiles/headline_servers.dir/headline_servers.cpp.o.d"
+  "headline_servers"
+  "headline_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

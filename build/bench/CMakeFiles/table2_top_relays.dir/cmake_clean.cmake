@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_top_relays.dir/table2_top_relays.cpp.o"
+  "CMakeFiles/table2_top_relays.dir/table2_top_relays.cpp.o.d"
+  "table2_top_relays"
+  "table2_top_relays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_top_relays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

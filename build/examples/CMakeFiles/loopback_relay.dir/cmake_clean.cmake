@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopback_relay.dir/loopback_relay.cpp.o"
+  "CMakeFiles/loopback_relay.dir/loopback_relay.cpp.o.d"
+  "loopback_relay"
+  "loopback_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopback_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

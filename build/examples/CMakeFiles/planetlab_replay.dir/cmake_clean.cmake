@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planetlab_replay.dir/planetlab_replay.cpp.o"
+  "CMakeFiles/planetlab_replay.dir/planetlab_replay.cpp.o.d"
+  "planetlab_replay"
+  "planetlab_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planetlab_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

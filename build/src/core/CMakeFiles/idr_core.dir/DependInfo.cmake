@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/idr_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/idr_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/idr_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/idr_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/idr_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/idr_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/predictors.cpp" "src/core/CMakeFiles/idr_core.dir/predictors.cpp.o" "gcc" "src/core/CMakeFiles/idr_core.dir/predictors.cpp.o.d"
+  "/root/repo/src/core/probe_race.cpp" "src/core/CMakeFiles/idr_core.dir/probe_race.cpp.o" "gcc" "src/core/CMakeFiles/idr_core.dir/probe_race.cpp.o.d"
+  "/root/repo/src/core/relay_stats.cpp" "src/core/CMakeFiles/idr_core.dir/relay_stats.cpp.o" "gcc" "src/core/CMakeFiles/idr_core.dir/relay_stats.cpp.o.d"
+  "/root/repo/src/core/selection_policy.cpp" "src/core/CMakeFiles/idr_core.dir/selection_policy.cpp.o" "gcc" "src/core/CMakeFiles/idr_core.dir/selection_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/idr_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/idr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/idr_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

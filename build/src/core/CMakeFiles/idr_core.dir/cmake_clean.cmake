@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idr_core.dir/client.cpp.o"
+  "CMakeFiles/idr_core.dir/client.cpp.o.d"
+  "CMakeFiles/idr_core.dir/metrics.cpp.o"
+  "CMakeFiles/idr_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/idr_core.dir/oracle.cpp.o"
+  "CMakeFiles/idr_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/idr_core.dir/predictors.cpp.o"
+  "CMakeFiles/idr_core.dir/predictors.cpp.o.d"
+  "CMakeFiles/idr_core.dir/probe_race.cpp.o"
+  "CMakeFiles/idr_core.dir/probe_race.cpp.o.d"
+  "CMakeFiles/idr_core.dir/relay_stats.cpp.o"
+  "CMakeFiles/idr_core.dir/relay_stats.cpp.o.d"
+  "CMakeFiles/idr_core.dir/selection_policy.cpp.o"
+  "CMakeFiles/idr_core.dir/selection_policy.cpp.o.d"
+  "libidr_core.a"
+  "libidr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/background_traffic.cpp" "src/flow/CMakeFiles/idr_flow.dir/background_traffic.cpp.o" "gcc" "src/flow/CMakeFiles/idr_flow.dir/background_traffic.cpp.o.d"
+  "/root/repo/src/flow/flow_simulator.cpp" "src/flow/CMakeFiles/idr_flow.dir/flow_simulator.cpp.o" "gcc" "src/flow/CMakeFiles/idr_flow.dir/flow_simulator.cpp.o.d"
+  "/root/repo/src/flow/max_min.cpp" "src/flow/CMakeFiles/idr_flow.dir/max_min.cpp.o" "gcc" "src/flow/CMakeFiles/idr_flow.dir/max_min.cpp.o.d"
+  "/root/repo/src/flow/tcp_model.cpp" "src/flow/CMakeFiles/idr_flow.dir/tcp_model.cpp.o" "gcc" "src/flow/CMakeFiles/idr_flow.dir/tcp_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/idr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idr_flow.dir/background_traffic.cpp.o"
+  "CMakeFiles/idr_flow.dir/background_traffic.cpp.o.d"
+  "CMakeFiles/idr_flow.dir/flow_simulator.cpp.o"
+  "CMakeFiles/idr_flow.dir/flow_simulator.cpp.o.d"
+  "CMakeFiles/idr_flow.dir/max_min.cpp.o"
+  "CMakeFiles/idr_flow.dir/max_min.cpp.o.d"
+  "CMakeFiles/idr_flow.dir/tcp_model.cpp.o"
+  "CMakeFiles/idr_flow.dir/tcp_model.cpp.o.d"
+  "libidr_flow.a"
+  "libidr_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idr_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

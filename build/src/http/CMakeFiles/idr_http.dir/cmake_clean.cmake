@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idr_http.dir/message.cpp.o"
+  "CMakeFiles/idr_http.dir/message.cpp.o.d"
+  "CMakeFiles/idr_http.dir/parser.cpp.o"
+  "CMakeFiles/idr_http.dir/parser.cpp.o.d"
+  "CMakeFiles/idr_http.dir/range.cpp.o"
+  "CMakeFiles/idr_http.dir/range.cpp.o.d"
+  "libidr_http.a"
+  "libidr_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idr_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

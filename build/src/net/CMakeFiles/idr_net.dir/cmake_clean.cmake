@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idr_net.dir/capacity_process.cpp.o"
+  "CMakeFiles/idr_net.dir/capacity_process.cpp.o.d"
+  "CMakeFiles/idr_net.dir/routing.cpp.o"
+  "CMakeFiles/idr_net.dir/routing.cpp.o.d"
+  "CMakeFiles/idr_net.dir/topology.cpp.o"
+  "CMakeFiles/idr_net.dir/topology.cpp.o.d"
+  "libidr_net.a"
+  "libidr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idr_overlay.dir/transfer_engine.cpp.o"
+  "CMakeFiles/idr_overlay.dir/transfer_engine.cpp.o.d"
+  "CMakeFiles/idr_overlay.dir/web_server.cpp.o"
+  "CMakeFiles/idr_overlay.dir/web_server.cpp.o.d"
+  "libidr_overlay.a"
+  "libidr_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idr_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/connection.cpp" "src/rt/CMakeFiles/idr_rt.dir/connection.cpp.o" "gcc" "src/rt/CMakeFiles/idr_rt.dir/connection.cpp.o.d"
+  "/root/repo/src/rt/http_client.cpp" "src/rt/CMakeFiles/idr_rt.dir/http_client.cpp.o" "gcc" "src/rt/CMakeFiles/idr_rt.dir/http_client.cpp.o.d"
+  "/root/repo/src/rt/http_server.cpp" "src/rt/CMakeFiles/idr_rt.dir/http_server.cpp.o" "gcc" "src/rt/CMakeFiles/idr_rt.dir/http_server.cpp.o.d"
+  "/root/repo/src/rt/probe_race.cpp" "src/rt/CMakeFiles/idr_rt.dir/probe_race.cpp.o" "gcc" "src/rt/CMakeFiles/idr_rt.dir/probe_race.cpp.o.d"
+  "/root/repo/src/rt/reactor.cpp" "src/rt/CMakeFiles/idr_rt.dir/reactor.cpp.o" "gcc" "src/rt/CMakeFiles/idr_rt.dir/reactor.cpp.o.d"
+  "/root/repo/src/rt/relay_daemon.cpp" "src/rt/CMakeFiles/idr_rt.dir/relay_daemon.cpp.o" "gcc" "src/rt/CMakeFiles/idr_rt.dir/relay_daemon.cpp.o.d"
+  "/root/repo/src/rt/socket.cpp" "src/rt/CMakeFiles/idr_rt.dir/socket.cpp.o" "gcc" "src/rt/CMakeFiles/idr_rt.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/idr_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idr_rt.dir/connection.cpp.o"
+  "CMakeFiles/idr_rt.dir/connection.cpp.o.d"
+  "CMakeFiles/idr_rt.dir/http_client.cpp.o"
+  "CMakeFiles/idr_rt.dir/http_client.cpp.o.d"
+  "CMakeFiles/idr_rt.dir/http_server.cpp.o"
+  "CMakeFiles/idr_rt.dir/http_server.cpp.o.d"
+  "CMakeFiles/idr_rt.dir/probe_race.cpp.o"
+  "CMakeFiles/idr_rt.dir/probe_race.cpp.o.d"
+  "CMakeFiles/idr_rt.dir/reactor.cpp.o"
+  "CMakeFiles/idr_rt.dir/reactor.cpp.o.d"
+  "CMakeFiles/idr_rt.dir/relay_daemon.cpp.o"
+  "CMakeFiles/idr_rt.dir/relay_daemon.cpp.o.d"
+  "CMakeFiles/idr_rt.dir/socket.cpp.o"
+  "CMakeFiles/idr_rt.dir/socket.cpp.o.d"
+  "libidr_rt.a"
+  "libidr_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idr_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidr_rt.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/idr_sim.dir/simulator.cpp.o.d"
+  "libidr_sim.a"
+  "libidr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

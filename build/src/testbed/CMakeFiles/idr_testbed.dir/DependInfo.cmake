@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/export.cpp" "src/testbed/CMakeFiles/idr_testbed.dir/export.cpp.o" "gcc" "src/testbed/CMakeFiles/idr_testbed.dir/export.cpp.o.d"
+  "/root/repo/src/testbed/parallel.cpp" "src/testbed/CMakeFiles/idr_testbed.dir/parallel.cpp.o" "gcc" "src/testbed/CMakeFiles/idr_testbed.dir/parallel.cpp.o.d"
+  "/root/repo/src/testbed/records.cpp" "src/testbed/CMakeFiles/idr_testbed.dir/records.cpp.o" "gcc" "src/testbed/CMakeFiles/idr_testbed.dir/records.cpp.o.d"
+  "/root/repo/src/testbed/scenario.cpp" "src/testbed/CMakeFiles/idr_testbed.dir/scenario.cpp.o" "gcc" "src/testbed/CMakeFiles/idr_testbed.dir/scenario.cpp.o.d"
+  "/root/repo/src/testbed/section2.cpp" "src/testbed/CMakeFiles/idr_testbed.dir/section2.cpp.o" "gcc" "src/testbed/CMakeFiles/idr_testbed.dir/section2.cpp.o.d"
+  "/root/repo/src/testbed/section4.cpp" "src/testbed/CMakeFiles/idr_testbed.dir/section4.cpp.o" "gcc" "src/testbed/CMakeFiles/idr_testbed.dir/section4.cpp.o.d"
+  "/root/repo/src/testbed/session.cpp" "src/testbed/CMakeFiles/idr_testbed.dir/session.cpp.o" "gcc" "src/testbed/CMakeFiles/idr_testbed.dir/session.cpp.o.d"
+  "/root/repo/src/testbed/sites.cpp" "src/testbed/CMakeFiles/idr_testbed.dir/sites.cpp.o" "gcc" "src/testbed/CMakeFiles/idr_testbed.dir/sites.cpp.o.d"
+  "/root/repo/src/testbed/world.cpp" "src/testbed/CMakeFiles/idr_testbed.dir/world.cpp.o" "gcc" "src/testbed/CMakeFiles/idr_testbed.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/idr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/idr_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/idr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/idr_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

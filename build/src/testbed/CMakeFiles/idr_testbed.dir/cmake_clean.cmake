@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idr_testbed.dir/export.cpp.o"
+  "CMakeFiles/idr_testbed.dir/export.cpp.o.d"
+  "CMakeFiles/idr_testbed.dir/parallel.cpp.o"
+  "CMakeFiles/idr_testbed.dir/parallel.cpp.o.d"
+  "CMakeFiles/idr_testbed.dir/records.cpp.o"
+  "CMakeFiles/idr_testbed.dir/records.cpp.o.d"
+  "CMakeFiles/idr_testbed.dir/scenario.cpp.o"
+  "CMakeFiles/idr_testbed.dir/scenario.cpp.o.d"
+  "CMakeFiles/idr_testbed.dir/section2.cpp.o"
+  "CMakeFiles/idr_testbed.dir/section2.cpp.o.d"
+  "CMakeFiles/idr_testbed.dir/section4.cpp.o"
+  "CMakeFiles/idr_testbed.dir/section4.cpp.o.d"
+  "CMakeFiles/idr_testbed.dir/session.cpp.o"
+  "CMakeFiles/idr_testbed.dir/session.cpp.o.d"
+  "CMakeFiles/idr_testbed.dir/sites.cpp.o"
+  "CMakeFiles/idr_testbed.dir/sites.cpp.o.d"
+  "CMakeFiles/idr_testbed.dir/world.cpp.o"
+  "CMakeFiles/idr_testbed.dir/world.cpp.o.d"
+  "libidr_testbed.a"
+  "libidr_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idr_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

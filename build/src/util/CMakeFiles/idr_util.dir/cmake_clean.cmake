@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idr_util.dir/histogram.cpp.o"
+  "CMakeFiles/idr_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/idr_util.dir/log.cpp.o"
+  "CMakeFiles/idr_util.dir/log.cpp.o.d"
+  "CMakeFiles/idr_util.dir/rng.cpp.o"
+  "CMakeFiles/idr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/idr_util.dir/stats.cpp.o"
+  "CMakeFiles/idr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/idr_util.dir/strings.cpp.o"
+  "CMakeFiles/idr_util.dir/strings.cpp.o.d"
+  "CMakeFiles/idr_util.dir/table.cpp.o"
+  "CMakeFiles/idr_util.dir/table.cpp.o.d"
+  "libidr_util.a"
+  "libidr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

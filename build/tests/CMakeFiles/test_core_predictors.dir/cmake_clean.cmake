@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_predictors.dir/test_core_predictors.cpp.o"
+  "CMakeFiles/test_core_predictors.dir/test_core_predictors.cpp.o.d"
+  "test_core_predictors"
+  "test_core_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_probe_race.dir/test_core_probe_race.cpp.o"
+  "CMakeFiles/test_core_probe_race.dir/test_core_probe_race.cpp.o.d"
+  "test_core_probe_race"
+  "test_core_probe_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_probe_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_max_min.dir/test_flow_max_min.cpp.o"
+  "CMakeFiles/test_flow_max_min.dir/test_flow_max_min.cpp.o.d"
+  "test_flow_max_min"
+  "test_flow_max_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_max_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_message.dir/test_http_message.cpp.o"
+  "CMakeFiles/test_http_message.dir/test_http_message.cpp.o.d"
+  "test_http_message"
+  "test_http_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_parser.dir/test_http_parser.cpp.o"
+  "CMakeFiles/test_http_parser.dir/test_http_parser.cpp.o.d"
+  "test_http_parser"
+  "test_http_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_range.dir/test_http_range.cpp.o"
+  "CMakeFiles/test_http_range.dir/test_http_range.cpp.o.d"
+  "test_http_range"
+  "test_http_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_capacity.dir/test_net_capacity.cpp.o"
+  "CMakeFiles/test_net_capacity.dir/test_net_capacity.cpp.o.d"
+  "test_net_capacity"
+  "test_net_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_topology.dir/test_net_topology.cpp.o"
+  "CMakeFiles/test_net_topology.dir/test_net_topology.cpp.o.d"
+  "test_net_topology"
+  "test_net_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay_semantics.dir/test_overlay_semantics.cpp.o"
+  "CMakeFiles/test_overlay_semantics.dir/test_overlay_semantics.cpp.o.d"
+  "test_overlay_semantics"
+  "test_overlay_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_http.dir/test_rt_http.cpp.o"
+  "CMakeFiles/test_rt_http.dir/test_rt_http.cpp.o.d"
+  "test_rt_http"
+  "test_rt_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

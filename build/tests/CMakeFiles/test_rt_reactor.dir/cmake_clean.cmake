@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_reactor.dir/test_rt_reactor.cpp.o"
+  "CMakeFiles/test_rt_reactor.dir/test_rt_reactor.cpp.o.d"
+  "test_rt_reactor"
+  "test_rt_reactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_reactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

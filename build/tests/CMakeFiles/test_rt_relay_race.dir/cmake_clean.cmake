@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_relay_race.dir/test_rt_relay_race.cpp.o"
+  "CMakeFiles/test_rt_relay_race.dir/test_rt_relay_race.cpp.o.d"
+  "test_rt_relay_race"
+  "test_rt_relay_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_relay_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testbed_experiments.dir/test_testbed_experiments.cpp.o"
+  "CMakeFiles/test_testbed_experiments.dir/test_testbed_experiments.cpp.o.d"
+  "test_testbed_experiments"
+  "test_testbed_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testbed_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testbed_records.dir/test_testbed_records.cpp.o"
+  "CMakeFiles/test_testbed_records.dir/test_testbed_records.cpp.o.d"
+  "test_testbed_records"
+  "test_testbed_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testbed_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

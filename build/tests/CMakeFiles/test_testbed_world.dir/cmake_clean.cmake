@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testbed_world.dir/test_testbed_world.cpp.o"
+  "CMakeFiles/test_testbed_world.dir/test_testbed_world.cpp.o.d"
+  "test_testbed_world"
+  "test_testbed_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testbed_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
