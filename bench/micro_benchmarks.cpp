@@ -3,6 +3,10 @@
 // parsing, probe-race bookkeeping and RNG sampling.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "flow/flow_simulator.hpp"
 #include "flow/max_min.hpp"
 #include "http/parser.hpp"
@@ -71,6 +75,31 @@ BENCHMARK(BM_MaxMinAllocate)
     ->Args({64, 16})
     ->Args({256, 64});
 
+void BM_MaxMinWorkspaceReuse(benchmark::State& state) {
+  // Same instances as BM_MaxMinAllocate, solved through a reused
+  // workspace: isolates the cost of the solve itself from the result/
+  // scratch allocations the convenience signature pays.
+  const auto links = static_cast<std::size_t>(state.range(0));
+  const auto flows = static_cast<std::size_t>(state.range(1));
+  const auto [capacities, demands] =
+      make_allocation_instance(links, flows, 17);
+  flow::MaxMinWorkspace ws;
+  for (auto _ : state) {
+    ws.clear();
+    for (const flow::Rate c : capacities) ws.avail.push_back(c);
+    for (const auto& d : demands) {
+      ws.add_flow(d.cap);
+      for (const std::size_t l : d.links) ws.add_link(l);
+    }
+    flow::max_min_allocate(ws);
+    benchmark::DoNotOptimize(ws.rate.data());
+  }
+}
+BENCHMARK(BM_MaxMinWorkspaceReuse)
+    ->Args({16, 8})
+    ->Args({64, 16})
+    ->Args({256, 64});
+
 void BM_FlowSimulatorChurn(benchmark::State& state) {
   // 8 flows arriving and draining over a 4-link chain with reallocation
   // on every arrival/departure.
@@ -101,6 +130,121 @@ void BM_FlowSimulatorChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowSimulatorChurn);
+
+// --- Scoped-reallocation churn family ------------------------------------
+//
+// `components` disjoint 3-link chains, `flows` long-lived background flows
+// spread round-robin across them, plus one probe flow on chain 0. Each
+// iteration pokes the probe's external rate cap — exactly the steady-state
+// event stream the relay coupling generates. With the scoped recompute the
+// per-event cost tracks the population of chain 0's component, not the
+// total flow count; growing `components` at fixed `flows` makes the event
+// *cheaper*.
+struct ReallocWorld {
+  sim::Simulator sim;
+  net::Topology topo;
+  std::optional<flow::FlowSimulator> fsim;
+  flow::FlowId probe = 0;
+  std::vector<flow::FlowId> chain0_background;
+
+  ReallocWorld(std::size_t flows, std::size_t components) {
+    std::vector<net::Path> chain(components);
+    for (std::size_t c = 0; c < components; ++c) {
+      net::NodeId prev =
+          topo.add_node("c" + std::to_string(c) + "n0");
+      for (int hop = 0; hop < 3; ++hop) {
+        const net::NodeId next =
+            topo.add_node("c" + std::to_string(c) + "n" +
+                          std::to_string(hop + 1));
+        // Distinct capacities per component and hop so saturation levels
+        // differ and a global solve cannot collapse into one round.
+        chain[c].links.push_back(topo.add_link(
+            prev, next,
+            1e6 * (1.0 + 0.1 * hop + static_cast<double>(c)), 0.01));
+        prev = next;
+      }
+    }
+    fsim.emplace(sim, topo, util::Rng(7));
+    flow::FlowOptions opt;
+    opt.model_slow_start = false;
+    opt.rtt = 0.05;
+    opt.ceiling_override = 1e12;
+    for (std::size_t i = 0; i < flows; ++i) {
+      const flow::FlowId id =
+          fsim->start_flow(chain[i % components], 1e18, opt, nullptr);
+      if (i % components == 0) chain0_background.push_back(id);
+    }
+    probe = fsim->start_flow(chain[0], 1e18, opt, nullptr);
+  }
+};
+
+void report_realloc_counters(benchmark::State& state,
+                             const flow::FlowSimulator::Counters& before,
+                             const flow::FlowSimulator::Counters& after) {
+  const auto events =
+      static_cast<double>(after.reallocations - before.reallocations);
+  if (events <= 0.0) return;
+  state.counters["flows/event"] =
+      static_cast<double>(after.flows_touched - before.flows_touched) /
+      events;
+  state.counters["rounds/event"] =
+      static_cast<double>(after.maxmin_rounds - before.maxmin_rounds) /
+      events;
+  state.counters["rearms/event"] =
+      static_cast<double>(after.timer_rearms - before.timer_rearms) /
+      events;
+}
+
+void BM_FlowSimReallocSteady(benchmark::State& state) {
+  ReallocWorld w(static_cast<std::size_t>(state.range(0)),
+                 static_cast<std::size_t>(state.range(1)));
+  // Toggle between two caps far above the probe's share: the component is
+  // re-solved but no rate changes, so no timer is touched — the
+  // allocation-free steady-state path.
+  const flow::Rate caps[2] = {4e11, 5e11};
+  w.fsim->set_extra_cap(w.probe, caps[0]);
+  const flow::FlowSimulator::Counters before = w.fsim->counters();
+  std::size_t i = 1;
+  for (auto _ : state) {
+    w.fsim->set_extra_cap(w.probe, caps[i++ & 1]);
+  }
+  report_realloc_counters(state, before, w.fsim->counters());
+}
+BENCHMARK(BM_FlowSimReallocSteady)
+    ->ArgNames({"flows", "components"})
+    ->Args({10, 1})
+    ->Args({100, 1})
+    ->Args({1000, 1})
+    ->Args({10, 8})
+    ->Args({100, 8})
+    ->Args({1000, 8});
+
+void BM_FlowSimReallocBinding(benchmark::State& state) {
+  ReallocWorld w(static_cast<std::size_t>(state.range(0)),
+                 static_cast<std::size_t>(state.range(1)));
+  // Pin the background flows in the probe's component to a tiny cap so the
+  // probe's toggling changes only its own rate; each event still re-solves
+  // the whole component but re-arms exactly one completion timer. (Letting
+  // every rate change per event would grow the event queue without bound
+  // across iterations.)
+  for (const flow::FlowId id : w.chain0_background) {
+    w.fsim->set_extra_cap(id, 100.0);
+  }
+  const flow::Rate caps[2] = {1e3, 2e3};
+  w.fsim->set_extra_cap(w.probe, caps[0]);
+  const flow::FlowSimulator::Counters before = w.fsim->counters();
+  std::size_t i = 1;
+  for (auto _ : state) {
+    w.fsim->set_extra_cap(w.probe, caps[i++ & 1]);
+  }
+  report_realloc_counters(state, before, w.fsim->counters());
+}
+BENCHMARK(BM_FlowSimReallocBinding)
+    ->ArgNames({"flows", "components"})
+    ->Args({100, 1})
+    ->Args({1000, 1})
+    ->Args({100, 8})
+    ->Args({1000, 8});
 
 void BM_RangeParse(benchmark::State& state) {
   for (auto _ : state) {

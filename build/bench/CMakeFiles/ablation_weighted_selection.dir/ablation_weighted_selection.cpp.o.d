@@ -217,7 +217,8 @@ bench/CMakeFiles/ablation_weighted_selection.dir/ablation_weighted_selection.cpp
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/overlay/transfer_engine.hpp \
- /root/repo/src/flow/flow_simulator.hpp \
+ /root/repo/src/flow/flow_simulator.hpp /usr/include/c++/12/span \
+ /root/repo/src/flow/max_min.hpp /root/repo/src/flow/tcp_model.hpp \
  /root/repo/src/net/capacity_process.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
@@ -247,11 +248,11 @@ bench/CMakeFiles/ablation_weighted_selection.dir/ablation_weighted_selection.cpp
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/net/topology.hpp /root/repo/src/flow/tcp_model.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/net/link_index.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/util/error.hpp /root/repo/src/sim/simulator.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/routing.hpp \
  /root/repo/src/overlay/web_server.hpp /root/repo/src/http/range.hpp \
  /root/repo/src/core/relay_stats.hpp \

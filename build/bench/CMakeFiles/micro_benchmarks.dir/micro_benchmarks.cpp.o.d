@@ -183,11 +183,12 @@ bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/flow/flow_simulator.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -217,7 +218,9 @@ bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/span \
+ /root/repo/src/flow/max_min.hpp /root/repo/src/util/units.hpp \
+ /root/repo/src/flow/tcp_model.hpp \
  /root/repo/src/net/capacity_process.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -246,12 +249,10 @@ bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/util/units.hpp /root/repo/src/net/topology.hpp \
- /usr/include/c++/12/optional /root/repo/src/flow/tcp_model.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/flow/max_min.hpp \
- /root/repo/src/http/parser.hpp /root/repo/src/http/message.hpp \
- /root/repo/src/http/range.hpp
+ /root/repo/src/net/link_index.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/util/error.hpp /root/repo/src/sim/simulator.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/http/parser.hpp \
+ /root/repo/src/http/message.hpp /root/repo/src/http/range.hpp

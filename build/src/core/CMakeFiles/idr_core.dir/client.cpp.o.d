@@ -211,10 +211,13 @@ src/core/CMakeFiles/idr_core.dir/client.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
  /root/repo/src/overlay/transfer_engine.hpp \
- /root/repo/src/flow/flow_simulator.hpp \
- /root/repo/src/net/capacity_process.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/flow/flow_simulator.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/flow/max_min.hpp \
+ /root/repo/src/util/units.hpp /root/repo/src/flow/tcp_model.hpp \
+ /usr/include/c++/12/limits /root/repo/src/net/capacity_process.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -224,8 +227,7 @@ src/core/CMakeFiles/idr_core.dir/client.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -242,13 +244,12 @@ src/core/CMakeFiles/idr_core.dir/client.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/util/units.hpp /root/repo/src/net/topology.hpp \
- /root/repo/src/flow/tcp_model.hpp /root/repo/src/sim/simulator.hpp \
+ /root/repo/src/net/link_index.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/util/error.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/routing.hpp \
  /root/repo/src/overlay/web_server.hpp /root/repo/src/http/range.hpp \
- /root/repo/src/core/relay_stats.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/util/stats.hpp /root/repo/src/core/selection_policy.hpp \
- /root/repo/src/util/error.hpp
+ /root/repo/src/core/relay_stats.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/core/selection_policy.hpp

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/capacity_process.cpp" "src/net/CMakeFiles/idr_net.dir/capacity_process.cpp.o" "gcc" "src/net/CMakeFiles/idr_net.dir/capacity_process.cpp.o.d"
+  "/root/repo/src/net/link_index.cpp" "src/net/CMakeFiles/idr_net.dir/link_index.cpp.o" "gcc" "src/net/CMakeFiles/idr_net.dir/link_index.cpp.o.d"
   "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/idr_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/idr_net.dir/routing.cpp.o.d"
   "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/idr_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/idr_net.dir/topology.cpp.o.d"
   )

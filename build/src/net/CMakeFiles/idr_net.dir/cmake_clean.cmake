@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/idr_net.dir/capacity_process.cpp.o"
   "CMakeFiles/idr_net.dir/capacity_process.cpp.o.d"
+  "CMakeFiles/idr_net.dir/link_index.cpp.o"
+  "CMakeFiles/idr_net.dir/link_index.cpp.o.d"
   "CMakeFiles/idr_net.dir/routing.cpp.o"
   "CMakeFiles/idr_net.dir/routing.cpp.o.d"
   "CMakeFiles/idr_net.dir/topology.cpp.o"

@@ -210,7 +210,9 @@ tests/CMakeFiles/test_flow_background.dir/test_flow_background.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
+ /root/repo/src/flow/max_min.hpp /root/repo/src/util/units.hpp \
+ /root/repo/src/flow/tcp_model.hpp /usr/include/c++/12/limits \
  /root/repo/src/net/capacity_process.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
@@ -223,8 +225,7 @@ tests/CMakeFiles/test_flow_background.dir/test_flow_background.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -241,8 +242,8 @@ tests/CMakeFiles/test_flow_background.dir/test_flow_background.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/util/units.hpp /root/repo/src/net/topology.hpp \
- /usr/include/c++/12/optional /root/repo/src/flow/tcp_model.hpp \
+ /root/repo/src/net/link_index.hpp /root/repo/src/net/topology.hpp \
+ /usr/include/c++/12/optional /root/repo/src/util/error.hpp \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
@@ -328,4 +329,4 @@ tests/CMakeFiles/test_flow_background.dir/test_flow_background.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/util/error.hpp /root/repo/src/util/stats.hpp
+ /root/repo/src/util/stats.hpp

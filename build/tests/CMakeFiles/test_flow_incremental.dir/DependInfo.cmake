@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_flow_incremental.cpp" "tests/CMakeFiles/test_flow_incremental.dir/test_flow_incremental.cpp.o" "gcc" "tests/CMakeFiles/test_flow_incremental.dir/test_flow_incremental.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/idr_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/idr_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/idr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/idr_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

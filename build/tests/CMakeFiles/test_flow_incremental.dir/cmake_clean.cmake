@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_incremental.dir/test_flow_incremental.cpp.o"
+  "CMakeFiles/test_flow_incremental.dir/test_flow_incremental.cpp.o.d"
+  "test_flow_incremental"
+  "test_flow_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

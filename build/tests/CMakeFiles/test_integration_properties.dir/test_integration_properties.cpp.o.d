@@ -318,15 +318,17 @@ tests/CMakeFiles/test_integration_properties.dir/test_integration_properties.cpp
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/probe_race.hpp \
  /root/repo/src/overlay/transfer_engine.hpp \
- /root/repo/src/flow/flow_simulator.hpp \
+ /root/repo/src/flow/flow_simulator.hpp /usr/include/c++/12/span \
+ /root/repo/src/flow/max_min.hpp /root/repo/src/util/units.hpp \
+ /root/repo/src/flow/tcp_model.hpp \
  /root/repo/src/net/capacity_process.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/util/units.hpp /root/repo/src/net/topology.hpp \
- /root/repo/src/flow/tcp_model.hpp /root/repo/src/sim/simulator.hpp \
+ /root/repo/src/net/link_index.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/util/error.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
@@ -337,5 +339,4 @@ tests/CMakeFiles/test_integration_properties.dir/test_integration_properties.cpp
  /root/repo/src/core/relay_stats.hpp /root/repo/src/util/stats.hpp \
  /root/repo/src/core/selection_policy.hpp \
  /root/repo/src/testbed/section2.hpp /root/repo/src/testbed/records.hpp \
- /root/repo/src/core/metrics.hpp /root/repo/src/testbed/session.hpp \
- /root/repo/src/util/error.hpp
+ /root/repo/src/core/metrics.hpp /root/repo/src/testbed/session.hpp

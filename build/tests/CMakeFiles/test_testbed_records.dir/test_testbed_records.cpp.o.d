@@ -301,7 +301,8 @@ tests/CMakeFiles/test_testbed_records.dir/test_testbed_records.cpp.o: \
  /root/repo/src/testbed/world.hpp /root/repo/src/core/client.hpp \
  /root/repo/src/core/probe_race.hpp \
  /root/repo/src/overlay/transfer_engine.hpp \
- /root/repo/src/flow/flow_simulator.hpp \
+ /root/repo/src/flow/flow_simulator.hpp /usr/include/c++/12/span \
+ /root/repo/src/flow/max_min.hpp /root/repo/src/flow/tcp_model.hpp \
  /root/repo/src/net/capacity_process.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -330,19 +331,23 @@ tests/CMakeFiles/test_testbed_records.dir/test_testbed_records.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/flow/tcp_model.hpp /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/net/link_index.hpp /root/repo/src/util/error.hpp \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/routing.hpp \
  /root/repo/src/overlay/web_server.hpp /root/repo/src/http/range.hpp \
  /root/repo/src/core/selection_policy.hpp /root/repo/src/util/table.hpp \
- /root/repo/src/testbed/parallel.hpp /usr/include/c++/12/thread \
+ /root/repo/src/testbed/parallel.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/util/error.hpp
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "flow/max_min.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -14,6 +13,10 @@ namespace {
 // steady-state ceiling is unbounded (lossless path): beyond it the links,
 // not the window, constrain the flow.
 constexpr Rate kSlowStartStopBound = 12.5e9;  // 100 Gbit/s
+
+// Link capacities are clamped to this floor whenever a capacity process
+// drives them, so a degenerate draw can never park every flow on a link.
+constexpr Rate kCapacityFloor = 1.0;
 }  // namespace
 
 FlowSimulator::FlowSimulator(sim::Simulator& sim, net::Topology& topo,
@@ -30,9 +33,12 @@ void FlowSimulator::attach_capacity_process(
                          rng_.child(0x9000 + static_cast<std::uint64_t>(link)),
                          0});
   CapacitySlot& slot = it->second;
-  advance_progress();
-  topo_.mutable_link(link).capacity = slot.process->initial(slot.rng);
-  reallocate();
+  // Clamp exactly like subsequent changes so a degenerate initial draw
+  // cannot produce a zero-capacity link.
+  topo_.mutable_link(link).capacity =
+      std::max(slot.process->initial(slot.rng), kCapacityFloor);
+  const net::LinkId seed[1] = {link};
+  reallocate_for_links(seed);
   schedule_capacity_change(link);
 }
 
@@ -41,9 +47,15 @@ void FlowSimulator::schedule_capacity_change(net::LinkId link) {
   const net::CapacityChange change = slot.process->next(slot.rng);
   if (std::isinf(change.dwell)) return;  // process has gone quiescent
   slot.event = sim_.schedule_in(change.dwell, [this, link, change] {
-    advance_progress();
-    topo_.mutable_link(link).capacity = std::max(change.capacity, 1.0);
-    reallocate();
+    const Rate capacity = std::max(change.capacity, kCapacityFloor);
+    if (capacity == topo_.link(link).capacity) {
+      // The process re-drew the current level; no rate can change.
+      ++counters_.skipped_events;
+    } else {
+      topo_.mutable_link(link).capacity = capacity;
+      const net::LinkId seed[1] = {link};
+      reallocate_for_links(seed);
+    }
     schedule_capacity_change(link);
   });
 }
@@ -56,14 +68,13 @@ FlowId FlowSimulator::start_flow(const net::Path& path, Bytes size,
   IDR_REQUIRE(options.cap_scale > 0.0 && options.cap_scale <= 1.0,
               "start_flow: cap_scale outside (0,1]");
 
-  advance_progress();
-
   FlowState f;
   f.id = ++next_id_;
   f.path = path;
   f.size = size;
   f.remaining = size;
   f.start = sim_.now();
+  f.last_update = f.start;
   f.tcp = options.tcp;
   f.cap_scale = options.cap_scale;
   f.extra_cap = options.extra_cap;
@@ -88,8 +99,11 @@ FlowId FlowSimulator::start_flow(const net::Path& path, Bytes size,
   }
 
   const FlowId id = f.id;
-  flows_.emplace(id, std::move(f));
-  reallocate();
+  const auto [it, inserted] = flows_.emplace(id, std::move(f));
+  IDR_REQUIRE(inserted, "start_flow: duplicate flow id");
+  index_.ensure_links(topo_.link_count());
+  index_.add(id, it->second.path.links);
+  reallocate_for_flow(id);
   return id;
 }
 
@@ -97,7 +111,7 @@ void FlowSimulator::on_slow_start_round(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return;
   FlowState& f = it->second;
-  advance_progress();
+  const Rate cap_before = effective_cap(f);
   ++f.ss_round;
   f.ss_cap = slow_start_cap(f.tcp, f.rtt, f.ss_round);
   const Rate stop_at = std::min(f.ceiling, kSlowStartStopBound);
@@ -107,18 +121,28 @@ void FlowSimulator::on_slow_start_round(FlowId id) {
     f.ss_event =
         sim_.schedule_in(f.rtt, [this, id] { on_slow_start_round(id); });
   }
-  reallocate();
+  // The ramp only ever raises the effective cap. If the previous cap was
+  // not binding (rate strictly below it), relaxing it further cannot
+  // change any allocation — skip the recompute.
+  if (f.rate < cap_before) {
+    ++counters_.skipped_events;
+    return;
+  }
+  reallocate_for_flow(id);
 }
 
 bool FlowSimulator::cancel_flow(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
-  advance_progress();
   FlowState& f = it->second;
   if (f.in_slow_start) sim_.cancel(f.ss_event);
   if (f.completion_armed) sim_.cancel(f.completion_event);
+  index_.remove(id, f.path.links);
+  // Only the departing flow's component can change; seed the recompute
+  // with its links (kept alive across the erase).
+  const net::Path path = std::move(f.path);
   flows_.erase(it);
-  reallocate();
+  reallocate_for_links(path.links);
   return true;
 }
 
@@ -132,7 +156,7 @@ Bytes FlowSimulator::bytes_remaining(FlowId id) const {
   const auto it = flows_.find(id);
   IDR_REQUIRE(it != flows_.end(), "bytes_remaining: unknown flow");
   const FlowState& f = it->second;
-  const Duration dt = sim_.now() - last_progress_;
+  const Duration dt = sim_.now() - f.last_update;
   return std::max(0.0, f.remaining - f.rate * dt);
 }
 
@@ -140,9 +164,13 @@ void FlowSimulator::set_extra_cap(FlowId id, Rate cap) {
   const auto it = flows_.find(id);
   IDR_REQUIRE(it != flows_.end(), "set_extra_cap: unknown flow");
   IDR_REQUIRE(cap >= 0.0, "set_extra_cap: negative cap");
-  advance_progress();
-  it->second.extra_cap = cap;
-  reallocate();
+  FlowState& f = it->second;
+  if (cap == f.extra_cap) {
+    ++counters_.skipped_events;
+    return;
+  }
+  f.extra_cap = cap;
+  reallocate_for_flow(id);
 }
 
 Rate FlowSimulator::effective_cap(const FlowState& f) {
@@ -151,15 +179,13 @@ Rate FlowSimulator::effective_cap(const FlowState& f) {
   return std::min(tcp_cap * f.cap_scale, f.extra_cap);
 }
 
-void FlowSimulator::advance_progress() {
+void FlowSimulator::advance_flow(FlowState& f) {
   const TimePoint now = sim_.now();
-  const Duration dt = now - last_progress_;
+  const Duration dt = now - f.last_update;
   if (dt > 0.0) {
-    for (auto& [id, f] : flows_) {
-      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
-    }
+    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
   }
-  last_progress_ = now;
+  f.last_update = now;
 }
 
 void FlowSimulator::arm_completion(FlowState& f) {
@@ -172,44 +198,81 @@ void FlowSimulator::arm_completion(FlowState& f) {
   const FlowId id = f.id;
   f.completion_event = sim_.schedule_in(eta, [this, id] { on_completion(id); });
   f.completion_armed = true;
+  ++counters_.timer_rearms;
 }
 
-void FlowSimulator::reallocate() {
-  ++reallocations_;
+void FlowSimulator::reallocate_for_flow(FlowId id) {
+  const FlowId seed[1] = {id};
+  index_.collect_component(
+      seed, {},
+      [this](FlowId u) -> const std::vector<net::LinkId>& {
+        return flows_.at(u).path.links;
+      },
+      comp_flows_, comp_links_);
+  reallocate_component();
+}
 
-  std::vector<Rate> capacities(topo_.link_count());
-  for (std::size_t l = 0; l < capacities.size(); ++l) {
-    capacities[l] = topo_.link(static_cast<net::LinkId>(l)).capacity;
+void FlowSimulator::reallocate_for_links(std::span<const net::LinkId> links) {
+  index_.ensure_links(topo_.link_count());
+  index_.collect_component(
+      {}, links,
+      [this](FlowId u) -> const std::vector<net::LinkId>& {
+        return flows_.at(u).path.links;
+      },
+      comp_flows_, comp_links_);
+  reallocate_component();
+}
+
+void FlowSimulator::reallocate_component() {
+  ++counters_.reallocations;
+  if (comp_flows_.empty()) return;
+  counters_.flows_touched += comp_flows_.size();
+
+  // Canonical flow order: ascending id. The order fixes the sequence of
+  // floating-point updates inside the solver, so it must not depend on
+  // hash-map iteration or component discovery order.
+  std::sort(comp_flows_.begin(), comp_flows_.end());
+
+  if (local_link_.size() < topo_.link_count()) {
+    local_link_.resize(topo_.link_count());
+  }
+  ws_.clear();
+  for (std::size_t i = 0; i < comp_links_.size(); ++i) {
+    local_link_[comp_links_[i]] = i;
+    ws_.avail.push_back(topo_.link(comp_links_[i]).capacity);
+  }
+  comp_states_.clear();
+  for (const FlowId id : comp_flows_) {
+    FlowState& f = flows_.at(id);
+    comp_states_.push_back(&f);
+    ws_.add_flow(effective_cap(f));
+    for (const net::LinkId l : f.path.links) ws_.add_link(local_link_[l]);
   }
 
-  std::vector<FlowDemand> demands;
-  std::vector<FlowState*> order;
-  demands.reserve(flows_.size());
-  order.reserve(flows_.size());
-  for (auto& [id, f] : flows_) {
-    FlowDemand d;
-    d.links.reserve(f.path.links.size());
-    for (net::LinkId l : f.path.links) d.links.push_back(l);
-    d.cap = effective_cap(f);
-    demands.push_back(std::move(d));
-    order.push_back(&f);
-  }
+  max_min_allocate(ws_);
+  counters_.maxmin_rounds += ws_.rounds;
 
-  const std::vector<Rate> rates = max_min_allocate(capacities, demands);
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    order[i]->rate = rates[i];
-    arm_completion(*order[i]);
+  for (std::size_t i = 0; i < comp_states_.size(); ++i) {
+    FlowState& f = *comp_states_[i];
+    const Rate rate = ws_.rate[i];
+    // Rates between events are exact in the fluid model, so an exact
+    // comparison is the right test: an unchanged rate means the flow's
+    // byte accounting and armed completion timer are still valid.
+    if (rate == f.rate) continue;
+    advance_flow(f);
+    f.rate = rate;
+    arm_completion(f);
   }
 }
 
 void FlowSimulator::on_completion(FlowId id) {
   const auto it = flows_.find(id);
   IDR_REQUIRE(it != flows_.end(), "on_completion: unknown flow");
-  advance_progress();
   FlowState& f = it->second;
+  advance_flow(f);
   // The event was armed for exactly remaining/rate at the then-current
-  // rate; if any event fired in between, reallocate() re-armed it. Allow a
-  // byte of floating-point slack.
+  // rate; if any event changed the rate in between, the recompute re-armed
+  // it. Allow a byte of floating-point slack.
   IDR_REQUIRE(f.remaining <= 1.0 + 1e-6 * f.size,
               "on_completion: flow not actually drained");
   FlowStats stats;
@@ -219,8 +282,10 @@ void FlowSimulator::on_completion(FlowId id) {
   stats.finish_time = sim_.now();
   if (f.in_slow_start) sim_.cancel(f.ss_event);
   CompletionCallback cb = std::move(f.on_done);
+  index_.remove(id, f.path.links);
+  const net::Path path = std::move(f.path);
   flows_.erase(it);
-  reallocate();
+  reallocate_for_links(path.links);
   if (cb) cb(stats);
 }
 

@@ -6,6 +6,18 @@
 // flow completion, a slow-start round boundary, or a link-capacity change —
 // so completion times between events are exact, not time-stepped.
 //
+// Reallocation is scoped, incremental and allocation-free: a link-flow
+// incidence index (net::LinkUserIndex) confines each recompute to the
+// connected component(s) of the constraint graph containing the changed
+// flow or link. Flows in disjoint components keep their rates, byte
+// accounting (per-flow lazy progress timestamps) and armed completion
+// timers untouched, and a reused MaxMinWorkspace makes the steady-state
+// recompute path perform zero heap allocations. Events that provably
+// cannot change any rate (a slow-start ramp whose cap was not binding, a
+// no-op external-cap update, an unchanged link capacity) skip the
+// recompute entirely. The computed rates are identical to a from-scratch
+// global allocation — max-min decomposes exactly across components.
+//
 // This is the standard fidelity/performance point for studying transfer
 // throughput over minutes-to-hours timescales: packet dynamics are
 // abstracted into the TCP rate caps, while bandwidth sharing, path
@@ -15,11 +27,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
-#include "net/capacity_process.hpp"
-#include "net/topology.hpp"
+#include "flow/max_min.hpp"
 #include "flow/tcp_model.hpp"
+#include "net/capacity_process.hpp"
+#include "net/link_index.hpp"
+#include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -71,6 +87,24 @@ struct FlowOptions {
 
 class FlowSimulator {
  public:
+  /// Reallocation-path performance counters (monotone totals). The scoped
+  /// recompute makes these the primary regression guard: a change that
+  /// silently reverts to global recomputes shows up as flows_touched
+  /// growing with the total flow population instead of the component size.
+  struct Counters {
+    /// Scoped recompute passes performed (one per rate-affecting event).
+    std::uint64_t reallocations = 0;
+    /// Flows in the recomputed component(s), summed over reallocations.
+    std::uint64_t flows_touched = 0;
+    /// Progressive-filling rounds executed, summed over reallocations.
+    std::uint64_t maxmin_rounds = 0;
+    /// Completion timers armed or re-armed (a re-arm also cancels).
+    std::uint64_t timer_rearms = 0;
+    /// Events proven rate-neutral without recomputing: non-binding
+    /// slow-start ramps, no-op external-cap updates, unchanged capacities.
+    std::uint64_t skipped_events = 0;
+  };
+
   /// The simulator mutates link capacities in `topo` as capacity processes
   /// fire; both references must outlive this object.
   FlowSimulator(sim::Simulator& sim, net::Topology& topo, util::Rng rng);
@@ -101,7 +135,9 @@ class FlowSimulator {
   /// Bytes still to transfer, accounting for progress up to now().
   Bytes bytes_remaining(FlowId id) const;
 
-  /// Tightens/loosens a flow's external rate cap and reallocates.
+  /// Tightens/loosens a flow's external rate cap and reallocates. A cap
+  /// equal to the current one is a no-op (the relay coupling re-posts
+  /// unchanged caps on every leg-rate update).
   void set_extra_cap(FlowId id, Rate cap);
 
   sim::Simulator& simulator() { return sim_; }
@@ -109,7 +145,10 @@ class FlowSimulator {
 
   /// Total max-min reallocation passes performed (for microbenchmarks and
   /// performance regressions).
-  std::uint64_t reallocations() const { return reallocations_; }
+  std::uint64_t reallocations() const { return counters_.reallocations; }
+
+  /// Full reallocation-path counter set.
+  const Counters& counters() const { return counters_; }
 
   /// Derives a decorrelated RNG stream from this simulator's root seed;
   /// used by higher layers (e.g. the transfer engine's setup jitter) so a
@@ -123,6 +162,11 @@ class FlowSimulator {
     Bytes size = 0.0;
     Bytes remaining = 0.0;
     TimePoint start = 0.0;
+    /// Time `remaining` was last brought current. Progress is lazy: a flow
+    /// whose rate an event leaves unchanged drains linearly, so its byte
+    /// accounting and armed completion timer stay exact without touching
+    /// it.
+    TimePoint last_update = 0.0;
     Rate rate = 0.0;
     Rate ceiling = kUnlimitedRate;  // steady-state TCP ceiling
     Rate extra_cap = kUnlimitedRate;
@@ -147,11 +191,16 @@ class FlowSimulator {
   /// Effective cap of a flow right now (TCP ramp/ceiling, scale, external).
   static Rate effective_cap(const FlowState& f);
 
-  /// Drains remaining bytes for time elapsed since the last accounting.
-  void advance_progress();
+  /// Brings one flow's remaining-byte accounting current.
+  void advance_flow(FlowState& f);
 
-  /// Recomputes all rates and re-arms completion events.
-  void reallocate();
+  /// Recomputes rates for the component(s) containing the seed flow/links
+  /// and re-arms completion timers of flows whose rate changed.
+  void reallocate_for_flow(FlowId id);
+  void reallocate_for_links(std::span<const net::LinkId> links);
+  /// Shared tail: solves for the flows/links already collected into
+  /// comp_flows_/comp_links_ and applies the result.
+  void reallocate_component();
 
   void arm_completion(FlowState& f);
   void on_completion(FlowId id);
@@ -163,9 +212,17 @@ class FlowSimulator {
   util::Rng rng_;
   std::unordered_map<FlowId, FlowState> flows_;
   std::unordered_map<net::LinkId, CapacitySlot> capacity_slots_;
-  TimePoint last_progress_ = 0.0;
   FlowId next_id_ = 0;
-  std::uint64_t reallocations_ = 0;
+
+  // Incidence index plus reused recompute buffers; all steady-state
+  // allocation-free once warm.
+  net::LinkUserIndex index_;
+  MaxMinWorkspace ws_;
+  std::vector<FlowId> comp_flows_;
+  std::vector<FlowState*> comp_states_;
+  std::vector<net::LinkId> comp_links_;
+  std::vector<std::size_t> local_link_;  // LinkId -> component-local index
+  Counters counters_;
 };
 
 }  // namespace idr::flow

@@ -9,102 +9,171 @@
 
 namespace idr::flow {
 
-std::vector<Rate> max_min_allocate(const std::vector<Rate>& capacities,
-                                   const std::vector<FlowDemand>& flows) {
-  const std::size_t num_links = capacities.size();
-  const std::size_t num_flows = flows.size();
+// Progressive filling over the workspace's flat arrays.
+//
+// Per-round cost is bounded by the flows/links still in play, not the
+// problem size: the smallest unfixed cap comes from a once-sorted cap
+// order behind an advancing cursor, link water levels scan an active-link
+// set that is compacted as links exhaust, and the freeze scan walks a
+// compacted list of unfixed flows. Freeze order (and therefore every
+// floating-point operation on `avail`) is identical to the original
+// dense implementation: within a round, flows freeze in ascending index
+// order — the cap sort breaks ties by index, and both compactions
+// preserve relative order.
+void max_min_allocate(MaxMinWorkspace& ws) {
+  const std::size_t num_links = ws.avail.size();
+  const std::size_t num_flows = ws.cap.size();
+  IDR_REQUIRE(ws.offset.size() == num_flows, "max_min: malformed workspace");
 
-  std::vector<Rate> rate(num_flows, 0.0);
-  std::vector<bool> fixed(num_flows, false);
-  std::vector<Rate> avail = capacities;
-  // Unfixed-flow count per link.
-  std::vector<std::size_t> active(num_links, 0);
+  ws.rounds = 0;
+  ws.rate.assign(num_flows, 0.0);
+  ws.fixed.assign(num_flows, 0);
+  ws.active.assign(num_links, 0);
+  ws.saturated.assign(num_links, 0);
+
+  const auto span_begin = [&](std::size_t f) { return ws.offset[f]; };
+  const auto span_end = [&](std::size_t f) {
+    return f + 1 < num_flows ? ws.offset[f + 1] : ws.links.size();
+  };
 
   for (std::size_t f = 0; f < num_flows; ++f) {
-    IDR_REQUIRE(flows[f].cap >= 0.0, "max_min: negative cap");
-    if (flows[f].links.empty()) {
+    IDR_REQUIRE(ws.cap[f] >= 0.0, "max_min: negative cap");
+    if (span_begin(f) == span_end(f)) {
       // Degenerate local flow: no shared resource constrains it.
-      rate[f] = std::isinf(flows[f].cap) ? 0.0 : flows[f].cap;
-      fixed[f] = true;
+      ws.rate[f] = std::isinf(ws.cap[f]) ? 0.0 : ws.cap[f];
+      ws.fixed[f] = 1;
       continue;
     }
-    for (std::size_t l : flows[f].links) {
+    for (std::size_t i = span_begin(f); i < span_end(f); ++i) {
+      const std::size_t l = ws.links[i];
       IDR_REQUIRE(l < num_links, "max_min: link index out of range");
-      IDR_REQUIRE(capacities[l] > 0.0, "max_min: non-positive capacity");
-      ++active[l];
+      IDR_REQUIRE(ws.avail[l] > 0.0, "max_min: non-positive capacity");
+      ++ws.active[l];
     }
   }
 
-  std::size_t remaining = 0;
+  ws.unfixed.clear();
   for (std::size_t f = 0; f < num_flows; ++f) {
-    if (!fixed[f]) ++remaining;
+    if (!ws.fixed[f]) ws.unfixed.push_back(static_cast<std::uint32_t>(f));
   }
+  ws.cap_order.assign(ws.unfixed.begin(), ws.unfixed.end());
+  std::sort(ws.cap_order.begin(), ws.cap_order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (ws.cap[a] != ws.cap[b]) return ws.cap[a] < ws.cap[b];
+              return a < b;
+            });
+  ws.active_links.clear();
+  for (std::size_t l = 0; l < num_links; ++l) {
+    if (ws.active[l] > 0) ws.active_links.push_back(static_cast<std::uint32_t>(l));
+  }
+
+  std::size_t remaining = ws.unfixed.size();
+  std::size_t cap_cursor = 0;
+
+  const auto freeze = [&](std::size_t f, Rate r) {
+    ws.rate[f] = r;
+    ws.fixed[f] = 1;
+    --remaining;
+    for (std::size_t i = span_begin(f); i < span_end(f); ++i) {
+      const std::size_t l = ws.links[i];
+      ws.avail[l] -= r;
+      --ws.active[l];
+    }
+  };
 
   while (remaining > 0) {
-    // Water level achievable on each link if all its unfixed flows rise
-    // equally; the binding constraint this round is the smallest of the
-    // link levels and the smallest unfixed cap.
+    ++ws.rounds;
+    // Water level achievable on each still-active link if all its unfixed
+    // flows rise equally; drop exhausted links from the set as we go. The
+    // binding constraint this round is the smallest of the link levels and
+    // the smallest unfixed cap.
     Rate link_level = std::numeric_limits<Rate>::infinity();
-    for (std::size_t l = 0; l < num_links; ++l) {
-      if (active[l] > 0) {
+    {
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < ws.active_links.size(); ++i) {
+        const std::uint32_t l = ws.active_links[i];
+        if (ws.active[l] == 0) continue;
+        ws.active_links[w++] = l;
         link_level = std::min(
             link_level,
-            std::max(avail[l], 0.0) / static_cast<Rate>(active[l]));
+            std::max(ws.avail[l], 0.0) / static_cast<Rate>(ws.active[l]));
       }
+      ws.active_links.resize(w);
     }
-    Rate cap_level = std::numeric_limits<Rate>::infinity();
-    for (std::size_t f = 0; f < num_flows; ++f) {
-      if (!fixed[f]) cap_level = std::min(cap_level, flows[f].cap);
+    while (cap_cursor < ws.cap_order.size() &&
+           ws.fixed[ws.cap_order[cap_cursor]]) {
+      ++cap_cursor;
     }
-
-    auto freeze = [&](std::size_t f, Rate r) {
-      rate[f] = r;
-      fixed[f] = true;
-      --remaining;
-      for (std::size_t l : flows[f].links) {
-        avail[l] -= r;
-        --active[l];
-      }
-    };
+    const Rate cap_level = cap_cursor < ws.cap_order.size()
+                               ? ws.cap[ws.cap_order[cap_cursor]]
+                               : std::numeric_limits<Rate>::infinity();
 
     if (cap_level <= link_level) {
       // Cap-bound flows saturate first: give them exactly their cap. This
       // is feasible because cap_level <= every link's equal-share level.
-      for (std::size_t f = 0; f < num_flows; ++f) {
-        if (!fixed[f] && flows[f].cap <= cap_level) {
-          freeze(f, flows[f].cap);
+      while (cap_cursor < ws.cap_order.size()) {
+        const std::uint32_t f = ws.cap_order[cap_cursor];
+        if (ws.fixed[f]) {
+          ++cap_cursor;
+          continue;
         }
+        if (ws.cap[f] > cap_level) break;
+        freeze(f, ws.cap[f]);
+        ++cap_cursor;
       }
     } else {
       // Some link saturates at link_level: freeze every unfixed flow that
       // crosses a link whose level equals the minimum.
       IDR_REQUIRE(std::isfinite(link_level),
                   "max_min: unbounded flows with no finite constraint");
-      std::vector<bool> saturated(num_links, false);
-      for (std::size_t l = 0; l < num_links; ++l) {
-        if (active[l] > 0) {
-          const Rate level =
-              std::max(avail[l], 0.0) / static_cast<Rate>(active[l]);
-          // Tolerate fp noise when comparing levels.
-          if (level <= link_level * (1.0 + 1e-12)) saturated[l] = true;
+      ws.sat_list.clear();
+      for (const std::uint32_t l : ws.active_links) {
+        const Rate level =
+            std::max(ws.avail[l], 0.0) / static_cast<Rate>(ws.active[l]);
+        // Tolerate fp noise when comparing levels.
+        if (level <= link_level * (1.0 + 1e-12)) {
+          ws.saturated[l] = 1;
+          ws.sat_list.push_back(l);
         }
       }
       bool froze_any = false;
-      for (std::size_t f = 0; f < num_flows; ++f) {
-        if (fixed[f]) continue;
-        for (std::size_t l : flows[f].links) {
-          if (saturated[l]) {
-            freeze(f, link_level);
-            froze_any = true;
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < ws.unfixed.size(); ++i) {
+        const std::uint32_t f = ws.unfixed[i];
+        if (ws.fixed[f]) continue;  // frozen by an earlier cap round
+        bool hit = false;
+        for (std::size_t j = span_begin(f); j < span_end(f); ++j) {
+          if (ws.saturated[ws.links[j]]) {
+            hit = true;
             break;
           }
         }
+        if (hit) {
+          freeze(f, link_level);
+          froze_any = true;
+          continue;
+        }
+        ws.unfixed[w++] = f;
       }
+      ws.unfixed.resize(w);
+      for (const std::uint32_t l : ws.sat_list) ws.saturated[l] = 0;
       IDR_REQUIRE(froze_any, "max_min: no progress (internal error)");
     }
   }
+}
 
-  return rate;
+std::vector<Rate> max_min_allocate(const std::vector<Rate>& capacities,
+                                   const std::vector<FlowDemand>& flows) {
+  MaxMinWorkspace ws;
+  ws.avail = capacities;
+  ws.cap.reserve(flows.size());
+  ws.offset.reserve(flows.size());
+  for (const FlowDemand& d : flows) {
+    ws.add_flow(d.cap);
+    for (std::size_t l : d.links) ws.add_link(l);
+  }
+  max_min_allocate(ws);
+  return std::move(ws.rate);
 }
 
 }  // namespace idr::flow

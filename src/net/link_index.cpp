@@ -1,0 +1,42 @@
+#include "net/link_index.hpp"
+
+#include <algorithm>
+
+namespace idr::net {
+
+void LinkUserIndex::ensure_links(std::size_t count) {
+  if (by_link_.size() < count) {
+    by_link_.resize(count);
+    link_mark_.resize(count, 0);
+  }
+}
+
+void LinkUserIndex::add(UserId user, std::span<const LinkId> links) {
+  const auto [it, inserted] = user_mark_.emplace(user, 0);
+  IDR_REQUIRE(inserted, "LinkUserIndex: user already registered");
+  for (const LinkId l : links) {
+    IDR_REQUIRE(l < by_link_.size(), "LinkUserIndex: link out of range");
+    by_link_[l].push_back(user);
+  }
+}
+
+void LinkUserIndex::remove(UserId user, std::span<const LinkId> links) {
+  IDR_REQUIRE(user_mark_.erase(user) == 1, "LinkUserIndex: unknown user");
+  for (const LinkId l : links) {
+    IDR_REQUIRE(l < by_link_.size(), "LinkUserIndex: link out of range");
+    auto& users = by_link_[l];
+    const auto it = std::find(users.begin(), users.end(), user);
+    IDR_REQUIRE(it != users.end(), "LinkUserIndex: user not on link");
+    // Swap-remove: membership order is irrelevant to component walks.
+    *it = users.back();
+    users.pop_back();
+  }
+}
+
+const std::vector<LinkUserIndex::UserId>& LinkUserIndex::users_on(
+    LinkId link) const {
+  IDR_REQUIRE(link < by_link_.size(), "LinkUserIndex: link out of range");
+  return by_link_[link];
+}
+
+}  // namespace idr::net

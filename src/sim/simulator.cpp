@@ -23,6 +23,7 @@ bool Simulator::cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   cancelled_.insert(id);
+  ++cancellations_;
   return true;
 }
 

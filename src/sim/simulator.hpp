@@ -64,6 +64,11 @@ class Simulator {
   /// Total events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
+  /// Total events successfully cancelled since construction. Together with
+  /// executed() this exposes timer churn: layers that cancel/re-arm timers
+  /// on every state change (e.g. flow completion estimates) show up here.
+  std::uint64_t cancellations() const { return cancellations_; }
+
  private:
   struct Entry {
     TimePoint time;
@@ -84,6 +89,7 @@ class Simulator {
   TimePoint now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancellations_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   // Callbacks keyed by id; detached from Entry so cancel() can free the

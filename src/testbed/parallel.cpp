@@ -1,56 +1,11 @@
 #include "testbed/parallel.hpp"
 
-#include <algorithm>
-#include <mutex>
-
 namespace idr::testbed {
 
 unsigned resolve_threads(unsigned requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
-}
-
-void parallel_for(std::size_t count, unsigned threads,
-                  const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-  const unsigned workers = static_cast<unsigned>(
-      std::min<std::size_t>(resolve_threads(threads), count));
-
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  std::size_t first_error_index = SIZE_MAX;
-
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        // Keep the error of the lowest task index so reruns at different
-        // thread counts report the same failure.
-        if (i < first_error_index) {
-          first_error_index = i;
-          first_error = std::current_exception();
-        }
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace idr::testbed

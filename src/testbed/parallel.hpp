@@ -5,12 +5,18 @@
 // task order regardless of thread count — determinism is preserved because
 // every task derives its randomness from its own index, never from shared
 // streams.
+//
+// Both helpers are templated on the callable: each Monte-Carlo task is
+// invoked directly (inlinable), without std::function type erasure on the
+// fan-out path.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
-#include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -22,13 +28,51 @@ unsigned resolve_threads(unsigned requested);
 
 /// Runs fn(0..count-1) across `threads` workers. Rethrows the first task
 /// exception (by task index) after all workers stop.
-void parallel_for(std::size_t count, unsigned threads,
-                  const std::function<void(std::size_t)>& fn);
+template <typename Fn>
+void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
+  if (count == 0) return;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(resolve_threads(threads), count));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = SIZE_MAX;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        // Keep the error of the lowest task index so reruns at different
+        // thread counts report the same failure.
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
 
 /// Maps fn over [0, count) into a vector, preserving index order.
-template <typename T>
-std::vector<T> parallel_map(std::size_t count, unsigned threads,
-                            const std::function<T(std::size_t)>& fn) {
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, unsigned threads, Fn&& fn) {
   std::vector<T> results(count);
   parallel_for(count, threads,
                [&](std::size_t i) { results[i] = fn(i); });

@@ -183,5 +183,61 @@ TEST_P(MaxMinProperty, FeasibilityAndBottleneckOptimality) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, MaxMinProperty,
                          ::testing::Range<std::uint64_t>(1, 41));
 
+// ---- Workspace entry point -----------------------------------------------
+
+void fill_workspace(MaxMinWorkspace& ws, const RandomInstance& inst) {
+  ws.clear();
+  ws.avail = inst.capacities;
+  for (const FlowDemand& d : inst.flows) {
+    ws.add_flow(d.cap);
+    for (const std::size_t l : d.links) ws.add_link(l);
+  }
+}
+
+TEST(MaxMinWorkspace, MatchesVectorSignatureBitwise) {
+  // One workspace reused across all instances: also exercises clear()
+  // leaving no state behind between solves.
+  MaxMinWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const RandomInstance inst = make_instance(seed);
+    const auto expect = max_min_allocate(inst.capacities, inst.flows);
+    fill_workspace(ws, inst);
+    max_min_allocate(ws);
+    ASSERT_EQ(ws.rate.size(), expect.size()) << "seed " << seed;
+    for (std::size_t f = 0; f < expect.size(); ++f) {
+      EXPECT_EQ(ws.rate[f], expect[f]) << "seed " << seed << " flow " << f;
+    }
+  }
+}
+
+TEST(MaxMinWorkspace, CountsProgressiveFillingRounds) {
+  // Textbook three-link example: round 1 saturates L1 (freezing f1), round
+  // 2 saturates L0 (freezing f0).
+  MaxMinWorkspace ws;
+  ws.avail = {10.0, 4.0};
+  ws.add_flow(kInf);
+  ws.add_link(0);
+  ws.add_flow(kInf);
+  ws.add_link(0);
+  ws.add_link(1);
+  max_min_allocate(ws);
+  EXPECT_DOUBLE_EQ(ws.rate[0], 6.0);
+  EXPECT_DOUBLE_EQ(ws.rate[1], 4.0);
+  EXPECT_EQ(ws.rounds, 2u);
+}
+
+TEST(MaxMinWorkspace, ReportsLeftoverCapacity) {
+  // avail holds residual capacity after the solve: a capped flow leaves
+  // headroom behind.
+  MaxMinWorkspace ws;
+  ws.avail = {10.0};
+  ws.add_flow(2.0);
+  ws.add_link(0);
+  max_min_allocate(ws);
+  EXPECT_DOUBLE_EQ(ws.rate[0], 2.0);
+  EXPECT_DOUBLE_EQ(ws.avail[0], 8.0);
+  EXPECT_EQ(ws.rounds, 1u);
+}
+
 }  // namespace
 }  // namespace idr::flow
