@@ -23,6 +23,10 @@ struct Sample {
   util::OnlineStats rates;  // Mbps
 };
 
+// Event-core work summed over both model runs (each builds its own
+// simulator inside run_case).
+testbed::SchedulerWork g_sim_work;
+
 // Repeated 2 MB transfers over a single bottleneck; returns throughput
 // stats under the given world mutation.
 template <typename Setup>
@@ -61,6 +65,8 @@ Sample run_case(std::uint64_t seed, Setup&& setup) {
     if (!sim.step()) break;
   }
   static_cast<void>(hold);
+  g_sim_work += testbed::SchedulerWork{sim.executed(), sim.cancellations(),
+                                       sim.reschedules()};
   return sample;
 }
 
@@ -121,5 +127,6 @@ int main(int argc, char** argv) {
       "(here TCP-ceiling-bound); the explicit background flows add the\n"
       "heavy-tailed contention episodes (note the deep minima and larger\n"
       "CV) that make per-transfer re-probing worthwhile.\n");
+  bench::print_scheduler_work(g_sim_work);
   return 0;
 }

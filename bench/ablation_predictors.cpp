@@ -32,6 +32,9 @@ struct ChooserSession {
   std::function<void(std::size_t, util::Rate)> observe;
 };
 
+// Event-core work summed over every session of the comparison.
+testbed::SchedulerWork g_sim_work;
+
 util::OnlineStats run_chooser_session(const testbed::WorldParams& params,
                                       std::size_t transfers,
                                       util::Duration interval,
@@ -81,6 +84,11 @@ util::OnlineStats run_chooser_session(const testbed::WorldParams& params,
   while (pending_b > 0) {
     IDR_REQUIRE(world_b.simulator().step(), "world B drained");
   }
+  const sim::Simulator& sa = world_a.simulator();
+  const sim::Simulator& sb = world_b.simulator();
+  g_sim_work += testbed::SchedulerWork{sa.executed() + sb.executed(),
+                                       sa.cancellations() + sb.cancellations(),
+                                       sa.reschedules() + sb.reschedules()};
   return improvements;
 }
 
@@ -165,6 +173,7 @@ int main(int argc, char** argv) {
         return std::make_unique<core::FullSetPolicy>();
       };
       const testbed::SessionOutput out = testbed::run_session(spec);
+      g_sim_work += out.result.sim_work;
       util::OnlineStats s;
       for (const auto& t : out.result.transfers) {
         if (t.ok) s.add(t.improvement_pct);
@@ -174,5 +183,6 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", table.render().c_str());
+  bench::print_scheduler_work(g_sim_work);
   return 0;
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   util::TextTable table({"Probe x (KB)", "Avg improvement (%)",
                          "Median (%)", "Negative picks (%)",
                          "Indirect chosen (%)"});
+  testbed::SchedulerWork sim_work;
   for (double kb : kProbeKB) {
     testbed::Section2Config config = bench::section2_good_relay_config(opts);
     if (!opts.paper_scale) config.transfers_per_session = 40;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
     const testbed::Section2Result result = testbed::run_section2(config);
     util::SampleSet imp;
     imp.add_all(testbed::indirect_improvements(result.sessions));
+    sim_work += bench::total_scheduler_work(result.sessions);
     table.row()
         .cell(util::format_fixed(kb, 0))
         .cell(imp.empty() ? 0.0 : imp.mean(), 1)
@@ -35,5 +37,6 @@ int main(int argc, char** argv) {
         .cell(100.0 * testbed::overall_utilization(result.sessions), 1);
   }
   std::printf("%s", table.render().c_str());
+  bench::print_scheduler_work(sim_work);
   return 0;
 }

@@ -43,5 +43,8 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", table.render().c_str());
+  testbed::SchedulerWork sim_work = bench::total_scheduler_work(uni);
+  sim_work += bench::total_scheduler_work(wei);
+  bench::print_scheduler_work(sim_work);
   return 0;
 }

@@ -109,4 +109,34 @@ inline void print_header(const char* artifact, const char* paper_claim,
               static_cast<unsigned long long>(opts.seed));
 }
 
+/// Prints the event-core work behind a result set. Goes to stderr: stdout
+/// carries the figure/table data and must stay byte-stable across
+/// performance work, while this line is allowed to move with scheduler
+/// internals.
+inline void print_scheduler_work(const testbed::SchedulerWork& work) {
+  std::fprintf(stderr,
+               "[scheduler] events executed=%llu cancelled=%llu "
+               "rescheduled=%llu\n",
+               static_cast<unsigned long long>(work.executed),
+               static_cast<unsigned long long>(work.cancellations),
+               static_cast<unsigned long long>(work.reschedules));
+}
+
+/// Sums scheduler work over a session collection.
+inline testbed::SchedulerWork total_scheduler_work(
+    const std::vector<testbed::SessionResult>& sessions) {
+  testbed::SchedulerWork total;
+  for (const testbed::SessionResult& s : sessions) total += s.sim_work;
+  return total;
+}
+
+inline testbed::SchedulerWork total_scheduler_work(
+    const testbed::Section4Result& result) {
+  testbed::SchedulerWork total;
+  for (const testbed::Section4Cell& c : result.cells) {
+    total += c.session.sim_work;
+  }
+  return total;
+}
+
 }  // namespace idr::bench

@@ -40,5 +40,6 @@ int main(int argc, char** argv) {
   }
   std::printf("overall indirect-path utilization %.0f %% (paper: 45 %%)\n",
               100.0 * testbed::overall_utilization(result.sessions));
+  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
   return 0;
 }

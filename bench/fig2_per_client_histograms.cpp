@@ -40,5 +40,6 @@ int main(int argc, char** argv) {
     std::printf("  mean %+.1f %%, median %+.1f %%\n\n", samples.mean(),
                 samples.median());
   }
+  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
   return 0;
 }

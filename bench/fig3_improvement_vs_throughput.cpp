@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
       "\nregression slope: %.1f %% per Mbps (paper: negative / downward)\n",
       slope);
   std::printf("points: %zu\n", xs.size());
+  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
   return 0;
 }

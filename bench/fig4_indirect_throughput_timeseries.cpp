@@ -57,5 +57,6 @@ int main(int argc, char** argv) {
                 "be steadier)\n\n",
                 direct_stats.cv());
   }
+  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
   return 0;
 }

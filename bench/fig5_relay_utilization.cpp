@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
               averages.mean());
   std::printf("overall utilization across transfers: %.0f %%\n",
               100.0 * testbed::overall_utilization(result.sessions));
+  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
   return 0;
 }

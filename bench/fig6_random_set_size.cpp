@@ -37,5 +37,6 @@ int main(int argc, char** argv) {
                 client, at_max > 0 ? 100.0 * at10 / at_max : 0.0,
                 config.set_sizes.back());
   }
+  bench::print_scheduler_work(bench::total_scheduler_work(result));
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "flow/max_min.hpp"
 #include "http/parser.hpp"
 #include "http/range.hpp"
+#include "seed_event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -44,6 +45,162 @@ void BM_EventCancel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventCancel);
+
+// --- Event-core churn family ----------------------------------------------
+//
+// Steady-state timer churn at a fixed pending population, the workload the
+// flow layer generates (every rate change moves a completion estimate).
+// Each family member runs both against sim::Simulator and against the
+// pre-rewrite priority_queue + tombstone design (seed_event_queue.hpp) so
+// the before/after gap is measured on the same machine. Deterministic LCG
+// keeps the op sequences identical across implementations and runs.
+
+inline std::uint64_t churn_lcg(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s >> 17;
+}
+
+inline double churn_time(std::uint64_t& s) {
+  return 1e6 + static_cast<double>(churn_lcg(s) % (1u << 20));
+}
+
+// Replace a random pending event: cancel + fresh schedule.
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  std::vector<sim::EventId> ids(n);
+  std::uint64_t s = 42;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = sim.schedule_at(churn_time(s), [] {});
+  }
+  for (auto _ : state) {
+    const std::size_t i = churn_lcg(s) % n;
+    sim.cancel(ids[i]);
+    ids[i] = sim.schedule_at(churn_time(s), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueChurnSeedQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  bench::SeedEventQueue q;
+  std::vector<bench::SeedEventQueue::EventId> ids(n);
+  std::uint64_t s = 42;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = q.schedule_at(churn_time(s), [] {});
+  }
+  for (auto _ : state) {
+    const std::size_t i = churn_lcg(s) % n;
+    q.cancel(ids[i]);
+    ids[i] = q.schedule_at(churn_time(s), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueChurnSeedQueue)->Arg(10000)->Arg(100000);
+
+// Move a random pending event in place (the seed design can only spell
+// this cancel + re-create).
+void BM_EventQueueReschedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  std::vector<sim::EventId> ids(n);
+  std::uint64_t s = 42;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = sim.schedule_at(churn_time(s), [] {});
+  }
+  for (auto _ : state) {
+    sim.reschedule_at(ids[churn_lcg(s) % n], churn_time(s));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueReschedule)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueRescheduleSeedQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  bench::SeedEventQueue q;
+  std::vector<bench::SeedEventQueue::EventId> ids(n);
+  std::uint64_t s = 42;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = q.schedule_at(churn_time(s), [] {});
+  }
+  for (auto _ : state) {
+    const std::size_t i = churn_lcg(s) % n;
+    q.cancel(ids[i]);
+    ids[i] = q.schedule_at(churn_time(s), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueRescheduleSeedQueue)->Arg(10000)->Arg(100000);
+
+// The realistic mix: reschedules, replacements, and one dispatch per
+// round. Events self-respawn on firing (in place for the indexed heap, a
+// fresh schedule for the seed design), so the pending population holds at
+// exactly n throughout.
+void BM_EventQueueMixed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  struct Ctx {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    std::uint64_t s2 = 99;
+  } ctx;
+  ctx.ids.resize(n);
+  std::uint64_t s = 42;
+  // Dispatch advances the clock, so every target time is now-relative.
+  auto arm = [&ctx](std::size_t i, double delay) {
+    ctx.ids[i] = ctx.sim.schedule_in(delay, [c = &ctx, i] {
+      c->sim.reschedule_in(c->ids[i],
+                           static_cast<double>(churn_lcg(c->s2) % (1u << 20)));
+    });
+  };
+  const auto delay = [&s] {
+    return static_cast<double>(churn_lcg(s) % (1u << 20));
+  };
+  for (std::size_t i = 0; i < n; ++i) arm(i, delay());
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    const std::size_t i = churn_lcg(s) % n;
+    ctx.sim.reschedule_in(ctx.ids[i], delay());
+    const std::size_t j = churn_lcg(s) % n;
+    ctx.sim.cancel(ctx.ids[j]);
+    arm(j, delay());
+    ctx.sim.step();  // fires the earliest; it reschedules itself in place
+    ops += 4;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_EventQueueMixed)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueMixedSeedQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  bench::SeedEventQueue q;
+  std::vector<bench::SeedEventQueue::EventId> ids(n);
+  std::uint64_t s = 42;
+  std::uint64_t s2 = 99;
+  std::function<void(std::size_t, double)> arm = [&](std::size_t i,
+                                                     double delay) {
+    ids[i] = q.schedule_in(delay, [&, i] {
+      arm(i, static_cast<double>(churn_lcg(s2) % (1u << 20)));
+    });
+  };
+  const auto delay = [&s] {
+    return static_cast<double>(churn_lcg(s) % (1u << 20));
+  };
+  for (std::size_t i = 0; i < n; ++i) arm(i, delay());
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    const std::size_t i = churn_lcg(s) % n;
+    q.cancel(ids[i]);
+    arm(i, delay());
+    const std::size_t j = churn_lcg(s) % n;
+    q.cancel(ids[j]);
+    arm(j, delay());
+    q.step();  // fires the earliest; its closure schedules its successor
+    ops += 4;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_EventQueueMixedSeedQueue)->Arg(10000)->Arg(100000);
 
 std::pair<std::vector<flow::Rate>, std::vector<flow::FlowDemand>>
 make_allocation_instance(std::size_t links, std::size_t flows,

@@ -10,10 +10,17 @@
 //     event (progressive-filling rounds x flows touched) than a
 //     from-scratch global solve of the same world.
 //
-// Wall-clock numbers are recorded for trend tracking but never asserted
-// on, so the check is load-insensitive and safe in CI. Results are written
-// as JSON to argv[1] (default ./BENCH_flowsim.json). Exit status is
-// non-zero if any assertion fails.
+// It also gates the event core itself: a warm schedule / cancel /
+// reschedule / dispatch churn loop on sim::Simulator must perform zero
+// heap allocations (same counting operator new), and must sustain at
+// least 2x the op throughput of the seed priority_queue + tombstone
+// design (bench/seed_event_queue.hpp) at 10k+ pending events — a wide
+// margin below the measured gap, so the assert is load-tolerant.
+//
+// Other wall-clock numbers are recorded for trend tracking but never
+// asserted on, so those checks are load-insensitive and safe in CI.
+// Results are written as JSON to argv[1] (default ./BENCH_flowsim.json).
+// Exit status is non-zero if any assertion fails.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -27,6 +34,7 @@
 #include "flow/flow_simulator.hpp"
 #include "flow/max_min.hpp"
 #include "net/topology.hpp"
+#include "seed_event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -202,6 +210,120 @@ CaseResult run_case(std::size_t flows, std::size_t components) {
   return r;
 }
 
+// --- Event-core churn gate ------------------------------------------------
+//
+// The same churn schedule runs against sim::Simulator and the seed
+// reference queue: `pending` events stay live while each op either moves a
+// random one (in-place reschedule; cancel + re-schedule on the seed, the
+// only spelling that design has) or replaces it (cancel + schedule), and a
+// dispatch tail drains a slice of the queue. Deterministic LCG so both
+// queues see the identical sequence.
+
+struct EventCoreResult {
+  std::size_t pending = 0;
+  std::size_t ops = 0;
+  std::uint64_t churn_allocs = 0;
+  double indexed_ns_per_op = 0.0;
+  double seed_ns_per_op = 0.0;
+  double speedup = 0.0;
+};
+
+constexpr double kChurnBase = 1e6;
+
+inline std::uint64_t lcg_next(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s >> 17;
+}
+
+inline double lcg_time(std::uint64_t& s) {
+  return kChurnBase + static_cast<double>(lcg_next(s) % (1u << 20));
+}
+
+EventCoreResult run_event_core_case(std::size_t pending, std::size_t ops) {
+  EventCoreResult r;
+  r.pending = pending;
+  r.ops = ops;
+
+  // --- Indexed-heap core.
+  {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids(pending);
+    std::uint64_t s = 42;
+    // Warm-up: grow slab, heap and free list to their high-water marks by
+    // filling, draining through the free path, and refilling.
+    for (std::size_t i = 0; i < pending; ++i) {
+      ids[i] = sim.schedule_at(lcg_time(s), [] {});
+    }
+    for (std::size_t i = 0; i < pending; ++i) sim.cancel(ids[i]);
+    for (std::size_t i = 0; i < pending; ++i) {
+      ids[i] = sim.schedule_at(lcg_time(s), [] {});
+    }
+
+    s = 7;
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < ops; ++k) {
+      const std::size_t i = lcg_next(s) % pending;
+      const double t = lcg_time(s);
+      if (k & 1) {
+        sim.reschedule_at(ids[i], t);
+      } else {
+        sim.cancel(ids[i]);
+        ids[i] = sim.schedule_at(t, [] {});
+      }
+    }
+    sim.run(pending / 2);  // dispatch tail: pop path, closure round-trip
+    r.indexed_ns_per_op = ns_since(t0) / (ops + pending / 2);
+    r.churn_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+  }
+
+  // --- Seed reference queue, identical op sequence.
+  {
+    bench::SeedEventQueue q;
+    std::vector<bench::SeedEventQueue::EventId> ids(pending);
+    std::uint64_t s = 42;
+    for (std::size_t i = 0; i < pending; ++i) {
+      ids[i] = q.schedule_at(lcg_time(s), [] {});
+    }
+    for (std::size_t i = 0; i < pending; ++i) q.cancel(ids[i]);
+    for (std::size_t i = 0; i < pending; ++i) {
+      ids[i] = q.schedule_at(lcg_time(s), [] {});
+    }
+
+    s = 7;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < ops; ++k) {
+      const std::size_t i = lcg_next(s) % pending;
+      const double t = lcg_time(s);
+      // Both branches are cancel + schedule here: the tombstone design
+      // has no in-place move.
+      q.cancel(ids[i]);
+      ids[i] = q.schedule_at(t, [] {});
+    }
+    q.run(pending / 2);
+    r.seed_ns_per_op = ns_since(t0) / (ops + pending / 2);
+  }
+
+  r.speedup = r.indexed_ns_per_op > 0.0
+                  ? r.seed_ns_per_op / r.indexed_ns_per_op
+                  : 0.0;
+  return r;
+}
+
+void append_event_core_json(std::string& out, const EventCoreResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "    {\"pending\": %zu, \"ops\": %zu,\n"
+      "     \"churn_allocs\": %llu,\n"
+      "     \"indexed_ns_per_op\": %.6g,\n"
+      "     \"seed_queue_ns_per_op\": %.6g,\n"
+      "     \"speedup_over_seed\": %.6g}",
+      r.pending, r.ops, static_cast<unsigned long long>(r.churn_allocs),
+      r.indexed_ns_per_op, r.seed_ns_per_op, r.speedup);
+  out += buf;
+}
+
 void append_case_json(std::string& out, const CaseResult& r) {
   char buf[1024];
   std::snprintf(
@@ -266,6 +388,35 @@ int main(int argc, char** argv) {
     if (!first) json += ",\n";
     first = false;
     append_case_json(json, r);
+  }
+  json += "\n  ],\n";
+
+  // --- Event-core churn: zero allocations warm, >= 2x over seed design.
+  json += "  \"event_core\": [\n";
+  const std::size_t core_cases[][2] = {
+      {10000, 200000}, {100000, 200000}};
+  first = true;
+  for (const auto& c : core_cases) {
+    const EventCoreResult r = run_event_core_case(c[0], c[1]);
+
+    char label[64];
+    std::snprintf(label, sizeof label, "event core pending=%zu", r.pending);
+    check(r.churn_allocs == 0,
+          std::string(label) + ": warm churn loop allocated (" +
+              std::to_string(r.churn_allocs) + " allocations / " +
+              std::to_string(r.ops) + " ops)");
+    check(r.speedup >= 2.0,
+          std::string(label) + ": speedup over seed queue " +
+              std::to_string(r.speedup) + " < 2x");
+    std::printf(
+        "%-32s indexed %6.0f ns/op  seed %6.0f ns/op  speedup %5.1fx  "
+        "allocs %llu\n",
+        label, r.indexed_ns_per_op, r.seed_ns_per_op, r.speedup,
+        static_cast<unsigned long long>(r.churn_allocs));
+
+    if (!first) json += ",\n";
+    first = false;
+    append_event_core_json(json, r);
   }
   json += "\n  ]\n}\n";
 

@@ -1,0 +1,106 @@
+// Reference event queue: the scheduler design this repo used before the
+// indexed-heap rewrite — std::priority_queue over (time, seq) entries,
+// tombstone-set cancellation, per-event std::function closures held in an
+// unordered_map. Kept verbatim (minus the Simulator surface it no longer
+// needs) so the microbenchmarks and the perf_smoke gate can measure the
+// new core against the design it replaced on the same machine, same
+// compiler, same workload.
+//
+// Bench-only: nothing in the library links this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace idr::bench {
+
+/// Tombstoning priority-queue scheduler. Semantics match sim::Simulator
+/// for schedule/cancel/run; "reschedule" is spelled the only way this
+/// design allows — cancel() plus a fresh schedule_at() with a re-created
+/// closure.
+class SeedEventQueue {
+ public:
+  using EventId = std::uint64_t;
+
+  util::TimePoint now() const { return now_; }
+
+  EventId schedule_at(util::TimePoint t, std::function<void()> fn) {
+    IDR_REQUIRE(t >= now_, "schedule_at: time in the past");
+    const EventId id = ++next_seq_;
+    queue_.push(Entry{t, id, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  EventId schedule_in(util::Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(EventId id) {
+    const auto it = callbacks_.find(id);
+    if (it == callbacks_.end()) return false;
+    callbacks_.erase(it);
+    cancelled_.insert(id);
+    return true;
+  }
+
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  bool empty() const { return pending() == 0; }
+
+  bool step() {
+    skip_cancelled();
+    if (queue_.empty()) return false;
+    const Entry top = queue_.top();
+    queue_.pop();
+    now_ = top.time;
+    auto it = callbacks_.find(top.id);
+    IDR_REQUIRE(it != callbacks_.end(), "event with no callback");
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    fn();
+    return true;
+  }
+
+  std::size_t run(std::size_t max_events = SIZE_MAX) {
+    std::size_t ran = 0;
+    while (ran < max_events && step()) ++ran;
+    return ran;
+  }
+
+ private:
+  struct Entry {
+    util::TimePoint time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() {
+    while (!queue_.empty()) {
+      const auto it = cancelled_.find(queue_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      queue_.pop();
+    }
+  }
+
+  util::TimePoint now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace idr::bench

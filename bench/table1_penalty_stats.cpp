@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
       "(their 3840%% maximum implies a 39x rate ratio); the structure —\n"
       "penalties concentrated in high-throughput, high-variability clients\n"
       "and shrinking under the filters — is what this table checks.\n");
+  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
   return 0;
 }

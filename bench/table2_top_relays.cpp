@@ -44,5 +44,6 @@ int main(int argc, char** argv) {
     if (count >= 2) std::printf("  %-14s in %d clients' top-3\n",
                                 relay.c_str(), count);
   }
+  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
   return 0;
 }

@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
                 "(paper: positive, imperfect)\n",
                 util::spearman_correlation(utils, imps));
   }
+  bench::print_scheduler_work(bench::total_scheduler_work(result));
   return 0;
 }

@@ -31,6 +31,7 @@ void BackgroundTrafficSource::start() {
 void BackgroundTrafficSource::stop(bool abort_active) {
   if (running_) {
     fsim_.simulator().cancel(next_arrival_);
+    arrival_armed_ = false;
     running_ = false;
   }
   if (abort_active) {
@@ -56,6 +57,14 @@ Bytes BackgroundTrafficSource::draw_size() {
 
 void BackgroundTrafficSource::schedule_next_arrival() {
   const util::Duration gap = rng_.exponential(1.0 / params_.arrival_rate);
+  // One arrival event for the source's whole life: after the first
+  // schedule the event rescheds itself (including from its own callback —
+  // the common case), so steady-state arrivals create no new closures.
+  if (arrival_armed_ &&
+      fsim_.simulator().reschedule_in(next_arrival_, gap)) {
+    return;
+  }
+  arrival_armed_ = true;
   next_arrival_ = fsim_.simulator().schedule_in(gap, [this] {
     if (!running_) return;
     spawn_flow();

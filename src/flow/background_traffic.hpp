@@ -68,6 +68,10 @@ class BackgroundTrafficSource {
   util::Rng rng_;
   bool running_ = false;
   sim::EventId next_arrival_ = 0;
+  /// Whether next_arrival_ refers to a live event that can be rescheduled
+  /// in place (cleared by stop(); the armed event is reused across
+  /// start/stop cycles only while it stays pending).
+  bool arrival_armed_ = false;
   std::size_t started_ = 0;
   std::size_t completed_ = 0;
   std::unordered_set<FlowId> active_;

@@ -29,9 +29,10 @@ void FlowSimulator::attach_capacity_process(
   IDR_REQUIRE(!capacity_slots_.contains(link),
               "attach_capacity_process: link already has a process");
   auto [it, inserted] = capacity_slots_.emplace(
-      link, CapacitySlot{std::move(process),
-                         rng_.child(0x9000 + static_cast<std::uint64_t>(link)),
-                         0});
+      link,
+      CapacitySlot{std::move(process),
+                   rng_.child(0x9000 + static_cast<std::uint64_t>(link)), 0,
+                   net::CapacityChange{}, false});
   CapacitySlot& slot = it->second;
   // Clamp exactly like subsequent changes so a degenerate initial draw
   // cannot produce a zero-capacity link.
@@ -45,19 +46,34 @@ void FlowSimulator::attach_capacity_process(
 void FlowSimulator::schedule_capacity_change(net::LinkId link) {
   CapacitySlot& slot = capacity_slots_.at(link);
   const net::CapacityChange change = slot.process->next(slot.rng);
-  if (std::isinf(change.dwell)) return;  // process has gone quiescent
-  slot.event = sim_.schedule_in(change.dwell, [this, link, change] {
-    const Rate capacity = std::max(change.capacity, kCapacityFloor);
-    if (capacity == topo_.link(link).capacity) {
-      // The process re-drew the current level; no rate can change.
-      ++counters_.skipped_events;
-    } else {
-      topo_.mutable_link(link).capacity = capacity;
-      const net::LinkId seed[1] = {link};
-      reallocate_for_links(seed);
-    }
-    schedule_capacity_change(link);
-  });
+  if (std::isinf(change.dwell)) {  // process has gone quiescent
+    slot.armed = false;
+    return;
+  }
+  slot.pending = change;
+  if (slot.armed) {
+    // Called from the change event's own callback: re-arm the same event
+    // in place for the next dwell, closure and id intact.
+    sim_.reschedule_in(slot.event, change.dwell);
+  } else {
+    slot.armed = true;
+    slot.event = sim_.schedule_in(change.dwell,
+                                  [this, link] { on_capacity_change(link); });
+  }
+}
+
+void FlowSimulator::on_capacity_change(net::LinkId link) {
+  CapacitySlot& slot = capacity_slots_.at(link);
+  const Rate capacity = std::max(slot.pending.capacity, kCapacityFloor);
+  if (capacity == topo_.link(link).capacity) {
+    // The process re-drew the current level; no rate can change.
+    ++counters_.skipped_events;
+  } else {
+    topo_.mutable_link(link).capacity = capacity;
+    const net::LinkId seed[1] = {link};
+    reallocate_for_links(seed);
+  }
+  schedule_capacity_change(link);
 }
 
 FlowId FlowSimulator::start_flow(const net::Path& path, Bytes size,
@@ -118,8 +134,9 @@ void FlowSimulator::on_slow_start_round(FlowId id) {
   if (f.ss_cap >= stop_at) {
     f.in_slow_start = false;  // ramp complete; ceiling governs from here
   } else {
-    f.ss_event =
-        sim_.schedule_in(f.rtt, [this, id] { on_slow_start_round(id); });
+    // Self-reschedule of the firing round event: one event per ramp, no
+    // closure re-creation per round.
+    sim_.reschedule_in(f.ss_event, f.rtt);
   }
   // The ramp only ever raises the effective cap. If the previous cap was
   // not binding (rate strictly below it), relaxing it further cannot
@@ -189,15 +206,25 @@ void FlowSimulator::advance_flow(FlowState& f) {
 }
 
 void FlowSimulator::arm_completion(FlowState& f) {
-  if (f.completion_armed) {
-    sim_.cancel(f.completion_event);
-    f.completion_armed = false;
+  if (f.rate <= 0.0) {  // parked until capacity appears
+    if (f.completion_armed) {
+      sim_.cancel(f.completion_event);
+      f.completion_armed = false;
+    }
+    return;
   }
-  if (f.rate <= 0.0) return;  // parked until capacity appears
   const Duration eta = f.remaining / f.rate;
-  const FlowId id = f.id;
-  f.completion_event = sim_.schedule_in(eta, [this, id] { on_completion(id); });
-  f.completion_armed = true;
+  if (f.completion_armed) {
+    // The dominant churn event of the simulator: every rate change moves
+    // the completion estimate. The armed event is sifted in place —
+    // same id, same closure, no allocation, no tombstone.
+    sim_.reschedule_in(f.completion_event, eta);
+  } else {
+    const FlowId id = f.id;
+    f.completion_event =
+        sim_.schedule_in(eta, [this, id] { on_completion(id); });
+    f.completion_armed = true;
+  }
   ++counters_.timer_rearms;
 }
 

@@ -185,7 +185,12 @@ class FlowSimulator {
   struct CapacitySlot {
     std::unique_ptr<net::CapacityProcess> process;
     util::Rng rng;
+    /// One change event per link, armed for the slot's whole life and
+    /// rescheduled in place on every dwell; `pending` carries the level
+    /// the armed event will apply.
     sim::EventId event = 0;
+    net::CapacityChange pending{};
+    bool armed = false;
   };
 
   /// Effective cap of a flow right now (TCP ramp/ceiling, scale, external).
@@ -206,6 +211,7 @@ class FlowSimulator {
   void on_completion(FlowId id);
   void on_slow_start_round(FlowId id);
   void schedule_capacity_change(net::LinkId link);
+  void on_capacity_change(net::LinkId link);
 
   sim::Simulator& sim_;
   net::Topology& topo_;

@@ -32,7 +32,7 @@ void TransferEngine::fail_async(TransferHandle handle, std::string error) {
   Active& active = transfers_.at(handle);
   active.result.ok = false;
   active.result.error = std::move(error);
-  active.setup_event = fsim_.simulator().schedule_in(
+  active.timer = fsim_.simulator().schedule_in(
       0.0, [this, handle] { finish(handle); });
 }
 
@@ -139,17 +139,17 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
     size /= relay_params(*request.relay).efficiency;
   }
   const net::Path path = data_path;
-  active.setup_event = fsim_.simulator().schedule_in(
+  active.timer = fsim_.simulator().schedule_in(
       setup_delay, [this, handle, path, size, options] {
         Active& a = transfers_.at(handle);
-        a.in_setup = false;
+        a.phase = Phase::kFlow;
         a.flow = fsim_.start_flow(
             path, size, options, [this, handle](const flow::FlowStats&) {
               Active& done = transfers_.at(handle);
               // Last byte reaches the client one propagation delay after
               // the sender drains it.
-              done.in_tail = true;
-              done.tail_event = fsim_.simulator().schedule_in(
+              done.phase = Phase::kTail;
+              done.timer = fsim_.simulator().schedule_in(
                   done.tail_delay, [this, handle] {
                     transfers_.at(handle).result.ok = true;
                     finish(handle);
@@ -172,12 +172,10 @@ bool TransferEngine::cancel(TransferHandle handle) {
   const auto it = transfers_.find(handle);
   if (it == transfers_.end()) return false;
   Active& active = it->second;
-  if (active.in_setup) {
-    fsim_.simulator().cancel(active.setup_event);
-  } else if (active.in_tail) {
-    fsim_.simulator().cancel(active.tail_event);
-  } else {
+  if (active.phase == Phase::kFlow) {
     fsim_.cancel_flow(active.flow);
+  } else {
+    fsim_.simulator().cancel(active.timer);
   }
   transfers_.erase(it);
   return true;
@@ -187,7 +185,7 @@ Rate TransferEngine::current_rate(TransferHandle handle) const {
   const auto it = transfers_.find(handle);
   IDR_REQUIRE(it != transfers_.end(), "current_rate: unknown transfer");
   const Active& active = it->second;
-  if (active.in_setup || active.in_tail) return 0.0;
+  if (active.phase != Phase::kFlow) return 0.0;
   return fsim_.flow_active(active.flow) ? fsim_.current_rate(active.flow)
                                         : 0.0;
 }

@@ -117,15 +117,18 @@ class TransferEngine {
   flow::FlowSimulator& flow_simulator() { return fsim_; }
 
  private:
+  /// Transfer lifecycle is strictly setup -> flow -> delivery tail, so a
+  /// single engine-side timer field suffices: it holds the setup event
+  /// during kSetup and the tail event during kTail.
+  enum class Phase : std::uint8_t { kSetup, kFlow, kTail };
+
   struct Active {
     TransferResult result;
     TransferCallback on_done;
-    bool in_setup = true;
-    sim::EventId setup_event = 0;
+    Phase phase = Phase::kSetup;
+    sim::EventId timer = 0;
     flow::FlowId flow = 0;
     Duration tail_delay = 0.0;
-    sim::EventId tail_event = 0;
-    bool in_tail = false;
   };
 
   void fail_async(TransferHandle handle, std::string error);

@@ -1,0 +1,120 @@
+// Small-buffer-optimized callback storage for scheduler events.
+//
+// An EventClosure owns one `void()` callable. Callables that fit the
+// inline buffer (and are nothrow-movable, so slab relocation cannot
+// throw) are stored in place; larger ones fall back to a single heap
+// allocation. The steady-state event loop only ever carries small
+// captures ([this], [this, id], [this, link]), so once the simulator is
+// warm no closure construction touches the allocator — unlike
+// std::function, which both allocates for modest captures and drags in
+// copyability requirements the scheduler never needs.
+//
+// Move semantics are "relocate": move-construct into the destination and
+// destroy the source, via one indirect call. This is what the slab needs
+// when std::vector growth moves nodes, and what dispatch needs when it
+// moves a closure to the stack before invoking it (the callback may grow
+// the slab under its own feet).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace idr::sim {
+
+class EventClosure {
+ public:
+  /// Captures up to this many bytes are stored inline. Sized for the hot
+  /// schedulers' closures (a pointer or two plus a handful of scalars)
+  /// with room to spare; one cache line per node including bookkeeping.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventClosure() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventClosure>>>
+  EventClosure(F&& fn) {  // NOLINT(google-explicit-constructor)
+    static_assert(std::is_invocable_r_v<void, D&>,
+                  "EventClosure: callable must be invocable as void()");
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventClosure(EventClosure&& other) noexcept { take(other); }
+
+  EventClosure& operator=(EventClosure&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  EventClosure(const EventClosure&) = delete;
+  EventClosure& operator=(const EventClosure&) = delete;
+
+  ~EventClosure() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  /// Destroys the held callable (frees a heap-fallback immediately).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct dst from src and destroy src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*static_cast<D*>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* s) noexcept { static_cast<D*>(s)->~D(); }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**static_cast<D**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* s) noexcept { delete *static_cast<D**>(s); }};
+
+  void take(EventClosure& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace idr::sim

@@ -1,71 +1,177 @@
 #include "sim/simulator.hpp"
 
-#include "util/error.hpp"
+#include <algorithm>
+#include <utility>
 
 namespace idr::sim {
 
-EventId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
-  IDR_REQUIRE(t >= now_, "schedule_at: time in the past");
-  IDR_REQUIRE(fn != nullptr, "schedule_at: null callback");
-  const EventId id = ++next_seq_;
-  queue_.push(Entry{t, id, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+// The slab, heap and free list only ever grow to the high-water pending
+// count; every steady-state operation below recycles that storage.
+
+EventId Simulator::schedule_impl(TimePoint t, EventClosure fn) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    IDR_REQUIRE(nodes_.size() < kMaxPos, "schedule_at: event slab full");
+    slot = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[slot];
+  node.fn = std::move(fn);
+  heap_insert(t, ++next_seq_, slot);
+  return make_id(node.gen, slot);
 }
 
-EventId Simulator::schedule_in(Duration delay, std::function<void()> fn) {
-  IDR_REQUIRE(delay >= 0.0, "schedule_in: negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
+Simulator::Node* Simulator::resolve(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= nodes_.size()) return nullptr;
+  Node& node = nodes_[slot];
+  if (node.gen != gen || node.pos == kFree) return nullptr;
+  return &node;
+}
+
+void Simulator::free_node(std::uint32_t slot) {
+  Node& node = nodes_[slot];
+  node.fn.reset();
+  node.pos = kFree;
+  if (++node.gen == 0) node.gen = 1;  // keep ids nonzero after wraparound
+  free_.push_back(slot);
 }
 
 bool Simulator::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  Node* node = resolve(id);
+  if (node == nullptr) return false;
+  if (node->pos == kFiring) return false;  // its own callback: already fired
   ++cancellations_;
+  if (node->pos == kRescheduled) {
+    // Cancelling the reschedule issued earlier in this same callback: the
+    // dispatcher frees the slot once the callback returns.
+    node->pos = kFiring;
+    return true;
+  }
+  heap_remove(node->pos);
+  free_node(static_cast<std::uint32_t>(node - nodes_.data()));
   return true;
 }
 
-void Simulator::skip_cancelled() {
-  while (!queue_.empty()) {
-    const auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    queue_.pop();
+bool Simulator::reschedule_at(EventId id, TimePoint t) {
+  IDR_REQUIRE(t >= now_, "reschedule_at: time in the past");
+  Node* node = resolve(id);
+  if (node == nullptr) return false;
+  ++reschedules_;
+  // A fresh seq per reschedule keeps the FIFO contract identical to a
+  // cancel + schedule pair: the moved event goes behind existing events
+  // at its new timestamp.
+  const std::uint64_t seq = ++next_seq_;
+  if (node->pos == kFiring || node->pos == kRescheduled) {
+    // Self-reschedule from the event's own callback; re-inserted by the
+    // dispatcher after the callback returns.
+    node->pos = kRescheduled;
+    firing_time_ = t;
+    firing_seq_ = seq;
+    return true;
+  }
+  const std::uint32_t pos = node->pos;
+  const HeapEntry moved{t, seq,
+                        static_cast<std::uint32_t>(node - nodes_.data())};
+  if (before(moved, heap_[pos])) {
+    heap_[pos] = moved;
+    sift_up(pos);
+  } else {
+    heap_[pos] = moved;
+    sift_down(pos);
+  }
+  return true;
+}
+
+void Simulator::heap_insert(TimePoint t, std::uint64_t seq,
+                            std::uint32_t node) {
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{t, seq, node});
+  nodes_[node].pos = pos;
+  sift_up(pos);
+}
+
+void Simulator::heap_remove(std::uint32_t pos) {
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+  if (pos != last) {
+    const HeapEntry moved = heap_[last];
+    heap_.pop_back();
+    place(pos, moved);
+    if (pos > 0 && before(heap_[pos], heap_[(pos - 1) / 4])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  } else {
+    heap_.pop_back();
   }
 }
 
+void Simulator::sift_up(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, e);
+}
+
+void Simulator::sift_down(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  const auto size = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    const std::uint64_t first = 4ull * pos + 1;
+    if (first >= size) break;
+    const std::uint32_t end =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(first + 4, size));
+    std::uint32_t best = static_cast<std::uint32_t>(first);
+    for (std::uint32_t c = best + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, e);
+}
+
 TimePoint Simulator::next_event_time() const {
-  auto* self = const_cast<Simulator*>(this);
-  self->skip_cancelled();
-  IDR_REQUIRE(!queue_.empty(), "next_event_time: queue empty");
-  return queue_.top().time;
+  IDR_REQUIRE(!heap_.empty(), "next_event_time: queue empty");
+  return heap_[0].time;
 }
 
 bool Simulator::pop_and_run() {
-  skip_cancelled();
-  if (queue_.empty()) return false;
-  const Entry top = queue_.top();
-  queue_.pop();
-  now_ = top.time;
-  auto it = callbacks_.find(top.id);
-  IDR_REQUIRE(it != callbacks_.end(), "event with no callback");
-  // Move the callback out before erasing so the callback can schedule or
-  // cancel other events (including re-using this id slot) safely.
-  std::function<void()> fn = std::move(it->second);
-  callbacks_.erase(it);
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0].node;
+  now_ = heap_[0].time;
+  heap_remove(0);
+  // Move the callback to the stack before invoking: the callback may
+  // schedule events (growing the slab under the node) or reschedule this
+  // very event; the node is parked in the kFiring state meanwhile.
+  EventClosure fn = std::move(nodes_[slot].fn);
+  nodes_[slot].pos = kFiring;
   ++executed_;
   fn();
+  Node& node = nodes_[slot];  // re-resolve: the slab may have moved
+  if (node.pos == kRescheduled) {
+    node.fn = std::move(fn);
+    heap_insert(firing_time_, firing_seq_, slot);
+  } else {
+    free_node(slot);
+  }
   return true;
 }
 
 std::size_t Simulator::run_until(TimePoint t) {
   IDR_REQUIRE(t >= now_, "run_until: time in the past");
   std::size_t ran = 0;
-  while (true) {
-    skip_cancelled();
-    if (queue_.empty() || queue_.top().time > t) break;
+  while (!heap_.empty() && heap_[0].time <= t) {
     pop_and_run();
     ++ran;
   }
@@ -80,30 +186,5 @@ std::size_t Simulator::run(std::size_t max_events) {
 }
 
 bool Simulator::step() { return pop_and_run(); }
-
-PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period,
-                             std::function<void()> fn)
-    : sim_(sim), period_(period), fn_(std::move(fn)) {
-  IDR_REQUIRE(period_ > 0.0, "PeriodicTimer: period must be positive");
-  IDR_REQUIRE(fn_ != nullptr, "PeriodicTimer: null callback");
-  arm();
-}
-
-PeriodicTimer::~PeriodicTimer() { stop(); }
-
-void PeriodicTimer::arm() {
-  pending_ = sim_.schedule_in(period_, [this] {
-    // Re-arm before running the callback so the callback sees a live timer
-    // it can stop().
-    arm();
-    fn_();
-  });
-}
-
-void PeriodicTimer::stop() {
-  if (!running_) return;
-  running_ = false;
-  sim_.cancel(pending_);
-}
 
 }  // namespace idr::sim

@@ -2,17 +2,27 @@
 //
 // A Simulator owns a virtual clock and a queue of timestamped callbacks.
 // Events at equal timestamps fire in scheduling order (FIFO), which makes
-// runs deterministic. Cancellation is O(1) amortized: cancelled events are
-// tombstoned and skipped when popped.
+// runs deterministic.
+//
+// The queue is an indexed 4-ary min-heap over slab-allocated event nodes:
+// each node knows its heap position, so cancel() removes the entry in
+// place (O(log n), no tombstones to skip later) and reschedule_at() moves
+// it by a single sift — the operation timer-churn layers (completion
+// estimates re-armed on every rate change, capacity re-draws, periodic
+// cadences) perform instead of a cancel + fresh schedule. Event ids carry
+// a per-slot generation, so stale handles are rejected without any lookup
+// structure, and freed slots are recycled through a free list. Callbacks
+// live in a small-buffer EventClosure inside the node. Net effect: once
+// the slab and heap have grown to the high-water mark, the steady-state
+// schedule / cancel / reschedule / dispatch loop performs zero heap
+// allocations and zero hash lookups (enforced by bench/perf_smoke.cpp).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_closure.hpp"
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace idr::sim {
@@ -21,7 +31,8 @@ using util::Duration;
 using util::TimePoint;
 
 /// Handle for a scheduled event; valid until the event fires or is
-/// cancelled.
+/// cancelled. Packed (generation << 32 | slot); never 0 for a live event,
+/// so 0 works as a "no event" sentinel.
 using EventId = std::uint64_t;
 
 class Simulator {
@@ -33,15 +44,44 @@ class Simulator {
   /// Current virtual time. Starts at 0.
   TimePoint now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (must be >= now()).
-  EventId schedule_at(TimePoint t, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `t` (must be >= now()). Accepts any
+  /// `void()` callable; see EventClosure for the storage strategy.
+  template <typename F>
+  EventId schedule_at(TimePoint t, F&& fn) {
+    IDR_REQUIRE(t >= now_, "schedule_at: time in the past");
+    if constexpr (requires { fn == nullptr; }) {
+      IDR_REQUIRE(!(fn == nullptr), "schedule_at: null callback");
+    }
+    return schedule_impl(t, EventClosure(std::forward<F>(fn)));
+  }
 
   /// Schedules `fn` after `delay` (must be >= 0).
-  EventId schedule_in(Duration delay, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_in(Duration delay, F&& fn) {
+    IDR_REQUIRE(delay >= 0.0, "schedule_in: negative delay");
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event. Returns false if the event already fired,
-  /// was already cancelled, or the id is unknown.
+  /// was already cancelled, or the id is unknown. An event may cancel
+  /// itself from its own callback only after rescheduling (otherwise it
+  /// already counts as fired).
   bool cancel(EventId id);
+
+  /// Moves a pending event to absolute time `t` (must be >= now()),
+  /// keeping its id and callback. Ordering is exactly as if the event had
+  /// been cancelled and freshly scheduled: among events at the same
+  /// timestamp it fires last. The currently-dispatching event may
+  /// reschedule itself from its own callback (this is how repeating
+  /// timers re-arm without re-creating their closure). Returns false if
+  /// the event already fired or the id is unknown.
+  bool reschedule_at(EventId id, TimePoint t);
+
+  /// Moves a pending event to now() + `delay` (must be >= 0).
+  bool reschedule_in(EventId id, Duration delay) {
+    IDR_REQUIRE(delay >= 0.0, "reschedule_in: negative delay");
+    return reschedule_at(id, now_ + delay);
+  }
 
   /// Runs events with timestamp <= `t`, then advances the clock to `t`
   /// (even if the queue drains earlier). Returns the number of events run.
@@ -54,9 +94,9 @@ class Simulator {
   /// Runs exactly one event if any is pending; returns whether one ran.
   bool step();
 
-  /// Pending (non-cancelled) event count.
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
-  bool empty() const { return pending() == 0; }
+  /// Pending event count (cancelled events leave the queue immediately).
+  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
 
   /// Timestamp of the next pending event; requires !empty().
   TimePoint next_event_time() const;
@@ -64,58 +104,110 @@ class Simulator {
   /// Total events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
-  /// Total events successfully cancelled since construction. Together with
-  /// executed() this exposes timer churn: layers that cancel/re-arm timers
-  /// on every state change (e.g. flow completion estimates) show up here.
+  /// Total events successfully cancelled since construction. Together
+  /// with executed() and reschedules() this exposes timer churn.
   std::uint64_t cancellations() const { return cancellations_; }
 
+  /// Total successful reschedule_at()/reschedule_in() calls — the in-place
+  /// cancel + re-arm operations of layers that re-estimate timers on
+  /// every state change (flow completion estimates, capacity re-draws,
+  /// periodic cadences).
+  std::uint64_t reschedules() const { return reschedules_; }
+
  private:
-  struct Entry {
+  // Heap entries carry the ordering key (time, seq) so sifts compare
+  // within the contiguous heap array; the node index links back to the
+  // slab for position bookkeeping and dispatch.
+  struct HeapEntry {
     TimePoint time;
     std::uint64_t seq;  // FIFO tie-break among equal timestamps
-    EventId id;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t node;
   };
 
-  // Pops tombstoned entries off the top of the heap.
-  void skip_cancelled();
+  struct Node {
+    EventClosure fn;
+    std::uint32_t gen = 1;  // bumped on free; validates EventIds
+    std::uint32_t pos = kFree;
+  };
+
+  // Sentinel `pos` values for nodes not currently in the heap.
+  static constexpr std::uint32_t kFree = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kFiring = 0xFFFFFFFEu;
+  static constexpr std::uint32_t kRescheduled = 0xFFFFFFFDu;
+  static constexpr std::uint32_t kMaxPos = 0xFFFFFFF0u;
+
+  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  EventId schedule_impl(TimePoint t, EventClosure fn);
+  /// Resolves an id to its slab slot; returns nullptr for stale/unknown.
+  Node* resolve(EventId id);
+  void heap_insert(TimePoint t, std::uint64_t seq, std::uint32_t node);
+  void heap_remove(std::uint32_t pos);
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  void place(std::uint32_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    nodes_[e.node].pos = pos;
+  }
+  void free_node(std::uint32_t slot);
   bool pop_and_run();
 
   TimePoint now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancellations_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
-  // Callbacks keyed by id; detached from Entry so cancel() can free the
-  // closure immediately.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::uint64_t reschedules_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  // Reschedule target of the currently-dispatching event, if its callback
+  // rescheduled itself (dispatch is never reentrant, so one slot is
+  // enough; the re-insert happens after the callback returns).
+  TimePoint firing_time_ = 0.0;
+  std::uint64_t firing_seq_ = 0;
 };
 
 /// Repeating timer: runs `fn` every `period`, starting `period` from
-/// creation, until stop() or destruction. The callback may stop the timer.
+/// creation, until stop() or destruction. The callback may stop the
+/// timer. One event is armed for the timer's whole life and rescheduled
+/// in place on every tick.
 class PeriodicTimer {
  public:
-  PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn);
-  ~PeriodicTimer();
+  template <typename F>
+  PeriodicTimer(Simulator& sim, Duration period, F&& fn)
+      : sim_(sim), period_(period), fn_(std::forward<F>(fn)) {
+    IDR_REQUIRE(period_ > 0.0, "PeriodicTimer: period must be positive");
+    IDR_REQUIRE(static_cast<bool>(fn_), "PeriodicTimer: null callback");
+    event_ = sim_.schedule_in(period_, [this] {
+      // Re-arm before running the callback so the callback sees a live
+      // timer it can stop().
+      sim_.reschedule_in(event_, period_);
+      fn_();
+    });
+  }
+  ~PeriodicTimer() { stop(); }
   PeriodicTimer(const PeriodicTimer&) = delete;
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
 
-  void stop();
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(event_);
+  }
   bool running() const { return running_; }
 
  private:
-  void arm();
-
   Simulator& sim_;
   Duration period_;
-  std::function<void()> fn_;
-  EventId pending_ = 0;
+  EventClosure fn_;
+  EventId event_ = 0;
   bool running_ = true;
 };
 

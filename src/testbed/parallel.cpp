@@ -1,9 +1,18 @@
 #include "testbed/parallel.hpp"
 
+#include <cstdlib>
+
 namespace idr::testbed {
 
 unsigned resolve_threads(unsigned requested) {
   if (requested > 0) return requested;
+  // IDR_THREADS provides a process-wide default for drivers that do not
+  // take a --threads flag (and for pinning CI runs); an explicit nonzero
+  // request always wins over it.
+  if (const char* env = std::getenv("IDR_THREADS")) {
+    const unsigned long parsed = std::strtoul(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }

@@ -22,8 +22,9 @@
 
 namespace idr::testbed {
 
-/// Number of worker threads to use: `requested`, or the hardware
-/// concurrency when `requested == 0` (min 1).
+/// Number of worker threads to use: `requested` when nonzero;
+/// otherwise the IDR_THREADS environment variable when set to a positive
+/// integer; otherwise the hardware concurrency (min 1).
 unsigned resolve_threads(unsigned requested);
 
 /// Runs fn(0..count-1) across `threads` workers. Rethrows the first task

@@ -2,6 +2,7 @@
 // and figures.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,25 @@ struct TransferObservation {
   double improvement_steady_pct = 0.0;
 };
 
+/// Discrete-event scheduler work behind one session (both mirrored
+/// worlds summed): events fired plus the timer churn — in-place
+/// cancellations and reschedules — the run exerted on the event core.
+/// Benchmark drivers print these next to their figures/tables so a
+/// scheduler regression (e.g. churn reverting to cancel + re-schedule
+/// pairs) is visible without a profiler.
+struct SchedulerWork {
+  std::uint64_t executed = 0;
+  std::uint64_t cancellations = 0;
+  std::uint64_t reschedules = 0;
+
+  SchedulerWork& operator+=(const SchedulerWork& o) {
+    executed += o.executed;
+    cancellations += o.cancellations;
+    reschedules += o.reschedules;
+    return *this;
+  }
+};
+
 /// All transfers of one (client, relay-or-policy) session.
 struct SessionResult {
   std::string client;
@@ -41,6 +61,8 @@ struct SessionResult {
   /// Direct-path throughput distribution over the session (drives the
   /// Low/Medium/High categorization and the variability classification).
   util::OnlineStats direct_rate_stats;
+  /// Event-core work both worlds performed to produce this session.
+  SchedulerWork sim_work;
 
   std::size_t indirect_count() const;
   /// Fraction of transfers routed through the indirect path.

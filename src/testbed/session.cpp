@@ -18,18 +18,28 @@ SessionOutput run_session(const SessionSpec& spec) {
   };
   std::vector<DirectSample> directs(spec.transfers);
   std::size_t pending_a = spec.transfers;
-  for (std::size_t k = 0; k < spec.transfers; ++k) {
-    const util::TimePoint when =
-        1.0 + static_cast<double>(k) * spec.interval;
-    world_a.simulator().schedule_at(when, [&, k] {
-      world_a.begin_direct_download(
-          [&, k](const overlay::TransferResult& result) {
-            directs[k].done = result.ok;
-            directs[k].rate = result.throughput();
-            --pending_a;
-          });
-    });
-  }
+  // One cadence event per world, rescheduled in place from its own
+  // callback for each subsequent transfer (instead of pre-scheduling all
+  // N transfer events up front).
+  struct Cadence {
+    std::size_t k = 0;
+    sim::EventId event = 0;
+  };
+  Cadence cad_a;
+  cad_a.event = world_a.simulator().schedule_at(1.0, [&] {
+    const std::size_t k = cad_a.k++;
+    if (cad_a.k < spec.transfers) {
+      world_a.simulator().reschedule_at(
+          cad_a.event,
+          1.0 + static_cast<double>(cad_a.k) * spec.interval);
+    }
+    world_a.begin_direct_download(
+        [&, k](const overlay::TransferResult& result) {
+          directs[k].done = result.ok;
+          directs[k].rate = result.throughput();
+          --pending_a;
+        });
+  });
   while (pending_a > 0) {
     IDR_REQUIRE(world_a.simulator().step(),
                 "run_session: world A drained with transfers pending");
@@ -47,38 +57,43 @@ SessionOutput run_session(const SessionSpec& spec) {
   session.transfers.resize(spec.transfers);
 
   std::size_t pending_b = spec.transfers;
-  for (std::size_t k = 0; k < spec.transfers; ++k) {
+  Cadence cad_b;
+  cad_b.event = world_b.simulator().schedule_at(1.0, [&] {
+    const std::size_t k = cad_b.k++;
     const util::TimePoint when =
         1.0 + static_cast<double>(k) * spec.interval;
-    world_b.simulator().schedule_at(when, [&, k, when] {
-      client->fetch([&, k, when](const core::FetchRecord& record) {
-        TransferObservation& obs = session.transfers[k];
-        obs.client = spec.params.client_name;
-        obs.session_relay = spec.session_relay_label;
-        obs.start_time = when;
-        obs.ok = record.outcome.ok && directs[k].done;
-        obs.chose_indirect = record.outcome.chose_indirect;
-        if (obs.ok) {
-          obs.selected_rate = record.outcome.selected_throughput();
-          obs.selected_steady_rate = record.outcome.steady_throughput();
-          obs.direct_rate = directs[k].rate;
-          obs.improvement_pct =
-              core::improvement_pct(obs.selected_rate, obs.direct_rate);
-          obs.improvement_steady_pct = core::improvement_pct(
-              obs.selected_steady_rate, obs.direct_rate);
-          if (record.outcome.chose_indirect) {
-            obs.chosen_relay =
-                world_b.relay_name_of(record.outcome.relay);
-            // Relay history carries the steady metric: it scores the
-            // path, not the probing cost of this particular race.
-            client->record_improvement(record.outcome.relay,
-                                       obs.improvement_steady_pct);
-          }
+    if (cad_b.k < spec.transfers) {
+      world_b.simulator().reschedule_at(
+          cad_b.event,
+          1.0 + static_cast<double>(cad_b.k) * spec.interval);
+    }
+    client->fetch([&, k, when](const core::FetchRecord& record) {
+      TransferObservation& obs = session.transfers[k];
+      obs.client = spec.params.client_name;
+      obs.session_relay = spec.session_relay_label;
+      obs.start_time = when;
+      obs.ok = record.outcome.ok && directs[k].done;
+      obs.chose_indirect = record.outcome.chose_indirect;
+      if (obs.ok) {
+        obs.selected_rate = record.outcome.selected_throughput();
+        obs.selected_steady_rate = record.outcome.steady_throughput();
+        obs.direct_rate = directs[k].rate;
+        obs.improvement_pct =
+            core::improvement_pct(obs.selected_rate, obs.direct_rate);
+        obs.improvement_steady_pct = core::improvement_pct(
+            obs.selected_steady_rate, obs.direct_rate);
+        if (record.outcome.chose_indirect) {
+          obs.chosen_relay =
+              world_b.relay_name_of(record.outcome.relay);
+          // Relay history carries the steady metric: it scores the
+          // path, not the probing cost of this particular race.
+          client->record_improvement(record.outcome.relay,
+                                     obs.improvement_steady_pct);
         }
-        --pending_b;
-      });
+      }
+      --pending_b;
     });
-  }
+  });
   while (pending_b > 0) {
     IDR_REQUIRE(world_b.simulator().step(),
                 "run_session: world B drained with transfers pending");
@@ -87,6 +102,11 @@ SessionOutput run_session(const SessionSpec& spec) {
   for (const DirectSample& d : directs) {
     if (d.done) session.direct_rate_stats.add(d.rate);
   }
+  const sim::Simulator& sa = world_a.simulator();
+  const sim::Simulator& sb = world_b.simulator();
+  session.sim_work.executed = sa.executed() + sb.executed();
+  session.sim_work.cancellations = sa.cancellations() + sb.cancellations();
+  session.sim_work.reschedules = sa.reschedules() + sb.reschedules();
   output.relay_stats = client->stats();
   return output;
 }

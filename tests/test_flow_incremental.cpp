@@ -199,10 +199,12 @@ TEST(FlowSimulatorCounters, ScriptedScenarioPinsWorkCounts) {
   EXPECT_EQ(c.maxmin_rounds, 7u);
   EXPECT_EQ(c.timer_rearms, 9u);
   EXPECT_EQ(c.skipped_events, 1u);
-  // Each re-arm of an already-armed timer cancels it first; f3's armed
-  // timer is cancelled by cancel_flow. 3 re-arm cancels in A, 1 in B at
-  // arrival time, f1+f2 on the cap change, f3's abort, f4's speed-up.
-  EXPECT_EQ(sim.cancellations(), 6u);
+  // Re-arms of already-armed timers move the event in place instead of
+  // cancelling and re-scheduling: 2 at arrival time (f1 when f2 joins its
+  // link, f3 when f4 joins), f1+f2 on the cap change, f4 on f3's
+  // departure. Only f3's abort is an actual cancellation.
+  EXPECT_EQ(sim.cancellations(), 1u);
+  EXPECT_EQ(sim.reschedules(), 5u);
 }
 
 // --- Event-skip and clamp fixes -------------------------------------------

@@ -1,6 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/error.hpp"
@@ -144,6 +148,263 @@ TEST(Simulator, ExecutedCounter) {
   for (int i = 0; i < 7; ++i) sim.schedule_in(1.0, [] {});
   sim.run();
   EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulator, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(0));                    // the "no event" sentinel
+  EXPECT_FALSE(sim.cancel(0xdeadbeefdeadbeefull));  // never issued
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));      // fired
+  EXPECT_FALSE(sim.cancel(id + 1));  // same slot, wrong generation
+}
+
+TEST(Simulator, CancelledSlotRejectsStaleHandle) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(a));
+  // The slot is recycled by the next schedule; the old handle must not
+  // reach the new occupant.
+  bool ran = false;
+  const EventId b = sim.schedule_at(2.0, [&] { ran = true; });
+  EXPECT_FALSE(sim.cancel(a));
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(sim.cancel(b));
+}
+
+TEST(Simulator, CancelSelfInsideCallbackReturnsFalse) {
+  Simulator sim;
+  EventId self = 0;
+  bool result = true;
+  self = sim.schedule_at(1.0, [&] { result = sim.cancel(self); });
+  sim.run();
+  EXPECT_FALSE(result);  // a dispatching event already counts as fired
+}
+
+TEST(Simulator, RescheduleLater) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId a = sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.reschedule_at(a, 3.0));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, RescheduleEarlier) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  const EventId a = sim.schedule_at(3.0, [&] { order.push_back(1); });
+  EXPECT_TRUE(sim.reschedule_at(a, 1.0));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RescheduleToEqualTimeFiresBehindExisting) {
+  // Ordering contract: a reschedule behaves exactly like cancel + fresh
+  // schedule — the moved event goes behind every event already at the
+  // target timestamp, even ones scheduled after it.
+  Simulator sim;
+  std::vector<int> order;
+  const EventId a = sim.schedule_at(1.0, [&] { order.push_back(0); });
+  sim.schedule_at(2.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.reschedule_at(a, 2.0));
+  sim.schedule_at(2.0, [&] { order.push_back(3); });
+  sim.run();
+  // a moved behind 1 and 2 (rescheduled after them) but ahead of 3
+  // (scheduled after the move).
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0, 3}));
+}
+
+TEST(Simulator, RescheduleSameTimeRefreshesFifoRank) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId a = sim.schedule_at(1.0, [&] { order.push_back(0); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  EXPECT_TRUE(sim.reschedule_at(a, 1.0));  // same time, new rank
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(Simulator, RescheduleUnknownOrFiredReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.reschedule_at(0, 1.0));
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.reschedule_at(id, 2.0));
+  EXPECT_THROW(sim.reschedule_at(id, 0.5), util::Error);  // past time
+}
+
+TEST(Simulator, SelfRescheduleFromOwnCallback) {
+  Simulator sim;
+  std::vector<double> times;
+  EventId self = 0;
+  self = sim.schedule_at(1.0, [&] {
+    times.push_back(sim.now());
+    if (times.size() < 3) {
+      EXPECT_TRUE(sim.reschedule_in(self, 1.5));
+    }
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.5, 4.0}));
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, CancelAfterSelfRescheduleInCallback) {
+  Simulator sim;
+  int fires = 0;
+  EventId self = 0;
+  self = sim.schedule_at(1.0, [&] {
+    ++fires;
+    EXPECT_TRUE(sim.reschedule_in(self, 1.0));
+    EXPECT_TRUE(sim.cancel(self));  // revokes the reschedule just issued
+  });
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, LargeClosureUsesHeapFallbackCorrectly) {
+  Simulator sim;
+  double sink = 0.0;
+  double payload[16];  // 128 bytes: over the inline buffer by design
+  for (int i = 0; i < 16; ++i) payload[i] = i + 0.5;
+  EventId id = sim.schedule_at(1.0, [&sink, payload] {
+    for (double v : payload) sink += v;
+  });
+  EXPECT_TRUE(sim.reschedule_at(id, 2.0));  // moves must keep the closure
+  sim.run();
+  EXPECT_DOUBLE_EQ(sink, 16.0 * 8.0);  // sum of i + 0.5 for i in 0..15
+}
+
+TEST(Simulator, ChurnCounters) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  const EventId b = sim.schedule_at(2.0, [] {});
+  sim.schedule_at(3.0, [] {});
+  EXPECT_TRUE(sim.reschedule_at(a, 4.0));
+  EXPECT_TRUE(sim.reschedule_at(a, 5.0));
+  EXPECT_TRUE(sim.cancel(b));
+  sim.run();
+  EXPECT_EQ(sim.executed(), 2u);
+  EXPECT_EQ(sim.cancellations(), 1u);
+  EXPECT_EQ(sim.reschedules(), 2u);
+}
+
+// --- Randomized property test: execution order identical to a reference
+// model that implements the documented (time, seq) contract directly —
+// schedule and reschedule each consume one fresh seq; cancel consumes
+// none. This pins the indexed heap to the seed implementation's ordering
+// (where a re-arm was spelled cancel + schedule, also one seq).
+TEST(Simulator, RandomChurnMatchesReferenceModel) {
+  struct RefEvent {
+    double time;
+    std::uint64_t seq;
+    int token;
+  };
+
+  for (std::uint64_t round = 0; round < 25; ++round) {
+    std::uint64_t lcg = 0x9E3779B97F4A7C15ull * (round + 1);
+    const auto draw = [&lcg] {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      return lcg >> 17;
+    };
+
+    Simulator sim;
+    std::vector<RefEvent> ref;
+    std::uint64_t ref_seq = 0;
+    struct Live {
+      EventId id;
+      int token;
+    };
+    std::vector<Live> live;
+    std::vector<int> fired;
+    std::vector<int> expected_fired;
+    int next_token = 0;
+
+    for (int op = 0; op < 400; ++op) {
+      // Integer time offsets in [0, 8) force heavy timestamp collisions,
+      // stressing the FIFO tie-break.
+      const double t = sim.now() + static_cast<double>(draw() % 8);
+      switch (draw() % 5) {
+        case 0:
+        case 1: {  // schedule
+          const int token = next_token++;
+          const EventId id =
+              sim.schedule_at(t, [&fired, token] { fired.push_back(token); });
+          ref.push_back(RefEvent{t, ++ref_seq, token});
+          live.push_back(Live{id, token});
+          break;
+        }
+        case 2: {  // cancel a live event
+          if (live.empty()) break;
+          const std::size_t i = draw() % live.size();
+          EXPECT_TRUE(sim.cancel(live[i].id));
+          const int token = live[i].token;
+          ref.erase(std::find_if(ref.begin(), ref.end(),
+                                 [token](const RefEvent& e) {
+                                   return e.token == token;
+                                 }));
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+        case 3: {  // reschedule a live event
+          if (live.empty()) break;
+          const std::size_t i = draw() % live.size();
+          EXPECT_TRUE(sim.reschedule_at(live[i].id, t));
+          const int token = live[i].token;
+          const auto it = std::find_if(ref.begin(), ref.end(),
+                                       [token](const RefEvent& e) {
+                                         return e.token == token;
+                                       });
+          it->time = t;
+          it->seq = ++ref_seq;
+          break;
+        }
+        case 4: {  // dispatch everything up to a nearby horizon
+          const double target = sim.now() + static_cast<double>(draw() % 3);
+          sim.run_until(target);
+          // Pop the reference model in (time, seq) order up to target.
+          while (true) {
+            std::size_t best = ref.size();
+            for (std::size_t j = 0; j < ref.size(); ++j) {
+              if (ref[j].time > target) continue;
+              if (best == ref.size() || ref[j].time < ref[best].time ||
+                  (ref[j].time == ref[best].time &&
+                   ref[j].seq < ref[best].seq)) {
+                best = j;
+              }
+            }
+            if (best == ref.size()) break;
+            const int token = ref[best].token;
+            ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(best));
+            live.erase(std::find_if(
+                live.begin(), live.end(),
+                [token](const Live& l) { return l.token == token; }));
+            expected_fired.push_back(token);
+          }
+          break;
+        }
+      }
+    }
+    // Drain the rest.
+    sim.run();
+    {
+      std::vector<RefEvent> rest = ref;
+      std::sort(rest.begin(), rest.end(),
+                [](const RefEvent& a, const RefEvent& b) {
+                  if (a.time != b.time) return a.time < b.time;
+                  return a.seq < b.seq;
+                });
+      for (const RefEvent& e : rest) expected_fired.push_back(e.token);
+    }
+    ASSERT_EQ(fired, expected_fired) << "round " << round;
+  }
 }
 
 TEST(PeriodicTimer, FiresAtPeriod) {
