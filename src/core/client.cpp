@@ -1,5 +1,7 @@
 #include "core/client.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace idr::core {
@@ -34,8 +36,19 @@ void IndirectRoutingClient::fetch(
     std::function<void(const FetchRecord&)> on_done) {
   IDR_REQUIRE(on_done != nullptr, "fetch: null callback");
 
-  const std::vector<net::NodeId> candidates =
+  const util::TimePoint now = engine_.flow_simulator().simulator().now();
+  std::vector<net::NodeId> candidates =
       policy_->choose_candidates(stats_, rng_);
+  // Failed-relay blacklisting: relays serving out a penalty are dropped
+  // from the candidate set after the policy draw (policies are
+  // time-oblivious), and don't count as appearances — the race they were
+  // excluded from says nothing about their utilization.
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [&](net::NodeId relay) {
+                       return stats_.blacklisted(relay, now);
+                     }),
+      candidates.end());
   for (net::NodeId relay : candidates) stats_.note_appearance(relay);
 
   RaceSpec spec;
@@ -45,6 +58,8 @@ void IndirectRoutingClient::fetch(
   spec.probe_bytes = config_.probe_bytes;
   spec.candidate_relays = candidates;
   spec.tcp = config_.tcp;
+  spec.probe_timeout = config_.probe_timeout;
+  spec.retry = config_.retry;
 
   const util::TimePoint start =
       engine_.flow_simulator().simulator().now();
@@ -54,6 +69,20 @@ void IndirectRoutingClient::fetch(
           const RaceOutcome& outcome) {
         if (outcome.ok && outcome.chose_indirect) {
           stats_.note_selection(outcome.relay);
+        }
+        // Blacklist every relay the race saw die (probe lane or remainder);
+        // a selected relay that carried the transfer end-to-end clears its
+        // failure run instead.
+        const util::TimePoint end =
+            engine_.flow_simulator().simulator().now();
+        for (net::NodeId relay : outcome.failed_relays) {
+          if (!stats_.has_relay(relay)) continue;
+          stats_.note_failure(relay, end, config_.blacklist_base_penalty,
+                              config_.blacklist_max_penalty);
+        }
+        if (outcome.ok && outcome.chose_indirect && !outcome.fell_back_direct &&
+            stats_.has_relay(outcome.relay)) {
+          stats_.note_recovery(outcome.relay);
         }
         FetchRecord record;
         record.outcome = outcome;

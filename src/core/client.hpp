@@ -21,6 +21,15 @@ struct ClientConfig {
   std::string resource;
   Bytes probe_bytes = kDefaultProbeBytes;
   flow::TcpConfig tcp{};
+
+  /// Fault tolerance (all inert on fault-free runs): per-race probe
+  /// timeout (0 = none), the retry/backoff policy threaded into the race,
+  /// and the blacklist penalty bounds applied when a relay's transfers
+  /// keep dying.
+  Duration probe_timeout = 0.0;
+  fault::RetryPolicy retry{};
+  Duration blacklist_base_penalty = 60.0;
+  Duration blacklist_max_penalty = 3600.0;
 };
 
 /// Outcome of one selected fetch, with the candidates that were probed.

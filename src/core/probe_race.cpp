@@ -1,6 +1,8 @@
 #include "core/probe_race.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 
 #include "util/error.hpp"
@@ -15,6 +17,7 @@ struct RaceState {
   RaceCallback on_done;
   util::TimePoint start_time = 0.0;
   Bytes file_size = 0.0;
+  std::uint64_t probe_span = 0;
 
   struct Entry {
     overlay::TransferHandle handle = 0;
@@ -24,17 +27,120 @@ struct RaceState {
   std::vector<Entry> probes;
   std::size_t pending = 0;
   bool decided = false;
+  sim::EventId timeout_event = 0;
+
+  /// Winning lane once decided (nullopt = direct).
+  std::optional<net::NodeId> winner;
+  util::Duration probe_elapsed = 0.0;
+
+  // Fault/retry accounting, stamped into every outcome.
+  std::size_t probe_failures = 0;
+  std::size_t retries = 0;
+  bool fell_back_direct = false;
+  std::vector<net::NodeId> failed_relays;
+
+  /// Backoff jitter stream, created only after the first failure so a
+  /// clean race derives no RNG at all. The salt mixes the race start time
+  /// so concurrent races on one engine draw independent jitter, while the
+  /// same seed + same schedule replays identically.
+  std::optional<util::Rng> backoff_rng;
+
+  sim::Simulator& simulator() {
+    return engine->flow_simulator().simulator();
+  }
+
+  util::Rng& rng() {
+    if (!backoff_rng) {
+      std::uint64_t salt = 0;
+      static_assert(sizeof(salt) == sizeof(start_time));
+      std::memcpy(&salt, &start_time, sizeof(salt));
+      backoff_rng.emplace(
+          engine->flow_simulator().derive_rng(salt ^ 0xFA157ull));
+    }
+    return *backoff_rng;
+  }
+
+  void note_failed_relay(const std::optional<net::NodeId>& relay) {
+    if (!relay) return;
+    if (std::find(failed_relays.begin(), failed_relays.end(), *relay) ==
+        failed_relays.end()) {
+      failed_relays.push_back(*relay);
+    }
+  }
+
+  void stamp(RaceOutcome& outcome) const {
+    outcome.probe_failures = probe_failures;
+    outcome.retries = retries;
+    outcome.fell_back_direct = fell_back_direct;
+    outcome.failed_relays = failed_relays;
+  }
 
   void finish_error(std::string error) {
     RaceOutcome outcome;
     outcome.ok = false;
     outcome.error = std::move(error);
+    outcome.total_elapsed = simulator().now() - start_time;
+    stamp(outcome);
     on_done(outcome);
   }
 };
 
 void on_probe_done(const std::shared_ptr<RaceState>& state,
                    std::size_t index, const overlay::TransferResult& result);
+void start_remainder(const std::shared_ptr<RaceState>& state,
+                     std::size_t attempt, bool via_direct);
+void start_direct_fallback(const std::shared_ptr<RaceState>& state,
+                           std::size_t attempt);
+
+void finish_success(const std::shared_ptr<RaceState>& state,
+                    const overlay::TransferResult* remainder) {
+  RaceOutcome outcome;
+  outcome.ok = true;
+  outcome.chose_indirect = state->winner.has_value();
+  outcome.relay = state->winner.value_or(net::kInvalidNode);
+  outcome.probe_elapsed = state->probe_elapsed;
+  outcome.total_elapsed = state->simulator().now() - state->start_time;
+  outcome.total_bytes = state->file_size;
+  if (remainder != nullptr) {
+    outcome.remainder_bytes = remainder->bytes;
+    outcome.remainder_elapsed = remainder->elapsed();
+  }
+  state->stamp(outcome);
+  state->on_done(outcome);
+}
+
+/// All probe lanes died (fault windows, resets, or timeout): abandon
+/// selection and salvage the transfer with a plain full-file direct
+/// request, retried under the backoff policy. This is the "graceful
+/// degradation to what a non-selecting client would have done" path.
+void start_direct_fallback(const std::shared_ptr<RaceState>& state,
+                           std::size_t attempt) {
+  state->fell_back_direct = true;
+  overlay::TransferRequest req;
+  req.client = state->spec.client;
+  req.server = state->spec.server;
+  req.resource = state->spec.resource;
+  req.tcp = state->spec.tcp;
+  state->engine->begin(
+      req, [state, attempt](const overlay::TransferResult& result) {
+        if (result.ok) {
+          state->winner.reset();
+          finish_success(state, nullptr);
+          return;
+        }
+        if (attempt < state->spec.retry.max_retries) {
+          ++state->retries;
+          const util::Duration delay =
+              fault::backoff_delay(state->spec.retry, attempt, state->rng());
+          state->simulator().schedule_in(delay, [state, attempt] {
+            start_direct_fallback(state, attempt + 1);
+          });
+          return;
+        }
+        state->finish_error("all probes failed and direct fallback died: " +
+                            result.error);
+      });
+}
 
 void launch(const std::shared_ptr<RaceState>& state) {
   const auto size = state->spec.server->resource_size(state->spec.resource);
@@ -43,7 +149,7 @@ void launch(const std::shared_ptr<RaceState>& state) {
     return;
   }
   state->file_size = *size;
-  state->start_time = state->engine->flow_simulator().simulator().now();
+  state->start_time = state->simulator().now();
 
   // Direct probe first, then one per candidate relay. The probe range is
   // bytes=0-(x-1); if the file is smaller than x the range resolves to the
@@ -54,9 +160,9 @@ void launch(const std::shared_ptr<RaceState>& state) {
     lanes.emplace_back(relay);
   }
 
-  const auto probe_span = static_cast<std::uint64_t>(
+  state->probe_span = static_cast<std::uint64_t>(
       std::llround(std::min(state->spec.probe_bytes, state->file_size)));
-  IDR_REQUIRE(probe_span > 0, "probe race: zero probe size");
+  IDR_REQUIRE(state->probe_span > 0, "probe race: zero probe size");
 
   state->probes.resize(lanes.size());
   state->pending = lanes.size();
@@ -66,7 +172,7 @@ void launch(const std::shared_ptr<RaceState>& state) {
     req.client = state->spec.client;
     req.server = state->spec.server;
     req.resource = state->spec.resource;
-    req.range = http::range_first_bytes(probe_span);
+    req.range = http::range_first_bytes(state->probe_span);
     req.relay = lanes[i];
     req.tcp = state->spec.tcp;
     const std::size_t index = i;
@@ -75,25 +181,68 @@ void launch(const std::shared_ptr<RaceState>& state) {
           on_probe_done(state, index, result);
         });
   }
+
+  // A lane whose relay silently died would otherwise stall the race
+  // forever; past the deadline every unfinished lane is declared failed.
+  if (state->spec.probe_timeout > 0.0) {
+    state->timeout_event = state->simulator().schedule_in(
+        state->spec.probe_timeout, [state] {
+          state->timeout_event = 0;
+          if (state->decided || state->pending == 0) return;
+          for (auto& probe : state->probes) {
+            if (probe.finished) continue;
+            state->engine->cancel(probe.handle);
+            probe.finished = true;
+            --state->pending;
+            ++state->probe_failures;
+            state->note_failed_relay(probe.relay);
+          }
+          start_direct_fallback(state, 0);
+        });
+  }
 }
 
-void finish_success(const std::shared_ptr<RaceState>& state,
-                    const std::optional<net::NodeId>& winner,
-                    util::Duration probe_elapsed,
-                    const overlay::TransferResult* remainder) {
-  RaceOutcome outcome;
-  outcome.ok = true;
-  outcome.chose_indirect = winner.has_value();
-  outcome.relay = winner.value_or(net::kInvalidNode);
-  outcome.probe_elapsed = probe_elapsed;
-  outcome.total_elapsed =
-      state->engine->flow_simulator().simulator().now() - state->start_time;
-  outcome.total_bytes = state->file_size;
-  if (remainder != nullptr) {
-    outcome.remainder_bytes = remainder->bytes;
-    outcome.remainder_elapsed = remainder->elapsed();
-  }
-  state->on_done(outcome);
+/// The "bytes=x-" remainder with bounded retry: first attempt rides the
+/// winner's warm connection; retries reconnect cold (the connection died
+/// with the failure); once the winner's chain is exhausted the remainder
+/// falls back to a fresh direct connection with its own retry chain.
+void start_remainder(const std::shared_ptr<RaceState>& state,
+                     std::size_t attempt, bool via_direct) {
+  overlay::TransferRequest rest;
+  rest.client = state->spec.client;
+  rest.server = state->spec.server;
+  rest.resource = state->spec.resource;
+  rest.range = http::range_from_offset(state->probe_span);
+  rest.relay = via_direct ? std::nullopt : state->winner;
+  rest.warm_connection = attempt == 0 && !via_direct;
+  rest.tcp = state->spec.tcp;
+  state->engine->begin(
+      rest, [state, attempt,
+             via_direct](const overlay::TransferResult& remainder) {
+        if (remainder.ok) {
+          finish_success(state, &remainder);
+          return;
+        }
+        if (!via_direct) state->note_failed_relay(state->winner);
+        if (attempt < state->spec.retry.max_retries) {
+          ++state->retries;
+          const util::Duration delay =
+              fault::backoff_delay(state->spec.retry, attempt, state->rng());
+          state->simulator().schedule_in(delay, [state, attempt, via_direct] {
+            start_remainder(state, attempt + 1, via_direct);
+          });
+          return;
+        }
+        if (!via_direct && state->winner.has_value()) {
+          // Selected relay is dead: degrade to the direct path rather than
+          // failing the whole transfer.
+          state->fell_back_direct = true;
+          start_remainder(state, 0, /*via_direct=*/true);
+          return;
+        }
+        state->finish_error("remainder transfer failed after retries: " +
+                            remainder.error);
+      });
 }
 
 void on_probe_done(const std::shared_ptr<RaceState>& state,
@@ -105,52 +254,41 @@ void on_probe_done(const std::shared_ptr<RaceState>& state,
   if (state->decided) return;  // a loser draining out; already cancelled?
 
   if (!result.ok) {
+    ++state->probe_failures;
+    state->note_failed_relay(probe.relay);
     if (state->pending == 0) {
-      state->finish_error("all probes failed: " + result.error);
+      // Every lane (direct included) died before finishing its probe.
+      // Try to salvage the transfer with a plain direct request — the
+      // failures may have been transient resets or a closing window.
+      if (state->timeout_event != 0) {
+        state->simulator().cancel(state->timeout_event);
+        state->timeout_event = 0;
+      }
+      start_direct_fallback(state, 0);
     }
     return;  // other lanes still racing
   }
 
   // First successful probe wins the race.
   state->decided = true;
-  const std::optional<net::NodeId> winner = probe.relay;
-  const util::Duration probe_elapsed =
-      result.finish_time - state->start_time;
+  state->winner = probe.relay;
+  state->probe_elapsed = result.finish_time - state->start_time;
+  if (state->timeout_event != 0) {
+    state->simulator().cancel(state->timeout_event);
+    state->timeout_event = 0;
+  }
 
   for (auto& other : state->probes) {
     if (!other.finished) state->engine->cancel(other.handle);
   }
 
-  const auto probe_span = static_cast<std::uint64_t>(
-      std::llround(std::min(state->spec.probe_bytes, state->file_size)));
-  const auto total = static_cast<std::uint64_t>(
-      std::llround(state->file_size));
-  if (probe_span >= total) {
+  if (state->probe_span >= static_cast<std::uint64_t>(
+                               std::llround(state->file_size))) {
     // The probe covered the whole file.
-    finish_success(state, winner, probe_elapsed, nullptr);
+    finish_success(state, nullptr);
     return;
   }
-
-  overlay::TransferRequest rest;
-  rest.client = state->spec.client;
-  rest.server = state->spec.server;
-  rest.resource = state->spec.resource;
-  rest.range = http::range_from_offset(probe_span);
-  rest.relay = winner;
-  // The winner's connection is still open (keep-alive): the remainder
-  // request skips handshakes and slow start.
-  rest.warm_connection = true;
-  rest.tcp = state->spec.tcp;
-  state->engine->begin(
-      rest, [state, winner, probe_elapsed](
-                const overlay::TransferResult& remainder) {
-        if (!remainder.ok) {
-          state->finish_error("remainder transfer failed: " +
-                              remainder.error);
-          return;
-        }
-        finish_success(state, winner, probe_elapsed, &remainder);
-      });
+  start_remainder(state, 0, /*via_direct=*/false);
 }
 
 }  // namespace
@@ -160,6 +298,8 @@ void start_probe_race(overlay::TransferEngine& engine, const RaceSpec& spec,
   IDR_REQUIRE(spec.server != nullptr, "start_probe_race: null server");
   IDR_REQUIRE(spec.probe_bytes > 0.0,
               "start_probe_race: non-positive probe size");
+  IDR_REQUIRE(spec.probe_timeout >= 0.0,
+              "start_probe_race: negative probe timeout");
   IDR_REQUIRE(on_done != nullptr, "start_probe_race: null callback");
   auto state = std::make_shared<RaceState>();
   state->engine = &engine;

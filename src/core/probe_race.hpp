@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "overlay/transfer_engine.hpp"
 
 namespace idr::core {
@@ -34,6 +35,16 @@ struct RaceSpec {
   /// Indirect candidates; the direct path always races too.
   std::vector<net::NodeId> candidate_relays;
   flow::TcpConfig tcp{};
+
+  /// Per-race probe timeout: lanes still unfinished this long after the
+  /// race starts are cancelled and counted as failed (a relay that is
+  /// down stalls forever without this). 0 disables — the default, so
+  /// fault-free runs schedule no extra event.
+  Duration probe_timeout = 0.0;
+  /// Bounded retry with exponential backoff + jitter for the remainder
+  /// fetch and the direct fallback. Consulted only after a failure, so a
+  /// clean race never draws from the backoff stream.
+  fault::RetryPolicy retry{};
 };
 
 struct RaceOutcome {
@@ -52,6 +63,18 @@ struct RaceOutcome {
   /// covered the whole file).
   Bytes remainder_bytes = 0.0;
   Duration remainder_elapsed = 0.0;
+
+  // --- Fault/retry accounting (all zero on a clean race) -------------------
+  /// Probe lanes that failed or timed out before the race was decided.
+  std::size_t probe_failures = 0;
+  /// Remainder/fallback attempts beyond each phase's first try.
+  std::size_t retries = 0;
+  /// True when the transfer was salvaged over the direct path after the
+  /// selected path (or every probe lane) died.
+  bool fell_back_direct = false;
+  /// Relays whose probe lane or remainder transfer failed — the input to
+  /// failed-relay blacklisting. Deduplicated.
+  std::vector<net::NodeId> failed_relays;
 
   /// Client-perceived throughput of the selected path, probe included.
   Rate selected_throughput() const {

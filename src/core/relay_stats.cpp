@@ -48,6 +48,36 @@ void RelayStatsTable::note_improvement(net::NodeId relay,
   mutable_record(relay).improvement_pct.add(improvement_pct);
 }
 
+void RelayStatsTable::note_failure(net::NodeId relay, util::TimePoint now,
+                                   util::Duration base_penalty,
+                                   util::Duration max_penalty) {
+  IDR_REQUIRE(base_penalty >= 0.0 && max_penalty >= base_penalty,
+              "note_failure: invalid penalty bounds");
+  RelayRecord& r = mutable_record(relay);
+  ++r.failures;
+  ++r.consecutive_failures;
+  // base * 2^(run-1), capped; computed multiplicatively so a long run
+  // cannot overflow.
+  util::Duration penalty = base_penalty;
+  for (std::size_t i = 1; i < r.consecutive_failures && penalty < max_penalty;
+       ++i) {
+    penalty *= 2.0;
+  }
+  penalty = std::min(penalty, max_penalty);
+  r.blacklisted_until = std::max(r.blacklisted_until, now + penalty);
+}
+
+void RelayStatsTable::note_recovery(net::NodeId relay) {
+  RelayRecord& r = mutable_record(relay);
+  r.consecutive_failures = 0;
+  r.blacklisted_until = 0.0;
+}
+
+bool RelayStatsTable::blacklisted(net::NodeId relay,
+                                  util::TimePoint now) const {
+  return record(relay).blacklisted_until > now;
+}
+
 std::vector<RelayRecord> RelayStatsTable::by_utilization() const {
   std::vector<RelayRecord> sorted = records_;
   std::stable_sort(sorted.begin(), sorted.end(),

@@ -11,6 +11,7 @@
 
 #include "net/topology.hpp"
 #include "util/stats.hpp"
+#include "util/units.hpp"
 
 namespace idr::core {
 
@@ -23,6 +24,12 @@ struct RelayRecord {
   std::size_t selections = 0;
   /// Improvement (percent, vs. direct) of transfers routed through it.
   util::OnlineStats improvement_pct;
+  /// Fault bookkeeping: total transfers that died via this relay, the
+  /// current consecutive-failure run, and the blacklist deadline the run
+  /// earned. All stay zero on fault-free runs.
+  std::size_t failures = 0;
+  std::size_t consecutive_failures = 0;
+  util::TimePoint blacklisted_until = 0.0;
 
   /// Section 4's utilization: selected / appeared.
   double utilization() const {
@@ -47,6 +54,21 @@ class RelayStatsTable {
   /// because the direct-path reference is measured by a parallel plain
   /// client, so it is only known after the fact.
   void note_improvement(net::NodeId relay, double improvement_pct);
+
+  /// Records a failed transfer (probe lane, remainder, or injected fault)
+  /// via `relay` at simulated time `now` and blacklists it for
+  /// min(base * 2^(consecutive_failures - 1), max_penalty) seconds —
+  /// exponential growth while a relay keeps dying, decaying back to
+  /// nothing simply by expiry once it stops.
+  void note_failure(net::NodeId relay, util::TimePoint now,
+                    util::Duration base_penalty,
+                    util::Duration max_penalty);
+  /// Records a successful transfer via `relay`: ends the consecutive run
+  /// (the next failure starts again at the base penalty) and clears any
+  /// remaining blacklist time.
+  void note_recovery(net::NodeId relay);
+  /// Whether selection should skip the relay at simulated time `now`.
+  bool blacklisted(net::NodeId relay, util::TimePoint now) const;
 
   const RelayRecord& record(net::NodeId relay) const;
 

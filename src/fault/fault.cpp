@@ -1,0 +1,94 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace idr::fault {
+
+namespace {
+
+/// Appends alternating up/down intervals for one target. The stream is a
+/// renewal process: exponential uptime (mtbf), exponential downtime
+/// (mttr), truncated at the horizon.
+void generate_windows(std::size_t target, Duration mtbf, Duration mttr,
+                      Duration horizon, util::Rng rng,
+                      std::vector<FaultWindow>& out) {
+  if (mtbf <= 0.0) return;
+  TimePoint t = rng.exponential(mtbf);
+  while (t < horizon) {
+    const Duration down = std::max(1e-3, rng.exponential(mttr));
+    FaultWindow w;
+    w.target = target;
+    w.start = t;
+    w.end = std::min(t + down, static_cast<TimePoint>(horizon));
+    out.push_back(w);
+    t = w.end + rng.exponential(mtbf);
+  }
+}
+
+/// Appends a Poisson stream of transient resets for one target.
+void generate_resets(std::size_t target, Duration mtbf, Duration horizon,
+                     util::Rng rng, std::vector<FaultReset>& out) {
+  if (mtbf <= 0.0) return;
+  TimePoint t = rng.exponential(mtbf);
+  while (t < horizon) {
+    out.push_back(FaultReset{target, t});
+    t += rng.exponential(mtbf);
+  }
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::generate(const FaultConfig& config,
+                                      std::size_t relay_count,
+                                      std::uint64_t seed) {
+  FaultSchedule schedule;
+  if (!config.enabled) return schedule;
+  IDR_REQUIRE(config.horizon > 0.0, "FaultSchedule: non-positive horizon");
+  IDR_REQUIRE(config.relay_mttr > 0.0 && config.direct_mttr > 0.0,
+              "FaultSchedule: non-positive repair time");
+
+  // Independent child streams per (target, fault kind): adding a relay or
+  // enabling another fault kind never perturbs the others' timelines.
+  const util::Rng root(seed);
+  for (std::size_t i = 0; i < relay_count; ++i) {
+    generate_windows(i, config.relay_mtbf, config.relay_mttr,
+                     config.horizon, root.child(2 * i + 1),
+                     schedule.windows);
+    generate_resets(i, config.relay_reset_mtbf, config.horizon,
+                    root.child(2 * i + 2), schedule.resets);
+  }
+  generate_windows(kDirectPath, config.direct_mtbf, config.direct_mttr,
+                   config.horizon, root.child(0xD12EC7),
+                   schedule.windows);
+
+  std::stable_sort(schedule.windows.begin(), schedule.windows.end(),
+                   [](const FaultWindow& a, const FaultWindow& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.target < b.target;
+                   });
+  std::stable_sort(schedule.resets.begin(), schedule.resets.end(),
+                   [](const FaultReset& a, const FaultReset& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.target < b.target;
+                   });
+  return schedule;
+}
+
+Duration backoff_delay(const RetryPolicy& policy, std::size_t retry_index,
+                       util::Rng& rng) {
+  IDR_REQUIRE(policy.base_delay >= 0.0 && policy.multiplier >= 1.0,
+              "backoff_delay: invalid policy");
+  Duration delay = policy.base_delay *
+                   std::pow(policy.multiplier,
+                            static_cast<double>(retry_index));
+  delay = std::min(delay, policy.max_delay);
+  if (policy.jitter_frac > 0.0 && delay > 0.0) {
+    delay += rng.uniform(0.0, policy.jitter_frac * delay);
+  }
+  return delay;
+}
+
+}  // namespace idr::fault

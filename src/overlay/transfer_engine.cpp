@@ -1,6 +1,7 @@
 #include "overlay/transfer_engine.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -36,6 +37,74 @@ void TransferEngine::fail_async(TransferHandle handle, std::string error) {
       0.0, [this, handle] { finish(handle); });
 }
 
+void TransferEngine::abort_transfer(TransferHandle handle,
+                                    const char* error) {
+  Active& active = transfers_.at(handle);
+  // Bytes already fully drained (delivery tail) are delivered; a reset
+  // after the last byte left the sender cannot un-deliver them. A
+  // transfer the fault plane already killed just waits for its error
+  // event.
+  if (active.fault_failing || active.phase == Phase::kTail) return;
+  if (active.phase == Phase::kFlow) {
+    fsim_.cancel_flow(active.flow);
+  } else {
+    fsim_.simulator().cancel(active.timer);
+  }
+  active.fault_failing = true;
+  active.phase = Phase::kSetup;  // only the error timer remains
+  active.result.ok = false;
+  active.result.error = error;
+  active.timer = fsim_.simulator().schedule_in(
+      0.0, [this, handle] { finish(handle); });
+  ++faults_injected_;
+}
+
+void TransferEngine::abort_transfers_via(net::NodeId relay,
+                                         const char* error) {
+  // Collect first and sort: the abort schedules events, and handle order
+  // keeps the injection deterministic across library/hash changes.
+  std::vector<TransferHandle> victims;
+  for (const auto& [handle, active] : transfers_) {
+    const bool match = relay == net::kInvalidNode
+                           ? !active.result.indirect
+                           : active.result.relay == relay;
+    if (match && !active.fault_failing && active.phase != Phase::kTail) {
+      victims.push_back(handle);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (TransferHandle handle : victims) abort_transfer(handle, error);
+}
+
+void TransferEngine::set_relay_down(net::NodeId relay, bool down) {
+  if (down) {
+    if (!down_relays_.insert(relay).second) return;
+    abort_transfers_via(relay, "relay down (injected fault)");
+  } else {
+    down_relays_.erase(relay);
+  }
+}
+
+bool TransferEngine::relay_down(net::NodeId relay) const {
+  return down_relays_.count(relay) != 0;
+}
+
+void TransferEngine::set_direct_down(bool down) {
+  if (down == direct_down_) return;
+  direct_down_ = down;
+  if (down) {
+    abort_transfers_via(net::kInvalidNode,
+                        "direct path down (injected fault)");
+  }
+}
+
+void TransferEngine::inject_reset(net::NodeId relay) {
+  abort_transfers_via(relay,
+                      relay == net::kInvalidNode
+                          ? "connection reset (injected fault)"
+                          : "relay reset connection (injected fault)");
+}
+
 TransferHandle TransferEngine::begin(const TransferRequest& request,
                                      TransferCallback on_done) {
   IDR_REQUIRE(request.server != nullptr, "begin: null server");
@@ -55,6 +124,15 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
     return handle;
   }
   active.result.bytes = *bytes;
+
+  // Fault plane: a crashed relay (or a direct-path outage) refuses new
+  // connections until its window closes.
+  if (request.relay ? relay_down(*request.relay) : direct_down_) {
+    ++faults_injected_;
+    fail_async(handle, request.relay ? "relay down (injected fault)"
+                                     : "direct path down (injected fault)");
+    return handle;
+  }
 
   const net::Topology& topo = fsim_.topology();
   const net::NodeId server_node = request.server->node();
@@ -172,6 +250,8 @@ bool TransferEngine::cancel(TransferHandle handle) {
   const auto it = transfers_.find(handle);
   if (it == transfers_.end()) return false;
   Active& active = it->second;
+  // A fault-killed transfer's flow is already gone; only its pending
+  // error-delivery event needs cancelling (phase was reset to kSetup).
   if (active.phase == Phase::kFlow) {
     fsim_.cancel_flow(active.flow);
   } else {

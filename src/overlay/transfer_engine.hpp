@@ -19,6 +19,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "flow/flow_simulator.hpp"
 #include "net/routing.hpp"
@@ -113,6 +114,32 @@ class TransferEngine {
   /// Instantaneous delivery rate of an in-flight transfer (0 during setup).
   Rate current_rate(TransferHandle handle) const;
 
+  // --- Fault plane ---------------------------------------------------------
+  // Injection points for the deterministic fault layer (idr::fault).
+  // testbed::ClientWorld replays a FaultSchedule into these as simulator
+  // events; nothing here runs unless a schedule is active.
+
+  /// Marks a relay crashed (down = true) or restarted. Going down aborts
+  /// every in-flight transfer routed via the relay — the transfer's
+  /// callback fires on the next simulator step with ok == false ("relay
+  /// down"), modelling a connection reset — and new begins via the relay
+  /// fail the same way until the relay comes back up.
+  void set_relay_down(net::NodeId relay, bool down);
+  bool relay_down(net::NodeId relay) const;
+
+  /// Direct-path outage: identical semantics for transfers that use no
+  /// relay.
+  void set_direct_down(bool down);
+  bool direct_down() const { return direct_down_; }
+
+  /// Transient mid-stream reset: aborts in-flight transfers via `relay`
+  /// (or the direct path when relay == net::kInvalidNode) without opening
+  /// a down window — the next attempt succeeds.
+  void inject_reset(net::NodeId relay);
+
+  /// Transfers killed or refused by the fault plane so far.
+  std::uint64_t faults_injected() const { return faults_injected_; }
+
   std::size_t in_flight() const { return transfers_.size(); }
   flow::FlowSimulator& flow_simulator() { return fsim_; }
 
@@ -129,10 +156,19 @@ class TransferEngine {
     sim::EventId timer = 0;
     flow::FlowId flow = 0;
     Duration tail_delay = 0.0;
+    /// Set once the fault plane killed this transfer: its flow/timer is
+    /// already torn down and only the error-delivery event remains.
+    bool fault_failing = false;
   };
 
   void fail_async(TransferHandle handle, std::string error);
   void finish(TransferHandle handle);
+  /// Kills one in-flight transfer with `error` (no-op once the byte
+  /// stream is fully drained, i.e. in the delivery tail).
+  void abort_transfer(TransferHandle handle, const char* error);
+  /// Kills every in-flight transfer matching relay (kInvalidNode = the
+  /// direct path) in handle order.
+  void abort_transfers_via(net::NodeId relay, const char* error);
 
   flow::FlowSimulator& fsim_;
   std::unordered_map<net::NodeId, RelayParams> relay_params_;
@@ -141,6 +177,9 @@ class TransferEngine {
   util::Rng jitter_rng_;
   std::unordered_map<TransferHandle, Active> transfers_;
   TransferHandle next_handle_ = 0;
+  std::unordered_set<net::NodeId> down_relays_;
+  bool direct_down_ = false;
+  std::uint64_t faults_injected_ = 0;
 };
 
 }  // namespace idr::overlay

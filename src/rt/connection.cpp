@@ -54,13 +54,19 @@ void Connection::handle_events(IoEvents events) {
     const int err = connect_error(fd_.get());
     ConnectCallback cb = std::move(on_connect_);
     on_connect_ = nullptr;
-    if (err != 0) {
+    std::string err_msg = err != 0 ? std::strerror(err) : std::string();
+    if (err == 0 && fault_ && fault_->kind == FaultKind::kDropOnConnect) {
+      fault_.reset();
+      FaultShim::instance().count_injection();
+      err_msg = "connection refused (injected fault)";
+    }
+    if (!err_msg.empty()) {
       if (registered_) {
         reactor_.remove_fd(fd_.get());
         registered_ = false;
       }
       fd_.reset();
-      if (cb) cb(std::strerror(err));
+      if (cb) cb(err_msg);
       return;
     }
     reactor_.update_fd(fd_.get(), read_enabled_, !send_queue_.empty());
@@ -83,15 +89,38 @@ void Connection::handle_readable() {
   while (true) {
     const ssize_t n = ::recv(fd_.get(), buffer.data(), buffer.size(), 0);
     if (n > 0) {
-      bytes_received_ += static_cast<std::size_t>(n);
-      if (on_data_) {
+      // A byte-counted fault rule delivers only its budget, then cuts the
+      // stream as a reset or an orderly (truncating) EOF.
+      std::size_t deliver = static_cast<std::size_t>(n);
+      bool cut = false;
+      if (fault_ && (fault_->kind == FaultKind::kMidStreamReset ||
+                     fault_->kind == FaultKind::kTruncateBody)) {
+        const std::uint64_t budget =
+            fault_->after_bytes > fault_delivered_
+                ? fault_->after_bytes - fault_delivered_
+                : 0;
+        if (deliver >= budget) {
+          deliver = static_cast<std::size_t>(budget);
+          cut = true;
+        }
+        fault_delivered_ += deliver;
+      }
+      bytes_received_ += deliver;
+      if (deliver > 0 && on_data_) {
         // Invoke through a copy: the handler may close() this connection,
         // which clears on_data_ — destroying the very closure that is
         // executing unless we keep it alive here.
         DataCallback cb = on_data_;
-        cb(std::string_view(buffer.data(), static_cast<std::size_t>(n)));
+        cb(std::string_view(buffer.data(), deliver));
       }
       if (closed() || !read_enabled_) return;
+      if (cut) {
+        const bool reset = fault_->kind == FaultKind::kMidStreamReset;
+        fault_.reset();
+        FaultShim::instance().count_injection();
+        fail(reset ? "connection reset (injected fault)" : "");
+        return;
+      }
       continue;
     }
     if (n == 0) {
@@ -144,6 +173,25 @@ std::size_t Connection::send_backlog() const {
   return total - send_offset_;
 }
 
+void Connection::set_fault(const FaultRule& rule) {
+  IDR_REQUIRE(!closed(), "set_fault on closed connection");
+  fault_ = rule;
+  if (rule.kind == FaultKind::kStall) {
+    // Freeze inbound delivery; the peer sees an open socket that never
+    // drains — a wedged relay. A reactor timer thaws it.
+    FaultShim::instance().count_injection();
+    set_read_enabled(false);
+    std::weak_ptr<Connection> weak = weak_from_this();
+    stall_timer_ = reactor_.add_timer(rule.stall_s, [weak] {
+      if (auto self = weak.lock()) {
+        self->stall_timer_ = 0;
+        self->fault_.reset();
+        if (!self->closed()) self->set_read_enabled(true);
+      }
+    });
+  }
+}
+
 void Connection::set_read_enabled(bool enabled) {
   if (read_enabled_ == enabled || closed()) return;
   read_enabled_ = enabled;
@@ -152,6 +200,10 @@ void Connection::set_read_enabled(bool enabled) {
 
 void Connection::close() {
   if (closed()) return;
+  if (stall_timer_ != 0) {
+    reactor_.cancel_timer(stall_timer_);
+    stall_timer_ = 0;
+  }
   if (registered_) {
     reactor_.remove_fd(fd_.get());
     registered_ = false;

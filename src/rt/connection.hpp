@@ -9,9 +9,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
+#include "rt/fault_shim.hpp"
 #include "rt/reactor.hpp"
 #include "rt/socket.hpp"
 
@@ -48,6 +50,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// Pauses/resumes delivery of on_data (flow control for relays).
   void set_read_enabled(bool enabled);
 
+  /// Attaches a fault rule from the shim (testing only): drop-on-connect
+  /// fires at connect resolution, stall freezes inbound delivery, and the
+  /// byte-counted kinds cut the stream after `after_bytes` inbound bytes.
+  void set_fault(const FaultRule& rule);
+
   bool closed() const { return !fd_.valid(); }
   std::size_t bytes_received() const { return bytes_received_; }
   std::size_t bytes_sent() const { return bytes_sent_; }
@@ -70,6 +77,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   ConnectCallback on_connect_;
   bool connecting_ = false;
   bool read_enabled_ = true;
+  std::optional<FaultRule> fault_;
+  std::uint64_t fault_delivered_ = 0;
+  TimerId stall_timer_ = 0;
   std::deque<std::string> send_queue_;
   std::size_t send_offset_ = 0;  // into send_queue_.front()
   std::size_t bytes_received_ = 0;

@@ -1,0 +1,28 @@
+#include "rt/fault_shim.hpp"
+
+namespace idr::rt {
+
+FaultShim& FaultShim::instance() {
+  static FaultShim shim;
+  return shim;
+}
+
+void FaultShim::arm(std::uint16_t port, FaultRule rule) {
+  rules_[port].push_back(rule);
+}
+
+void FaultShim::clear() { rules_.clear(); }
+
+std::optional<FaultRule> FaultShim::take(std::uint16_t port) {
+  const auto it = rules_.find(port);
+  if (it == rules_.end() || it->second.empty()) return std::nullopt;
+  FaultRule& front = it->second.front();
+  const FaultRule rule = front;
+  if (front.uses > 0 && --front.uses == 0) {
+    it->second.erase(it->second.begin());
+    if (it->second.empty()) rules_.erase(it);
+  }
+  return rule;
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,68 @@
+// Socket-level fault injection for the real-socket stack — the rt
+// counterpart of the simulator's fault plane (see fault/fault.hpp).
+//
+// Tests arm rules against a destination port; the next connection(s) the
+// stack opens to that port execute the fault: refuse the connect, freeze
+// inbound bytes for a while, reset mid-stream after N bytes, or truncate
+// the stream with an orderly EOF (a short Content-Length body). Rules are
+// consumed at the two places the stack dials out — rt::fetch and the relay
+// daemon's upstream leg — so both ends of a relayed transfer can be hit.
+//
+// With no rules armed (the default) every lookup is a miss on an empty
+// table and the data path is untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace idr::rt {
+
+enum class FaultKind : std::uint8_t {
+  /// The connect resolves as refused.
+  kDropOnConnect,
+  /// Connection establishes but inbound delivery is frozen for stall_s
+  /// seconds (a wedged peer that keeps the socket open).
+  kStall,
+  /// Deliver after_bytes inbound bytes, then fail like an ECONNRESET.
+  kMidStreamReset,
+  /// Deliver after_bytes inbound bytes, then orderly EOF — the classic
+  /// truncated-body failure the Content-Length verifier must catch.
+  kTruncateBody,
+};
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kDropOnConnect;
+  /// Raw connection bytes (headers included) delivered before the cut.
+  std::uint64_t after_bytes = 0;
+  double stall_s = 0.0;
+  /// Connections the rule applies to before expiring; -1 = until clear().
+  int uses = 1;
+};
+
+class FaultShim {
+ public:
+  /// Process-global instance: the connect sites are free functions with no
+  /// carrier object to hang per-instance state off.
+  static FaultShim& instance();
+
+  /// Queues a rule against connections to `port` (FIFO per port).
+  void arm(std::uint16_t port, FaultRule rule);
+  /// Drops every armed rule (call between tests).
+  void clear();
+
+  /// Consumes one use of the front rule for `port`; nullopt when nothing
+  /// is armed — the fast path.
+  std::optional<FaultRule> take(std::uint16_t port);
+
+  /// Faults that actually fired on a connection.
+  std::uint64_t injected() const { return injected_; }
+  void count_injection() { ++injected_; }
+
+ private:
+  std::map<std::uint16_t, std::vector<FaultRule>> rules_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace idr::rt

@@ -1,6 +1,7 @@
 #include "rt/http_client.hpp"
 
 #include "http/parser.hpp"
+#include "rt/fault_shim.hpp"
 #include "rt/http_server.hpp"
 #include "util/error.hpp"
 
@@ -141,6 +142,11 @@ FetchHandle fetch(Reactor& reactor, const FetchRequest& request,
   }
 
   state->conn = Connection::adopt(reactor, std::move(fd));
+  // Fault shim: a rule armed against this destination rides the new
+  // connection (no-op when the shim table is empty).
+  if (const auto rule = FaultShim::instance().take(connect_to.port)) {
+    state->conn->set_fault(*rule);
+  }
   state->conn->set_on_data([state](std::string_view data) {
     on_response_progress(state, data);
   });

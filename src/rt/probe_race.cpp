@@ -20,10 +20,31 @@ struct RaceState {
   bool finished = false;
   bool probe_verified = true;
 
-  void finish(const RaceResult& result) {
+  // Winning lane once decided.
+  bool indirect = false;
+  std::size_t relay_index = SIZE_MAX;
+  double probe_elapsed = 0.0;
+
+  // Fault/retry accounting, stamped into every result.
+  std::size_t probe_failures = 0;
+  std::size_t retries = 0;
+  bool fell_back_direct = false;
+
+  /// Jitter stream for backoff delays; fixed seed — wall-clock retry
+  /// spacing needs decorrelation, not reproducibility.
+  util::Rng backoff_rng{0xF417u};
+
+  void stamp(RaceResult& result) const {
+    result.probe_failures = probe_failures;
+    result.retries = retries;
+    result.fell_back_direct = fell_back_direct;
+  }
+
+  void finish(RaceResult result) {
     if (finished) return;
     finished = true;
     for (auto& lane : lanes) lane.cancel();
+    stamp(result);
     on_done(result);
   }
 
@@ -35,65 +56,135 @@ struct RaceState {
   }
 };
 
+void start_remainder(const std::shared_ptr<RaceState>& state,
+                     std::size_t attempt, bool via_direct);
+
+void finish_success(const std::shared_ptr<RaceState>& state,
+                    const FetchResult* remainder, bool covered_by_probe) {
+  RaceResult final;
+  final.ok = true;
+  final.chose_indirect = state->indirect;
+  final.relay_index = state->relay_index;
+  final.probe_elapsed = state->probe_elapsed;
+  // When the probe covered the file the race IS the transfer; re-reading
+  // the clock here would make the two elapsed times differ by epsilon.
+  final.total_elapsed = covered_by_probe
+                            ? state->probe_elapsed
+                            : state->reactor->now() - state->start_time;
+  final.total_bytes = state->spec.resource_size;
+  final.body_verified =
+      state->probe_verified &&
+      (remainder == nullptr || remainder->body_verified);
+  state->finish(final);
+}
+
+/// Every lane died before delivering a probe: salvage the transfer with a
+/// plain full-file direct fetch under the retry policy instead of failing
+/// outright — exactly what a non-selecting client would do.
+void start_direct_fallback(const std::shared_ptr<RaceState>& state,
+                           std::size_t attempt,
+                           const std::string& probe_error) {
+  state->fell_back_direct = true;
+  FetchRequest req;
+  req.origin = state->spec.origin;
+  req.path = state->spec.path;
+  req.timeout_s = state->spec.timeout_s;
+  fetch(*state->reactor, req,
+        [state, attempt, probe_error](const FetchResult& result) {
+          if (state->finished) return;
+          if (result.ok) {
+            state->indirect = false;
+            state->relay_index = SIZE_MAX;
+            state->probe_verified = result.body_verified;
+            finish_success(state, nullptr, /*covered_by_probe=*/false);
+            return;
+          }
+          if (attempt < state->spec.retry.max_retries) {
+            ++state->retries;
+            const double delay = fault::backoff_delay(
+                state->spec.retry, attempt, state->backoff_rng);
+            state->reactor->add_timer(delay, [state, attempt, probe_error] {
+              if (!state->finished) {
+                start_direct_fallback(state, attempt + 1, probe_error);
+              }
+            });
+            return;
+          }
+          state->fail("all probes failed (" + probe_error +
+                      ") and direct fallback died: " + result.error);
+        });
+}
+
+/// Remainder with bounded retry: the winner's lane first (retries
+/// reconnect from scratch), then the direct path, then a clean error —
+/// a dead winner no longer fails the whole transfer.
+void start_remainder(const std::shared_ptr<RaceState>& state,
+                     std::size_t attempt, bool via_direct) {
+  FetchRequest rest;
+  rest.origin = state->spec.origin;
+  rest.path = state->spec.path;
+  rest.range = http::range_from_offset(state->spec.probe_bytes);
+  if (!via_direct && state->indirect) {
+    rest.proxy = state->spec.relays[state->relay_index];
+  }
+  rest.timeout_s = state->spec.timeout_s;
+  fetch(*state->reactor, rest,
+        [state, attempt, via_direct](const FetchResult& remainder) {
+          if (state->finished) return;
+          if (remainder.ok) {
+            if (via_direct) state->fell_back_direct = true;
+            finish_success(state, &remainder, /*covered_by_probe=*/false);
+            return;
+          }
+          if (attempt < state->spec.retry.max_retries) {
+            ++state->retries;
+            const double delay = fault::backoff_delay(
+                state->spec.retry, attempt, state->backoff_rng);
+            state->reactor->add_timer(delay, [state, attempt, via_direct] {
+              if (!state->finished) {
+                start_remainder(state, attempt + 1, via_direct);
+              }
+            });
+            return;
+          }
+          if (!via_direct && state->indirect) {
+            // Selected relay is dead: degrade to the direct path.
+            state->fell_back_direct = true;
+            start_remainder(state, 0, /*via_direct=*/true);
+            return;
+          }
+          state->fail("remainder failed after retries: " + remainder.error);
+        });
+}
+
 void on_probe_done(const std::shared_ptr<RaceState>& state,
                    std::size_t lane, const FetchResult& result) {
   --state->pending;
   if (state->decided || state->finished) return;
   if (!result.ok) {
+    ++state->probe_failures;
     if (state->pending == 0) {
-      state->fail("all probes failed: " + result.error);
+      start_direct_fallback(state, 0, result.error);
     }
     return;
   }
 
   state->decided = true;
   state->probe_verified = result.body_verified;
-  const double probe_elapsed = state->reactor->now() - state->start_time;
+  state->probe_elapsed = state->reactor->now() - state->start_time;
   // Abort the losers.
   for (std::size_t i = 0; i < state->lanes.size(); ++i) {
     if (i != lane) state->lanes[i].cancel();
   }
 
-  const bool indirect = lane > 0;
-  const std::size_t relay_index = indirect ? lane - 1 : SIZE_MAX;
+  state->indirect = lane > 0;
+  state->relay_index = state->indirect ? lane - 1 : SIZE_MAX;
 
   if (state->spec.probe_bytes >= state->spec.resource_size) {
-    RaceResult final;
-    final.ok = true;
-    final.chose_indirect = indirect;
-    final.relay_index = relay_index;
-    final.probe_elapsed = probe_elapsed;
-    final.total_elapsed = probe_elapsed;
-    final.total_bytes = state->spec.resource_size;
-    final.body_verified = state->probe_verified;
-    state->finish(final);
+    finish_success(state, nullptr, /*covered_by_probe=*/true);
     return;
   }
-
-  FetchRequest rest;
-  rest.origin = state->spec.origin;
-  rest.path = state->spec.path;
-  rest.range = http::range_from_offset(state->spec.probe_bytes);
-  if (indirect) rest.proxy = state->spec.relays[relay_index];
-  rest.timeout_s = state->spec.timeout_s;
-  fetch(*state->reactor, rest,
-        [state, indirect, relay_index, probe_elapsed](
-            const FetchResult& remainder) {
-          if (!remainder.ok) {
-            state->fail("remainder failed: " + remainder.error);
-            return;
-          }
-          RaceResult final;
-          final.ok = true;
-          final.chose_indirect = indirect;
-          final.relay_index = relay_index;
-          final.probe_elapsed = probe_elapsed;
-          final.total_elapsed = state->reactor->now() - state->start_time;
-          final.total_bytes = state->spec.resource_size;
-          final.body_verified =
-              state->probe_verified && remainder.body_verified;
-          state->finish(final);
-        });
+  start_remainder(state, 0, /*via_direct=*/false);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "rt/http_client.hpp"
 #include "rt/relay_daemon.hpp"
 
@@ -21,6 +22,11 @@ struct RaceSpec {
   /// Candidate relay endpoints; the direct path always races too.
   std::vector<Endpoint> relays;
   double timeout_s = 30.0;
+  /// Bounded retry with backoff for the remainder fetch and the direct
+  /// fallback — same semantics as the simulated race (fault/fault.hpp):
+  /// max_retries extra attempts per phase, then degrade to the direct
+  /// path, and only fail once that dies too.
+  fault::RetryPolicy retry{};
 };
 
 struct RaceResult {
@@ -32,6 +38,12 @@ struct RaceResult {
   double total_elapsed = 0.0;
   std::uint64_t total_bytes = 0;
   bool body_verified = false;
+  /// Fault/retry accounting (zero on a clean race): failed probe lanes,
+  /// attempts beyond each phase's first try, and whether the transfer was
+  /// salvaged over the direct path after the winner died.
+  std::size_t probe_failures = 0;
+  std::size_t retries = 0;
+  bool fell_back_direct = false;
 
   double throughput() const {
     return total_elapsed > 0.0

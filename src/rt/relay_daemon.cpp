@@ -1,6 +1,7 @@
 #include "rt/relay_daemon.hpp"
 
 #include "http/message.hpp"
+#include "rt/fault_shim.hpp"
 #include "util/error.hpp"
 
 namespace idr::rt {
@@ -116,6 +117,11 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
     return;
   }
   session->upstream = Connection::adopt(reactor_, std::move(fd));
+  // Fault shim: rules armed against the origin hit the relay's upstream
+  // leg too, so tests can kill a relayed transfer mid-stream.
+  if (const auto rule = FaultShim::instance().take(url->port)) {
+    session->upstream->set_fault(*rule);
+  }
   session->forwarding = true;
   ++transfers_;
 

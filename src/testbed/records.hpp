@@ -32,6 +32,12 @@ struct TransferObservation {
   Rate direct_rate = 0.0;    // bytes/s, from the mirrored plain client
   double improvement_pct = 0.0;
   double improvement_steady_pct = 0.0;
+  /// Fault accounting for this trial (all zero on fault-free runs):
+  /// probe lanes that died, retry attempts beyond each phase's first try,
+  /// and whether the transfer was salvaged over the direct path.
+  std::size_t probe_failures = 0;
+  std::size_t retries = 0;
+  bool fell_back_direct = false;
 };
 
 /// Discrete-event scheduler work behind one session (both mirrored
@@ -63,6 +69,14 @@ struct SessionResult {
   util::OnlineStats direct_rate_stats;
   /// Event-core work both worlds performed to produce this session.
   SchedulerWork sim_work;
+  /// Fault totals over the session: per-trial counters summed, plus the
+  /// number of transfers the selecting world's fault plane killed or
+  /// refused (includes cancelled probe losers the trials never report).
+  std::size_t fault_probe_failures = 0;
+  std::size_t fault_retries = 0;
+  std::size_t fault_fallbacks = 0;
+  std::size_t failed_transfers = 0;
+  std::uint64_t faults_injected = 0;
 
   std::size_t indirect_count() const;
   /// Fraction of transfers routed through the indirect path.

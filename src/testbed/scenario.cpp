@@ -45,6 +45,9 @@ WorldParams ScenarioGenerator::make_world(
   params.file_size = knobs_.file_size;
   params.probe_bytes = knobs_.probe_bytes;
   params.relay_params = knobs_.relay_params;
+  params.fault = knobs_.fault;
+  params.probe_timeout = knobs_.probe_timeout;
+  params.retry = knobs_.retry;
 
   const double inbound_mbps = client_inbound_mbps_override > 0.0
                                   ? client_inbound_mbps_override

@@ -58,6 +58,13 @@ struct ScenarioKnobs {
   util::Duration relay_step = 60.0;   // relay-leg capacity resample
 
   overlay::RelayParams relay_params{};
+
+  /// Fault injection, copied verbatim into every generated WorldParams
+  /// (inert by default). `probe_timeout`/`retry` harden the probe race
+  /// when faults are on; both are zero-cost on fault-free runs.
+  fault::FaultConfig fault{};
+  util::Duration probe_timeout = 0.0;
+  fault::RetryPolicy retry{};
 };
 
 class ScenarioGenerator {

@@ -74,6 +74,9 @@ SessionOutput run_session(const SessionSpec& spec) {
       obs.start_time = when;
       obs.ok = record.outcome.ok && directs[k].done;
       obs.chose_indirect = record.outcome.chose_indirect;
+      obs.probe_failures = record.outcome.probe_failures;
+      obs.retries = record.outcome.retries;
+      obs.fell_back_direct = record.outcome.fell_back_direct;
       if (obs.ok) {
         obs.selected_rate = record.outcome.selected_throughput();
         obs.selected_steady_rate = record.outcome.steady_throughput();
@@ -102,6 +105,13 @@ SessionOutput run_session(const SessionSpec& spec) {
   for (const DirectSample& d : directs) {
     if (d.done) session.direct_rate_stats.add(d.rate);
   }
+  for (const TransferObservation& t : session.transfers) {
+    session.fault_probe_failures += t.probe_failures;
+    session.fault_retries += t.retries;
+    if (t.fell_back_direct) ++session.fault_fallbacks;
+    if (!t.ok) ++session.failed_transfers;
+  }
+  session.faults_injected = world_b.engine().faults_injected();
   const sim::Simulator& sa = world_a.simulator();
   const sim::Simulator& sb = world_b.simulator();
   session.sim_work.executed = sa.executed() + sb.executed();

@@ -96,6 +96,40 @@ ClientWorld::ClientWorld(const WorldParams& params,
   for (net::NodeId relay : relays_) {
     engine_->set_relay_params(relay, params_.relay_params);
   }
+
+  // Faults hit only the selecting mirror (attach_relay_processes == true):
+  // the plain mirror is the paper's concurrent reference measurement and
+  // must keep seeing the undisturbed network.
+  if (params_.fault.enabled && attach_relay_processes) {
+    schedule_ = fault::FaultSchedule::generate(params_.fault, relays_.size(),
+                                               params_.process_seed);
+    for (const fault::FaultWindow& window : schedule_.windows) {
+      const net::NodeId node = window.target == fault::kDirectPath
+                                   ? net::kInvalidNode
+                                   : relays_.at(window.target);
+      sim_.schedule_at(window.start, [this, node] {
+        if (node == net::kInvalidNode) {
+          engine_->set_direct_down(true);
+        } else {
+          engine_->set_relay_down(node, true);
+        }
+      });
+      sim_.schedule_at(window.end, [this, node] {
+        if (node == net::kInvalidNode) {
+          engine_->set_direct_down(false);
+        } else {
+          engine_->set_relay_down(node, false);
+        }
+      });
+    }
+    for (const fault::FaultReset& reset : schedule_.resets) {
+      const net::NodeId node = reset.target == fault::kDirectPath
+                                   ? net::kInvalidNode
+                                   : relays_.at(reset.target);
+      sim_.schedule_at(reset.time,
+                       [this, node] { engine_->inject_reset(node); });
+    }
+  }
 }
 
 net::NodeId ClientWorld::relay_node(std::size_t index) const {
@@ -124,6 +158,8 @@ std::unique_ptr<core::IndirectRoutingClient> ClientWorld::make_client(
   config.resource = kResource;
   config.probe_bytes = params_.probe_bytes;
   config.tcp = params_.tcp;
+  config.probe_timeout = params_.probe_timeout;
+  config.retry = params_.retry;
   auto client = std::make_unique<core::IndirectRoutingClient>(
       *engine_, config, std::move(policy), rng);
   for (std::size_t i = 0; i < relays_.size(); ++i) {

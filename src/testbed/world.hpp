@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "fault/fault.hpp"
 #include "overlay/transfer_engine.hpp"
 
 namespace idr::testbed {
@@ -62,6 +63,16 @@ struct WorldParams {
   /// wins, as observed in the paper's Tables II/III long tails.
   Duration setup_jitter_max = 0.15;
   std::uint64_t process_seed = 1;
+
+  /// Fault injection (inert by default). The schedule is generated from
+  /// (fault, relay count, process_seed) and replayed into the selecting
+  /// world's engine only — the plain-direct mirror is the measurement
+  /// reference and must keep observing the undisturbed network.
+  fault::FaultConfig fault{};
+  /// Probe-race hardening knobs forwarded into every client built by
+  /// make_client (both zero-cost when faults never fire).
+  Duration probe_timeout = 0.0;
+  fault::RetryPolicy retry{};
 };
 
 class ClientWorld {
@@ -94,6 +105,10 @@ class ClientWorld {
 
   const WorldParams& params() const { return params_; }
 
+  /// The materialized fault timeline (empty unless params.fault.enabled
+  /// and this is the selecting mirror).
+  const fault::FaultSchedule& fault_schedule() const { return schedule_; }
+
   /// Builds a ready-to-use selecting client bound to this world.
   std::unique_ptr<core::IndirectRoutingClient> make_client(
       std::unique_ptr<core::SelectionPolicy> policy, util::Rng rng);
@@ -113,6 +128,7 @@ class ClientWorld {
   net::NodeId gateway_ = net::kInvalidNode;
   net::NodeId server_node_ = net::kInvalidNode;
   std::vector<net::NodeId> relays_;
+  fault::FaultSchedule schedule_;
 };
 
 }  // namespace idr::testbed

@@ -1,0 +1,36 @@
+# Golden-output regression gate: runs a figure/table binary at its seed
+# default and byte-compares stdout against the committed snapshot.
+#
+# stdout is the contract — it carries the figure/table data and must stay
+# bitwise stable while faults are disabled (the default). stderr is
+# deliberately ignored: it carries the [scheduler] work line, which is
+# allowed to move with event-core internals.
+#
+# Usage: cmake -DBIN=<binary> -DGOLDEN=<snapshot> -P run_golden.cmake
+# Refresh a snapshot (after an intended output change): <binary> > <snapshot>
+
+if(NOT DEFINED BIN OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "run_golden.cmake requires -DBIN=... and -DGOLDEN=...")
+endif()
+
+execute_process(
+  COMMAND "${BIN}"
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE ignored_stderr
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} exited with ${rc}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  # Leave the observed output next to the snapshot name for a quick diff.
+  get_filename_component(name "${GOLDEN}" NAME_WE)
+  set(observed "${CMAKE_CURRENT_BINARY_DIR}/${name}.observed.txt")
+  file(WRITE "${observed}" "${actual}")
+  message(FATAL_ERROR
+      "stdout diverged from golden snapshot ${GOLDEN}\n"
+      "observed output written to ${observed}\n"
+      "diff: diff ${GOLDEN} ${observed}\n"
+      "If the change is intended, regenerate: ${BIN} > ${GOLDEN}")
+endif()

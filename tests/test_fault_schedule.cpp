@@ -1,0 +1,144 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace idr::fault {
+namespace {
+
+FaultConfig crashy_config() {
+  FaultConfig config;
+  config.enabled = true;
+  config.relay_mtbf = 3600.0;
+  config.relay_mttr = 120.0;
+  config.relay_reset_mtbf = 7200.0;
+  config.direct_mtbf = 6.0 * 3600.0;
+  config.direct_mttr = 60.0;
+  config.horizon = 48.0 * 3600.0;
+  return config;
+}
+
+TEST(FaultSchedule, DisabledGeneratesNothing) {
+  FaultConfig config = crashy_config();
+  config.enabled = false;
+  const FaultSchedule schedule = FaultSchedule::generate(config, 5, 42);
+  EXPECT_TRUE(schedule.empty());
+}
+
+TEST(FaultSchedule, SameSeedSameSchedule) {
+  const FaultConfig config = crashy_config();
+  const FaultSchedule a = FaultSchedule::generate(config, 5, 42);
+  const FaultSchedule b = FaultSchedule::generate(config, 5, 42);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].target, b.windows[i].target);
+    EXPECT_DOUBLE_EQ(a.windows[i].start, b.windows[i].start);
+    EXPECT_DOUBLE_EQ(a.windows[i].end, b.windows[i].end);
+  }
+  ASSERT_EQ(a.resets.size(), b.resets.size());
+  for (std::size_t i = 0; i < a.resets.size(); ++i) {
+    EXPECT_EQ(a.resets[i].target, b.resets[i].target);
+    EXPECT_DOUBLE_EQ(a.resets[i].time, b.resets[i].time);
+  }
+}
+
+TEST(FaultSchedule, DifferentSeedsDiffer) {
+  const FaultConfig config = crashy_config();
+  const FaultSchedule a = FaultSchedule::generate(config, 5, 42);
+  const FaultSchedule b = FaultSchedule::generate(config, 5, 43);
+  bool differs = a.windows.size() != b.windows.size();
+  for (std::size_t i = 0; !differs && i < a.windows.size(); ++i) {
+    differs = a.windows[i].start != b.windows[i].start;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, AddingRelaysKeepsExistingTimelines) {
+  // Per-target child streams: relay 0's crash times must not move when
+  // relays are added to the set.
+  const FaultConfig config = crashy_config();
+  const FaultSchedule small = FaultSchedule::generate(config, 1, 42);
+  const FaultSchedule big = FaultSchedule::generate(config, 8, 42);
+  std::vector<FaultWindow> small0, big0;
+  for (const auto& w : small.windows) {
+    if (w.target == 0) small0.push_back(w);
+  }
+  for (const auto& w : big.windows) {
+    if (w.target == 0) big0.push_back(w);
+  }
+  ASSERT_FALSE(small0.empty());
+  ASSERT_EQ(small0.size(), big0.size());
+  for (std::size_t i = 0; i < small0.size(); ++i) {
+    EXPECT_DOUBLE_EQ(small0[i].start, big0[i].start);
+    EXPECT_DOUBLE_EQ(small0[i].end, big0[i].end);
+  }
+}
+
+TEST(FaultSchedule, WindowsSortedAndWithinHorizon) {
+  const FaultConfig config = crashy_config();
+  const FaultSchedule schedule = FaultSchedule::generate(config, 6, 7);
+  ASSERT_FALSE(schedule.windows.empty());
+  for (std::size_t i = 0; i < schedule.windows.size(); ++i) {
+    const FaultWindow& w = schedule.windows[i];
+    EXPECT_LT(w.start, w.end);
+    EXPECT_GE(w.start, 0.0);
+    EXPECT_LE(w.end, config.horizon);
+    if (i > 0) {
+      EXPECT_GE(w.start, schedule.windows[i - 1].start);
+    }
+  }
+  for (std::size_t i = 1; i < schedule.resets.size(); ++i) {
+    EXPECT_GE(schedule.resets[i].time, schedule.resets[i - 1].time);
+  }
+}
+
+TEST(FaultSchedule, DirectOutagesUseSentinelTarget) {
+  FaultConfig config = crashy_config();
+  config.relay_mtbf = 0.0;
+  config.relay_reset_mtbf = 0.0;
+  const FaultSchedule schedule = FaultSchedule::generate(config, 4, 11);
+  ASSERT_FALSE(schedule.windows.empty());
+  for (const auto& w : schedule.windows) {
+    EXPECT_EQ(w.target, kDirectPath);
+  }
+}
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.base_delay = 0.2;
+  policy.multiplier = 2.0;
+  policy.max_delay = 1.0;
+  policy.jitter_frac = 0.0;  // deterministic for the shape check
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 0, rng), 0.2);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 1, rng), 0.4);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 2, rng), 0.8);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 3, rng), 1.0);   // capped
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 10, rng), 1.0);  // stays capped
+}
+
+TEST(Backoff, JitterBoundedByFraction) {
+  RetryPolicy policy;
+  policy.base_delay = 1.0;
+  policy.multiplier = 1.0;
+  policy.max_delay = 1.0;
+  policy.jitter_frac = 0.5;
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Duration d = backoff_delay(policy, 0, rng);
+    EXPECT_GE(d, 1.0);
+    EXPECT_LT(d, 1.5);
+  }
+}
+
+TEST(Backoff, InvalidPolicyThrows) {
+  RetryPolicy policy;
+  policy.multiplier = 0.5;
+  util::Rng rng(1);
+  EXPECT_THROW(backoff_delay(policy, 0, rng), util::Error);
+}
+
+}  // namespace
+}  // namespace idr::fault

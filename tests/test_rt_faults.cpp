@@ -1,0 +1,218 @@
+// Fault-shim tests for the real-socket stack: armed socket faults must
+// surface as clean results (never hangs), and the hardened probe race
+// must retry and fall back the same way its simulated twin does.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "rt/fault_shim.hpp"
+#include "rt/http_client.hpp"
+#include "rt/http_server.hpp"
+#include "rt/probe_race.hpp"
+#include "rt/relay_daemon.hpp"
+
+namespace idr::rt {
+namespace {
+
+void spin_until(Reactor& reactor, double deadline_s,
+                const std::function<bool()>& done) {
+  const double deadline = reactor.now() + deadline_s;
+  while (!done() && reactor.now() < deadline) {
+    reactor.poll(0.02);
+  }
+  ASSERT_TRUE(done()) << "condition not reached within deadline";
+}
+
+// The shim is process-global; every test starts and ends with a clean
+// rule table so armed-but-unused rules cannot leak across tests.
+struct ShimGuard {
+  ShimGuard() { FaultShim::instance().clear(); }
+  ~ShimGuard() { FaultShim::instance().clear(); }
+};
+
+struct Fixture {
+  ShimGuard guard;
+  Reactor reactor;
+  HttpOriginServer origin{reactor, 0};
+  RelayDaemon relay{reactor, 0};
+
+  explicit Fixture(std::uint64_t resource = 400000) {
+    origin.add_resource("/blob", resource);
+  }
+
+  void shape(double direct_rate, double relayed_rate) {
+    origin.set_shaping_policy(
+        [direct_rate, relayed_rate](const http::Request& r) {
+          return r.headers.has("Via") ? relayed_rate : direct_rate;
+        });
+  }
+
+  FetchRequest direct_request() {
+    FetchRequest req;
+    req.origin.port = origin.port();
+    req.path = "/blob";
+    req.timeout_s = 10.0;
+    return req;
+  }
+
+  FetchRequest relayed_request() {
+    FetchRequest req = direct_request();
+    req.proxy = Endpoint{"127.0.0.1", relay.port()};
+    return req;
+  }
+};
+
+TEST(RtFault, DropOnConnectRefusesOneDialThenExpires) {
+  Fixture fx;
+  const std::uint64_t before = FaultShim::instance().injected();
+  FaultRule rule;
+  rule.kind = FaultKind::kDropOnConnect;
+  FaultShim::instance().arm(fx.origin.port(), rule);
+
+  std::optional<FetchResult> dropped;
+  fetch(fx.reactor, fx.direct_request(),
+        [&](const FetchResult& r) { dropped = r; });
+  spin_until(fx.reactor, 10.0, [&] { return dropped.has_value(); });
+  EXPECT_FALSE(dropped->ok);
+  EXPECT_NE(dropped->error.find("injected fault"), std::string::npos);
+  EXPECT_EQ(FaultShim::instance().injected(), before + 1);
+
+  // Single-use rule: the next dial goes through untouched.
+  std::optional<FetchResult> clean;
+  fetch(fx.reactor, fx.direct_request(),
+        [&](const FetchResult& r) { clean = r; });
+  spin_until(fx.reactor, 10.0, [&] { return clean.has_value(); });
+  ASSERT_TRUE(clean->ok) << clean->error;
+  EXPECT_TRUE(clean->body_verified);
+}
+
+TEST(RtFault, TruncatedBodyReportsUnverifiedWithoutHanging) {
+  Fixture fx;
+  FaultRule rule;
+  rule.kind = FaultKind::kTruncateBody;
+  rule.after_bytes = 60000;  // headers + a body prefix, then orderly EOF
+  FaultShim::instance().arm(fx.origin.port(), rule);
+
+  std::optional<FetchResult> result;
+  fetch(fx.reactor, fx.direct_request(),
+        [&](const FetchResult& r) { result = r; });
+  spin_until(fx.reactor, 10.0, [&] { return result.has_value(); });
+  EXPECT_FALSE(result->ok);
+  EXPECT_FALSE(result->body_verified);
+  EXPECT_LT(result->body_bytes, 400000u);
+  EXPECT_GT(result->body_bytes, 0u);
+}
+
+TEST(RtFault, MidStreamResetOnRelayUpstreamLeavesDaemonHealthy) {
+  Fixture fx;
+  // The rule is keyed on the origin's port, so it rides the relay
+  // daemon's upstream leg — the client-to-relay hop stays clean.
+  FaultRule rule;
+  rule.kind = FaultKind::kMidStreamReset;
+  rule.after_bytes = 80000;
+  FaultShim::instance().arm(fx.origin.port(), rule);
+
+  std::optional<FetchResult> reset;
+  fetch(fx.reactor, fx.relayed_request(),
+        [&](const FetchResult& r) { reset = r; });
+  spin_until(fx.reactor, 10.0, [&] { return reset.has_value(); });
+  EXPECT_FALSE(reset->ok);
+  EXPECT_FALSE(reset->body_verified);
+
+  // The daemon must shrug off the dead session and serve the next one.
+  std::optional<FetchResult> after;
+  fetch(fx.reactor, fx.relayed_request(),
+        [&](const FetchResult& r) { after = r; });
+  spin_until(fx.reactor, 10.0, [&] { return after.has_value(); });
+  ASSERT_TRUE(after->ok) << after->error;
+  EXPECT_TRUE(after->body_verified);
+  EXPECT_EQ(after->body_bytes, 400000u);
+}
+
+TEST(RtFault, StalledRelayLosesRaceToSlowerDirectLane) {
+  Fixture fx;
+  // Direct is throttled but alive; the relay lane — normally much faster
+  // — freezes for two seconds, long enough for direct to take the probe.
+  fx.shape(/*direct=*/150000.0, /*relayed=*/0.0);
+  FaultRule rule;
+  rule.kind = FaultKind::kStall;
+  rule.stall_s = 2.0;
+  FaultShim::instance().arm(fx.relay.port(), rule);
+
+  RaceSpec spec;
+  spec.origin.port = fx.origin.port();
+  spec.path = "/blob";
+  spec.resource_size = 400000;
+  spec.probe_bytes = 100000;
+  spec.relays = {Endpoint{"127.0.0.1", fx.relay.port()}};
+  std::optional<RaceResult> result;
+  start_probe_race(fx.reactor, spec,
+                   [&](const RaceResult& r) { result = r; });
+  spin_until(fx.reactor, 30.0, [&] { return result.has_value(); });
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_FALSE(result->chose_indirect);
+  EXPECT_TRUE(result->body_verified);
+  EXPECT_EQ(result->total_bytes, 400000u);
+}
+
+TEST(RtFault, RemainderResetRetriesOnSameRelayAndSucceeds) {
+  Fixture fx;
+  fx.shape(/*direct=*/60000.0, /*relayed=*/0.0);
+  // FIFO per port: rule 1 rides the probe lane but cuts far past the
+  // probe size (a no-op), rule 2 resets the remainder mid-stream, and
+  // the retry — the third dial — finds the table empty and completes.
+  FaultRule benign;
+  benign.kind = FaultKind::kMidStreamReset;
+  benign.after_bytes = 1ull << 30;
+  FaultShim::instance().arm(fx.relay.port(), benign);
+  FaultRule reset;
+  reset.kind = FaultKind::kMidStreamReset;
+  reset.after_bytes = 50000;
+  FaultShim::instance().arm(fx.relay.port(), reset);
+
+  RaceSpec spec;
+  spec.origin.port = fx.origin.port();
+  spec.path = "/blob";
+  spec.resource_size = 400000;
+  spec.probe_bytes = 100000;
+  spec.relays = {Endpoint{"127.0.0.1", fx.relay.port()}};
+  std::optional<RaceResult> result;
+  start_probe_race(fx.reactor, spec,
+                   [&](const RaceResult& r) { result = r; });
+  spin_until(fx.reactor, 30.0, [&] { return result.has_value(); });
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_TRUE(result->chose_indirect);
+  EXPECT_GE(result->retries, 1u);
+  EXPECT_FALSE(result->fell_back_direct);
+  EXPECT_TRUE(result->body_verified);
+  EXPECT_EQ(result->total_bytes, 400000u);
+}
+
+TEST(RtFault, EverythingRefusedYieldsCleanErrorCallback) {
+  Fixture fx;
+  FaultRule refuse_all;
+  refuse_all.kind = FaultKind::kDropOnConnect;
+  refuse_all.uses = -1;  // every dial, including the fallback retries
+  FaultShim::instance().arm(fx.origin.port(), refuse_all);
+  FaultShim::instance().arm(fx.relay.port(), refuse_all);
+
+  RaceSpec spec;
+  spec.origin.port = fx.origin.port();
+  spec.path = "/blob";
+  spec.resource_size = 400000;
+  spec.probe_bytes = 100000;
+  spec.timeout_s = 5.0;
+  spec.relays = {Endpoint{"127.0.0.1", fx.relay.port()}};
+  std::optional<RaceResult> result;
+  start_probe_race(fx.reactor, spec,
+                   [&](const RaceResult& r) { result = r; });
+  spin_until(fx.reactor, 20.0, [&] { return result.has_value(); });
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error.find("direct fallback died"), std::string::npos);
+  EXPECT_EQ(result->probe_failures, 2u);
+  EXPECT_TRUE(result->fell_back_direct);
+  EXPECT_GE(result->retries, 1u);
+}
+
+}  // namespace
+}  // namespace idr::rt
