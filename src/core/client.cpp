@@ -80,6 +80,12 @@ void IndirectRoutingClient::fetch(
           stats_.note_failure(relay, end, config_.blacklist_base_penalty,
                               config_.blacklist_max_penalty);
         }
+        // Overloaded relays get the short flat penalty instead: they are
+        // alive, just full, and will take traffic again shortly.
+        for (net::NodeId relay : outcome.overloaded_relays) {
+          if (!stats_.has_relay(relay)) continue;
+          stats_.note_overload(relay, end, config_.overload_penalty);
+        }
         if (outcome.ok && outcome.chose_indirect && !outcome.fell_back_direct &&
             stats_.has_relay(outcome.relay)) {
           stats_.note_recovery(outcome.relay);

@@ -30,6 +30,10 @@ struct ClientConfig {
   fault::RetryPolicy retry{};
   Duration blacklist_base_penalty = 60.0;
   Duration blacklist_max_penalty = 3600.0;
+  /// Flat penalty for a relay that shed load (503): long enough to let it
+  /// drain its queue, far shorter than the crash blacklist — the relay is
+  /// alive and will have capacity again soon.
+  Duration overload_penalty = 5.0;
 };
 
 /// Outcome of one selected fetch, with the candidates that were probed.

@@ -38,6 +38,8 @@ struct RaceState {
   std::size_t retries = 0;
   bool fell_back_direct = false;
   std::vector<net::NodeId> failed_relays;
+  std::size_t overload_rejections = 0;
+  std::vector<net::NodeId> overloaded_relays;
 
   /// Backoff jitter stream, created only after the first failure so a
   /// clean race derives no RNG at all. The salt mixes the race start time
@@ -68,11 +70,33 @@ struct RaceState {
     }
   }
 
+  /// A shed (overload-rejected) attempt: the relay is alive, so it feeds
+  /// the shorter "overloaded" penalty instead of the crash blacklist.
+  void note_overloaded_relay(const std::optional<net::NodeId>& relay) {
+    ++overload_rejections;
+    if (!relay) return;
+    if (std::find(overloaded_relays.begin(), overloaded_relays.end(),
+                  *relay) == overloaded_relays.end()) {
+      overloaded_relays.push_back(*relay);
+    }
+  }
+
+  void note_attempt_failure(const std::optional<net::NodeId>& relay,
+                            const overlay::TransferResult& result) {
+    if (result.overloaded) {
+      note_overloaded_relay(relay);
+    } else {
+      note_failed_relay(relay);
+    }
+  }
+
   void stamp(RaceOutcome& outcome) const {
     outcome.probe_failures = probe_failures;
     outcome.retries = retries;
     outcome.fell_back_direct = fell_back_direct;
     outcome.failed_relays = failed_relays;
+    outcome.overload_rejections = overload_rejections;
+    outcome.overloaded_relays = overloaded_relays;
   }
 
   void finish_error(std::string error) {
@@ -130,8 +154,11 @@ void start_direct_fallback(const std::shared_ptr<RaceState>& state,
         }
         if (attempt < state->spec.retry.max_retries) {
           ++state->retries;
-          const util::Duration delay =
-              fault::backoff_delay(state->spec.retry, attempt, state->rng());
+          // An overloaded peer's Retry-After floor beats our backoff:
+          // retrying sooner would just be shed again.
+          const util::Duration delay = std::max(
+              fault::backoff_delay(state->spec.retry, attempt, state->rng()),
+              result.retry_after);
           state->simulator().schedule_in(delay, [state, attempt] {
             start_direct_fallback(state, attempt + 1);
           });
@@ -223,11 +250,12 @@ void start_remainder(const std::shared_ptr<RaceState>& state,
           finish_success(state, &remainder);
           return;
         }
-        if (!via_direct) state->note_failed_relay(state->winner);
+        if (!via_direct) state->note_attempt_failure(state->winner, remainder);
         if (attempt < state->spec.retry.max_retries) {
           ++state->retries;
-          const util::Duration delay =
-              fault::backoff_delay(state->spec.retry, attempt, state->rng());
+          const util::Duration delay = std::max(
+              fault::backoff_delay(state->spec.retry, attempt, state->rng()),
+              remainder.retry_after);
           state->simulator().schedule_in(delay, [state, attempt, via_direct] {
             start_remainder(state, attempt + 1, via_direct);
           });
@@ -255,7 +283,7 @@ void on_probe_done(const std::shared_ptr<RaceState>& state,
 
   if (!result.ok) {
     ++state->probe_failures;
-    state->note_failed_relay(probe.relay);
+    state->note_attempt_failure(probe.relay, result);
     if (state->pending == 0) {
       // Every lane (direct included) died before finishing its probe.
       // Try to salvage the transfer with a plain direct request — the

@@ -73,8 +73,17 @@ struct RaceOutcome {
   /// selected path (or every probe lane) died.
   bool fell_back_direct = false;
   /// Relays whose probe lane or remainder transfer failed — the input to
-  /// failed-relay blacklisting. Deduplicated.
+  /// failed-relay blacklisting. Deduplicated. Overload rejections are NOT
+  /// counted here; they land in overloaded_relays instead.
   std::vector<net::NodeId> failed_relays;
+  /// Attempts refused by relay admission control (the sim-side 503) —
+  /// failures above may overlap these counts, but the relays involved are
+  /// reported separately because an overloaded relay deserves a shorter
+  /// penalty than a crashed one.
+  std::size_t overload_rejections = 0;
+  /// Relays that shed load during this race. Deduplicated, disjoint from
+  /// failed_relays unless a relay both crashed and shed.
+  std::vector<net::NodeId> overloaded_relays;
 
   /// Client-perceived throughput of the selected path, probe included.
   Rate selected_throughput() const {

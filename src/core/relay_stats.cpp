@@ -67,6 +67,14 @@ void RelayStatsTable::note_failure(net::NodeId relay, util::TimePoint now,
   r.blacklisted_until = std::max(r.blacklisted_until, now + penalty);
 }
 
+void RelayStatsTable::note_overload(net::NodeId relay, util::TimePoint now,
+                                    util::Duration penalty) {
+  IDR_REQUIRE(penalty >= 0.0, "note_overload: negative penalty");
+  RelayRecord& r = mutable_record(relay);
+  ++r.overloads;
+  r.blacklisted_until = std::max(r.blacklisted_until, now + penalty);
+}
+
 void RelayStatsTable::note_recovery(net::NodeId relay) {
   RelayRecord& r = mutable_record(relay);
   r.consecutive_failures = 0;

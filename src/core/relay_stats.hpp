@@ -30,6 +30,10 @@ struct RelayRecord {
   std::size_t failures = 0;
   std::size_t consecutive_failures = 0;
   util::TimePoint blacklisted_until = 0.0;
+  /// Times the relay shed load (admission-control rejection). Tracked
+  /// apart from failures: an overloaded relay is alive and earns only a
+  /// short flat penalty, not the doubling crash blacklist.
+  std::size_t overloads = 0;
 
   /// Section 4's utilization: selected / appeared.
   double utilization() const {
@@ -63,6 +67,12 @@ class RelayStatsTable {
   void note_failure(net::NodeId relay, util::TimePoint now,
                     util::Duration base_penalty,
                     util::Duration max_penalty);
+  /// Records an overload rejection (503 shed) via `relay` at simulated
+  /// time `now`: a flat `penalty` of blacklist time — long enough to let
+  /// the relay drain, with none of the exponential growth a crash earns —
+  /// and no effect on the consecutive-failure run.
+  void note_overload(net::NodeId relay, util::TimePoint now,
+                     util::Duration penalty);
   /// Records a successful transfer via `relay`: ends the consecutive run
   /// (the next failure starts again at the base penalty) and clears any
   /// remaining blacklist time.

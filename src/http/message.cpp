@@ -109,6 +109,7 @@ std::string_view default_reason(int status) {
     case 416: return "Range Not Satisfiable";
     case 500: return "Internal Server Error";
     case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
     case 504: return "Gateway Timeout";
     default: return "Unknown";
   }

@@ -18,6 +18,7 @@ void ParserBase::reset_base() {
   error_.clear();
   head_buffer_.clear();
   body_remaining_ = 0;
+  start_line_done_ = false;
 }
 
 std::size_t ParserBase::feed_impl(std::string_view data) {
@@ -26,9 +27,24 @@ std::size_t ParserBase::feed_impl(std::string_view data) {
   if (state_ == ParseState::Headers) {
     // Accumulate until the blank line. Search spans the buffer/new-data
     // boundary, so keep it simple: append incrementally and look back.
+    // Limits are checked per byte so a hostile sender is cut off at the
+    // bound, not after buffering an arbitrary prefix.
     while (consumed < data.size()) {
-      head_buffer_.push_back(data[consumed++]);
-      if (head_buffer_.size() > kMaxHeaderBytes) {
+      const char byte = data[consumed++];
+      if (byte == '\0') {
+        to_error("NUL byte in header block");
+        return consumed;
+      }
+      head_buffer_.push_back(byte);
+      if (!start_line_done_) {
+        if (byte == '\n') {
+          start_line_done_ = true;
+        } else if (head_buffer_.size() > limits_.max_start_line_bytes) {
+          to_error("start line exceeds limit");
+          return consumed;
+        }
+      }
+      if (head_buffer_.size() > limits_.max_header_bytes) {
         to_error("header block exceeds limit");
         return consumed;
       }
@@ -87,10 +103,19 @@ bool ParserBase::parse_header_lines(std::string_view block,
     }
   }
   if (const auto cl = headers.get("Content-Length"); cl.has_value()) {
-    const auto length = util::parse_u64(util::trim(*cl));
-    if (!length || *length > kMaxBodyBytes) {
-      to_error("bad Content-Length");
-      return false;
+    // Reject request smuggling via conflicting duplicate Content-Length
+    // headers: every occurrence must parse and agree.
+    std::optional<std::uint64_t> length;
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      const auto& [name, value] = headers.entry(i);
+      if (!util::iequals(name, "Content-Length")) continue;
+      const auto parsed = util::parse_u64(util::trim(value));
+      if (!parsed || *parsed > limits_.max_body_bytes ||
+          (length.has_value() && *length != *parsed)) {
+        to_error("bad Content-Length");
+        return false;
+      }
+      length = parsed;
     }
     body_remaining_ = *length;
   } else {

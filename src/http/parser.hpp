@@ -17,6 +17,15 @@ namespace idr::http {
 
 enum class ParseState { Headers, Body, Complete, Error };
 
+/// Limits guard a relay from memory exhaustion by a misbehaving peer.
+/// Every bound is enforced incrementally, so a hostile stream is rejected
+/// as soon as it crosses a limit rather than after it has been buffered.
+struct ParserLimits {
+  std::size_t max_start_line_bytes = 8 * 1024;
+  std::size_t max_header_bytes = 64 * 1024;
+  std::uint64_t max_body_bytes = 1ULL << 33;  // 8 GiB
+};
+
 namespace detail {
 
 /// State shared by both parser directions: header-block accumulation and
@@ -28,11 +37,12 @@ class ParserBase {
   /// Bytes of body still expected (valid in Body state).
   std::uint64_t body_remaining() const { return body_remaining_; }
 
- protected:
-  /// Limits guard a relay from memory exhaustion by a misbehaving peer.
-  static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
-  static constexpr std::uint64_t kMaxBodyBytes = 1ULL << 33;  // 8 GiB
+  /// Replaces the default limits; takes effect for bytes fed afterwards
+  /// (callers set limits before feeding).
+  void set_limits(const ParserLimits& limits) { limits_ = limits; }
+  const ParserLimits& limits() const { return limits_; }
 
+ protected:
   std::size_t feed_impl(std::string_view data);
   void to_error(std::string message);
   /// Parses the accumulated header block; implemented per direction.
@@ -51,6 +61,8 @@ class ParserBase {
   std::string error_;
   std::string head_buffer_;
   std::uint64_t body_remaining_ = 0;
+  ParserLimits limits_{};
+  bool start_line_done_ = false;
 };
 
 }  // namespace detail

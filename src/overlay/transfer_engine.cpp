@@ -45,7 +45,10 @@ void TransferEngine::abort_transfer(TransferHandle handle,
   // transfer the fault plane already killed just waits for its error
   // event.
   if (active.fault_failing || active.phase == Phase::kTail) return;
-  if (active.phase == Phase::kFlow) {
+  if (active.phase == Phase::kQueued) {
+    unqueue(handle, active.result.relay);
+    active.pending_request.reset();
+  } else if (active.phase == Phase::kFlow) {
     fsim_.cancel_flow(active.flow);
   } else {
     fsim_.simulator().cancel(active.timer);
@@ -57,6 +60,9 @@ void TransferEngine::abort_transfer(TransferHandle handle,
   active.timer = fsim_.simulator().schedule_in(
       0.0, [this, handle] { finish(handle); });
   ++faults_injected_;
+  // The dead transfer's slot frees immediately; a queued successor (not
+  // itself a victim of this sweep) may be admitted right away.
+  release_slot(active);
 }
 
 void TransferEngine::abort_transfers_via(net::NodeId relay,
@@ -134,6 +140,42 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
     return handle;
   }
 
+  // Admission control: a capacity-governed relay serves up to
+  // max_concurrent transfers, parks up to queue_limit more in FIFO
+  // order, and sheds the rest as a soft "overloaded" failure with a
+  // retry hint — the sim-side 503 + Retry-After.
+  if (request.relay) {
+    const RelayParams& rp = relay_params(*request.relay);
+    if (rp.governs_admission()) {
+      RelayGate& gate = gates_[*request.relay];
+      if (gate.active >= rp.max_concurrent) {
+        if (gate.waiting.size() >= rp.queue_limit) {
+          ++transfers_shed_;
+          active.result.overloaded = true;
+          active.result.retry_after = rp.retry_after;
+          fail_async(handle, "relay overloaded");
+          return handle;
+        }
+        ++transfers_queued_;
+        active.phase = Phase::kQueued;
+        active.pending_request = std::make_unique<TransferRequest>(request);
+        gate.waiting.push_back(handle);
+        return handle;
+      }
+      ++gate.active;
+      active.holds_slot = true;
+    }
+  }
+
+  start_transfer(handle, request);
+  return handle;
+}
+
+void TransferEngine::start_transfer(TransferHandle handle,
+                                    const TransferRequest& request) {
+  Active& active = transfers_.at(handle);
+  active.phase = Phase::kSetup;
+
   const net::Topology& topo = fsim_.topology();
   const net::NodeId server_node = request.server->node();
 
@@ -146,8 +188,9 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
   if (!request.relay) {
     const auto direct = net::shortest_path(topo, server_node, request.client);
     if (!direct) {
+      release_slot(active);
       fail_async(handle, "no direct route");
-      return handle;
+      return;
     }
     data_path = *direct;
     const Duration rtt = topo.path_rtt(data_path);
@@ -166,8 +209,9 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
     const auto leg_sr = net::shortest_path(topo, server_node, relay);
     const auto leg_rc = net::shortest_path(topo, relay, request.client);
     if (!leg_sr || !leg_rc) {
+      release_slot(active);
       fail_async(handle, "no route via relay");
-      return handle;
+      return;
     }
     data_path = net::concatenate(topo, *leg_sr, *leg_rc);
     const RelayParams& rp = relay_params(relay);
@@ -212,7 +256,7 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
   // bytes than it delivers (buffer copies, re-framing). Model this as byte
   // inflation so the overhead bites whether the transfer is link-bound or
   // window-bound. The result still reports delivered (goodput) bytes.
-  util::Bytes size = *bytes;
+  util::Bytes size = active.result.bytes;
   if (request.relay) {
     size /= relay_params(*request.relay).efficiency;
   }
@@ -234,7 +278,56 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
                   });
             });
       });
-  return handle;
+}
+
+void TransferEngine::release_slot(Active& active) {
+  if (!active.holds_slot) return;
+  active.holds_slot = false;
+  const auto it = gates_.find(active.result.relay);
+  if (it == gates_.end()) return;
+  IDR_REQUIRE(it->second.active > 0, "release_slot: gate underflow");
+  --it->second.active;
+  admit_next(active.result.relay);
+}
+
+void TransferEngine::admit_next(net::NodeId relay) {
+  const auto git = gates_.find(relay);
+  if (git == gates_.end()) return;
+  const RelayParams& rp = relay_params(relay);
+  RelayGate& gate = git->second;
+  while (rp.governs_admission() && gate.active < rp.max_concurrent &&
+         !gate.waiting.empty()) {
+    const TransferHandle next = gate.waiting.front();
+    gate.waiting.pop_front();
+    const auto it = transfers_.find(next);
+    if (it == transfers_.end()) continue;  // defensive: cancel unqueues
+    Active& admitted = it->second;
+    ++gate.active;
+    admitted.holds_slot = true;
+    admitted.result.queued_delay =
+        fsim_.simulator().now() - admitted.result.start_time;
+    const std::unique_ptr<TransferRequest> request =
+        std::move(admitted.pending_request);
+    start_transfer(next, *request);
+  }
+}
+
+void TransferEngine::unqueue(TransferHandle handle, net::NodeId relay) {
+  const auto it = gates_.find(relay);
+  if (it == gates_.end()) return;
+  auto& waiting = it->second.waiting;
+  const auto pos = std::find(waiting.begin(), waiting.end(), handle);
+  if (pos != waiting.end()) waiting.erase(pos);
+}
+
+std::size_t TransferEngine::relay_active(net::NodeId relay) const {
+  const auto it = gates_.find(relay);
+  return it == gates_.end() ? 0 : it->second.active;
+}
+
+std::size_t TransferEngine::relay_queued(net::NodeId relay) const {
+  const auto it = gates_.find(relay);
+  return it == gates_.end() ? 0 : it->second.waiting.size();
 }
 
 void TransferEngine::finish(TransferHandle handle) {
@@ -242,6 +335,9 @@ void TransferEngine::finish(TransferHandle handle) {
   IDR_REQUIRE(it != transfers_.end(), "finish: unknown transfer");
   Active active = std::move(it->second);
   transfers_.erase(it);
+  // Free the relay slot before the callback runs: a caller retrying the
+  // same relay from on_done must see the capacity it just vacated.
+  release_slot(active);
   active.result.finish_time = fsim_.simulator().now();
   active.on_done(active.result);
 }
@@ -249,15 +345,18 @@ void TransferEngine::finish(TransferHandle handle) {
 bool TransferEngine::cancel(TransferHandle handle) {
   const auto it = transfers_.find(handle);
   if (it == transfers_.end()) return false;
-  Active& active = it->second;
+  Active active = std::move(it->second);
   // A fault-killed transfer's flow is already gone; only its pending
   // error-delivery event needs cancelling (phase was reset to kSetup).
-  if (active.phase == Phase::kFlow) {
+  if (active.phase == Phase::kQueued) {
+    unqueue(handle, active.result.relay);
+  } else if (active.phase == Phase::kFlow) {
     fsim_.cancel_flow(active.flow);
   } else {
     fsim_.simulator().cancel(active.timer);
   }
   transfers_.erase(it);
+  release_slot(active);
   return true;
 }
 

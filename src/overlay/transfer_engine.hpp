@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -45,6 +47,18 @@ struct RelayParams {
   /// Saves the upstream handshake and the upstream slow-start ramp on
   /// every transfer; the client-side leg still pays both.
   bool persistent_upstream = true;
+  /// Admission control: concurrent transfers the relay will carry.
+  /// 0 = unlimited (governance off, the default).
+  std::size_t max_concurrent = 0;
+  /// Arrivals beyond max_concurrent wait in a bounded FIFO this deep;
+  /// past it they are rejected outright (the sim-side 503). 0 = reject
+  /// immediately at the cap.
+  std::size_t queue_limit = 0;
+  /// Retry pacing hint attached to overload rejections (the sim-side
+  /// Retry-After header).
+  Duration retry_after = 1.0;
+
+  bool governs_admission() const { return max_concurrent > 0; }
 };
 
 struct TransferRequest {
@@ -71,6 +85,14 @@ struct TransferResult {
   TimePoint finish_time = 0.0;
   bool indirect = false;
   net::NodeId relay = net::kInvalidNode;
+  /// Refused by relay admission control: a soft failure — the relay is
+  /// alive and said when to come back (retry_after), unlike a crash.
+  bool overloaded = false;
+  /// Retry pacing hint carried on overload rejections (seconds).
+  Duration retry_after = 0.0;
+  /// Time spent waiting in the relay's admission queue before service
+  /// began (0 when admitted immediately or not governed).
+  Duration queued_delay = 0.0;
 
   Duration elapsed() const { return finish_time - start_time; }
   /// Client-perceived throughput: bytes over wall-clock including setup.
@@ -140,14 +162,23 @@ class TransferEngine {
   /// Transfers killed or refused by the fault plane so far.
   std::uint64_t faults_injected() const { return faults_injected_; }
 
+  /// Overload-governance accounting: transfers rejected by a relay's
+  /// admission control, and transfers that waited in an admission queue.
+  std::uint64_t transfers_shed() const { return transfers_shed_; }
+  std::uint64_t transfers_queued() const { return transfers_queued_; }
+  /// Transfers currently being served / waiting at a governed relay.
+  std::size_t relay_active(net::NodeId relay) const;
+  std::size_t relay_queued(net::NodeId relay) const;
+
   std::size_t in_flight() const { return transfers_.size(); }
   flow::FlowSimulator& flow_simulator() { return fsim_; }
 
  private:
-  /// Transfer lifecycle is strictly setup -> flow -> delivery tail, so a
-  /// single engine-side timer field suffices: it holds the setup event
-  /// during kSetup and the tail event during kTail.
-  enum class Phase : std::uint8_t { kSetup, kFlow, kTail };
+  /// Transfer lifecycle is strictly [queued ->] setup -> flow -> delivery
+  /// tail, so a single engine-side timer field suffices: it holds the
+  /// setup event during kSetup and the tail event during kTail (kQueued
+  /// transfers sit in their relay's gate with no event scheduled).
+  enum class Phase : std::uint8_t { kQueued, kSetup, kFlow, kTail };
 
   struct Active {
     TransferResult result;
@@ -159,10 +190,29 @@ class TransferEngine {
     /// Set once the fault plane killed this transfer: its flow/timer is
     /// already torn down and only the error-delivery event remains.
     bool fault_failing = false;
+    /// Holds one of its relay's max_concurrent service slots.
+    bool holds_slot = false;
+    /// The original request, kept only while waiting in a relay queue so
+    /// admission can start the transfer later.
+    std::unique_ptr<TransferRequest> pending_request;
+  };
+
+  /// Admission bookkeeping for one capacity-governed relay.
+  struct RelayGate {
+    std::size_t active = 0;
+    std::deque<TransferHandle> waiting;
   };
 
   void fail_async(TransferHandle handle, std::string error);
   void finish(TransferHandle handle);
+  /// Computes the path/timing model and schedules the setup event; the
+  /// admission gate (when governing) has already been passed.
+  void start_transfer(TransferHandle handle,
+                      const TransferRequest& request);
+  /// Returns a held service slot and admits queued transfers that fit.
+  void release_slot(Active& active);
+  void admit_next(net::NodeId relay);
+  void unqueue(TransferHandle handle, net::NodeId relay);
   /// Kills one in-flight transfer with `error` (no-op once the byte
   /// stream is fully drained, i.e. in the delivery tail).
   void abort_transfer(TransferHandle handle, const char* error);
@@ -180,6 +230,9 @@ class TransferEngine {
   std::unordered_set<net::NodeId> down_relays_;
   bool direct_down_ = false;
   std::uint64_t faults_injected_ = 0;
+  std::unordered_map<net::NodeId, RelayGate> gates_;
+  std::uint64_t transfers_shed_ = 0;
+  std::uint64_t transfers_queued_ = 0;
 };
 
 }  // namespace idr::overlay

@@ -1,0 +1,34 @@
+#include "rt/governance.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <string>
+
+namespace idr::rt {
+
+bool accept_errno_is_transient(int err) {
+  switch (err) {
+    case EMFILE:        // process fd table full
+    case ENFILE:        // system fd table full
+    case ENOBUFS:       // kernel socket buffers exhausted
+    case ENOMEM:
+    case ECONNABORTED:  // peer gave up while queued; next accept may work
+    case EINTR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+http::Response make_overload_response(double retry_after_s) {
+  http::Response response;
+  response.status = 503;
+  response.reason = std::string(http::default_reason(503));
+  const auto seconds = static_cast<long long>(
+      std::ceil(std::max(0.0, retry_after_s)));
+  response.headers.set("Retry-After", std::to_string(seconds));
+  response.headers.set("Connection", "close");
+  return response;
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,65 @@
+// Overload-governance knobs and accounting shared by the rt daemons.
+//
+// A relay is only useful while it has headroom (the paper's Table III ties
+// per-relay utilization directly to delivered improvement), so a saturated
+// daemon must shed load explicitly — 503 + Retry-After — instead of
+// queueing unboundedly and wedging every session it has. ServerLimits is
+// the policy, GovernanceCounters the observable record; both default to
+// "governance off" so existing callers see byte-identical behavior.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+
+namespace idr::rt {
+
+/// Per-daemon admission and resource limits. Zero values disable the
+/// corresponding mechanism; a default-constructed ServerLimits governs
+/// nothing beyond the parser's standing size bounds.
+struct ServerLimits {
+  /// Sessions served concurrently before new arrivals are shed with 503.
+  /// 0 = unlimited.
+  std::size_t max_sessions = 0;
+  /// Sessions beyond max_sessions that may be accepted just to be told
+  /// 503. Past max_sessions + shed_burst the listener stops accepting
+  /// entirely (kernel backlog absorbs the excess) until load drops.
+  std::size_t shed_burst = 32;
+  /// Idle connections are reaped after this long without bytes in either
+  /// direction. 0 = never reap.
+  double idle_timeout_s = 0.0;
+  /// Advertised in the Retry-After header of shed responses.
+  double retry_after_s = 1.0;
+  /// accept() failure backoff window (exponential between these bounds).
+  double accept_backoff_initial_s = 0.05;
+  double accept_backoff_max_s = 1.0;
+  /// Request-parsing size bounds (start line / header block / body).
+  http::ParserLimits parser{};
+
+  bool governs_admission() const { return max_sessions > 0; }
+  bool governs_idle() const { return idle_timeout_s > 0.0; }
+};
+
+/// Monotonic counters a daemon exposes so tests and benches can assert on
+/// shedding behavior instead of inferring it from timing.
+struct GovernanceCounters {
+  std::uint64_t accepted = 0;        // connections admitted as sessions
+  std::uint64_t shed = 0;            // connections answered 503
+  std::uint64_t idle_reaped = 0;     // sessions closed by the idle reaper
+  std::uint64_t accept_failures = 0; // accept() errors survived
+  std::uint64_t accept_pauses = 0;   // times the listener paused reads
+  std::uint64_t drained = 0;         // sessions finished during drain
+};
+
+/// True when `err` from accept() indicates transient resource pressure
+/// (fd or buffer exhaustion) worth backing off on, as opposed to a
+/// programming error that should still fail loudly.
+bool accept_errno_is_transient(int err);
+
+/// The shed response: 503 with Retry-After (integral seconds, rounded
+/// up) and Connection: close.
+http::Response make_overload_response(double retry_after_s);
+
+}  // namespace idr::rt

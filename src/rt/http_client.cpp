@@ -4,6 +4,7 @@
 #include "rt/fault_shim.hpp"
 #include "rt/http_server.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace idr::rt {
 
@@ -67,6 +68,14 @@ void on_response_progress(const std::shared_ptr<FetchState>& state,
               state->parser.response().headers.get("Content-Range")) {
         if (const auto parsed = http::parse_content_range(*cr)) {
           state->verify_offset = parsed->first.first;
+        }
+      }
+      // Retry-After (delta-seconds form only): an overloaded server's
+      // pacing hint for the retry machinery upstream.
+      if (const auto ra =
+              state->parser.response().headers.get("Retry-After")) {
+        if (const auto secs = util::parse_u64(util::trim(*ra))) {
+          state->result.retry_after_s = static_cast<double>(*secs);
         }
       }
     }

@@ -43,6 +43,13 @@ struct FetchResult {
   /// True when every body byte matched the deterministic origin pattern
   /// at its Content-Range offset.
   bool body_verified = false;
+  /// Parsed Retry-After header (seconds), if the response carried one —
+  /// set on 503 sheds so callers can pace their retry. 0 = absent.
+  double retry_after_s = 0.0;
+
+  /// An overloaded peer said "later" (503): not a crash, not a protocol
+  /// error, and worth a shorter blacklist penalty than either.
+  bool overloaded() const { return status == 503; }
 
   double elapsed() const { return finish_time - start_time; }
   double throughput() const {  // bytes/s over the whole operation

@@ -1,11 +1,18 @@
 #include "rt/http_server.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "http/range.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace idr::rt {
+
+namespace {
+/// How often a hard-capped listener re-checks whether load has dropped.
+constexpr double kCapRecheckS = 0.01;
+}  // namespace
 
 char resource_byte(std::uint64_t offset) {
   // Cheap keyed pattern: varies with offset, cycles slowly, printable.
@@ -21,17 +28,26 @@ struct HttpOriginServer::Session {
   double rate = 0.0;  // bytes/s; 0 = unthrottled
   double next_send_at = 0.0;
   bool sending = false;
+  bool shed = false;  // admitted only to be told 503
+  TimerWheel::Token idle_token = 0;
 };
 
-HttpOriginServer::HttpOriginServer(Reactor& reactor, std::uint16_t port)
-    : reactor_(reactor), listen_fd_(listen_loopback(port)) {
+HttpOriginServer::HttpOriginServer(Reactor& reactor, std::uint16_t port,
+                                   ServerLimits limits)
+    : reactor_(reactor),
+      listen_fd_(listen_loopback(port)),
+      limits_(limits) {
   port_ = local_port(listen_fd_.get());
   reactor_.add_fd(listen_fd_.get(), true, false,
                   [this](IoEvents) { on_accept(); });
+  if (limits_.governs_idle()) {
+    const double tick = std::max(0.005, limits_.idle_timeout_s / 4.0);
+    idle_wheel_ = std::make_unique<TimerWheel>(reactor_, tick);
+  }
 }
 
 HttpOriginServer::~HttpOriginServer() {
-  reactor_.remove_fd(listen_fd_.get());
+  if (listener_open_) reactor_.remove_fd(listen_fd_.get());
   for (auto& session : sessions_) session->conn->close();
 }
 
@@ -47,23 +63,129 @@ void HttpOriginServer::set_shaping_policy(ShapingPolicy policy) {
 }
 
 void HttpOriginServer::on_accept() {
-  while (auto fd = accept_nonblocking(listen_fd_.get())) {
+  while (true) {
+    if (draining_ || !listener_open_) return;
+    if (limits_.governs_admission() &&
+        sessions_.size() >= limits_.max_sessions + limits_.shed_burst) {
+      ++counters_.accept_pauses;
+      pause_accept(kCapRecheckS);
+      return;
+    }
+    int err = 0;
+    auto fd = try_accept(listen_fd_.get(), &err);
+    if (!fd) {
+      if (err == 0) return;  // accept queue empty
+      ++counters_.accept_failures;
+      if (!accept_errno_is_transient(err)) {
+        ::idr::util::fail(std::string("accept failed: ") +
+                          std::strerror(err));
+      }
+      accept_backoff_s_ = accept_backoff_s_ == 0.0
+                              ? limits_.accept_backoff_initial_s
+                              : std::min(accept_backoff_s_ * 2.0,
+                                         limits_.accept_backoff_max_s);
+      IDR_WARN("origin " << port_ << ": accept failed ("
+                         << std::strerror(err) << "), backing off "
+                         << accept_backoff_s_ << "s");
+      pause_accept(accept_backoff_s_);
+      return;
+    }
+    accept_backoff_s_ = 0.0;
     start_session(std::move(*fd));
   }
+}
+
+void HttpOriginServer::pause_accept(double delay_s) {
+  if (accept_paused_ || !listener_open_) return;
+  accept_paused_ = true;
+  reactor_.update_fd(listen_fd_.get(), false, false);
+  reactor_.add_timer(delay_s, [this] { resume_accept(); });
+}
+
+void HttpOriginServer::resume_accept() {
+  accept_paused_ = false;
+  if (!listener_open_ || draining_) return;
+  reactor_.update_fd(listen_fd_.get(), true, false);
+  on_accept();  // drain whatever queued while paused
+}
+
+void HttpOriginServer::erase_session(
+    const std::shared_ptr<Session>& session) {
+  if (idle_wheel_ && session->idle_token != 0) {
+    idle_wheel_->cancel(session->idle_token);
+    session->idle_token = 0;
+  }
+  sessions_.erase(session);
+  if (draining_) {
+    ++counters_.drained;
+    if (sessions_.empty()) finish_drain();
+  }
+}
+
+void HttpOriginServer::touch_idle(const std::shared_ptr<Session>& session) {
+  if (idle_wheel_ && session->idle_token != 0) {
+    idle_wheel_->reschedule(session->idle_token, limits_.idle_timeout_s);
+  }
+}
+
+void HttpOriginServer::shed_session(
+    const std::shared_ptr<Session>& session) {
+  ++counters_.shed;
+  session->conn->write(
+      make_overload_response(limits_.retry_after_s).serialize());
+  // Close once the 503 reaches the kernel, so the peer reads a response
+  // instead of a reset.
+  close_when_drained(session);
+}
+
+void HttpOriginServer::close_when_drained(std::weak_ptr<Session> session) {
+  auto s = session.lock();
+  if (!s) return;
+  if (!s->conn->closed() && s->conn->send_backlog() > 0) {
+    reactor_.add_timer(0.005,
+                       [this, session] { close_when_drained(session); });
+    return;
+  }
+  s->conn->close();
+  erase_session(s);
 }
 
 void HttpOriginServer::start_session(FdHandle fd) {
   auto session = std::make_shared<Session>();
   session->conn = Connection::adopt(reactor_, std::move(fd));
+  session->parser.set_limits(limits_.parser);
   sessions_.insert(session);
 
+  if (limits_.governs_admission() &&
+      sessions_.size() > limits_.max_sessions) {
+    session->shed = true;
+  } else {
+    ++counters_.accepted;
+  }
+
   std::weak_ptr<Session> weak = session;
+  if (idle_wheel_) {
+    session->idle_token =
+        idle_wheel_->add(limits_.idle_timeout_s, [this, weak] {
+          if (auto s = weak.lock()) {
+            s->idle_token = 0;
+            ++counters_.idle_reaped;
+            s->conn->close();
+            erase_session(s);
+          }
+        });
+  }
   session->conn->set_on_close([this, weak](const std::string&) {
-    if (auto s = weak.lock()) sessions_.erase(s);
+    if (auto s = weak.lock()) erase_session(s);
   });
   session->conn->set_on_data([this, weak](std::string_view data) {
     auto s = weak.lock();
     if (!s) return;
+    touch_idle(s);
+    if (s->shed) {
+      shed_session(s);
+      return;
+    }
     while (!data.empty()) {
       const std::size_t used = s->parser.feed(data);
       data.remove_prefix(used);
@@ -73,7 +195,7 @@ void HttpOriginServer::start_session(FdHandle fd) {
         bad.reason = std::string(http::default_reason(400));
         s->conn->write(bad.serialize());
         s->conn->close();
-        sessions_.erase(s);
+        erase_session(s);
         return;
       }
       if (s->parser.state() == http::ParseState::Complete) {
@@ -83,6 +205,30 @@ void HttpOriginServer::start_session(FdHandle fd) {
       }
     }
   });
+}
+
+void HttpOriginServer::drain(std::function<void()> on_drained) {
+  on_drained_ = std::move(on_drained);
+  if (!draining_) {
+    draining_ = true;
+    if (listener_open_ && !accept_paused_) {
+      reactor_.update_fd(listen_fd_.get(), false, false);
+    }
+  }
+  if (sessions_.empty()) finish_drain();
+}
+
+void HttpOriginServer::finish_drain() {
+  if (listener_open_) {
+    reactor_.remove_fd(listen_fd_.get());
+    listen_fd_.reset();
+    listener_open_ = false;
+  }
+  if (on_drained_) {
+    auto cb = std::move(on_drained_);
+    on_drained_ = nullptr;
+    cb();
+  }
 }
 
 http::Response HttpOriginServer::make_response(
@@ -178,6 +324,7 @@ void HttpOriginServer::pump_body(const std::shared_ptr<Session>& session) {
           resource_byte(session->body_offset + i);
     }
     session->conn->write(body);
+    touch_idle(session);  // an actively streaming response is not idle
     session->body_offset += chunk;
     session->body_remaining -= chunk;
     if (session->body_remaining == 0) {

@@ -17,6 +17,8 @@
 #include "http/message.hpp"
 #include "http/parser.hpp"
 #include "rt/connection.hpp"
+#include "rt/governance.hpp"
+#include "rt/timer_wheel.hpp"
 
 namespace idr::rt {
 
@@ -27,8 +29,10 @@ char resource_byte(std::uint64_t offset);
 class HttpOriginServer {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral). Serving starts immediately;
-  /// run the reactor to make progress.
-  HttpOriginServer(Reactor& reactor, std::uint16_t port = 0);
+  /// run the reactor to make progress. Default limits govern nothing:
+  /// behavior is identical to the pre-governance server.
+  HttpOriginServer(Reactor& reactor, std::uint16_t port = 0,
+                   ServerLimits limits = {});
   ~HttpOriginServer();
 
   HttpOriginServer(const HttpOriginServer&) = delete;
@@ -45,12 +49,29 @@ class HttpOriginServer {
 
   std::size_t requests_served() const { return requests_served_; }
 
+  const ServerLimits& limits() const { return limits_; }
+  const GovernanceCounters& counters() const { return counters_; }
+  std::size_t active_sessions() const { return sessions_.size(); }
+
+  /// Graceful shutdown: stop accepting, let in-flight sessions complete,
+  /// then close the listener and fire `on_drained` (at most once; fires
+  /// immediately when already idle).
+  void drain(std::function<void()> on_drained = nullptr);
+  bool draining() const { return draining_; }
+
  private:
   struct Session;
   void on_accept();
   void start_session(FdHandle fd);
   void handle_request(const std::shared_ptr<Session>& session);
   void pump_body(const std::shared_ptr<Session>& session);
+  void shed_session(const std::shared_ptr<Session>& session);
+  void close_when_drained(std::weak_ptr<Session> session);
+  void erase_session(const std::shared_ptr<Session>& session);
+  void touch_idle(const std::shared_ptr<Session>& session);
+  void pause_accept(double delay_s);
+  void resume_accept();
+  void finish_drain();
   http::Response make_response(const http::Request& request,
                                std::uint64_t* body_offset,
                                std::uint64_t* body_length) const;
@@ -61,6 +82,14 @@ class HttpOriginServer {
   std::unordered_map<std::string, std::uint64_t> resources_;
   ShapingPolicy shaping_;
   std::size_t requests_served_ = 0;
+  ServerLimits limits_;
+  GovernanceCounters counters_;
+  std::unique_ptr<TimerWheel> idle_wheel_;
+  double accept_backoff_s_ = 0.0;
+  bool accept_paused_ = false;
+  bool listener_open_ = true;
+  bool draining_ = false;
+  std::function<void()> on_drained_;
   std::unordered_set<std::shared_ptr<Session>> sessions_;
 };
 

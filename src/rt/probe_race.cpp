@@ -29,6 +29,7 @@ struct RaceState {
   std::size_t probe_failures = 0;
   std::size_t retries = 0;
   bool fell_back_direct = false;
+  std::size_t overload_rejections = 0;
 
   /// Jitter stream for backoff delays; fixed seed — wall-clock retry
   /// spacing needs decorrelation, not reproducibility.
@@ -38,6 +39,7 @@ struct RaceState {
     result.probe_failures = probe_failures;
     result.retries = retries;
     result.fell_back_direct = fell_back_direct;
+    result.overload_rejections = overload_rejections;
   }
 
   void finish(RaceResult result) {
@@ -99,10 +101,15 @@ void start_direct_fallback(const std::shared_ptr<RaceState>& state,
             finish_success(state, nullptr, /*covered_by_probe=*/false);
             return;
           }
+          if (result.overloaded()) ++state->overload_rejections;
           if (attempt < state->spec.retry.max_retries) {
             ++state->retries;
-            const double delay = fault::backoff_delay(
-                state->spec.retry, attempt, state->backoff_rng);
+            // An overloaded peer's Retry-After floor beats our backoff:
+            // retrying sooner would just be shed again.
+            const double delay =
+                std::max(fault::backoff_delay(state->spec.retry, attempt,
+                                              state->backoff_rng),
+                         result.retry_after_s);
             state->reactor->add_timer(delay, [state, attempt, probe_error] {
               if (!state->finished) {
                 start_direct_fallback(state, attempt + 1, probe_error);
@@ -136,10 +143,13 @@ void start_remainder(const std::shared_ptr<RaceState>& state,
             finish_success(state, &remainder, /*covered_by_probe=*/false);
             return;
           }
+          if (remainder.overloaded()) ++state->overload_rejections;
           if (attempt < state->spec.retry.max_retries) {
             ++state->retries;
-            const double delay = fault::backoff_delay(
-                state->spec.retry, attempt, state->backoff_rng);
+            const double delay =
+                std::max(fault::backoff_delay(state->spec.retry, attempt,
+                                              state->backoff_rng),
+                         remainder.retry_after_s);
             state->reactor->add_timer(delay, [state, attempt, via_direct] {
               if (!state->finished) {
                 start_remainder(state, attempt + 1, via_direct);
@@ -163,6 +173,7 @@ void on_probe_done(const std::shared_ptr<RaceState>& state,
   if (state->decided || state->finished) return;
   if (!result.ok) {
     ++state->probe_failures;
+    if (result.overloaded()) ++state->overload_rejections;
     if (state->pending == 0) {
       start_direct_fallback(state, 0, result.error);
     }

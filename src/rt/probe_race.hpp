@@ -44,6 +44,10 @@ struct RaceResult {
   std::size_t probe_failures = 0;
   std::size_t retries = 0;
   bool fell_back_direct = false;
+  /// Of the failures above, how many were 503 sheds from an overloaded
+  /// peer — a softer signal than a crash (the relay is alive and said
+  /// when to come back).
+  std::size_t overload_rejections = 0;
 
   double throughput() const {
     return total_elapsed > 0.0

@@ -1,10 +1,19 @@
 #include "rt/relay_daemon.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "http/message.hpp"
 #include "rt/fault_shim.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace idr::rt {
+
+namespace {
+/// How often a hard-capped listener re-checks whether load has dropped.
+constexpr double kCapRecheckS = 0.01;
+}  // namespace
 
 struct RelayDaemon::Session {
   std::shared_ptr<Connection> client;
@@ -12,17 +21,28 @@ struct RelayDaemon::Session {
   http::RequestParser request_parser;
   http::ResponseParser response_parser;
   bool forwarding = false;  // response bytes streaming client-ward
+  bool shed = false;        // admitted only to be told 503
+  TimerWheel::Token idle_token = 0;
 };
 
-RelayDaemon::RelayDaemon(Reactor& reactor, std::uint16_t port)
-    : reactor_(reactor), listen_fd_(listen_loopback(port)) {
+RelayDaemon::RelayDaemon(Reactor& reactor, std::uint16_t port,
+                         ServerLimits limits)
+    : reactor_(reactor),
+      listen_fd_(listen_loopback(port)),
+      limits_(limits) {
   port_ = local_port(listen_fd_.get());
   reactor_.add_fd(listen_fd_.get(), true, false,
                   [this](IoEvents) { on_accept(); });
+  if (limits_.governs_idle()) {
+    // Tick at a quarter of the timeout: reaping lands within
+    // [timeout, timeout + tick) of the last activity.
+    const double tick = std::max(0.005, limits_.idle_timeout_s / 4.0);
+    idle_wheel_ = std::make_unique<TimerWheel>(reactor_, tick);
+  }
 }
 
 RelayDaemon::~RelayDaemon() {
-  reactor_.remove_fd(listen_fd_.get());
+  if (listener_open_) reactor_.remove_fd(listen_fd_.get());
   for (auto& session : sessions_) {
     session->client->close();
     if (session->upstream) session->upstream->close();
@@ -30,15 +50,72 @@ RelayDaemon::~RelayDaemon() {
 }
 
 void RelayDaemon::on_accept() {
-  while (auto fd = accept_nonblocking(listen_fd_.get())) {
+  while (true) {
+    if (draining_ || !listener_open_) return;
+    if (limits_.governs_admission() &&
+        sessions_.size() >= limits_.max_sessions + limits_.shed_burst) {
+      // Hard cap: past the shed burst even 503s are too expensive; park
+      // arrivals in the kernel backlog and re-check shortly.
+      ++counters_.accept_pauses;
+      pause_accept(kCapRecheckS);
+      return;
+    }
+    int err = 0;
+    auto fd = try_accept(listen_fd_.get(), &err);
+    if (!fd) {
+      if (err == 0) return;  // accept queue empty
+      ++counters_.accept_failures;
+      if (!accept_errno_is_transient(err)) {
+        ::idr::util::fail(std::string("accept failed: ") +
+                          std::strerror(err));
+      }
+      // Resource exhaustion (EMFILE and friends): existing sessions keep
+      // running; retry accepting after an exponentially growing pause.
+      accept_backoff_s_ = accept_backoff_s_ == 0.0
+                              ? limits_.accept_backoff_initial_s
+                              : std::min(accept_backoff_s_ * 2.0,
+                                         limits_.accept_backoff_max_s);
+      IDR_WARN("relay " << port_ << ": accept failed ("
+                        << std::strerror(err) << "), backing off "
+                        << accept_backoff_s_ << "s");
+      pause_accept(accept_backoff_s_);
+      return;
+    }
+    accept_backoff_s_ = 0.0;
     start_session(std::move(*fd));
+  }
+}
+
+void RelayDaemon::pause_accept(double delay_s) {
+  if (accept_paused_ || !listener_open_) return;
+  accept_paused_ = true;
+  reactor_.update_fd(listen_fd_.get(), false, false);
+  reactor_.add_timer(delay_s, [this] { resume_accept(); });
+}
+
+void RelayDaemon::resume_accept() {
+  accept_paused_ = false;
+  if (!listener_open_ || draining_) return;
+  reactor_.update_fd(listen_fd_.get(), true, false);
+  on_accept();  // drain whatever queued while paused
+}
+
+void RelayDaemon::erase_session(const std::shared_ptr<Session>& session) {
+  if (idle_wheel_ && session->idle_token != 0) {
+    idle_wheel_->cancel(session->idle_token);
+    session->idle_token = 0;
+  }
+  sessions_.erase(session);
+  if (draining_) {
+    ++counters_.drained;
+    if (sessions_.empty()) finish_drain();
   }
 }
 
 void RelayDaemon::drop(const std::shared_ptr<Session>& session) {
   session->client->close();
   if (session->upstream) session->upstream->close();
-  sessions_.erase(session);
+  erase_session(session);
 }
 
 void RelayDaemon::reject(const std::shared_ptr<Session>& session,
@@ -50,21 +127,63 @@ void RelayDaemon::reject(const std::shared_ptr<Session>& session,
   drop(session);
 }
 
+void RelayDaemon::shed_session(const std::shared_ptr<Session>& session) {
+  ++counters_.shed;
+  session->client->write(
+      make_overload_response(limits_.retry_after_s).serialize());
+  // Let the 503 reach the kernel before closing, so the peer reads a
+  // response instead of a reset.
+  drop_when_drained(session);
+}
+
+void RelayDaemon::touch_idle(const std::shared_ptr<Session>& session) {
+  if (idle_wheel_ && session->idle_token != 0) {
+    idle_wheel_->reschedule(session->idle_token, limits_.idle_timeout_s);
+  }
+}
+
 void RelayDaemon::start_session(FdHandle fd) {
   auto session = std::make_shared<Session>();
   session->client = Connection::adopt(reactor_, std::move(fd));
+  session->request_parser.set_limits(limits_.parser);
   sessions_.insert(session);
 
+  // Admission: past the soft cap the session exists only to be told 503
+  // (sent once the client's first bytes arrive, so the response never
+  // races the client's own write).
+  if (limits_.governs_admission() &&
+      sessions_.size() > limits_.max_sessions) {
+    session->shed = true;
+  } else {
+    ++counters_.accepted;
+  }
+
   std::weak_ptr<Session> weak = session;
+  if (idle_wheel_) {
+    session->idle_token =
+        idle_wheel_->add(limits_.idle_timeout_s, [this, weak] {
+          if (auto s = weak.lock()) {
+            s->idle_token = 0;  // fired; nothing to cancel
+            ++counters_.idle_reaped;
+            drop(s);
+          }
+        });
+  }
   session->client->set_on_close([this, weak](const std::string&) {
     if (auto s = weak.lock()) {
       if (s->upstream) s->upstream->close();
-      sessions_.erase(s);
+      erase_session(s);
     }
   });
   session->client->set_on_data([this, weak](std::string_view data) {
     auto s = weak.lock();
     if (!s || s->forwarding) return;  // ignore pipelined extra bytes
+    touch_idle(s);
+    if (s->shed) {
+      s->forwarding = true;  // swallow any further request bytes
+      shed_session(s);
+      return;
+    }
     s->request_parser.feed(data);
     if (s->request_parser.state() == http::ParseState::Error) {
       reject(s, 400);
@@ -74,6 +193,30 @@ void RelayDaemon::start_session(FdHandle fd) {
       connect_upstream(s);
     }
   });
+}
+
+void RelayDaemon::drain(std::function<void()> on_drained) {
+  on_drained_ = std::move(on_drained);
+  if (!draining_) {
+    draining_ = true;
+    if (listener_open_ && !accept_paused_) {
+      reactor_.update_fd(listen_fd_.get(), false, false);
+    }
+  }
+  if (sessions_.empty()) finish_drain();
+}
+
+void RelayDaemon::finish_drain() {
+  if (listener_open_) {
+    reactor_.remove_fd(listen_fd_.get());
+    listen_fd_.reset();
+    listener_open_ = false;
+  }
+  if (on_drained_) {
+    auto cb = std::move(on_drained_);
+    on_drained_ = nullptr;
+    cb();
+  }
 }
 
 void RelayDaemon::resume_when_drained(std::weak_ptr<Session> session) {
@@ -136,6 +279,7 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
   session->upstream->set_on_data([this, weak](std::string_view data) {
     auto s = weak.lock();
     if (!s) return;
+    touch_idle(s);
     // Stream bytes through; track framing so the session can be dropped
     // cleanly at message end.
     s->response_parser.feed(data);

@@ -3,21 +3,32 @@
 // connects to the origin (or reuses a warm connection), forwards the
 // request with a Via header appended, and streams the response back,
 // applying backpressure so a slow client leg does not buffer the world.
+//
+// Overload governance (ServerLimits) is opt-in: a capped relay sheds
+// excess sessions with 503 + Retry-After, pauses the listener past a
+// shed burst, reaps idle connections through a timer wheel, and survives
+// accept() failures with backoff instead of aborting. drain() stops
+// accepting, lets in-flight sessions finish, then closes the listener.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 
 #include "http/parser.hpp"
 #include "rt/connection.hpp"
+#include "rt/governance.hpp"
+#include "rt/timer_wheel.hpp"
 
 namespace idr::rt {
 
 class RelayDaemon {
  public:
-  /// Binds 127.0.0.1:`port` (0 = ephemeral).
-  RelayDaemon(Reactor& reactor, std::uint16_t port = 0);
+  /// Binds 127.0.0.1:`port` (0 = ephemeral). Default limits govern
+  /// nothing: behavior is identical to the pre-governance daemon.
+  RelayDaemon(Reactor& reactor, std::uint16_t port = 0,
+              ServerLimits limits = {});
   ~RelayDaemon();
 
   RelayDaemon(const RelayDaemon&) = delete;
@@ -28,13 +39,29 @@ class RelayDaemon {
   std::size_t transfers_forwarded() const { return transfers_; }
   std::uint64_t bytes_forwarded() const { return bytes_forwarded_; }
 
+  const ServerLimits& limits() const { return limits_; }
+  const GovernanceCounters& counters() const { return counters_; }
+  std::size_t active_sessions() const { return sessions_.size(); }
+
+  /// Graceful shutdown: stop accepting, let in-flight sessions complete,
+  /// then close the listener and fire `on_drained` (at most once; fires
+  /// immediately when already idle).
+  void drain(std::function<void()> on_drained = nullptr);
+  bool draining() const { return draining_; }
+
  private:
   struct Session;
   void on_accept();
   void start_session(FdHandle fd);
   void connect_upstream(const std::shared_ptr<Session>& session);
+  void shed_session(const std::shared_ptr<Session>& session);
   void reject(const std::shared_ptr<Session>& session, int status);
   void drop(const std::shared_ptr<Session>& session);
+  void erase_session(const std::shared_ptr<Session>& session);
+  void touch_idle(const std::shared_ptr<Session>& session);
+  void pause_accept(double delay_s);
+  void resume_accept();
+  void finish_drain();
   /// Re-enables upstream reads once the client leg's backlog drains.
   void resume_when_drained(std::weak_ptr<Session> session);
   /// Closes the session once its last bytes reach the kernel.
@@ -45,6 +72,14 @@ class RelayDaemon {
   std::uint16_t port_ = 0;
   std::size_t transfers_ = 0;
   std::uint64_t bytes_forwarded_ = 0;
+  ServerLimits limits_;
+  GovernanceCounters counters_;
+  std::unique_ptr<TimerWheel> idle_wheel_;
+  double accept_backoff_s_ = 0.0;
+  bool accept_paused_ = false;
+  bool listener_open_ = true;
+  bool draining_ = false;
+  std::function<void()> on_drained_;
   std::unordered_set<std::shared_ptr<Session>> sessions_;
 };
 

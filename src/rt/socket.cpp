@@ -88,6 +88,17 @@ std::optional<FdHandle> accept_nonblocking(int listen_fd) {
   return FdHandle(fd);
 }
 
+std::optional<FdHandle> try_accept(int listen_fd, int* error) {
+  const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    *error = (errno == EAGAIN || errno == EWOULDBLOCK) ? 0 : errno;
+    return std::nullopt;
+  }
+  *error = 0;
+  return FdHandle(fd);
+}
+
 FdHandle connect_nonblocking(const std::string& host, std::uint16_t port) {
   FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   IDR_REQUIRE(fd.valid(), "socket() failed");

@@ -38,6 +38,12 @@ std::uint16_t local_port(int fd);
 /// accept queue is empty.
 std::optional<FdHandle> accept_nonblocking(int listen_fd);
 
+/// Non-throwing accept: nullopt on both "queue empty" and real failures,
+/// with the errno stored in `*error` (0 when the queue is merely empty).
+/// Daemons use this so transient resource exhaustion (EMFILE, ENFILE,
+/// ENOBUFS) can be handled with backoff instead of aborting.
+std::optional<FdHandle> try_accept(int listen_fd, int* error);
+
 /// Starts a non-blocking connect to host:port (IPv4 dotted or
 /// "localhost"). The socket completes asynchronously — wait for
 /// writability and check connect_finished(). Throws on immediate errors.

@@ -1,0 +1,104 @@
+#include "rt/timer_wheel.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace idr::rt {
+
+TimerWheel::TimerWheel(Reactor& reactor, double tick_s,
+                       std::size_t slot_count)
+    : reactor_(reactor), tick_s_(tick_s), slots_(slot_count) {
+  IDR_REQUIRE(tick_s > 0.0, "TimerWheel: tick must be positive");
+  IDR_REQUIRE(slot_count >= 2, "TimerWheel: need at least two slots");
+}
+
+TimerWheel::~TimerWheel() { disarm(); }
+
+TimerWheel::Token TimerWheel::add(double delay_s,
+                                  std::function<void()> cb) {
+  IDR_REQUIRE(cb != nullptr, "TimerWheel::add: null callback");
+  const Token token = ++next_token_;
+  place(token, delay_s, std::move(cb));
+  arm();
+  return token;
+}
+
+bool TimerWheel::cancel(Token token) {
+  const auto it = locations_.find(token);
+  if (it == locations_.end()) return false;
+  slots_[it->second.slot].erase(it->second.it);
+  locations_.erase(it);
+  if (locations_.empty()) disarm();
+  return true;
+}
+
+bool TimerWheel::reschedule(Token token, double delay_s) {
+  const auto it = locations_.find(token);
+  if (it == locations_.end()) return false;
+  std::function<void()> cb = std::move(it->second.it->callback);
+  slots_[it->second.slot].erase(it->second.it);
+  locations_.erase(it);
+  place(token, delay_s, std::move(cb));
+  arm();
+  return true;
+}
+
+void TimerWheel::place(Token token, double delay_s,
+                       std::function<void()> cb) {
+  // Round up so an entry never fires before its deadline; a wheel entry
+  // may fire up to one tick late, which callers accept by construction.
+  const double raw = std::ceil(std::max(0.0, delay_s) / tick_s_);
+  const std::uint64_t ticks =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(raw));
+  const std::size_t slot =
+      (cursor_ + static_cast<std::size_t>(ticks % slots_.size())) %
+      slots_.size();
+  Entry entry;
+  entry.token = token;
+  entry.rounds = (ticks - 1) / slots_.size();
+  entry.callback = std::move(cb);
+  slots_[slot].push_back(std::move(entry));
+  locations_[token] = Location{slot, std::prev(slots_[slot].end())};
+}
+
+void TimerWheel::arm() {
+  if (armed_ || locations_.empty()) return;
+  armed_timer_ = reactor_.add_timer(tick_s_, [this] { on_tick(); });
+  armed_ = true;
+}
+
+void TimerWheel::disarm() {
+  if (!armed_) return;
+  reactor_.cancel_timer(armed_timer_);
+  armed_ = false;
+}
+
+void TimerWheel::on_tick() {
+  armed_ = false;  // the one-shot reactor timer has fired
+  cursor_ = (cursor_ + 1) % slots_.size();
+
+  // Split the current slot into due and still-waiting entries before
+  // running any callback: callbacks may add, cancel, or reschedule other
+  // wheel entries (including into this same slot) without invalidating
+  // the sweep.
+  Slot due;
+  Slot& slot = slots_[cursor_];
+  for (auto it = slot.begin(); it != slot.end();) {
+    if (it->rounds > 0) {
+      --it->rounds;
+      ++it;
+      continue;
+    }
+    const auto next = std::next(it);
+    locations_.erase(it->token);
+    due.splice(due.end(), slot, it);
+    it = next;
+  }
+  for (Entry& entry : due) entry.callback();
+
+  arm();
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,70 @@
+// Hashed timing wheel over a Reactor, for cheap idle-deadline tracking.
+//
+// A daemon with hundreds of sessions needs an idle timeout per connection,
+// but arming one reactor timer per session would churn the timer heap on
+// every byte of traffic. The wheel instead keeps a slot ring at coarse
+// tick granularity and arms a single reactor timer, only while non-empty:
+// add, cancel, and reschedule (the per-byte "touch" operation) are all
+// O(1), and deadlines fire at most one tick late — exactly the tolerance
+// an idle reaper has anyway.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/reactor.hpp"
+
+namespace idr::rt {
+
+class TimerWheel {
+ public:
+  using Token = std::uint64_t;
+
+  /// `tick_s` is the firing granularity; deadlines round up to it.
+  TimerWheel(Reactor& reactor, double tick_s, std::size_t slot_count = 64);
+  ~TimerWheel();
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Schedules `cb` after at least `delay_s` (rounded up to a tick).
+  Token add(double delay_s, std::function<void()> cb);
+  /// Returns false if the token already fired or was cancelled.
+  bool cancel(Token token);
+  /// Pushes an entry's deadline out to `delay_s` from now, keeping its
+  /// callback. Returns false if the token is no longer live.
+  bool reschedule(Token token, double delay_s);
+
+  std::size_t size() const { return locations_.size(); }
+  double tick_seconds() const { return tick_s_; }
+
+ private:
+  struct Entry {
+    Token token = 0;
+    std::uint64_t rounds = 0;  // full ring revolutions still to wait
+    std::function<void()> callback;
+  };
+  using Slot = std::list<Entry>;
+  struct Location {
+    std::size_t slot = 0;
+    Slot::iterator it;
+  };
+
+  void place(Token token, double delay_s, std::function<void()> cb);
+  void arm();
+  void disarm();
+  void on_tick();
+
+  Reactor& reactor_;
+  double tick_s_;
+  std::vector<Slot> slots_;
+  std::unordered_map<Token, Location> locations_;
+  std::size_t cursor_ = 0;
+  Token next_token_ = 0;
+  TimerId armed_timer_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace idr::rt

@@ -38,6 +38,10 @@ struct TransferObservation {
   std::size_t probe_failures = 0;
   std::size_t retries = 0;
   bool fell_back_direct = false;
+  /// Attempts rejected by relay admission control (503 shed) during this
+  /// trial; a subset of the failures above in spirit but tallied apart —
+  /// shed relays are alive, just full.
+  std::size_t overload_rejections = 0;
 };
 
 /// Discrete-event scheduler work behind one session (both mirrored
@@ -77,6 +81,12 @@ struct SessionResult {
   std::size_t fault_fallbacks = 0;
   std::size_t failed_transfers = 0;
   std::uint64_t faults_injected = 0;
+  /// Overload-governance totals (zero unless relay admission control is
+  /// enabled): attempts shed with 503 across the session's races, plus
+  /// the selecting engine's shed/queued admission counters.
+  std::size_t fault_overloads = 0;
+  std::size_t transfers_shed = 0;
+  std::size_t transfers_queued = 0;
 
   std::size_t indirect_count() const;
   /// Fraction of transfers routed through the indirect path.

@@ -77,6 +77,7 @@ SessionOutput run_session(const SessionSpec& spec) {
       obs.probe_failures = record.outcome.probe_failures;
       obs.retries = record.outcome.retries;
       obs.fell_back_direct = record.outcome.fell_back_direct;
+      obs.overload_rejections = record.outcome.overload_rejections;
       if (obs.ok) {
         obs.selected_rate = record.outcome.selected_throughput();
         obs.selected_steady_rate = record.outcome.steady_throughput();
@@ -110,8 +111,11 @@ SessionOutput run_session(const SessionSpec& spec) {
     session.fault_retries += t.retries;
     if (t.fell_back_direct) ++session.fault_fallbacks;
     if (!t.ok) ++session.failed_transfers;
+    session.fault_overloads += t.overload_rejections;
   }
   session.faults_injected = world_b.engine().faults_injected();
+  session.transfers_shed = world_b.engine().transfers_shed();
+  session.transfers_queued = world_b.engine().transfers_queued();
   const sim::Simulator& sa = world_a.simulator();
   const sim::Simulator& sb = world_b.simulator();
   session.sim_work.executed = sa.executed() + sb.executed();

@@ -1,0 +1,183 @@
+// Adversarial parser corpus: a relay parses bytes from untrusted peers on
+// both legs, so every hostile shape here must land in ParseState::Error
+// (deterministically, at the bound) rather than in unbounded buffering,
+// mis-framing, or a crash.
+#include "http/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace idr::http {
+namespace {
+
+ParserLimits tiny_limits() {
+  ParserLimits limits;
+  limits.max_start_line_bytes = 64;
+  limits.max_header_bytes = 256;
+  limits.max_body_bytes = 1024;
+  return limits;
+}
+
+TEST(HostileParser, OversizedStartLineRejectedAtTheBound) {
+  RequestParser p;
+  p.set_limits(tiny_limits());
+  // No newline ever arrives: the parser must give up once the start line
+  // crosses its bound, not buffer the stream forever.
+  const std::string flood = "GET /" + std::string(500, 'a');
+  const std::size_t consumed = p.feed(flood);
+  EXPECT_EQ(p.state(), ParseState::Error);
+  EXPECT_LE(consumed, tiny_limits().max_start_line_bytes + 1);
+  EXPECT_FALSE(p.error().empty());
+}
+
+TEST(HostileParser, OversizedStartLineDefaultLimit) {
+  RequestParser p;
+  std::string flood = "GET /";
+  flood.append(10 * 1024, 'a');  // > default 8 KiB, no newline
+  p.feed(flood);
+  EXPECT_EQ(p.state(), ParseState::Error);
+}
+
+TEST(HostileParser, OversizedHeaderBlockRejectedAtTheBound) {
+  RequestParser p;
+  p.set_limits(tiny_limits());
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 40; ++i) {
+    wire += "X-Pad-" + std::to_string(i) + ": " + std::string(20, 'y') +
+            "\r\n";
+  }
+  const std::size_t consumed = p.feed(wire);
+  EXPECT_EQ(p.state(), ParseState::Error);
+  EXPECT_LE(consumed, tiny_limits().max_header_bytes + 1);
+}
+
+TEST(HostileParser, NulByteInHeadersRejected) {
+  for (const std::string& wire :
+       {std::string("GET /\0 HTTP/1.1\r\n\r\n", 19),
+        std::string("GET / HTTP/1.1\r\nHost: a\0b\r\n\r\n", 29)}) {
+    RequestParser p;
+    p.feed(wire);
+    EXPECT_EQ(p.state(), ParseState::Error);
+  }
+}
+
+TEST(HostileParser, NulBytesInBodyAreData) {
+  // Binary bodies are legitimate; only the header block is text.
+  RequestParser p;
+  p.feed("POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n");
+  const std::string body("a\0b\0", 4);
+  p.feed(body);
+  ASSERT_EQ(p.state(), ParseState::Complete);
+  EXPECT_EQ(p.request().body, body);
+}
+
+TEST(HostileParser, ContentLengthBeyondBodyLimitRejected) {
+  RequestParser p;
+  p.set_limits(tiny_limits());
+  p.feed("POST / HTTP/1.1\r\nContent-Length: 2048\r\n\r\n");
+  EXPECT_EQ(p.state(), ParseState::Error);
+}
+
+TEST(HostileParser, ConflictingDuplicateContentLengthRejected) {
+  // The classic request-smuggling shape: two Content-Length headers that
+  // disagree. Whichever one a naive hop honours, the other desyncs it.
+  RequestParser p;
+  p.feed(
+      "POST / HTTP/1.1\r\nContent-Length: 10\r\nContent-Length: 2\r\n\r\n");
+  EXPECT_EQ(p.state(), ParseState::Error);
+}
+
+TEST(HostileParser, AgreeingDuplicateContentLengthAccepted) {
+  RequestParser p;
+  p.feed("POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\n");
+  EXPECT_EQ(p.state(), ParseState::Body);
+  p.feed("abc");
+  EXPECT_EQ(p.state(), ParseState::Complete);
+}
+
+TEST(HostileParser, OverflowingContentLengthRejected) {
+  RequestParser p;
+  // One past UINT64_MAX: must fail integer parsing, not wrap.
+  p.feed(
+      "POST / HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n");
+  EXPECT_EQ(p.state(), ParseState::Error);
+}
+
+TEST(HostileParser, ChunkedFramingRejectedBeforeAnyChunk) {
+  // A truncated chunked body can never desync the relay because chunked
+  // framing is refused at the header stage, in both directions.
+  RequestParser rq;
+  rq.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nab");
+  EXPECT_EQ(rq.state(), ParseState::Error);
+
+  ResponseParser rp;
+  rp.feed("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nab");
+  EXPECT_EQ(rp.state(), ParseState::Error);
+}
+
+TEST(HostileParser, SlowLorisIsCutOffAtTheHeaderBound) {
+  // One byte per feed, never finishing the header block — the slow-loris
+  // shape. Memory stays bounded because the parser errors at the limit.
+  RequestParser p;
+  p.set_limits(tiny_limits());
+  p.feed("GET / HTTP/1.1\r\n");
+  std::size_t fed = 0;
+  while (p.state() == ParseState::Headers && fed < 10000) {
+    p.feed("x");
+    ++fed;
+  }
+  EXPECT_EQ(p.state(), ParseState::Error);
+  EXPECT_LE(fed, tiny_limits().max_header_bytes + 1);
+}
+
+TEST(HostileParser, SlowButValidStreamStillCompletes) {
+  // The idle-timeout layer, not the parser, is what kills slow-loris
+  // connections carrying *valid* bytes; the parser itself must accept an
+  // arbitrarily slow well-formed message.
+  RequestParser p;
+  p.set_limits(tiny_limits());
+  const std::string wire = "GET /f HTTP/1.1\r\nHost: h\r\n\r\n";
+  for (char ch : wire) {
+    ASSERT_NE(p.state(), ParseState::Error);
+    p.feed(std::string_view(&ch, 1));
+  }
+  EXPECT_EQ(p.state(), ParseState::Complete);
+}
+
+TEST(HostileParser, ErrorStateIsSticky) {
+  RequestParser p;
+  p.feed("BREW / HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(p.state(), ParseState::Error);
+  // Further bytes are not consumed and cannot resurrect the parse.
+  EXPECT_EQ(p.feed("GET / HTTP/1.1\r\n\r\n"), 0u);
+  EXPECT_EQ(p.state(), ParseState::Error);
+  // reset() is the only way back.
+  p.reset();
+  p.feed("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(p.state(), ParseState::Complete);
+}
+
+TEST(HostileParser, ResponseParserSharesTheLimits) {
+  ResponseParser p;
+  p.set_limits(tiny_limits());
+  std::string wire = "HTTP/1.1 200 OK\r\n";
+  wire.append(500, 'z');
+  p.feed(wire);
+  EXPECT_EQ(p.state(), ParseState::Error);
+}
+
+TEST(HostileParser, LimitsSurviveReset) {
+  RequestParser p;
+  p.set_limits(tiny_limits());
+  p.feed("GET /" + std::string(500, 'a'));
+  ASSERT_EQ(p.state(), ParseState::Error);
+  p.reset();
+  EXPECT_EQ(p.limits().max_start_line_bytes,
+            tiny_limits().max_start_line_bytes);
+  p.feed("GET /" + std::string(500, 'b'));
+  EXPECT_EQ(p.state(), ParseState::Error);
+}
+
+}  // namespace
+}  // namespace idr::http

@@ -1,0 +1,253 @@
+// Admission-control tests for the simulated relay (TransferEngine):
+// concurrency caps with queue-or-reject semantics, slot accounting across
+// finish/cancel/abort, and the overload signal feeding the client's
+// short-penalty relay statistics.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/selection_policy.hpp"
+#include "overlay/transfer_engine.hpp"
+#include "overlay/web_server.hpp"
+#include "util/error.hpp"
+
+namespace idr::overlay {
+namespace {
+
+using util::mbps;
+using util::milliseconds;
+
+// The 4-node world of test_overlay.cpp: server -> gw -> client direct,
+// server -> relay -> gw indirect, constant capacities.
+struct World {
+  sim::Simulator sim;
+  net::Topology topo;
+  std::optional<flow::FlowSimulator> fsim;
+  std::optional<WebServerModel> server;
+  std::optional<TransferEngine> engine;
+  net::NodeId server_node, gw, client, relay;
+
+  World() {
+    server_node = topo.add_node("server");
+    gw = topo.add_node("gw");
+    client = topo.add_node("client");
+    relay = topo.add_node("relay");
+    topo.add_link(server_node, gw, mbps(1.0), milliseconds(90));
+    topo.add_link(gw, client, mbps(50), milliseconds(5));
+    topo.add_link(server_node, relay, mbps(40), milliseconds(20));
+    topo.add_link(relay, gw, mbps(4.0), milliseconds(90));
+    fsim.emplace(sim, topo, util::Rng(3));
+    server.emplace(server_node, "server");
+    server->add_resource("/f", 1.0e6);
+    engine.emplace(*fsim);
+  }
+
+  TransferRequest request(std::optional<net::NodeId> via = std::nullopt) {
+    TransferRequest req;
+    req.client = client;
+    req.server = &*server;
+    req.resource = "/f";
+    req.relay = via;
+    return req;
+  }
+
+  void govern(std::size_t max_concurrent, std::size_t queue_limit,
+              util::Duration retry_after = 1.0) {
+    RelayParams params;
+    params.max_concurrent = max_concurrent;
+    params.queue_limit = queue_limit;
+    params.retry_after = retry_after;
+    engine->set_relay_params(relay, params);
+  }
+};
+
+TEST(OverlayOverload, RejectsBeyondCapWhenQueueDisabled) {
+  World w;
+  w.govern(/*max_concurrent=*/1, /*queue_limit=*/0, /*retry_after=*/0.75);
+  std::optional<TransferResult> first, second;
+  w.engine->begin(w.request(w.relay),
+                  [&](const TransferResult& r) { first = r; });
+  w.engine->begin(w.request(w.relay),
+                  [&](const TransferResult& r) { second = r; });
+  w.sim.run();
+  ASSERT_TRUE(first && second);
+  EXPECT_TRUE(first->ok);
+  EXPECT_FALSE(second->ok);
+  EXPECT_TRUE(second->overloaded);
+  EXPECT_DOUBLE_EQ(second->retry_after, 0.75);
+  // The rejection is immediate, long before the active transfer ends.
+  EXPECT_LT(second->finish_time, first->finish_time);
+  EXPECT_EQ(w.engine->transfers_shed(), 1u);
+  EXPECT_EQ(w.engine->transfers_queued(), 0u);
+}
+
+TEST(OverlayOverload, QueueAdmitsInFifoOrder) {
+  World w;
+  w.govern(/*max_concurrent=*/1, /*queue_limit=*/2);
+  std::vector<std::optional<TransferResult>> r(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    w.engine->begin(w.request(w.relay),
+                    [&, i](const TransferResult& res) { r[i] = res; });
+  }
+  // One active, two queued, the fourth overflows the queue and is shed.
+  EXPECT_EQ(w.engine->relay_active(w.relay), 1u);
+  EXPECT_EQ(w.engine->relay_queued(w.relay), 2u);
+  w.sim.run();
+  for (const auto& res : r) ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(r[0]->ok);
+  EXPECT_TRUE(r[1]->ok);
+  EXPECT_TRUE(r[2]->ok);
+  EXPECT_FALSE(r[3]->ok);
+  EXPECT_TRUE(r[3]->overloaded);
+  // FIFO admission: the first queued transfer finishes before the second.
+  EXPECT_LT(r[1]->finish_time, r[2]->finish_time);
+  // Queued transfers record their waiting time; the head waited less.
+  EXPECT_EQ(r[0]->queued_delay, 0.0);
+  EXPECT_GT(r[1]->queued_delay, 0.0);
+  EXPECT_GT(r[2]->queued_delay, r[1]->queued_delay);
+  EXPECT_EQ(w.engine->transfers_queued(), 2u);
+  EXPECT_EQ(w.engine->transfers_shed(), 1u);
+  EXPECT_EQ(w.engine->relay_active(w.relay), 0u);
+  EXPECT_EQ(w.engine->relay_queued(w.relay), 0u);
+}
+
+TEST(OverlayOverload, CancelReleasesSlotAndUnqueues) {
+  World w;
+  w.govern(/*max_concurrent=*/1, /*queue_limit=*/2);
+  std::optional<TransferResult> queued_result;
+  const TransferHandle active =
+      w.engine->begin(w.request(w.relay), [](const TransferResult&) {});
+  w.engine->begin(w.request(w.relay),
+                  [&](const TransferResult& r) { queued_result = r; });
+  bool third_fired = false;
+  const TransferHandle third = w.engine->begin(
+      w.request(w.relay), [&](const TransferResult&) { third_fired = true; });
+  EXPECT_EQ(w.engine->relay_queued(w.relay), 2u);
+
+  // Cancelling a queued transfer removes it without a callback.
+  EXPECT_TRUE(w.engine->cancel(third));
+  EXPECT_EQ(w.engine->relay_queued(w.relay), 1u);
+
+  // Cancelling the active transfer frees its slot for the queued one.
+  EXPECT_TRUE(w.engine->cancel(active));
+  EXPECT_EQ(w.engine->relay_active(w.relay), 1u);
+  EXPECT_EQ(w.engine->relay_queued(w.relay), 0u);
+  w.sim.run();
+  ASSERT_TRUE(queued_result.has_value());
+  EXPECT_TRUE(queued_result->ok);
+  EXPECT_FALSE(third_fired);
+}
+
+TEST(OverlayOverload, RelayCrashDrainsQueueAndFreesSlots) {
+  World w;
+  w.govern(/*max_concurrent=*/1, /*queue_limit=*/2);
+  std::vector<std::optional<TransferResult>> r(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    w.engine->begin(w.request(w.relay),
+                    [&, i](const TransferResult& res) { r[i] = res; });
+  }
+  w.sim.schedule_at(0.5, [&] { w.engine->set_relay_down(w.relay, true); });
+  w.sim.run();
+  // Both the active and the queued transfer die with the relay, and the
+  // gate is left clean for when it comes back.
+  ASSERT_TRUE(r[0] && r[1]);
+  EXPECT_FALSE(r[0]->ok);
+  EXPECT_FALSE(r[1]->ok);
+  EXPECT_FALSE(r[0]->overloaded);  // a crash, not a shed
+  EXPECT_EQ(w.engine->relay_active(w.relay), 0u);
+  EXPECT_EQ(w.engine->relay_queued(w.relay), 0u);
+
+  w.engine->set_relay_down(w.relay, false);
+  std::optional<TransferResult> after;
+  w.engine->begin(w.request(w.relay),
+                  [&](const TransferResult& res) { after = res; });
+  w.sim.run();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(after->ok);
+}
+
+TEST(OverlayOverload, SlotIsReusableFromTheDoneCallback) {
+  World w;
+  w.govern(/*max_concurrent=*/1, /*queue_limit=*/0);
+  // A retry begun from on_done of the transfer that just vacated the slot
+  // must be admitted immediately, not shed: the slot is released before
+  // the callback fires.
+  std::optional<TransferResult> retry;
+  w.engine->begin(w.request(w.relay), [&](const TransferResult& r) {
+    ASSERT_TRUE(r.ok);
+    w.engine->begin(w.request(w.relay),
+                    [&](const TransferResult& r2) { retry = r2; });
+  });
+  w.sim.run();
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_TRUE(retry->ok);
+  EXPECT_EQ(retry->queued_delay, 0.0);
+  EXPECT_EQ(w.engine->transfers_shed(), 0u);
+}
+
+TEST(OverlayOverload, GovernanceOffKeepsCountersSilent) {
+  World w;  // default RelayParams: max_concurrent = 0 (unlimited)
+  std::size_t done = 0;
+  for (int i = 0; i < 5; ++i) {
+    w.engine->begin(w.request(w.relay), [&](const TransferResult& r) {
+      EXPECT_TRUE(r.ok);
+      EXPECT_EQ(r.queued_delay, 0.0);
+      ++done;
+    });
+  }
+  w.sim.run();
+  EXPECT_EQ(done, 5u);
+  EXPECT_EQ(w.engine->transfers_shed(), 0u);
+  EXPECT_EQ(w.engine->transfers_queued(), 0u);
+  EXPECT_EQ(w.engine->relay_active(w.relay), 0u);
+}
+
+TEST(OverlayOverload, ClientRecordsShortOverloadPenalty) {
+  World w;
+  w.govern(/*max_concurrent=*/1, /*queue_limit=*/0);
+
+  // Occupy the relay's slot so the client's probe through it is shed.
+  std::optional<TransferResult> blocker;
+  w.engine->begin(w.request(w.relay),
+                  [&](const TransferResult& r) { blocker = r; });
+
+  core::ClientConfig config;
+  config.client_node = w.client;
+  config.server = &*w.server;
+  config.resource = "/f";
+  config.probe_bytes = 100.0e3;
+  config.overload_penalty = 5.0;
+  core::IndirectRoutingClient client(
+      *w.engine, config, std::make_unique<core::StaticRelayPolicy>(w.relay),
+      util::Rng(7));
+  client.register_relay(w.relay, "relay");
+
+  std::optional<core::FetchRecord> record;
+  client.fetch([&](const core::FetchRecord& r) { record = r; });
+  w.sim.run();
+
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->outcome.ok) << record->outcome.error;
+  EXPECT_FALSE(record->outcome.chose_indirect);  // direct salvaged it
+  EXPECT_GE(record->outcome.overload_rejections, 1u);
+  ASSERT_EQ(record->outcome.overloaded_relays.size(), 1u);
+  EXPECT_EQ(record->outcome.overloaded_relays[0], w.relay);
+  EXPECT_TRUE(record->outcome.failed_relays.empty());  // soft, not a crash
+
+  // The stats table took the short flat penalty: an overload mark, no
+  // consecutive-failure run, blacklisted only for the configured window.
+  const core::RelayRecord& rec = client.stats().record(w.relay);
+  EXPECT_EQ(rec.overloads, 1u);
+  EXPECT_EQ(rec.consecutive_failures, 0u);
+  EXPECT_EQ(rec.failures, 0u);
+  const util::TimePoint now = w.sim.now();
+  EXPECT_TRUE(client.stats().blacklisted(w.relay, now));
+  EXPECT_FALSE(client.stats().blacklisted(w.relay, now + 5.1));
+  ASSERT_TRUE(blocker.has_value());
+  EXPECT_TRUE(blocker->ok);
+}
+
+}  // namespace
+}  // namespace idr::overlay

@@ -1,0 +1,324 @@
+// Overload-governance tests for the real-socket daemons: session caps and
+// 503 shedding, accept-pause backpressure, idle reaping, accept() failure
+// survival (fd exhaustion), graceful drain, and the race treating a shed
+// as a soft failure.
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <optional>
+#include <vector>
+
+#include "rt/governance.hpp"
+#include "rt/http_client.hpp"
+#include "rt/http_server.hpp"
+#include "rt/probe_race.hpp"
+#include "rt/relay_daemon.hpp"
+
+namespace idr::rt {
+namespace {
+
+void spin_until(Reactor& reactor, double deadline_s,
+                const std::function<bool()>& done) {
+  const double deadline = reactor.now() + deadline_s;
+  while (!done() && reactor.now() < deadline) {
+    reactor.poll(0.02);
+  }
+  ASSERT_TRUE(done()) << "condition not reached within deadline";
+}
+
+struct Fixture {
+  Reactor reactor;
+  HttpOriginServer origin{reactor, 0};
+
+  explicit Fixture(std::uint64_t resource = 300000) {
+    origin.add_resource("/blob", resource);
+  }
+
+  /// Throttles relayed (Via) requests so a relay session stays busy long
+  /// enough to overload deterministically; direct stays unthrottled.
+  void slow_relayed(double rate) {
+    origin.set_shaping_policy([rate](const http::Request& r) {
+      return r.headers.has("Via") ? rate : 0.0;
+    });
+  }
+
+  FetchRequest via(const RelayDaemon& relay) {
+    FetchRequest req;
+    req.origin.port = origin.port();
+    req.path = "/blob";
+    req.proxy = Endpoint{"127.0.0.1", relay.port()};
+    return req;
+  }
+};
+
+TEST(Governance, OverloadResponseShape) {
+  const http::Response resp = make_overload_response(2.2);
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_EQ(resp.headers.get("Retry-After"), "3");  // rounded up
+  EXPECT_EQ(resp.headers.get("Connection"), "close");
+}
+
+TEST(Governance, TransientAcceptErrnos) {
+  for (int err : {EMFILE, ENFILE, ENOBUFS, ENOMEM, ECONNABORTED, EINTR}) {
+    EXPECT_TRUE(accept_errno_is_transient(err)) << err;
+  }
+  for (int err : {EBADF, EINVAL, ENOTSOCK}) {
+    EXPECT_FALSE(accept_errno_is_transient(err)) << err;
+  }
+}
+
+TEST(RtOverload, RelayShedsBeyondSessionCapWith503) {
+  Fixture fx;
+  fx.slow_relayed(50000.0);  // 300 KB at 50 KB/s: ~6 s busy
+  ServerLimits limits;
+  limits.max_sessions = 1;
+  limits.retry_after_s = 2.5;
+  RelayDaemon relay{fx.reactor, 0, limits};
+
+  // First transfer occupies the only session slot.
+  std::optional<FetchResult> first;
+  fetch(fx.reactor, fx.via(relay), [&](const FetchResult& r) { first = r; });
+  spin_until(fx.reactor, 10.0, [&] { return relay.active_sessions() == 1; });
+
+  // Second arrival is told 503 with the advertised Retry-After.
+  std::optional<FetchResult> second;
+  fetch(fx.reactor, fx.via(relay), [&](const FetchResult& r) { second = r; });
+  spin_until(fx.reactor, 10.0, [&] { return second.has_value(); });
+  EXPECT_FALSE(second->ok);
+  EXPECT_EQ(second->status, 503);
+  EXPECT_TRUE(second->overloaded());
+  EXPECT_DOUBLE_EQ(second->retry_after_s, 3.0);  // ceil(2.5)
+  EXPECT_EQ(relay.counters().shed, 1u);
+
+  // The occupying transfer is unharmed by the shedding around it.
+  spin_until(fx.reactor, 30.0, [&] { return first.has_value(); });
+  EXPECT_TRUE(first->ok) << first->error;
+  EXPECT_TRUE(first->body_verified);
+  EXPECT_EQ(relay.counters().accepted, 1u);
+}
+
+TEST(RtOverload, HardCapPausesAcceptAndAllClientsGetAnswers) {
+  Fixture fx;
+  fx.slow_relayed(50000.0);
+  ServerLimits limits;
+  limits.max_sessions = 1;
+  limits.shed_burst = 1;  // hard cap at 2 open sessions
+  RelayDaemon relay{fx.reactor, 0, limits};
+
+  // Six simultaneous arrivals against one slot: one is served, the rest
+  // are shed — possibly after waiting in the paused listener's backlog —
+  // and nobody is left hanging.
+  std::vector<std::optional<FetchResult>> results(6);
+  for (auto& slot : results) {
+    fetch(fx.reactor, fx.via(relay), [&](const FetchResult& r) { slot = r; });
+  }
+  spin_until(fx.reactor, 30.0, [&] {
+    for (const auto& r : results) {
+      if (!r.has_value()) return false;
+    }
+    return true;
+  });
+
+  std::size_t ok_count = 0, shed_count = 0;
+  for (const auto& r : results) {
+    if (r->ok) {
+      ++ok_count;
+    } else {
+      EXPECT_EQ(r->status, 503);
+      ++shed_count;
+    }
+  }
+  EXPECT_EQ(ok_count, 1u);
+  EXPECT_EQ(shed_count, 5u);
+  EXPECT_EQ(relay.counters().shed, 5u);
+  EXPECT_GE(relay.counters().accept_pauses, 1u);
+  EXPECT_EQ(relay.active_sessions(), 0u);
+}
+
+TEST(RtOverload, IdleConnectionsAreReaped) {
+  Fixture fx;
+  ServerLimits limits;
+  limits.idle_timeout_s = 0.1;
+  RelayDaemon relay{fx.reactor, 0, limits};
+
+  // Connect and send nothing: the slow-loris shape the parser alone
+  // cannot catch (no bytes ever arrive to reject).
+  FdHandle mute = connect_nonblocking("127.0.0.1", relay.port());
+  spin_until(fx.reactor, 5.0, [&] { return relay.active_sessions() == 1; });
+  spin_until(fx.reactor, 5.0, [&] { return relay.active_sessions() == 0; });
+  EXPECT_EQ(relay.counters().idle_reaped, 1u);
+
+  // An active transfer is not idle: it survives many timeout windows.
+  fx.slow_relayed(60000.0);  // ~5 s of continuous forwarding
+  std::optional<FetchResult> result;
+  fetch(fx.reactor, fx.via(relay), [&](const FetchResult& r) { result = r; });
+  spin_until(fx.reactor, 30.0, [&] { return result.has_value(); });
+  EXPECT_TRUE(result->ok) << result->error;
+  EXPECT_EQ(relay.counters().idle_reaped, 1u);  // unchanged
+}
+
+TEST(RtOverload, OriginServerShedsAndReapsToo) {
+  Reactor reactor;
+  ServerLimits limits;
+  limits.max_sessions = 1;
+  limits.idle_timeout_s = 0.1;
+  HttpOriginServer origin{reactor, 0, limits};
+  origin.add_resource("/blob", 300000);
+  origin.set_shaping_policy([](const http::Request&) { return 50000.0; });
+
+  FetchRequest req;
+  req.origin.port = origin.port();
+  req.path = "/blob";
+  std::optional<FetchResult> first, second;
+  fetch(reactor, req, [&](const FetchResult& r) { first = r; });
+  spin_until(reactor, 10.0, [&] { return origin.active_sessions() == 1; });
+  fetch(reactor, req, [&](const FetchResult& r) { second = r; });
+  spin_until(reactor, 10.0, [&] { return second.has_value(); });
+  EXPECT_EQ(second->status, 503);
+  EXPECT_EQ(origin.counters().shed, 1u);
+  spin_until(reactor, 30.0, [&] { return first.has_value(); });
+  EXPECT_TRUE(first->ok) << first->error;
+
+  // Idle reaping on the origin as well.
+  FdHandle mute = connect_nonblocking("127.0.0.1", origin.port());
+  spin_until(reactor, 5.0, [&] { return origin.active_sessions() == 1; });
+  spin_until(reactor, 5.0, [&] { return origin.active_sessions() == 0; });
+  EXPECT_EQ(origin.counters().idle_reaped, 1u);
+}
+
+TEST(RtOverload, AcceptFailureBacksOffAndRecovers) {
+  Fixture fx;
+  RelayDaemon relay{fx.reactor, 0};
+
+  // Start the connect first so the SYN lands in the listener's backlog,
+  // then exhaust the fd table before the reactor gets to accept it.
+  std::optional<FetchResult> result;
+  fetch(fx.reactor, fx.via(relay), [&](const FetchResult& r) { result = r; });
+
+  rlimit original{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &original), 0);
+  rlimit lowered = original;
+  lowered.rlim_cur = 128;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &lowered), 0);
+  std::vector<int> hogs;
+  for (int fd = ::dup(0); fd >= 0; fd = ::dup(0)) hogs.push_back(fd);
+  ASSERT_EQ(errno, EMFILE);
+
+  // accept() now fails with EMFILE: the daemon must log + back off, not
+  // abort the process.
+  spin_until(fx.reactor, 10.0,
+             [&] { return relay.counters().accept_failures >= 1; });
+  EXPECT_FALSE(result.has_value());
+
+  for (int fd : hogs) ::close(fd);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &original), 0);
+
+  // Once pressure lifts, the backoff timer re-enables accepting and the
+  // queued connection is served normally.
+  spin_until(fx.reactor, 30.0, [&] { return result.has_value(); });
+  EXPECT_TRUE(result->ok) << result->error;
+  EXPECT_TRUE(result->body_verified);
+  EXPECT_GE(relay.counters().accept_failures, 1u);
+}
+
+TEST(RtOverload, DrainFinishesInFlightThenClosesListener) {
+  Fixture fx;
+  fx.slow_relayed(60000.0);  // ~5 s transfer
+  RelayDaemon relay{fx.reactor, 0};
+
+  std::optional<FetchResult> result;
+  fetch(fx.reactor, fx.via(relay), [&](const FetchResult& r) { result = r; });
+  spin_until(fx.reactor, 10.0, [&] { return relay.active_sessions() >= 1; });
+
+  bool drained = false;
+  relay.drain([&] { drained = true; });
+  EXPECT_TRUE(relay.draining());
+  EXPECT_FALSE(drained);  // a session is still in flight
+
+  // The drain callback fires when the last session closes; the client's
+  // callback lands a poll later, once it has read to EOF.
+  spin_until(fx.reactor, 30.0, [&] { return drained && result.has_value(); });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok) << result->error;  // in-flight work completed
+  EXPECT_GE(relay.counters().drained, 1u);
+  EXPECT_EQ(relay.active_sessions(), 0u);
+
+  // The listener is gone: a new connection cannot be established.
+  std::optional<FetchResult> late;
+  FetchRequest req = fx.via(relay);
+  req.timeout_s = 3.0;
+  fetch(fx.reactor, req, [&](const FetchResult& r) { late = r; });
+  spin_until(fx.reactor, 10.0, [&] { return late.has_value(); });
+  EXPECT_FALSE(late->ok);
+}
+
+TEST(RtOverload, DrainWhenIdleFiresImmediately) {
+  Reactor reactor;
+  RelayDaemon relay{reactor, 0};
+  bool drained = false;
+  relay.drain([&] { drained = true; });
+  EXPECT_TRUE(drained);
+}
+
+TEST(RtOverload, RaceTreatsShedAsSoftFailureAndWinsDirect) {
+  Fixture fx(200000);
+  ServerLimits limits;
+  limits.max_sessions = 1;
+  RelayDaemon relay{fx.reactor, 0, limits};
+  // Shape BOTH paths: the relayed blocker is slow enough to hold the slot
+  // for the whole race, and the direct path is slow enough that the
+  // relay's immediate 503 lands before the direct probe completes (else
+  // the winning probe would cancel the relay lane before the shed is
+  // observed).
+  fx.origin.set_shaping_policy([](const http::Request& r) {
+    return r.headers.has("Via") ? 40000.0 : 200000.0;
+  });
+
+  // Occupy the relay's only slot, then race through it: the relay lane is
+  // shed (503), the race counts an overload rejection — not a crash — and
+  // completes over the direct path.
+  std::optional<FetchResult> blocker;
+  fetch(fx.reactor, fx.via(relay),
+        [&](const FetchResult& r) { blocker = r; });
+  spin_until(fx.reactor, 10.0, [&] { return relay.active_sessions() == 1; });
+
+  RaceSpec spec;
+  spec.origin.port = fx.origin.port();
+  spec.path = "/blob";
+  spec.resource_size = 200000;
+  spec.probe_bytes = 50000;
+  spec.relays = {Endpoint{"127.0.0.1", relay.port()}};
+  std::optional<RaceResult> result;
+  start_probe_race(fx.reactor, spec,
+                   [&](const RaceResult& r) { result = r; });
+  spin_until(fx.reactor, 30.0, [&] { return result.has_value(); });
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_FALSE(result->chose_indirect);
+  EXPECT_TRUE(result->body_verified);
+  EXPECT_GE(result->overload_rejections, 1u);
+
+  spin_until(fx.reactor, 30.0, [&] { return blocker.has_value(); });
+  EXPECT_TRUE(blocker->ok) << blocker->error;
+}
+
+TEST(RtOverload, GovernanceOffChangesNothing) {
+  Fixture fx;
+  RelayDaemon relay{fx.reactor, 0};  // default limits: governs nothing
+  EXPECT_FALSE(relay.limits().governs_admission());
+  EXPECT_FALSE(relay.limits().governs_idle());
+
+  std::optional<FetchResult> result;
+  fetch(fx.reactor, fx.via(relay), [&](const FetchResult& r) { result = r; });
+  spin_until(fx.reactor, 10.0, [&] { return result.has_value(); });
+  EXPECT_TRUE(result->ok) << result->error;
+  EXPECT_EQ(relay.counters().shed, 0u);
+  EXPECT_EQ(relay.counters().idle_reaped, 0u);
+  EXPECT_EQ(relay.counters().accept_pauses, 0u);
+  EXPECT_EQ(relay.counters().accept_failures, 0u);
+}
+
+}  // namespace
+}  // namespace idr::rt
