@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/sink.hpp"
 #include "testbed/section2.hpp"
 #include "testbed/section4.hpp"
 
@@ -109,17 +110,63 @@ inline void print_header(const char* artifact, const char* paper_claim,
               static_cast<unsigned long long>(opts.seed));
 }
 
-/// Prints the event-core work behind a result set. Goes to stderr: stdout
+/// Merges every session's registry snapshot into one run-level view
+/// (counters add across sessions).
+inline obs::Snapshot total_metrics(
+    const std::vector<testbed::SessionResult>& sessions) {
+  obs::Snapshot total;
+  for (const testbed::SessionResult& s : sessions) total.merge(s.metrics);
+  return total;
+}
+
+inline obs::Snapshot total_metrics(const testbed::Section4Result& result) {
+  obs::Snapshot total;
+  for (const testbed::Section4Cell& c : result.cells) {
+    total.merge(c.session.metrics);
+  }
+  return total;
+}
+
+/// A SchedulerWork tally rendered as the `sim.core.*` registry series —
+/// the bridge for drivers that accumulate event-core counters outside the
+/// session runner.
+inline obs::Snapshot scheduler_snapshot(const testbed::SchedulerWork& work) {
+  obs::Registry registry;
+  registry.counter("sim.core.events_executed").inc(work.executed);
+  registry.counter("sim.core.events_cancelled").inc(work.cancellations);
+  registry.counter("sim.core.events_rescheduled").inc(work.reschedules);
+  return registry.snapshot();
+}
+
+/// Prints the event-core work behind a result set, read from the merged
+/// registry snapshot's `sim.core.*` series. Goes to stderr: stdout
 /// carries the figure/table data and must stay byte-stable across
 /// performance work, while this line is allowed to move with scheduler
 /// internals.
-inline void print_scheduler_work(const testbed::SchedulerWork& work) {
+inline void print_scheduler_work(const obs::Snapshot& snapshot) {
+  auto series = [&](const char* name) -> unsigned long long {
+    const obs::MetricValue* m = snapshot.find(name);
+    return m != nullptr ? static_cast<unsigned long long>(m->count) : 0ULL;
+  };
   std::fprintf(stderr,
                "[scheduler] events executed=%llu cancelled=%llu "
                "rescheduled=%llu\n",
-               static_cast<unsigned long long>(work.executed),
-               static_cast<unsigned long long>(work.cancellations),
-               static_cast<unsigned long long>(work.reschedules));
+               series("sim.core.events_executed"),
+               series("sim.core.events_cancelled"),
+               series("sim.core.events_rescheduled"));
+}
+
+inline void print_scheduler_work(const testbed::SchedulerWork& work) {
+  print_scheduler_work(scheduler_snapshot(work));
+}
+
+/// Bench epilogue: the scheduler-work line plus IDR_OBS_OUT artifacts
+/// (metrics JSON + prometheus text, and the Chrome trace when `tracer`
+/// captured spans). A no-op sink keeps default runs byte-identical.
+inline void finish_run(const char* run_name, const obs::Snapshot& snapshot,
+                       const obs::Tracer* tracer = nullptr) {
+  print_scheduler_work(snapshot);
+  obs::dump_run(run_name, snapshot, tracer);
 }
 
 /// Sums scheduler work over a session collection.

@@ -14,8 +14,11 @@ int main(int argc, char** argv) {
       "Fig. 1 - improvement histogram (all clients, eBay)",
       "avg +49%, median +37%, 84% in [0,100), ~12% negative", opts);
 
-  const testbed::Section2Result result =
-      testbed::run_section2(bench::section2_good_relay_config(opts));
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
+  testbed::Section2Config config = bench::section2_good_relay_config(opts);
+  config.tracer = &tracer;
+  const testbed::Section2Result result = testbed::run_section2(config);
   const std::vector<double> improvements =
       testbed::indirect_improvements(result.sessions);
 
@@ -40,6 +43,6 @@ int main(int argc, char** argv) {
   }
   std::printf("overall indirect-path utilization %.0f %% (paper: 45 %%)\n",
               100.0 * testbed::overall_utilization(result.sessions));
-  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
+  bench::finish_run("fig1", bench::total_metrics(result.sessions), &tracer);
   return 0;
 }

@@ -13,8 +13,12 @@ int main(int argc, char** argv) {
       "Fig. 2 - per-client improvement histograms",
       "per-client shapes mirror the aggregate; peak near +50%", opts);
 
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
+  testbed::Section2Config config = bench::section2_good_relay_config(opts);
+  config.tracer = &tracer;
   const testbed::Section2Result result =
-      testbed::run_section2(bench::section2_good_relay_config(opts));
+      testbed::run_section2(config);
 
   const char* kShown[] = {"Australia 2", "Canada",  "France",
                           "Italy",       "Beirut",  "Korea"};
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
     std::printf("  mean %+.1f %%, median %+.1f %%\n\n", samples.mean(),
                 samples.median());
   }
-  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
+  bench::finish_run("fig2", bench::total_metrics(result.sessions),
+                   &tracer);
   return 0;
 }

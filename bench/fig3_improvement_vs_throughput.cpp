@@ -15,8 +15,12 @@ int main(int argc, char** argv) {
       "downward trend: improvement inversely related to client throughput",
       opts);
 
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
+  testbed::Section2Config config = bench::section2_good_relay_config(opts);
+  config.tracer = &tracer;
   const testbed::Section2Result result =
-      testbed::run_section2(bench::section2_good_relay_config(opts));
+      testbed::run_section2(config);
   const auto points =
       testbed::improvement_vs_throughput_points(result.sessions);
 
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
       "\nregression slope: %.1f %% per Mbps (paper: negative / downward)\n",
       slope);
   std::printf("points: %zu\n", xs.size());
-  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
+  bench::finish_run("fig3", bench::total_metrics(result.sessions),
+                   &tracer);
   return 0;
 }

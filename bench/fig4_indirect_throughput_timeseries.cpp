@@ -14,8 +14,12 @@ int main(int argc, char** argv) {
       "Fig. 4 - indirect-path throughput vs. time",
       "fluctuations but no trend; steadier than the direct path", opts);
 
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
+  testbed::Section2Config config = bench::section2_good_relay_config(opts);
+  config.tracer = &tracer;
   const testbed::Section2Result result =
-      testbed::run_section2(bench::section2_good_relay_config(opts));
+      testbed::run_section2(config);
 
   const char* kShown[] = {"Canada", "Italy", "Korea", "Beirut"};
   for (const char* client : kShown) {
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
                 "be steadier)\n\n",
                 direct_stats.cv());
   }
-  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
+  bench::finish_run("fig4", bench::total_metrics(result.sessions),
+                   &tracer);
   return 0;
 }

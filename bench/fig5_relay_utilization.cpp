@@ -14,8 +14,12 @@ int main(int argc, char** argv) {
       "Fig. 5 - intermediate node utilization (avg/stdev/RMS)",
       "per-relay averages vary; overall mean utilization 45%", opts);
 
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
+  testbed::Section2Config config = bench::section2_rotation_config(opts);
+  config.tracer = &tracer;
   const testbed::Section2Result result =
-      testbed::run_section2(bench::section2_rotation_config(opts));
+      testbed::run_section2(config);
   const auto rows = testbed::relay_utilization_summary(result.sessions);
 
   util::TextTable table(
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
               averages.mean());
   std::printf("overall utilization across transfers: %.0f %%\n",
               100.0 * testbed::overall_utilization(result.sessions));
-  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
+  bench::finish_run("fig5", bench::total_metrics(result.sessions),
+                   &tracer);
   return 0;
 }

@@ -13,7 +13,10 @@ int main(int argc, char** argv) {
       "Fig. 6 - avg improvement vs. random set size (Duke/Sweden/Italy)",
       "curves level off around n = 10 of 35", opts);
 
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
   testbed::Section4Config config = bench::section4_config(opts);
+  config.tracer = &tracer;
   config.clients = {"Duke", "Sweden", "Italy"};
   config.client_inbound_mbps = {2.0, 1.4, 1.2};
   const testbed::Section4Result result = testbed::run_section4(config);
@@ -37,6 +40,6 @@ int main(int argc, char** argv) {
                 client, at_max > 0 ? 100.0 * at10 / at_max : 0.0,
                 config.set_sizes.back());
   }
-  bench::print_scheduler_work(bench::total_scheduler_work(result));
+  bench::finish_run("fig6", bench::total_metrics(result), &tracer);
   return 0;
 }

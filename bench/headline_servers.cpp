@@ -19,14 +19,17 @@ int main(int argc, char** argv) {
   util::TextTable table({"Server", "Avg improvement (%)", "Median (%)",
                          "Indirect chosen (%)", "Points"});
   double lo = 1e9, hi = -1e9;
-  testbed::SchedulerWork sim_work;
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
+  obs::Snapshot metrics;
   for (const char* server : {"eBay", "Google", "MSN", "Yahoo"}) {
     testbed::Section2Config config = bench::section2_good_relay_config(opts);
     config.server = server;
+    config.tracer = &tracer;
     const testbed::Section2Result result = testbed::run_section2(config);
     util::SampleSet imp;
     imp.add_all(testbed::indirect_improvements(result.sessions));
-    sim_work += bench::total_scheduler_work(result.sessions);
+    metrics.merge(bench::total_metrics(result.sessions));
     const double avg = imp.empty() ? 0.0 : imp.mean();
     lo = std::min(lo, avg);
     hi = std::max(hi, avg);
@@ -40,6 +43,6 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render().c_str());
   std::printf("\nmeasured range: +%.0f%% .. +%.0f%% (paper: +33%% .. +49%%)\n",
               lo, hi);
-  bench::print_scheduler_work(sim_work);
+  bench::finish_run("headline_servers", metrics, &tracer);
   return 0;
 }

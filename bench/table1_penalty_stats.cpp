@@ -15,8 +15,12 @@ int main(int argc, char** argv) {
       "All 12%/290%/706%/3840; Med-Low 8%/43%/71%/356; LowVar 3%/12%/7%/35",
       opts);
 
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
+  testbed::Section2Config config = bench::section2_good_relay_config(opts);
+  config.tracer = &tracer;
   const testbed::Section2Result result =
-      testbed::run_section2(bench::section2_good_relay_config(opts));
+      testbed::run_section2(config);
 
   util::TextTable table({"Filter", "Penalty points", "Avg penalty",
                          "St. dev", "Max", "(paper)"});
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
       "(their 3840%% maximum implies a 39x rate ratio); the structure —\n"
       "penalties concentrated in high-throughput, high-variability clients\n"
       "and shrinking under the filters — is what this table checks.\n");
-  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
+  bench::finish_run("table1", bench::total_metrics(result.sessions),
+                   &tracer);
   return 0;
 }

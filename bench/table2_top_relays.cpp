@@ -18,7 +18,10 @@ int main(int argc, char** argv) {
       "poor-path clients, ~5% for High-throughput clients",
       opts);
 
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
   testbed::Section2Config config = bench::section2_rotation_config(opts);
+  config.tracer = &tracer;
   const testbed::Section2Result result = testbed::run_section2(config);
 
   const auto tops = testbed::top_relays_per_client(result.sessions, 3);
@@ -44,6 +47,7 @@ int main(int argc, char** argv) {
     if (count >= 2) std::printf("  %-14s in %d clients' top-3\n",
                                 relay.c_str(), count);
   }
-  bench::print_scheduler_work(bench::total_scheduler_work(result.sessions));
+  bench::finish_run("table2", bench::total_metrics(result.sessions),
+                   &tracer);
   return 0;
 }

@@ -17,7 +17,10 @@ int main(int argc, char** argv) {
       "best relay 76%/+71%; utilization correlates with improvement",
       opts);
 
+  obs::Tracer tracer;
+  tracer.set_enabled(obs::out_enabled());
   testbed::Section4Config config = bench::section4_config(opts);
+  config.tracer = &tracer;
   config.clients = {"Duke"};
   config.client_inbound_mbps = {2.0};
   config.set_sizes = {10};  // the knee of Fig. 6
@@ -48,6 +51,6 @@ int main(int argc, char** argv) {
                 "(paper: positive, imperfect)\n",
                 util::spearman_correlation(utils, imps));
   }
-  bench::print_scheduler_work(bench::total_scheduler_work(result));
+  bench::finish_run("table3", bench::total_metrics(result), &tracer);
   return 0;
 }

@@ -51,6 +51,72 @@ struct RaceState {
     return engine->flow_simulator().simulator();
   }
 
+  flow::FlowSimulator& fsim() { return engine->flow_simulator(); }
+
+  /// World tracer, or null when tracing is off for this world.
+  obs::Tracer* tracer() {
+    obs::Tracer* t = fsim().tracer();
+    return t != nullptr && t->enabled() ? t : nullptr;
+  }
+
+  /// One complete span per transfer attempt inside the race (probe lane,
+  /// remainder, fallback), parented under the race span by time nesting.
+  void emit_attempt_span(const char* name,
+                         const overlay::TransferResult& result) {
+    obs::Tracer* t = tracer();
+    if (t == nullptr) return;
+    std::string args = "{\"ok\":";
+    args += result.ok ? "true" : "false";
+    if (result.indirect) {
+      args += ",\"relay\":" + std::to_string(result.relay);
+    }
+    args += '}';
+    t->complete(name, "sim.race", fsim().trace_track(),
+                result.start_time * 1e6, result.elapsed() * 1e6,
+                std::move(args));
+  }
+
+  /// The enclosing race span plus the race-level counters, emitted exactly
+  /// once per race from finish_success/finish_error — so the probe_race
+  /// span count equals the fetch (transfer) count by construction.
+  void emit_race_end(const RaceOutcome& outcome) {
+    obs::Registry& metrics = fsim().metrics();
+    if (!outcome.ok) {
+      metrics.counter("sim.race.races_failed").inc();
+    } else if (outcome.chose_indirect) {
+      metrics.counter("sim.race.races_won_indirect").inc();
+    } else {
+      metrics.counter("sim.race.races_won_direct").inc();
+    }
+    metrics.counter("sim.race.probe_failures").inc(outcome.probe_failures);
+    metrics.counter("sim.race.retries").inc(outcome.retries);
+    metrics.counter("sim.race.overload_rejections")
+        .inc(outcome.overload_rejections);
+    if (outcome.fell_back_direct) {
+      metrics.counter("sim.race.fallbacks_direct").inc();
+    }
+    if (outcome.ok && outcome.probe_elapsed > 0.0) {
+      metrics
+          .histogram("sim.race.probe_seconds",
+                     obs::HistogramOptions{1e-3, 1e3, 4})
+          .observe(outcome.probe_elapsed);
+    }
+    obs::Tracer* t = tracer();
+    if (t == nullptr) return;
+    std::string args = "{\"ok\":";
+    args += outcome.ok ? "true" : "false";
+    args += ",\"chose_indirect\":";
+    args += outcome.chose_indirect ? "true" : "false";
+    if (outcome.chose_indirect) {
+      args += ",\"relay\":" + std::to_string(outcome.relay);
+    }
+    if (outcome.fell_back_direct) args += ",\"fell_back_direct\":true";
+    args += '}';
+    t->complete("probe_race", "sim.race", fsim().trace_track(),
+                start_time * 1e6, outcome.total_elapsed * 1e6,
+                std::move(args));
+  }
+
   util::Rng& rng() {
     if (!backoff_rng) {
       std::uint64_t salt = 0;
@@ -105,6 +171,7 @@ struct RaceState {
     outcome.error = std::move(error);
     outcome.total_elapsed = simulator().now() - start_time;
     stamp(outcome);
+    emit_race_end(outcome);
     on_done(outcome);
   }
 };
@@ -130,6 +197,7 @@ void finish_success(const std::shared_ptr<RaceState>& state,
     outcome.remainder_elapsed = remainder->elapsed();
   }
   state->stamp(outcome);
+  state->emit_race_end(outcome);
   state->on_done(outcome);
 }
 
@@ -147,6 +215,7 @@ void start_direct_fallback(const std::shared_ptr<RaceState>& state,
   req.tcp = state->spec.tcp;
   state->engine->begin(
       req, [state, attempt](const overlay::TransferResult& result) {
+        state->emit_attempt_span("fallback", result);
         if (result.ok) {
           state->winner.reset();
           finish_success(state, nullptr);
@@ -246,6 +315,7 @@ void start_remainder(const std::shared_ptr<RaceState>& state,
   state->engine->begin(
       rest, [state, attempt,
              via_direct](const overlay::TransferResult& remainder) {
+        state->emit_attempt_span("remainder", remainder);
         if (remainder.ok) {
           finish_success(state, &remainder);
           return;
@@ -278,6 +348,7 @@ void on_probe_done(const std::shared_ptr<RaceState>& state,
   auto& probe = state->probes[index];
   probe.finished = true;
   --state->pending;
+  state->emit_attempt_span("probe_lane", result);
 
   if (state->decided) return;  // a loser draining out; already cancelled?
 
@@ -333,6 +404,7 @@ void start_probe_race(overlay::TransferEngine& engine, const RaceSpec& spec,
   state->engine = &engine;
   state->spec = spec;
   state->on_done = std::move(on_done);
+  engine.flow_simulator().metrics().counter("sim.race.races_started").inc();
   launch(state);
 }
 

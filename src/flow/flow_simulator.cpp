@@ -17,11 +17,36 @@ constexpr Rate kSlowStartStopBound = 12.5e9;  // 100 Gbit/s
 // Link capacities are clamped to this floor whenever a capacity process
 // drives them, so a degenerate draw can never park every flow on a link.
 constexpr Rate kCapacityFloor = 1.0;
+
+double sim_now_us(const void* ctx) {
+  return static_cast<const sim::Simulator*>(ctx)->now() * 1e6;
+}
 }  // namespace
 
 FlowSimulator::FlowSimulator(sim::Simulator& sim, net::Topology& topo,
                              util::Rng rng)
-    : sim_(sim), topo_(topo), rng_(rng) {}
+    : sim_(sim), topo_(topo), rng_(rng) {
+  c_reallocations_ = metrics_.counter("sim.flow.reallocations");
+  c_flows_touched_ = metrics_.counter("sim.flow.flows_touched");
+  c_maxmin_rounds_ = metrics_.counter("sim.flow.maxmin_rounds");
+  c_timer_rearms_ = metrics_.counter("sim.flow.timer_rearms");
+  c_skipped_events_ = metrics_.counter("sim.flow.skipped_events");
+  g_flows_active_ = metrics_.gauge("sim.flow.flows_active");
+}
+
+obs::TraceClock FlowSimulator::trace_clock() const {
+  return obs::TraceClock{&sim_now_us, &sim_};
+}
+
+FlowSimulator::Counters FlowSimulator::counters() const {
+  Counters c;
+  c.reallocations = c_reallocations_.value();
+  c.flows_touched = c_flows_touched_.value();
+  c.maxmin_rounds = c_maxmin_rounds_.value();
+  c.timer_rearms = c_timer_rearms_.value();
+  c.skipped_events = c_skipped_events_.value();
+  return c;
+}
 
 void FlowSimulator::attach_capacity_process(
     net::LinkId link, std::unique_ptr<net::CapacityProcess> process) {
@@ -67,7 +92,7 @@ void FlowSimulator::on_capacity_change(net::LinkId link) {
   const Rate capacity = std::max(slot.pending.capacity, kCapacityFloor);
   if (capacity == topo_.link(link).capacity) {
     // The process re-drew the current level; no rate can change.
-    ++counters_.skipped_events;
+    c_skipped_events_.inc();
   } else {
     topo_.mutable_link(link).capacity = capacity;
     const net::LinkId seed[1] = {link};
@@ -119,6 +144,7 @@ FlowId FlowSimulator::start_flow(const net::Path& path, Bytes size,
   IDR_REQUIRE(inserted, "start_flow: duplicate flow id");
   index_.ensure_links(topo_.link_count());
   index_.add(id, it->second.path.links);
+  g_flows_active_.set(static_cast<double>(flows_.size()));
   reallocate_for_flow(id);
   return id;
 }
@@ -142,7 +168,7 @@ void FlowSimulator::on_slow_start_round(FlowId id) {
   // not binding (rate strictly below it), relaxing it further cannot
   // change any allocation — skip the recompute.
   if (f.rate < cap_before) {
-    ++counters_.skipped_events;
+    c_skipped_events_.inc();
     return;
   }
   reallocate_for_flow(id);
@@ -159,6 +185,7 @@ bool FlowSimulator::cancel_flow(FlowId id) {
   // with its links (kept alive across the erase).
   const net::Path path = std::move(f.path);
   flows_.erase(it);
+  g_flows_active_.set(static_cast<double>(flows_.size()));
   reallocate_for_links(path.links);
   return true;
 }
@@ -183,7 +210,7 @@ void FlowSimulator::set_extra_cap(FlowId id, Rate cap) {
   IDR_REQUIRE(cap >= 0.0, "set_extra_cap: negative cap");
   FlowState& f = it->second;
   if (cap == f.extra_cap) {
-    ++counters_.skipped_events;
+    c_skipped_events_.inc();
     return;
   }
   f.extra_cap = cap;
@@ -225,7 +252,7 @@ void FlowSimulator::arm_completion(FlowState& f) {
         sim_.schedule_in(eta, [this, id] { on_completion(id); });
     f.completion_armed = true;
   }
-  ++counters_.timer_rearms;
+  c_timer_rearms_.inc();
 }
 
 void FlowSimulator::reallocate_for_flow(FlowId id) {
@@ -251,9 +278,9 @@ void FlowSimulator::reallocate_for_links(std::span<const net::LinkId> links) {
 }
 
 void FlowSimulator::reallocate_component() {
-  ++counters_.reallocations;
+  c_reallocations_.inc();
   if (comp_flows_.empty()) return;
-  counters_.flows_touched += comp_flows_.size();
+  c_flows_touched_.inc(comp_flows_.size());
 
   // Canonical flow order: ascending id. The order fixes the sequence of
   // floating-point updates inside the solver, so it must not depend on
@@ -277,7 +304,7 @@ void FlowSimulator::reallocate_component() {
   }
 
   max_min_allocate(ws_);
-  counters_.maxmin_rounds += ws_.rounds;
+  c_maxmin_rounds_.inc(ws_.rounds);
 
   for (std::size_t i = 0; i < comp_states_.size(); ++i) {
     FlowState& f = *comp_states_[i];
@@ -312,6 +339,7 @@ void FlowSimulator::on_completion(FlowId id) {
   index_.remove(id, f.path.links);
   const net::Path path = std::move(f.path);
   flows_.erase(it);
+  g_flows_active_.set(static_cast<double>(flows_.size()));
   reallocate_for_links(path.links);
   if (cb) cb(stats);
 }

@@ -36,6 +36,8 @@
 #include "net/capacity_process.hpp"
 #include "net/link_index.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -87,10 +89,11 @@ struct FlowOptions {
 
 class FlowSimulator {
  public:
-  /// Reallocation-path performance counters (monotone totals). The scoped
-  /// recompute makes these the primary regression guard: a change that
-  /// silently reverts to global recomputes shows up as flows_touched
-  /// growing with the total flow population instead of the component size.
+  /// Reallocation-path performance counters (monotone totals), assembled
+  /// from the `sim.flow.*` registry series. The scoped recompute makes
+  /// these the primary regression guard: a change that silently reverts
+  /// to global recomputes shows up as flows_touched growing with the
+  /// total flow population instead of the component size.
   struct Counters {
     /// Scoped recompute passes performed (one per rate-affecting event).
     std::uint64_t reallocations = 0;
@@ -143,12 +146,32 @@ class FlowSimulator {
   sim::Simulator& simulator() { return sim_; }
   const net::Topology& topology() const { return topo_; }
 
+  /// The world's metrics registry (Sync::None — one world, one thread).
+  /// Owned here because the flow simulator sits at the bottom of every
+  /// sim world; higher layers (transfer engine, probe races) register
+  /// their `sim.*` series into the same registry so one snapshot covers
+  /// the whole world.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+  /// Optional span tracer shared across worlds/sessions; `track` is the
+  /// Chrome tid spans from this world are stamped with. Null (default)
+  /// and disabled tracers cost one branch per would-be span.
+  void set_tracer(obs::Tracer* tracer, std::uint64_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+  std::uint64_t trace_track() const { return trace_track_; }
+  /// Clock stamping this world's virtual time in trace microseconds.
+  obs::TraceClock trace_clock() const;
+
   /// Total max-min reallocation passes performed (for microbenchmarks and
   /// performance regressions).
-  std::uint64_t reallocations() const { return counters_.reallocations; }
+  std::uint64_t reallocations() const { return c_reallocations_.value(); }
 
-  /// Full reallocation-path counter set.
-  const Counters& counters() const { return counters_; }
+  /// Reallocation-path counter set, read from the registry series.
+  Counters counters() const;
 
   /// Derives a decorrelated RNG stream from this simulator's root seed;
   /// used by higher layers (e.g. the transfer engine's setup jitter) so a
@@ -228,7 +251,18 @@ class FlowSimulator {
   std::vector<FlowState*> comp_states_;
   std::vector<net::LinkId> comp_links_;
   std::vector<std::size_t> local_link_;  // LinkId -> component-local index
-  Counters counters_;
+
+  // Observability: registry cells are resolved once in the constructor;
+  // every hot-path increment below is one branch plus one store.
+  obs::Registry metrics_{obs::Registry::Sync::None};
+  obs::Counter c_reallocations_;
+  obs::Counter c_flows_touched_;
+  obs::Counter c_maxmin_rounds_;
+  obs::Counter c_timer_rearms_;
+  obs::Counter c_skipped_events_;
+  obs::Gauge g_flows_active_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t trace_track_ = 0;
 };
 
 }  // namespace idr::flow

@@ -1,0 +1,217 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace idr::obs {
+
+void json_append_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void json_append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+namespace {
+
+// Recursive-descent validator. Positions are byte offsets into the input;
+// depth is bounded so a pathological document can't blow the stack.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string* error = nullptr;
+  static constexpr int kMaxDepth = 128;
+
+  bool fail(const char* reason) {
+    if (error != nullptr && error->empty()) {
+      *error = "offset " + std::to_string(pos) + ": " + reason;
+    }
+    return false;
+  }
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return fail("bad literal");
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    ++pos;  // opening quote
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos;
+        if (at_end()) return fail("unterminated escape");
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (at_end() || !std::isxdigit(
+                                static_cast<unsigned char>(text[pos]))) {
+              return fail("bad \\u escape");
+            }
+          }
+          ++pos;
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                   e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          ++pos;
+        } else {
+          return fail("bad escape character");
+        }
+      } else {
+        ++pos;
+      }
+    }
+  }
+
+  bool digits() {
+    if (at_end() || peek() < '0' || peek() > '9') return fail("digit expected");
+    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    return true;
+  }
+
+  bool number() {
+    if (peek() == '-') ++pos;
+    if (at_end()) return fail("truncated number");
+    if (peek() == '0') {
+      ++pos;  // leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("value expected");
+    const char c = peek();
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    return fail("unexpected character");
+  }
+
+  bool object(int depth) {
+    ++pos;  // '{'
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("object key expected");
+      if (!string()) return false;
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("':' expected");
+      ++pos;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("',' or '}' expected");
+    }
+  }
+
+  bool array(int depth) {
+    ++pos;  // '['
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("',' or ']' expected");
+    }
+  }
+};
+
+}  // namespace
+
+bool json_validate(std::string_view text, std::string* error) {
+  Parser p{text, 0, error};
+  if (!p.value(0)) return false;
+  p.skip_ws();
+  if (!p.at_end()) return p.fail("trailing garbage after document");
+  return true;
+}
+
+}  // namespace idr::obs

@@ -1,0 +1,25 @@
+// Tiny JSON utilities for the observability plane: emission helpers shared
+// by the metrics and trace exporters, and a strict validator used by tests
+// and the CI snapshot gate (`obs_check`) to prove exported documents parse
+// without pulling a JSON library into the build.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace idr::obs {
+
+/// Appends `s` as a quoted JSON string, escaping quotes, backslashes, and
+/// control characters.
+void json_append_string(std::string& out, std::string_view s);
+
+/// Appends `v` in round-trippable %.17g form; non-finite values (which
+/// JSON cannot represent) become `null`.
+void json_append_double(std::string& out, double v);
+
+/// Strict RFC 8259 well-formedness check of a complete document (one
+/// value, nothing but whitespace after it). On failure returns false and,
+/// if `error` is non-null, stores "offset N: reason".
+bool json_validate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace idr::obs

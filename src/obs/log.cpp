@@ -1,0 +1,20 @@
+#include "obs/log.hpp"
+
+namespace idr::obs {
+
+void log(Severity severity, std::string_view component,
+         const std::string& message) {
+  if (static_cast<int>(severity) <
+      static_cast<int>(util::log_level())) {
+    return;
+  }
+  std::string line;
+  line.reserve(component.size() + message.size() + 3);
+  line += '[';
+  line += component;
+  line += "] ";
+  line += message;
+  util::log_message(severity, line);
+}
+
+}  // namespace idr::obs

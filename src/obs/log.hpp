@@ -1,0 +1,34 @@
+// Structured logging facade for the rt daemons: one call site shape,
+// severity + component tags, a single output path. Routes through the
+// util leveled logger so the global threshold and stderr locking stay in
+// one place; lines come out as "[warn] [rt.relay] accept backoff ...".
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/log.hpp"
+
+namespace idr::obs {
+
+using Severity = util::LogLevel;
+
+/// Emits "[severity] [component] message" through the util logger,
+/// honouring the global threshold.
+void log(Severity severity, std::string_view component,
+         const std::string& message);
+
+/// Per-call counterpart of IDR_WARN and friends with a component tag;
+/// `expr` is only formatted when the severity clears the threshold.
+#define IDR_OBS_LOG(severity, component, expr)                            \
+  do {                                                                    \
+    if (static_cast<int>(severity) >=                                     \
+        static_cast<int>(::idr::util::log_level())) {                     \
+      std::ostringstream idr_obs_oss_;                                    \
+      idr_obs_oss_ << expr;                                               \
+      ::idr::obs::log(severity, component, idr_obs_oss_.str());           \
+    }                                                                     \
+  } while (0)
+
+}  // namespace idr::obs

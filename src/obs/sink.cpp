@@ -1,0 +1,44 @@
+#include "obs/sink.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/log.hpp"
+
+namespace idr::obs {
+
+std::string out_dir() {
+  const char* dir = std::getenv("IDR_OBS_OUT");
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+bool out_enabled() { return !out_dir().empty(); }
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    log(Severity::Error, "obs.sink", "cannot open " + path);
+    return false;
+  }
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  if (!ok) log(Severity::Error, "obs.sink", "short write to " + path);
+  return ok;
+}
+
+int dump_run(std::string_view run_name, const Snapshot& snapshot,
+             const Tracer* tracer) {
+  const std::string dir = out_dir();
+  if (dir.empty()) return 0;
+  const std::string base = dir + "/" + std::string(run_name);
+  int files = 0;
+  if (write_file(base + "_metrics.json", snapshot.to_json())) ++files;
+  if (write_file(base + "_metrics.prom", snapshot.to_prometheus())) ++files;
+  if (tracer != nullptr && tracer->size() > 0) {
+    if (write_file(base + "_trace.json", tracer->to_chrome_json())) ++files;
+  }
+  return files;
+}
+
+}  // namespace idr::obs

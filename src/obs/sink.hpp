@@ -1,0 +1,36 @@
+// File sink for per-run observability artifacts. Benches call
+// `dump_run("fig1", snapshot, &tracer)` unconditionally; when the
+// IDR_OBS_OUT environment variable names a directory this writes
+//   <dir>/<run>_metrics.json   (Snapshot::to_json)
+//   <dir>/<run>_metrics.prom   (Snapshot::to_prometheus)
+//   <dir>/<run>_trace.json     (Tracer::to_chrome_json, if a tracer was
+//                               supplied and captured events)
+// and when unset it is a no-op, so the dormant-by-default contract holds
+// without call sites branching on the environment themselves.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace idr::obs {
+
+/// Value of IDR_OBS_OUT, or empty when observability output is off.
+std::string out_dir();
+
+/// True when IDR_OBS_OUT names a directory (i.e. dump_run will write).
+bool out_enabled();
+
+/// Writes `content` to `path`, creating the file. Returns false (and
+/// logs at error severity) on I/O failure rather than throwing: a broken
+/// sink must never take down a run.
+bool write_file(const std::string& path, std::string_view content);
+
+/// Dumps one run's artifacts under out_dir() as described above.
+/// Returns the number of files written (0 when the sink is off).
+int dump_run(std::string_view run_name, const Snapshot& snapshot,
+             const Tracer* tracer = nullptr);
+
+}  // namespace idr::obs

@@ -1,0 +1,110 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "obs/json.hpp"
+
+namespace idr::obs {
+
+namespace {
+
+double steady_now_us(const void*) {
+  static const auto origin = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+}  // namespace
+
+TraceClock TraceClock::steady() {
+  // Touch the origin now so the epoch is construction time, not the time
+  // of the first span.
+  (void)steady_now_us(nullptr);
+  return TraceClock{&steady_now_us, nullptr};
+}
+
+void Tracer::complete(std::string_view name, std::string_view category,
+                      std::uint64_t track, double ts_us, double dur_us,
+                      std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.phase = 'X';
+  ev.track = track;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(std::string_view name, std::string_view category,
+                     std::uint64_t track, double ts_us,
+                     std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.phase = 'i';
+  ev.track = track;
+  ev.ts_us = ts_us;
+  ev.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::size_t Tracer::count_spans(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.name == name) ++n;
+  }
+  return n;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":";
+    json_append_string(out, ev.name);
+    out += ",\"cat\":";
+    json_append_string(out, ev.category);
+    out += ",\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(ev.track);
+    out += ",\"ts\":";
+    json_append_double(out, ev.ts_us);
+    if (ev.phase == 'X') {
+      out += ",\"dur\":";
+      json_append_double(out, ev.dur_us);
+    }
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    if (!ev.args_json.empty()) out += ",\"args\":" + ev.args_json;
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace idr::obs

@@ -8,7 +8,19 @@
 namespace idr::overlay {
 
 TransferEngine::TransferEngine(flow::FlowSimulator& fsim)
-    : fsim_(fsim), jitter_rng_(fsim.derive_rng(0x7E57)) {}
+    : fsim_(fsim), jitter_rng_(fsim.derive_rng(0x7E57)) {
+  obs::Registry& metrics = fsim_.metrics();
+  c_transfers_started_ = metrics.counter("sim.engine.transfers_started");
+  c_transfers_completed_ = metrics.counter("sim.engine.transfers_completed");
+  c_transfers_failed_ = metrics.counter("sim.engine.transfers_failed");
+  c_faults_injected_ = metrics.counter("sim.engine.faults_injected");
+  c_transfers_shed_ = metrics.counter("sim.engine.transfers_shed");
+  c_transfers_queued_ = metrics.counter("sim.engine.transfers_queued");
+  // Transfer times span ~10 ms probes to multi-hour background flows.
+  h_transfer_seconds_ = metrics.histogram(
+      "sim.engine.transfer_seconds",
+      obs::HistogramOptions{1e-3, 1e5, 4});
+}
 
 void TransferEngine::set_setup_jitter(Duration max_extra) {
   IDR_REQUIRE(max_extra >= 0.0, "set_setup_jitter: negative jitter");
@@ -59,7 +71,7 @@ void TransferEngine::abort_transfer(TransferHandle handle,
   active.result.error = error;
   active.timer = fsim_.simulator().schedule_in(
       0.0, [this, handle] { finish(handle); });
-  ++faults_injected_;
+  c_faults_injected_.inc();
   // The dead transfer's slot frees immediately; a queued successor (not
   // itself a victim of this sweep) may be admitted right away.
   release_slot(active);
@@ -117,6 +129,7 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
   IDR_REQUIRE(on_done != nullptr, "begin: null callback");
 
   const TransferHandle handle = ++next_handle_;
+  c_transfers_started_.inc();
   Active& active = transfers_[handle];
   active.on_done = std::move(on_done);
   active.result.start_time = fsim_.simulator().now();
@@ -134,7 +147,7 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
   // Fault plane: a crashed relay (or a direct-path outage) refuses new
   // connections until its window closes.
   if (request.relay ? relay_down(*request.relay) : direct_down_) {
-    ++faults_injected_;
+    c_faults_injected_.inc();
     fail_async(handle, request.relay ? "relay down (injected fault)"
                                      : "direct path down (injected fault)");
     return handle;
@@ -150,13 +163,13 @@ TransferHandle TransferEngine::begin(const TransferRequest& request,
       RelayGate& gate = gates_[*request.relay];
       if (gate.active >= rp.max_concurrent) {
         if (gate.waiting.size() >= rp.queue_limit) {
-          ++transfers_shed_;
+          c_transfers_shed_.inc();
           active.result.overloaded = true;
           active.result.retry_after = rp.retry_after;
           fail_async(handle, "relay overloaded");
           return handle;
         }
-        ++transfers_queued_;
+        c_transfers_queued_.inc();
         active.phase = Phase::kQueued;
         active.pending_request = std::make_unique<TransferRequest>(request);
         gate.waiting.push_back(handle);
@@ -339,6 +352,23 @@ void TransferEngine::finish(TransferHandle handle) {
   // same relay from on_done must see the capacity it just vacated.
   release_slot(active);
   active.result.finish_time = fsim_.simulator().now();
+  if (active.result.ok) {
+    c_transfers_completed_.inc();
+    h_transfer_seconds_.observe(active.result.elapsed());
+  } else {
+    c_transfers_failed_.inc();
+  }
+  obs::Tracer* tracer = fsim_.tracer();
+  if (tracer != nullptr && tracer->enabled()) {
+    std::string args = "{\"ok\":";
+    args += active.result.ok ? "true" : "false";
+    args += ",\"indirect\":";
+    args += active.result.indirect ? "true" : "false";
+    args += ",\"bytes\":" + std::to_string(active.result.bytes) + "}";
+    tracer->complete("transfer", "sim.engine", fsim_.trace_track(),
+                     active.result.start_time * 1e6,
+                     active.result.elapsed() * 1e6, std::move(args));
+  }
   active.on_done(active.result);
 }
 

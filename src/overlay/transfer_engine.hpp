@@ -160,12 +160,14 @@ class TransferEngine {
   void inject_reset(net::NodeId relay);
 
   /// Transfers killed or refused by the fault plane so far.
-  std::uint64_t faults_injected() const { return faults_injected_; }
+  std::uint64_t faults_injected() const { return c_faults_injected_.value(); }
 
   /// Overload-governance accounting: transfers rejected by a relay's
   /// admission control, and transfers that waited in an admission queue.
-  std::uint64_t transfers_shed() const { return transfers_shed_; }
-  std::uint64_t transfers_queued() const { return transfers_queued_; }
+  std::uint64_t transfers_shed() const { return c_transfers_shed_.value(); }
+  std::uint64_t transfers_queued() const {
+    return c_transfers_queued_.value();
+  }
   /// Transfers currently being served / waiting at a governed relay.
   std::size_t relay_active(net::NodeId relay) const;
   std::size_t relay_queued(net::NodeId relay) const;
@@ -229,10 +231,18 @@ class TransferEngine {
   TransferHandle next_handle_ = 0;
   std::unordered_set<net::NodeId> down_relays_;
   bool direct_down_ = false;
-  std::uint64_t faults_injected_ = 0;
   std::unordered_map<net::NodeId, RelayGate> gates_;
-  std::uint64_t transfers_shed_ = 0;
-  std::uint64_t transfers_queued_ = 0;
+
+  // `sim.engine.*` series, registered into the world registry owned by
+  // the flow simulator (one snapshot covers the whole world). Handles are
+  // resolved once in the constructor.
+  obs::Counter c_transfers_started_;
+  obs::Counter c_transfers_completed_;
+  obs::Counter c_transfers_failed_;
+  obs::Counter c_faults_injected_;
+  obs::Counter c_transfers_shed_;
+  obs::Counter c_transfers_queued_;
+  obs::Histogram h_transfer_seconds_;
 };
 
 }  // namespace idr::overlay

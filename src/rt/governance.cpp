@@ -31,4 +31,30 @@ http::Response make_overload_response(double retry_after_s) {
   return response;
 }
 
+bool is_introspection_target(std::string_view target) {
+  return target == "/metrics" || target == "/healthz";
+}
+
+http::Response make_metrics_response(std::string exposition) {
+  http::Response response;
+  response.status = 200;
+  response.reason = std::string(http::default_reason(200));
+  response.headers.set("Content-Type", "text/plain; version=0.0.4");
+  response.headers.set("Connection", "close");
+  response.body = std::move(exposition);
+  return response;
+}
+
+http::Response make_healthz_response(std::string_view status,
+                                     std::size_t sessions) {
+  http::Response response;
+  response.status = 200;
+  response.reason = std::string(http::default_reason(200));
+  response.headers.set("Content-Type", "application/json");
+  response.headers.set("Connection", "close");
+  response.body = "{\"status\":\"" + std::string(status) +
+                  "\",\"sessions\":" + std::to_string(sessions) + "}\n";
+  return response;
+}
+
 }  // namespace idr::rt

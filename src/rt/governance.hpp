@@ -62,4 +62,19 @@ bool accept_errno_is_transient(int err);
 /// up) and Connection: close.
 http::Response make_overload_response(double retry_after_s);
 
+/// True when an origin-form request target addresses the introspection
+/// plane ("/metrics" or "/healthz"). Introspection requests are served by
+/// every rt daemon — even one that is shedding load, since an operator
+/// needs exactly those endpoints to see WHY it is shedding — and are
+/// never counted as forwarded/served traffic.
+bool is_introspection_target(std::string_view target);
+
+/// 200 text/plain response carrying a prometheus text exposition.
+http::Response make_metrics_response(std::string exposition);
+
+/// 200 application/json liveness response. `status` is "ok", "shedding",
+/// or "draining"; `sessions` the daemon's current session count.
+http::Response make_healthz_response(std::string_view status,
+                                     std::size_t sessions);
+
 }  // namespace idr::rt

@@ -99,6 +99,9 @@ void on_response_progress(const std::shared_ptr<FetchState>& state,
     if (state->parser.state() == http::ParseState::Complete) {
       state->result.body_verified =
           state->verify_ok && state->result.status / 100 == 2;
+      if (state->request.capture_body) {
+        state->result.body = state->parser.response().body;
+      }
       state->finish(state->result.status / 100 == 2,
                     state->result.status / 100 == 2
                         ? ""

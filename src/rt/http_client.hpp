@@ -30,6 +30,9 @@ struct FetchRequest {
   std::optional<Endpoint> proxy;
   /// Abort if the response hasn't completed within this many seconds.
   double timeout_s = 30.0;
+  /// Copy the response body into FetchResult::body (off by default:
+  /// transfers only need counts, and bulk bodies would double memory).
+  bool capture_body = false;
 };
 
 struct FetchResult {
@@ -46,6 +49,8 @@ struct FetchResult {
   /// Parsed Retry-After header (seconds), if the response carried one —
   /// set on 503 sheds so callers can pace their retry. 0 = absent.
   double retry_after_s = 0.0;
+  /// Response body, only when FetchRequest::capture_body was set.
+  std::string body;
 
   /// An overloaded peer said "later" (503): not a crash, not a protocol
   /// error, and worth a shorter blacklist penalty than either.

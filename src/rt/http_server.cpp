@@ -4,8 +4,8 @@
 #include <cstring>
 
 #include "http/range.hpp"
+#include "obs/log.hpp"
 #include "util/error.hpp"
-#include "util/log.hpp"
 
 namespace idr::rt {
 
@@ -44,6 +44,38 @@ HttpOriginServer::HttpOriginServer(Reactor& reactor, std::uint16_t port,
     const double tick = std::max(0.005, limits_.idle_timeout_s / 4.0);
     idle_wheel_ = std::make_unique<TimerWheel>(reactor_, tick);
   }
+  c_accepted_ = metrics_.counter("rt.origin.sessions_accepted");
+  c_shed_ = metrics_.counter("rt.origin.sessions_shed");
+  c_idle_reaped_ = metrics_.counter("rt.origin.sessions_idle_reaped");
+  c_accept_failures_ = metrics_.counter("rt.origin.accept_failures");
+  c_accept_pauses_ = metrics_.counter("rt.origin.accept_pauses");
+  c_drained_ = metrics_.counter("rt.origin.sessions_drained");
+  c_requests_served_ = metrics_.counter("rt.origin.requests_served");
+  c_bytes_sent_ = metrics_.counter("rt.origin.bytes_sent");
+  c_rejects_bad_request_ = metrics_.counter("rt.origin.rejects_bad_request");
+  c_responses_range_ = metrics_.counter("rt.origin.responses_range");
+  c_responses_not_found_ = metrics_.counter("rt.origin.responses_not_found");
+  c_metrics_served_ = metrics_.counter("rt.origin.metrics_served");
+  c_healthz_served_ = metrics_.counter("rt.origin.healthz_served");
+  g_sessions_active_ = metrics_.gauge("rt.origin.sessions_active");
+  g_sessions_peak_ = metrics_.gauge("rt.origin.sessions_peak");
+  g_draining_ = metrics_.gauge("rt.origin.draining");
+  g_accept_backoff_s_ = metrics_.gauge("rt.origin.accept_backoff_seconds");
+  g_limit_max_sessions_ = metrics_.gauge("rt.origin.limit_max_sessions");
+  g_limit_max_sessions_.set(static_cast<double>(limits_.max_sessions));
+  h_response_bytes_ = metrics_.histogram("rt.origin.response_bytes",
+                                         obs::HistogramOptions{1.0, 1e9, 2});
+}
+
+GovernanceCounters HttpOriginServer::counters() const {
+  GovernanceCounters c;
+  c.accepted = c_accepted_.value();
+  c.shed = c_shed_.value();
+  c.idle_reaped = c_idle_reaped_.value();
+  c.accept_failures = c_accept_failures_.value();
+  c.accept_pauses = c_accept_pauses_.value();
+  c.drained = c_drained_.value();
+  return c;
 }
 
 HttpOriginServer::~HttpOriginServer() {
@@ -67,7 +99,7 @@ void HttpOriginServer::on_accept() {
     if (draining_ || !listener_open_) return;
     if (limits_.governs_admission() &&
         sessions_.size() >= limits_.max_sessions + limits_.shed_burst) {
-      ++counters_.accept_pauses;
+      c_accept_pauses_.inc();
       pause_accept(kCapRecheckS);
       return;
     }
@@ -75,7 +107,7 @@ void HttpOriginServer::on_accept() {
     auto fd = try_accept(listen_fd_.get(), &err);
     if (!fd) {
       if (err == 0) return;  // accept queue empty
-      ++counters_.accept_failures;
+      c_accept_failures_.inc();
       if (!accept_errno_is_transient(err)) {
         ::idr::util::fail(std::string("accept failed: ") +
                           std::strerror(err));
@@ -84,13 +116,16 @@ void HttpOriginServer::on_accept() {
                               ? limits_.accept_backoff_initial_s
                               : std::min(accept_backoff_s_ * 2.0,
                                          limits_.accept_backoff_max_s);
-      IDR_WARN("origin " << port_ << ": accept failed ("
-                         << std::strerror(err) << "), backing off "
-                         << accept_backoff_s_ << "s");
+      g_accept_backoff_s_.set(accept_backoff_s_);
+      IDR_OBS_LOG(obs::Severity::Warn, "rt.origin",
+                  "origin " << port_ << ": accept failed ("
+                            << std::strerror(err) << "), backing off "
+                            << accept_backoff_s_ << "s");
       pause_accept(accept_backoff_s_);
       return;
     }
     accept_backoff_s_ = 0.0;
+    g_accept_backoff_s_.set(0.0);
     start_session(std::move(*fd));
   }
 }
@@ -116,8 +151,9 @@ void HttpOriginServer::erase_session(
     session->idle_token = 0;
   }
   sessions_.erase(session);
+  g_sessions_active_.set(static_cast<double>(sessions_.size()));
   if (draining_) {
-    ++counters_.drained;
+    c_drained_.inc();
     if (sessions_.empty()) finish_drain();
   }
 }
@@ -130,7 +166,7 @@ void HttpOriginServer::touch_idle(const std::shared_ptr<Session>& session) {
 
 void HttpOriginServer::shed_session(
     const std::shared_ptr<Session>& session) {
-  ++counters_.shed;
+  c_shed_.inc();
   session->conn->write(
       make_overload_response(limits_.retry_after_s).serialize());
   // Close once the 503 reaches the kernel, so the peer reads a response
@@ -155,12 +191,15 @@ void HttpOriginServer::start_session(FdHandle fd) {
   session->conn = Connection::adopt(reactor_, std::move(fd));
   session->parser.set_limits(limits_.parser);
   sessions_.insert(session);
+  g_sessions_active_.set(static_cast<double>(sessions_.size()));
+  g_sessions_peak_.set(std::max(g_sessions_peak_.value(),
+                                static_cast<double>(sessions_.size())));
 
   if (limits_.governs_admission() &&
       sessions_.size() > limits_.max_sessions) {
     session->shed = true;
   } else {
-    ++counters_.accepted;
+    c_accepted_.inc();
   }
 
   std::weak_ptr<Session> weak = session;
@@ -169,7 +208,7 @@ void HttpOriginServer::start_session(FdHandle fd) {
         idle_wheel_->add(limits_.idle_timeout_s, [this, weak] {
           if (auto s = weak.lock()) {
             s->idle_token = 0;
-            ++counters_.idle_reaped;
+            c_idle_reaped_.inc();
             s->conn->close();
             erase_session(s);
           }
@@ -182,14 +221,18 @@ void HttpOriginServer::start_session(FdHandle fd) {
     auto s = weak.lock();
     if (!s) return;
     touch_idle(s);
-    if (s->shed) {
-      shed_session(s);
-      return;
-    }
+    // A shed session still parses its request: introspection targets
+    // (/metrics, /healthz) are answered even under overload — that is
+    // exactly when an operator needs them — everything else gets the 503.
     while (!data.empty()) {
       const std::size_t used = s->parser.feed(data);
       data.remove_prefix(used);
       if (s->parser.state() == http::ParseState::Error) {
+        if (s->shed) {
+          shed_session(s);
+          return;
+        }
+        c_rejects_bad_request_.inc();
         http::Response bad;
         bad.status = 400;
         bad.reason = std::string(http::default_reason(400));
@@ -199,6 +242,11 @@ void HttpOriginServer::start_session(FdHandle fd) {
         return;
       }
       if (s->parser.state() == http::ParseState::Complete) {
+        if (maybe_serve_introspection(s)) return;
+        if (s->shed) {
+          shed_session(s);
+          return;
+        }
         handle_request(s);
         if (!s->conn || s->conn->closed()) return;
         s->parser.reset();  // pipeline-friendly: keep-alive next request
@@ -207,10 +255,35 @@ void HttpOriginServer::start_session(FdHandle fd) {
   });
 }
 
+bool HttpOriginServer::maybe_serve_introspection(
+    const std::shared_ptr<Session>& session) {
+  // Accept absolute-form targets like the resource plane does.
+  std::string path = session->parser.request().target;
+  if (const auto url = http::parse_http_url(path)) path = url->path;
+  if (!is_introspection_target(path)) return false;
+  if (path == "/metrics") {
+    obs::Snapshot snap = metrics_.snapshot();
+    snap.merge(reactor_.metrics().snapshot());
+    session->conn->write(
+        make_metrics_response(snap.to_prometheus()).serialize());
+    c_metrics_served_.inc();
+  } else {
+    const char* status =
+        draining_ ? "draining" : (session->shed ? "shedding" : "ok");
+    session->conn->write(
+        make_healthz_response(status, sessions_.size()).serialize());
+    c_healthz_served_.inc();
+  }
+  // Introspection responses carry Connection: close; honour it.
+  close_when_drained(session);
+  return true;
+}
+
 void HttpOriginServer::drain(std::function<void()> on_drained) {
   on_drained_ = std::move(on_drained);
   if (!draining_) {
     draining_ = true;
+    g_draining_.set(1.0);
     if (listener_open_ && !accept_paused_) {
       reactor_.update_fd(listen_fd_.get(), false, false);
     }
@@ -280,10 +353,13 @@ http::Response HttpOriginServer::make_response(
 void HttpOriginServer::handle_request(
     const std::shared_ptr<Session>& session) {
   const http::Request& request = session->parser.request();
-  ++requests_served_;
+  c_requests_served_.inc();
 
   std::uint64_t offset = 0, length = 0;
   const http::Response resp = make_response(request, &offset, &length);
+  if (resp.status == 404) c_responses_not_found_.inc();
+  if (resp.status == 206 || resp.status == 416) c_responses_range_.inc();
+  h_response_bytes_.observe(static_cast<double>(length));
   session->conn->write(resp.serialize());
 
   session->body_offset = offset;
@@ -324,6 +400,7 @@ void HttpOriginServer::pump_body(const std::shared_ptr<Session>& session) {
           resource_byte(session->body_offset + i);
     }
     session->conn->write(body);
+    c_bytes_sent_.inc(chunk);
     touch_idle(session);  // an actively streaming response is not idle
     session->body_offset += chunk;
     session->body_remaining -= chunk;

@@ -16,6 +16,7 @@
 
 #include "http/message.hpp"
 #include "http/parser.hpp"
+#include "obs/metrics.hpp"
 #include "rt/connection.hpp"
 #include "rt/governance.hpp"
 #include "rt/timer_wheel.hpp"
@@ -47,11 +48,20 @@ class HttpOriginServer {
   using ShapingPolicy = std::function<double(const http::Request&)>;
   void set_shaping_policy(ShapingPolicy policy);
 
-  std::size_t requests_served() const { return requests_served_; }
+  std::size_t requests_served() const {
+    return static_cast<std::size_t>(c_requests_served_.value());
+  }
 
   const ServerLimits& limits() const { return limits_; }
-  const GovernanceCounters& counters() const { return counters_; }
+  /// Governance accounting, read from the `rt.origin.*` registry series.
+  GovernanceCounters counters() const;
   std::size_t active_sessions() const { return sessions_.size(); }
+
+  /// The server's metrics registry (Sync::Atomic). `GET /metrics` serves
+  /// this merged with the reactor's registry; tests can snapshot it
+  /// directly.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
 
   /// Graceful shutdown: stop accepting, let in-flight sessions complete,
   /// then close the listener and fire `on_drained` (at most once; fires
@@ -63,6 +73,10 @@ class HttpOriginServer {
   struct Session;
   void on_accept();
   void start_session(FdHandle fd);
+  /// Serves "/metrics" / "/healthz" when the parsed request targets them.
+  /// Returns true when the request was consumed by the introspection
+  /// plane.
+  bool maybe_serve_introspection(const std::shared_ptr<Session>& session);
   void handle_request(const std::shared_ptr<Session>& session);
   void pump_body(const std::shared_ptr<Session>& session);
   void shed_session(const std::shared_ptr<Session>& session);
@@ -81,9 +95,7 @@ class HttpOriginServer {
   std::uint16_t port_ = 0;
   std::unordered_map<std::string, std::uint64_t> resources_;
   ShapingPolicy shaping_;
-  std::size_t requests_served_ = 0;
   ServerLimits limits_;
-  GovernanceCounters counters_;
   std::unique_ptr<TimerWheel> idle_wheel_;
   double accept_backoff_s_ = 0.0;
   bool accept_paused_ = false;
@@ -91,6 +103,28 @@ class HttpOriginServer {
   bool draining_ = false;
   std::function<void()> on_drained_;
   std::unordered_set<std::shared_ptr<Session>> sessions_;
+
+  // `rt.origin.*` series; handles resolved once at construction.
+  obs::Registry metrics_{obs::Registry::Sync::Atomic};
+  obs::Counter c_accepted_;
+  obs::Counter c_shed_;
+  obs::Counter c_idle_reaped_;
+  obs::Counter c_accept_failures_;
+  obs::Counter c_accept_pauses_;
+  obs::Counter c_drained_;
+  obs::Counter c_requests_served_;
+  obs::Counter c_bytes_sent_;
+  obs::Counter c_rejects_bad_request_;
+  obs::Counter c_responses_range_;
+  obs::Counter c_responses_not_found_;
+  obs::Counter c_metrics_served_;
+  obs::Counter c_healthz_served_;
+  obs::Gauge g_sessions_active_;
+  obs::Gauge g_sessions_peak_;
+  obs::Gauge g_draining_;
+  obs::Gauge g_accept_backoff_s_;
+  obs::Gauge g_limit_max_sessions_;
+  obs::Histogram h_response_bytes_;
 };
 
 }  // namespace idr::rt

@@ -42,11 +42,56 @@ struct RaceState {
     result.overload_rejections = overload_rejections;
   }
 
+  /// Outcome counters and the race span; called exactly once per race.
+  void record_obs(const RaceResult& result) {
+    if (spec.metrics) {
+      obs::Registry& m = *spec.metrics;
+      if (!result.ok) {
+        m.counter("rt.race.races_failed").inc();
+      } else if (result.chose_indirect) {
+        m.counter("rt.race.races_won_indirect").inc();
+      } else {
+        m.counter("rt.race.races_won_direct").inc();
+      }
+      if (probe_failures > 0) {
+        m.counter("rt.race.probe_failures").inc(probe_failures);
+      }
+      if (retries > 0) m.counter("rt.race.retries").inc(retries);
+      if (overload_rejections > 0) {
+        m.counter("rt.race.overload_rejections").inc(overload_rejections);
+      }
+      if (fell_back_direct) m.counter("rt.race.fallbacks_direct").inc();
+      if (result.ok) {
+        m.histogram("rt.race.probe_seconds",
+                    obs::HistogramOptions{1e-4, 1e3, 4})
+            .observe(result.probe_elapsed);
+      }
+    }
+    if (spec.tracer && spec.tracer->enabled()) {
+      std::string args = "{\"ok\":";
+      args += result.ok ? "true" : "false";
+      args += ",\"chose_indirect\":";
+      args += result.chose_indirect ? "true" : "false";
+      args += ",\"relay\":";
+      args += result.relay_index == SIZE_MAX
+                  ? std::string("-1")
+                  : std::to_string(result.relay_index);
+      args += ",\"fell_back_direct\":";
+      args += result.fell_back_direct ? "true" : "false";
+      args += "}";
+      spec.tracer->complete("probe_race", "rt.race", spec.trace_track,
+                            start_time * 1e6,
+                            (reactor->now() - start_time) * 1e6,
+                            std::move(args));
+    }
+  }
+
   void finish(RaceResult result) {
     if (finished) return;
     finished = true;
     for (auto& lane : lanes) lane.cancel();
     stamp(result);
+    record_obs(result);
     on_done(result);
   }
 
@@ -211,6 +256,7 @@ void start_probe_race(Reactor& reactor, const RaceSpec& spec,
   state->spec = spec;
   state->on_done = std::move(on_done);
   state->start_time = reactor.now();
+  if (spec.metrics) spec.metrics->counter("rt.race.races_started").inc();
 
   const std::uint64_t probe =
       std::min(spec.probe_bytes, spec.resource_size);

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/http_client.hpp"
 #include "rt/relay_daemon.hpp"
 
@@ -27,6 +29,12 @@ struct RaceSpec {
   /// max_retries extra attempts per phase, then degrade to the direct
   /// path, and only fail once that dies too.
   fault::RetryPolicy retry{};
+  /// Optional observability: `rt.race.*` counters land in `metrics`, and
+  /// an enabled `tracer` gets one "probe_race" span per race on
+  /// `trace_track` (reactor-clock timestamps). Both may be null.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  std::uint32_t trace_track = 0;
 };
 
 struct RaceResult {

@@ -14,6 +14,21 @@ namespace idr::rt {
 Reactor::Reactor() : origin_(std::chrono::steady_clock::now()) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   IDR_REQUIRE(epoll_fd_ >= 0, "epoll_create1 failed");
+  c_polls_ = metrics_.counter("rt.reactor.polls");
+  c_io_dispatches_ = metrics_.counter("rt.reactor.io_dispatches");
+  c_timers_scheduled_ = metrics_.counter("rt.reactor.timers_scheduled");
+  c_timers_fired_ = metrics_.counter("rt.reactor.timers_fired");
+  c_timers_cancelled_ = metrics_.counter("rt.reactor.timers_cancelled");
+}
+
+namespace {
+double reactor_now_us(const void* ctx) {
+  return static_cast<const Reactor*>(ctx)->now() * 1e6;
+}
+}  // namespace
+
+obs::TraceClock Reactor::trace_clock() const {
+  return obs::TraceClock{&reactor_now_us, this};
 }
 
 Reactor::~Reactor() {
@@ -71,10 +86,15 @@ TimerId Reactor::add_timer(double delay_s, std::function<void()> cb) {
   const TimerId id = ++next_timer_;
   timer_queue_.push(TimerEntry{now() + delay_s, id});
   timers_.emplace(id, std::move(cb));
+  c_timers_scheduled_.inc();
   return id;
 }
 
-bool Reactor::cancel_timer(TimerId id) { return timers_.erase(id) > 0; }
+bool Reactor::cancel_timer(TimerId id) {
+  const bool cancelled = timers_.erase(id) > 0;
+  if (cancelled) c_timers_cancelled_.inc();
+  return cancelled;
+}
 
 double Reactor::now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -91,6 +111,7 @@ void Reactor::run_due_timers() {
     if (it == timers_.end()) continue;  // cancelled
     std::function<void()> cb = std::move(it->second);
     timers_.erase(it);
+    c_timers_fired_.inc();
     cb();
   }
 }
@@ -113,6 +134,13 @@ bool Reactor::poll(double max_wait_s) {
   std::array<epoll_event, 64> events{};
   const int n = ::epoll_wait(epoll_fd_, events.data(),
                              static_cast<int>(events.size()), timeout_ms);
+  c_polls_.inc();
+  if (n > 0) c_io_dispatches_.inc(static_cast<std::uint64_t>(n));
+  // The dispatch span covers callback execution, not the epoll_wait block
+  // itself — the interesting cost is what the loop does, not how long it
+  // slept. Emitted only for non-empty wakeups to keep traces readable.
+  obs::ScopedSpan span(n > 0 ? tracer_ : nullptr, trace_clock(),
+                       "reactor.poll", "rt.reactor", trace_track_);
   bool fired = false;
   for (int i = 0; i < n; ++i) {
     const int fd = events[static_cast<std::size_t>(i)].data.fd;

@@ -10,6 +10,9 @@
 #include <queue>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace idr::rt {
 
 /// Event mask bits passed to I/O callbacks.
@@ -54,6 +57,23 @@ class Reactor {
   /// Seconds since reactor construction (monotonic).
   double now() const;
 
+  /// The loop's metrics registry (Sync::Atomic: the loop writes while a
+  /// /metrics scrape snapshots). Daemons on this reactor register their
+  /// own series here or merge this registry's snapshot into theirs.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+  /// Optional span tracer for poll/dispatch and timer-wheel reaps;
+  /// `track` is the Chrome tid. Null/disabled costs one branch per poll.
+  void set_tracer(obs::Tracer* tracer, std::uint64_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+  std::uint64_t trace_track() const { return trace_track_; }
+  /// Clock stamping this reactor's monotonic time in trace microseconds.
+  obs::TraceClock trace_clock() const;
+
  private:
   struct FdState {
     IoCallback callback;
@@ -80,6 +100,16 @@ class Reactor {
   std::unordered_map<TimerId, std::function<void()>> timers_;
   TimerId next_timer_ = 0;
   bool stopped_ = false;
+
+  // `rt.reactor.*` series; handles resolved once at construction.
+  obs::Registry metrics_{obs::Registry::Sync::Atomic};
+  obs::Counter c_polls_;
+  obs::Counter c_io_dispatches_;
+  obs::Counter c_timers_scheduled_;
+  obs::Counter c_timers_fired_;
+  obs::Counter c_timers_cancelled_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t trace_track_ = 0;
 };
 
 }  // namespace idr::rt

@@ -4,9 +4,9 @@
 #include <cstring>
 
 #include "http/message.hpp"
+#include "obs/log.hpp"
 #include "rt/fault_shim.hpp"
 #include "util/error.hpp"
-#include "util/log.hpp"
 
 namespace idr::rt {
 
@@ -39,6 +39,39 @@ RelayDaemon::RelayDaemon(Reactor& reactor, std::uint16_t port,
     const double tick = std::max(0.005, limits_.idle_timeout_s / 4.0);
     idle_wheel_ = std::make_unique<TimerWheel>(reactor_, tick);
   }
+  c_accepted_ = metrics_.counter("rt.relay.sessions_accepted");
+  c_shed_ = metrics_.counter("rt.relay.sessions_shed");
+  c_idle_reaped_ = metrics_.counter("rt.relay.sessions_idle_reaped");
+  c_accept_failures_ = metrics_.counter("rt.relay.accept_failures");
+  c_accept_pauses_ = metrics_.counter("rt.relay.accept_pauses");
+  c_drained_ = metrics_.counter("rt.relay.sessions_drained");
+  c_transfers_ = metrics_.counter("rt.relay.transfers_forwarded");
+  c_bytes_forwarded_ = metrics_.counter("rt.relay.bytes_forwarded");
+  c_requests_parsed_ = metrics_.counter("rt.relay.requests_parsed");
+  c_rejects_bad_request_ = metrics_.counter("rt.relay.rejects_bad_request");
+  c_rejects_upstream_ = metrics_.counter("rt.relay.rejects_upstream");
+  c_upstream_connects_ = metrics_.counter("rt.relay.upstream_connects");
+  c_metrics_served_ = metrics_.counter("rt.relay.metrics_served");
+  c_healthz_served_ = metrics_.counter("rt.relay.healthz_served");
+  g_sessions_active_ = metrics_.gauge("rt.relay.sessions_active");
+  g_sessions_peak_ = metrics_.gauge("rt.relay.sessions_peak");
+  g_draining_ = metrics_.gauge("rt.relay.draining");
+  g_accept_backoff_s_ = metrics_.gauge("rt.relay.accept_backoff_seconds");
+  g_limit_max_sessions_ = metrics_.gauge("rt.relay.limit_max_sessions");
+  g_limit_max_sessions_.set(static_cast<double>(limits_.max_sessions));
+  h_forward_chunk_bytes_ = metrics_.histogram(
+      "rt.relay.forward_chunk_bytes", obs::HistogramOptions{1.0, 1e7, 2});
+}
+
+GovernanceCounters RelayDaemon::counters() const {
+  GovernanceCounters c;
+  c.accepted = c_accepted_.value();
+  c.shed = c_shed_.value();
+  c.idle_reaped = c_idle_reaped_.value();
+  c.accept_failures = c_accept_failures_.value();
+  c.accept_pauses = c_accept_pauses_.value();
+  c.drained = c_drained_.value();
+  return c;
 }
 
 RelayDaemon::~RelayDaemon() {
@@ -56,7 +89,7 @@ void RelayDaemon::on_accept() {
         sessions_.size() >= limits_.max_sessions + limits_.shed_burst) {
       // Hard cap: past the shed burst even 503s are too expensive; park
       // arrivals in the kernel backlog and re-check shortly.
-      ++counters_.accept_pauses;
+      c_accept_pauses_.inc();
       pause_accept(kCapRecheckS);
       return;
     }
@@ -64,7 +97,7 @@ void RelayDaemon::on_accept() {
     auto fd = try_accept(listen_fd_.get(), &err);
     if (!fd) {
       if (err == 0) return;  // accept queue empty
-      ++counters_.accept_failures;
+      c_accept_failures_.inc();
       if (!accept_errno_is_transient(err)) {
         ::idr::util::fail(std::string("accept failed: ") +
                           std::strerror(err));
@@ -75,13 +108,16 @@ void RelayDaemon::on_accept() {
                               ? limits_.accept_backoff_initial_s
                               : std::min(accept_backoff_s_ * 2.0,
                                          limits_.accept_backoff_max_s);
-      IDR_WARN("relay " << port_ << ": accept failed ("
-                        << std::strerror(err) << "), backing off "
-                        << accept_backoff_s_ << "s");
+      g_accept_backoff_s_.set(accept_backoff_s_);
+      IDR_OBS_LOG(obs::Severity::Warn, "rt.relay",
+                  "relay " << port_ << ": accept failed ("
+                           << std::strerror(err) << "), backing off "
+                           << accept_backoff_s_ << "s");
       pause_accept(accept_backoff_s_);
       return;
     }
     accept_backoff_s_ = 0.0;
+    g_accept_backoff_s_.set(0.0);
     start_session(std::move(*fd));
   }
 }
@@ -106,8 +142,9 @@ void RelayDaemon::erase_session(const std::shared_ptr<Session>& session) {
     session->idle_token = 0;
   }
   sessions_.erase(session);
+  g_sessions_active_.set(static_cast<double>(sessions_.size()));
   if (draining_) {
-    ++counters_.drained;
+    c_drained_.inc();
     if (sessions_.empty()) finish_drain();
   }
 }
@@ -128,7 +165,7 @@ void RelayDaemon::reject(const std::shared_ptr<Session>& session,
 }
 
 void RelayDaemon::shed_session(const std::shared_ptr<Session>& session) {
-  ++counters_.shed;
+  c_shed_.inc();
   session->client->write(
       make_overload_response(limits_.retry_after_s).serialize());
   // Let the 503 reach the kernel before closing, so the peer reads a
@@ -147,6 +184,9 @@ void RelayDaemon::start_session(FdHandle fd) {
   session->client = Connection::adopt(reactor_, std::move(fd));
   session->request_parser.set_limits(limits_.parser);
   sessions_.insert(session);
+  g_sessions_active_.set(static_cast<double>(sessions_.size()));
+  g_sessions_peak_.set(std::max(g_sessions_peak_.value(),
+                                static_cast<double>(sessions_.size())));
 
   // Admission: past the soft cap the session exists only to be told 503
   // (sent once the client's first bytes arrive, so the response never
@@ -155,7 +195,7 @@ void RelayDaemon::start_session(FdHandle fd) {
       sessions_.size() > limits_.max_sessions) {
     session->shed = true;
   } else {
-    ++counters_.accepted;
+    c_accepted_.inc();
   }
 
   std::weak_ptr<Session> weak = session;
@@ -164,7 +204,7 @@ void RelayDaemon::start_session(FdHandle fd) {
         idle_wheel_->add(limits_.idle_timeout_s, [this, weak] {
           if (auto s = weak.lock()) {
             s->idle_token = 0;  // fired; nothing to cancel
-            ++counters_.idle_reaped;
+            c_idle_reaped_.inc();
             drop(s);
           }
         });
@@ -179,26 +219,60 @@ void RelayDaemon::start_session(FdHandle fd) {
     auto s = weak.lock();
     if (!s || s->forwarding) return;  // ignore pipelined extra bytes
     touch_idle(s);
-    if (s->shed) {
-      s->forwarding = true;  // swallow any further request bytes
-      shed_session(s);
-      return;
-    }
+    // A shed session still parses its request: introspection targets
+    // (/metrics, /healthz) are answered even under overload — that is
+    // exactly when an operator needs them — everything else gets the 503.
     s->request_parser.feed(data);
     if (s->request_parser.state() == http::ParseState::Error) {
-      reject(s, 400);
+      if (s->shed) {
+        s->forwarding = true;  // swallow any further request bytes
+        shed_session(s);
+      } else {
+        c_rejects_bad_request_.inc();
+        reject(s, 400);
+      }
       return;
     }
     if (s->request_parser.state() == http::ParseState::Complete) {
+      c_requests_parsed_.inc();
+      if (maybe_serve_introspection(s)) return;
+      if (s->shed) {
+        s->forwarding = true;
+        shed_session(s);
+        return;
+      }
       connect_upstream(s);
     }
   });
+}
+
+bool RelayDaemon::maybe_serve_introspection(
+    const std::shared_ptr<Session>& session) {
+  const http::Request& request = session->request_parser.request();
+  if (!is_introspection_target(request.target)) return false;
+  session->forwarding = true;  // request consumed; no upstream leg
+  if (request.target == "/metrics") {
+    obs::Snapshot snap = metrics_.snapshot();
+    snap.merge(reactor_.metrics().snapshot());
+    session->client->write(
+        make_metrics_response(snap.to_prometheus()).serialize());
+    c_metrics_served_.inc();
+  } else {
+    const char* status =
+        draining_ ? "draining" : (session->shed ? "shedding" : "ok");
+    session->client->write(
+        make_healthz_response(status, sessions_.size()).serialize());
+    c_healthz_served_.inc();
+  }
+  drop_when_drained(session);
+  return true;
 }
 
 void RelayDaemon::drain(std::function<void()> on_drained) {
   on_drained_ = std::move(on_drained);
   if (!draining_) {
     draining_ = true;
+    g_draining_.set(1.0);
     if (listener_open_ && !accept_paused_) {
       reactor_.update_fd(listen_fd_.get(), false, false);
     }
@@ -248,6 +322,7 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
   const http::Request& request = session->request_parser.request();
   const auto url = http::parse_http_url(request.target);
   if (!url || request.method != http::Method::GET) {
+    c_rejects_bad_request_.inc();
     reject(session, 400);
     return;
   }
@@ -256,9 +331,11 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
   try {
     fd = connect_nonblocking(url->host, url->port);
   } catch (const util::Error&) {
+    c_rejects_upstream_.inc();
     reject(session, 502);
     return;
   }
+  c_upstream_connects_.inc();
   session->upstream = Connection::adopt(reactor_, std::move(fd));
   // Fault shim: rules armed against the origin hit the relay's upstream
   // leg too, so tests can kill a relayed transfer mid-stream.
@@ -266,7 +343,7 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
     session->upstream->set_fault(*rule);
   }
   session->forwarding = true;
-  ++transfers_;
+  c_transfers_.inc();
 
   std::weak_ptr<Session> weak = session;
   session->upstream->set_on_close([this, weak](const std::string&) {
@@ -284,7 +361,8 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
     // cleanly at message end.
     s->response_parser.feed(data);
     s->client->write(data);
-    bytes_forwarded_ += data.size();
+    c_bytes_forwarded_.inc(data.size());
+    h_forward_chunk_bytes_.observe(static_cast<double>(data.size()));
     // Backpressure: pause upstream reads while the client leg is backed
     // up; resume from a cheap poll timer.
     constexpr std::size_t kHighWater = 512 * 1024;
@@ -307,6 +385,7 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
         auto s = weak.lock();
         if (!s) return;
         if (!error.empty()) {
+          c_rejects_upstream_.inc();
           reject(s, 504);
           return;
         }

@@ -17,6 +17,7 @@
 #include <unordered_set>
 
 #include "http/parser.hpp"
+#include "obs/metrics.hpp"
 #include "rt/connection.hpp"
 #include "rt/governance.hpp"
 #include "rt/timer_wheel.hpp"
@@ -36,12 +37,21 @@ class RelayDaemon {
 
   std::uint16_t port() const { return port_; }
 
-  std::size_t transfers_forwarded() const { return transfers_; }
-  std::uint64_t bytes_forwarded() const { return bytes_forwarded_; }
+  std::size_t transfers_forwarded() const {
+    return static_cast<std::size_t>(c_transfers_.value());
+  }
+  std::uint64_t bytes_forwarded() const { return c_bytes_forwarded_.value(); }
 
   const ServerLimits& limits() const { return limits_; }
-  const GovernanceCounters& counters() const { return counters_; }
+  /// Governance accounting, read from the `rt.relay.*` registry series.
+  GovernanceCounters counters() const;
   std::size_t active_sessions() const { return sessions_.size(); }
+
+  /// The daemon's metrics registry (Sync::Atomic). `GET /metrics` serves
+  /// this merged with the reactor's registry; tests can snapshot it
+  /// directly.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
 
   /// Graceful shutdown: stop accepting, let in-flight sessions complete,
   /// then close the listener and fire `on_drained` (at most once; fires
@@ -53,6 +63,11 @@ class RelayDaemon {
   struct Session;
   void on_accept();
   void start_session(FdHandle fd);
+  /// Serves "/metrics" / "/healthz" when the parsed request targets them
+  /// (origin-form; forwarded absolute-form requests never match).
+  /// Returns true when the session was consumed by the introspection
+  /// plane.
+  bool maybe_serve_introspection(const std::shared_ptr<Session>& session);
   void connect_upstream(const std::shared_ptr<Session>& session);
   void shed_session(const std::shared_ptr<Session>& session);
   void reject(const std::shared_ptr<Session>& session, int status);
@@ -70,10 +85,7 @@ class RelayDaemon {
   Reactor& reactor_;
   FdHandle listen_fd_;
   std::uint16_t port_ = 0;
-  std::size_t transfers_ = 0;
-  std::uint64_t bytes_forwarded_ = 0;
   ServerLimits limits_;
-  GovernanceCounters counters_;
   std::unique_ptr<TimerWheel> idle_wheel_;
   double accept_backoff_s_ = 0.0;
   bool accept_paused_ = false;
@@ -81,6 +93,29 @@ class RelayDaemon {
   bool draining_ = false;
   std::function<void()> on_drained_;
   std::unordered_set<std::shared_ptr<Session>> sessions_;
+
+  // `rt.relay.*` series; handles resolved once at construction.
+  obs::Registry metrics_{obs::Registry::Sync::Atomic};
+  obs::Counter c_accepted_;
+  obs::Counter c_shed_;
+  obs::Counter c_idle_reaped_;
+  obs::Counter c_accept_failures_;
+  obs::Counter c_accept_pauses_;
+  obs::Counter c_drained_;
+  obs::Counter c_transfers_;
+  obs::Counter c_bytes_forwarded_;
+  obs::Counter c_requests_parsed_;
+  obs::Counter c_rejects_bad_request_;
+  obs::Counter c_rejects_upstream_;
+  obs::Counter c_upstream_connects_;
+  obs::Counter c_metrics_served_;
+  obs::Counter c_healthz_served_;
+  obs::Gauge g_sessions_active_;
+  obs::Gauge g_sessions_peak_;
+  obs::Gauge g_draining_;
+  obs::Gauge g_accept_backoff_s_;
+  obs::Gauge g_limit_max_sessions_;
+  obs::Histogram h_forward_chunk_bytes_;
 };
 
 }  // namespace idr::rt

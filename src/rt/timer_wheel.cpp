@@ -12,6 +12,11 @@ TimerWheel::TimerWheel(Reactor& reactor, double tick_s,
     : reactor_(reactor), tick_s_(tick_s), slots_(slot_count) {
   IDR_REQUIRE(tick_s > 0.0, "TimerWheel: tick must be positive");
   IDR_REQUIRE(slot_count >= 2, "TimerWheel: need at least two slots");
+  // Wheels on one reactor share these series; the counts aggregate.
+  c_scheduled_ = reactor_.metrics().counter("rt.wheel.scheduled");
+  c_fired_ = reactor_.metrics().counter("rt.wheel.fired");
+  c_cancelled_ = reactor_.metrics().counter("rt.wheel.cancelled");
+  c_ticks_ = reactor_.metrics().counter("rt.wheel.ticks");
 }
 
 TimerWheel::~TimerWheel() { disarm(); }
@@ -20,6 +25,7 @@ TimerWheel::Token TimerWheel::add(double delay_s,
                                   std::function<void()> cb) {
   IDR_REQUIRE(cb != nullptr, "TimerWheel::add: null callback");
   const Token token = ++next_token_;
+  c_scheduled_.inc();
   place(token, delay_s, std::move(cb));
   arm();
   return token;
@@ -30,6 +36,7 @@ bool TimerWheel::cancel(Token token) {
   if (it == locations_.end()) return false;
   slots_[it->second.slot].erase(it->second.it);
   locations_.erase(it);
+  c_cancelled_.inc();
   if (locations_.empty()) disarm();
   return true;
 }
@@ -78,6 +85,7 @@ void TimerWheel::disarm() {
 void TimerWheel::on_tick() {
   armed_ = false;  // the one-shot reactor timer has fired
   cursor_ = (cursor_ + 1) % slots_.size();
+  c_ticks_.inc();
 
   // Split the current slot into due and still-waiting entries before
   // running any callback: callbacks may add, cancel, or reschedule other
@@ -96,7 +104,14 @@ void TimerWheel::on_tick() {
     due.splice(due.end(), slot, it);
     it = next;
   }
-  for (Entry& entry : due) entry.callback();
+  if (!due.empty()) {
+    c_fired_.inc(due.size());
+    // The reap span covers the due callbacks of this tick (empty ticks
+    // stay out of the trace).
+    obs::ScopedSpan span(reactor_.tracer(), reactor_.trace_clock(),
+                         "timer.reap", "rt.wheel", reactor_.trace_track());
+    for (Entry& entry : due) entry.callback();
+  }
 
   arm();
 }

@@ -65,6 +65,12 @@ class TimerWheel {
   Token next_token_ = 0;
   TimerId armed_timer_ = 0;
   bool armed_ = false;
+
+  // `rt.wheel.*` series in the reactor's registry.
+  obs::Counter c_scheduled_;
+  obs::Counter c_fired_;
+  obs::Counter c_cancelled_;
+  obs::Counter c_ticks_;
 };
 
 }  // namespace idr::rt

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -73,6 +74,10 @@ struct SessionResult {
   util::OnlineStats direct_rate_stats;
   /// Event-core work both worlds performed to produce this session.
   SchedulerWork sim_work;
+  /// Both mirrors' `sim.*` registry series merged (flow core, transfer
+  /// engine, probe races), plus `sim.core.*` event-core totals. Drivers
+  /// merge these across sessions for the run-level exposition.
+  obs::Snapshot metrics;
   /// Fault totals over the session: per-trial counters summed, plus the
   /// number of transfers the selecting world's fault plane killed or
   /// refused (includes cancelled probe losers the trials never report).

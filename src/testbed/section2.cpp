@@ -97,6 +97,8 @@ Section2Result run_section2(const Section2Config& config) {
     spec.transfers = config.transfers_per_session;
     spec.interval = config.interval;
     spec.session_relay_label = std::string(task.relay->name);
+    spec.tracer = config.tracer;
+    spec.trace_track = static_cast<std::uint32_t>(i);
     spec.policy_factory = [](ClientWorld& world) {
       return std::make_unique<core::StaticRelayPolicy>(world.relay_node(0));
     };

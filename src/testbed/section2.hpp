@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "testbed/records.hpp"
 #include "testbed/scenario.hpp"
 
@@ -45,6 +46,9 @@ struct Section2Config {
   /// Worker threads; 0 = hardware concurrency. Results are independent of
   /// this value.
   unsigned threads = 0;
+  /// Optional span sink shared by every session (the Tracer is
+  /// thread-safe); each session traces on its own track (task index).
+  obs::Tracer* tracer = nullptr;
 };
 
 struct Section2Result {

@@ -68,6 +68,8 @@ Section4Result run_section4(const Section4Config& config) {
         config.client_inbound_mbps[task.client_index]);
     spec.transfers = config.transfers;
     spec.interval = config.interval;
+    spec.tracer = config.tracer;
+    spec.trace_track = static_cast<std::uint32_t>(i);
     spec.client_seed = util::splitmix64(
         config.seed ^ fnv1a(client_name) ^ (task.set_size * 1000003ULL));
     const std::size_t n = task.set_size;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/relay_stats.hpp"
+#include "obs/trace.hpp"
 #include "testbed/records.hpp"
 #include "testbed/scenario.hpp"
 
@@ -39,6 +40,9 @@ struct Section4Config {
   SubsetPolicyKind policy = SubsetPolicyKind::Uniform;
   ScenarioKnobs knobs{};
   unsigned threads = 0;
+  /// Optional span sink shared by every cell (the Tracer is thread-safe);
+  /// each cell traces on its own track (task index).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Result of one (client, set size) run.

@@ -47,6 +47,9 @@ SessionOutput run_session(const SessionSpec& spec) {
 
   // --- World B: the selecting client, same bandwidth sample paths. -------
   ClientWorld world_b(spec.params, /*attach_relay_processes=*/true);
+  if (spec.tracer != nullptr) {
+    world_b.flow_simulator().set_tracer(spec.tracer, spec.trace_track);
+  }
   auto client = world_b.make_client(spec.policy_factory(world_b),
                                     util::Rng(spec.client_seed));
 
@@ -121,6 +124,17 @@ SessionOutput run_session(const SessionSpec& spec) {
   session.sim_work.executed = sa.executed() + sb.executed();
   session.sim_work.cancellations = sa.cancellations() + sb.cancellations();
   session.sim_work.reschedules = sa.reschedules() + sb.reschedules();
+  // Fold the event-core totals into the selecting world's registry so one
+  // snapshot carries the whole session, then merge the plain mirror's
+  // series (same names; counters add).
+  obs::Registry& reg_b = world_b.flow_simulator().metrics();
+  reg_b.counter("sim.core.events_executed").inc(session.sim_work.executed);
+  reg_b.counter("sim.core.events_cancelled")
+      .inc(session.sim_work.cancellations);
+  reg_b.counter("sim.core.events_rescheduled")
+      .inc(session.sim_work.reschedules);
+  session.metrics = reg_b.snapshot();
+  session.metrics.merge(world_a.flow_simulator().metrics().snapshot());
   output.relay_stats = client->stats();
   return output;
 }

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/trace.hpp"
 #include "testbed/records.hpp"
 #include "testbed/world.hpp"
 
@@ -25,6 +26,10 @@ struct SessionSpec {
   /// Label stored as TransferObservation::session_relay (the static relay
   /// name for Section 2 sessions, empty for Section 4).
   std::string session_relay_label;
+  /// Optional span sink for the selecting world (virtual-time clock);
+  /// `trace_track` becomes the Chrome tid, one row per session.
+  obs::Tracer* tracer = nullptr;
+  std::uint32_t trace_track = 0;
 };
 
 struct SessionOutput {

@@ -1,0 +1,69 @@
+# Observability snapshot gate: runs a figure binary with IDR_OBS_OUT set
+# and checks three contracts at once:
+#
+#   1. stdout stays byte-identical to the committed golden snapshot —
+#      enabling the sink must not perturb the figure data;
+#   2. the dumped metrics JSON and Chrome trace JSON both parse
+#      (string(JSON ...), no external tools);
+#   3. the trace carries exactly EXPECTED_SPANS "probe_race" spans — one
+#      per simulated transfer at the scaled seed defaults.
+#
+# Usage: cmake -DBIN=<binary> -DGOLDEN=<snapshot> -DRUN=<run name>
+#              -DOUT_DIR=<scratch dir> -DEXPECTED_SPANS=<count>
+#              -P run_obs_snapshot.cmake
+
+foreach(var BIN GOLDEN RUN OUT_DIR EXPECTED_SPANS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_obs_snapshot.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "IDR_OBS_OUT=${OUT_DIR}" "${BIN}"
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE ignored_stderr
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} exited with ${rc}")
+endif()
+
+# 1. stdout is still the golden figure output, byte for byte.
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  set(observed "${OUT_DIR}/${RUN}.observed.txt")
+  file(WRITE "${observed}" "${actual}")
+  message(FATAL_ERROR
+      "stdout diverged from ${GOLDEN} with IDR_OBS_OUT set\n"
+      "observed output written to ${observed}")
+endif()
+
+# 2. Both JSON artifacts exist and parse.
+foreach(artifact "${RUN}_metrics.json" "${RUN}_trace.json")
+  set(path "${OUT_DIR}/${artifact}")
+  if(NOT EXISTS "${path}")
+    message(FATAL_ERROR "expected artifact missing: ${path}")
+  endif()
+  file(READ "${path}" doc)
+  string(JSON ignored ERROR_VARIABLE json_error GET "${doc}")
+  if(NOT json_error STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "${path} is not valid JSON: ${json_error}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${OUT_DIR}/${RUN}_metrics.prom")
+  message(FATAL_ERROR
+      "expected artifact missing: ${OUT_DIR}/${RUN}_metrics.prom")
+endif()
+
+# 3. One probe_race span per transfer.
+file(READ "${OUT_DIR}/${RUN}_trace.json" trace)
+string(REGEX MATCHALL "\"name\":\"probe_race\"" spans "${trace}")
+list(LENGTH spans span_count)
+if(NOT span_count EQUAL EXPECTED_SPANS)
+  message(FATAL_ERROR
+      "trace has ${span_count} probe_race spans, expected "
+      "${EXPECTED_SPANS} (one per transfer at the scaled defaults)")
+endif()

@@ -1,0 +1,317 @@
+// idr::obs unit tests: registry handle semantics (including the dormant
+// null-handle contract), log-linear histogram edge math, snapshot
+// diff/merge algebra, both export formats, the span tracer's Chrome JSON
+// (validated by parse-back), and the file sink's environment gate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace idr::obs {
+namespace {
+
+// --- Handles and registry -------------------------------------------------
+
+TEST(Registry, NullHandlesAreNoOpSinks) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.valid());
+  EXPECT_FALSE(g.valid());
+  EXPECT_FALSE(h.valid());
+  c.inc();
+  c.inc(41);
+  g.set(3.5);
+  g.add(1.0);
+  h.observe(2.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Registry, CountersAndGaugesRoundTrip) {
+  Registry registry;
+  Counter c = registry.counter("a.b.count");
+  Gauge g = registry.gauge("a.b.level");
+  c.inc();
+  c.inc(9);
+  g.set(2.0);
+  g.add(0.5);
+  EXPECT_EQ(c.value(), 10u);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  // Registration is idempotent: same name, same cell.
+  Counter c2 = registry.counter("a.b.count");
+  c2.inc();
+  EXPECT_EQ(c.value(), 11u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Registry, KindMismatchFails) {
+  Registry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), util::Error);
+  EXPECT_THROW(registry.histogram("x"), util::Error);
+}
+
+TEST(Registry, AtomicRegistryCounts) {
+  Registry registry(Registry::Sync::Atomic);
+  Counter c = registry.counter("rt.thing");
+  c.inc(7);
+  EXPECT_EQ(c.value(), 7u);
+  Gauge g = registry.gauge("rt.level");
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+// --- Log-linear histogram edges -------------------------------------------
+
+TEST(Histogram, BucketCountIsOctavesTimesSubPlusRails) {
+  // [1, 16) = 4 octaves: [1,2) [2,4) [4,8) [8,16).
+  HistogramOptions opts{1.0, 16.0, 4};
+  EXPECT_EQ(histogram_bucket_count(opts), 2u + 4u * 4u);
+}
+
+TEST(Histogram, LowerEdgesAreLogLinear) {
+  HistogramOptions opts{1.0, 16.0, 4};
+  // Bucket 0 is the underflow rail.
+  EXPECT_EQ(histogram_bucket_lower(opts, 0), 0.0);
+  // First octave [1,2) slices: 1, 1.25, 1.5, 1.75.
+  EXPECT_DOUBLE_EQ(histogram_bucket_lower(opts, 1), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_bucket_lower(opts, 2), 1.25);
+  EXPECT_DOUBLE_EQ(histogram_bucket_lower(opts, 3), 1.5);
+  EXPECT_DOUBLE_EQ(histogram_bucket_lower(opts, 4), 1.75);
+  // Second octave [2,4) slices: 2, 2.5, 3, 3.5.
+  EXPECT_DOUBLE_EQ(histogram_bucket_lower(opts, 5), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_bucket_lower(opts, 6), 2.5);
+  // Last real bucket starts at 8 * (1 + 3/4) = 14; overflow rail at max.
+  EXPECT_DOUBLE_EQ(histogram_bucket_lower(opts, 16), 14.0);
+  EXPECT_DOUBLE_EQ(
+      histogram_bucket_lower(opts, histogram_bucket_count(opts) - 1), 16.0);
+}
+
+TEST(Histogram, IndexMapsEdgesToTheirOwnBucket) {
+  HistogramOptions opts{1.0, 16.0, 4};
+  // A lower edge belongs to its own bucket (inclusive lower bound).
+  for (std::size_t i = 1; i + 1 < histogram_bucket_count(opts); ++i) {
+    const double edge = histogram_bucket_lower(opts, i);
+    EXPECT_EQ(histogram_bucket_index(opts, edge), i) << "edge " << edge;
+    // Just below the edge lands in the previous bucket.
+    EXPECT_EQ(histogram_bucket_index(opts, std::nextafter(edge, 0.0)),
+              i - 1)
+        << "below edge " << edge;
+  }
+}
+
+TEST(Histogram, UnderflowOverflowAndNaNRails) {
+  HistogramOptions opts{1.0, 16.0, 4};
+  const std::size_t last = histogram_bucket_count(opts) - 1;
+  EXPECT_EQ(histogram_bucket_index(opts, 0.0), 0u);
+  EXPECT_EQ(histogram_bucket_index(opts, -5.0), 0u);
+  EXPECT_EQ(histogram_bucket_index(opts, 0.999), 0u);
+  EXPECT_EQ(histogram_bucket_index(opts, 16.0), last);
+  EXPECT_EQ(histogram_bucket_index(opts, 1e18), last);
+  EXPECT_EQ(histogram_bucket_index(opts, std::nan("")), 0u);
+}
+
+TEST(Histogram, ObserveFillsBucketsAndMoments) {
+  Registry registry;
+  Histogram h =
+      registry.histogram("lat", HistogramOptions{1.0, 16.0, 4});
+  h.observe(1.0);   // bucket 1
+  h.observe(3.0);   // bucket 7 ([3, 3.5))
+  h.observe(100.0); // overflow
+  h.observe(0.5);   // underflow
+  EXPECT_EQ(h.count(), 4u);
+
+  const Snapshot snap = registry.snapshot();
+  const MetricValue* m = snap.find("lat");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::Histogram);
+  EXPECT_EQ(m->count, 4u);
+  EXPECT_DOUBLE_EQ(m->value, 1.0 + 3.0 + 100.0 + 0.5);
+  EXPECT_EQ(m->buckets.front(), 1u);
+  EXPECT_EQ(m->buckets.back(), 1u);
+  EXPECT_EQ(m->buckets[1], 1u);
+  EXPECT_EQ(m->buckets[7], 1u);
+}
+
+// --- Snapshot algebra -----------------------------------------------------
+
+TEST(Snapshot, DiffSubtractsCountersKeepsGauges) {
+  Registry registry;
+  Counter c = registry.counter("n");
+  Gauge g = registry.gauge("v");
+  Histogram h = registry.histogram("d", HistogramOptions{1.0, 16.0, 2});
+  c.inc(5);
+  g.set(1.0);
+  h.observe(2.0);
+  const Snapshot before = registry.snapshot();
+  c.inc(3);
+  g.set(9.0);
+  h.observe(2.0);
+  h.observe(3.0);
+  const Snapshot after = registry.snapshot();
+
+  const Snapshot delta = after.diff(before);
+  EXPECT_EQ(delta.find("n")->count, 3u);
+  EXPECT_DOUBLE_EQ(delta.find("v")->value, 9.0);  // gauges: later value
+  EXPECT_EQ(delta.find("d")->count, 2u);
+}
+
+TEST(Snapshot, MergeAddsCountersAndBuckets) {
+  Registry a, b;
+  a.counter("n").inc(2);
+  b.counter("n").inc(40);
+  b.counter("only_b").inc(1);
+  a.histogram("d", HistogramOptions{1.0, 16.0, 2}).observe(2.0);
+  b.histogram("d", HistogramOptions{1.0, 16.0, 2}).observe(2.0);
+
+  Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.find("n")->count, 42u);
+  EXPECT_EQ(merged.find("only_b")->count, 1u);
+  EXPECT_EQ(merged.find("d")->count, 2u);
+  // Stays sorted so find() keeps working after appends.
+  for (std::size_t i = 1; i < merged.metrics.size(); ++i) {
+    EXPECT_LT(merged.metrics[i - 1].name, merged.metrics[i].name);
+  }
+}
+
+TEST(Snapshot, MergeRejectsMismatchedHistogramLayouts) {
+  Registry a, b;
+  a.histogram("d", HistogramOptions{1.0, 16.0, 2}).observe(2.0);
+  b.histogram("d", HistogramOptions{1.0, 32.0, 2}).observe(2.0);
+  Snapshot merged = a.snapshot();
+  EXPECT_THROW(merged.merge(b.snapshot()), util::Error);
+}
+
+// --- Exports --------------------------------------------------------------
+
+Snapshot sample_snapshot() {
+  Registry registry;
+  registry.counter("sim.flow.reallocations").inc(12);
+  registry.gauge("rt.relay.sessions_active").set(3.0);
+  Histogram h = registry.histogram("rt.relay.forward_chunk_bytes",
+                                   HistogramOptions{1.0, 16.0, 2});
+  h.observe(2.0);
+  h.observe(100.0);
+  return registry.snapshot();
+}
+
+TEST(Snapshot, JsonExportIsValidJson) {
+  const std::string json = sample_snapshot().to_json();
+  std::string error;
+  EXPECT_TRUE(json_validate(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"sim.flow.reallocations\""), std::string::npos);
+}
+
+TEST(Snapshot, PrometheusExportHasTypedSeries) {
+  const std::string prom = sample_snapshot().to_prometheus();
+  EXPECT_NE(prom.find("# TYPE idr_sim_flow_reallocations counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("idr_sim_flow_reallocations 12"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE idr_rt_relay_sessions_active gauge"),
+            std::string::npos);
+  // Histograms expand to cumulative buckets plus _sum/_count, with a
+  // +Inf bucket equal to the total count.
+  EXPECT_NE(prom.find("idr_rt_relay_forward_chunk_bytes_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("idr_rt_relay_forward_chunk_bytes_count 2"),
+            std::string::npos);
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments) {
+  EXPECT_TRUE(json_validate("{\"a\":[1,2.5,null,\"x\\n\"]}"));
+  std::string error;
+  EXPECT_FALSE(json_validate("{\"a\":}", &error));
+  EXPECT_FALSE(json_validate("[1,2", &error));
+  EXPECT_FALSE(json_validate("{} trailing", &error));
+  EXPECT_FALSE(json_validate("", &error));
+  EXPECT_FALSE(json_validate("nul", &error));
+}
+
+// --- Tracer ---------------------------------------------------------------
+
+TEST(Tracer, DisabledTracerDropsEvents) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.complete("x", "cat", 0, 0.0, 1.0);
+  tracer.instant("y", "cat", 0, 0.0);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, ChromeJsonParsesBackAndKeepsFields) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.complete("probe_race", "sim.race", 3, 1000.0, 250.0,
+                  "{\"ok\":true,\"relay\":0}");
+  tracer.complete("probe_race", "sim.race", 4, 2000.0, 125.0);
+  tracer.instant("fault \"kill\"", "sim.engine", 3, 1100.0);
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.count_spans("probe_race"), 2u);
+  EXPECT_EQ(tracer.count_spans("nope"), 0u);
+
+  const std::string json = tracer.to_chrome_json();
+  std::string error;
+  ASSERT_TRUE(json_validate(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Args embed verbatim; names with quotes escape cleanly.
+  EXPECT_NE(json.find("\"args\":{\"ok\":true,\"relay\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("fault \\\"kill\\\""), std::string::npos);
+}
+
+TEST(Tracer, ScopedSpanEmitsOnlyWhenEnabled) {
+  Tracer tracer;
+  double fake_now = 10.0;
+  TraceClock clock{
+      [](const void* ctx) { return *static_cast<const double*>(ctx); },
+      &fake_now};
+  {
+    ScopedSpan off(&tracer, clock, "poll", "rt.reactor", 0);
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.set_enabled(true);
+  {
+    ScopedSpan on(&tracer, clock, "poll", "rt.reactor", 0);
+    fake_now = 25.0;
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  const TraceEvent ev = tracer.events()[0];
+  EXPECT_EQ(ev.name, "poll");
+  EXPECT_DOUBLE_EQ(ev.ts_us, 10.0);
+  EXPECT_DOUBLE_EQ(ev.dur_us, 15.0);
+}
+
+// --- Sink gate ------------------------------------------------------------
+
+TEST(Sink, DisabledWithoutEnvironment) {
+  ::unsetenv("IDR_OBS_OUT");
+  EXPECT_FALSE(out_enabled());
+  Tracer tracer;
+  EXPECT_EQ(dump_run("unit", sample_snapshot(), &tracer), 0);
+}
+
+TEST(Sink, WritesArtifactsWhenPointedAtDirectory) {
+  char dir_template[] = "/tmp/idr_obs_test_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  ::setenv("IDR_OBS_OUT", dir_template, 1);
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.complete("probe_race", "sim.race", 0, 0.0, 1.0);
+  EXPECT_EQ(dump_run("unit", sample_snapshot(), &tracer), 3);
+  ::unsetenv("IDR_OBS_OUT");
+}
+
+}  // namespace
+}  // namespace idr::obs

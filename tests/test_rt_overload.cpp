@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "rt/governance.hpp"
 #include "rt/http_client.hpp"
 #include "rt/http_server.hpp"
@@ -318,6 +319,170 @@ TEST(RtOverload, GovernanceOffChangesNothing) {
   EXPECT_EQ(relay.counters().idle_reaped, 0u);
   EXPECT_EQ(relay.counters().accept_pauses, 0u);
   EXPECT_EQ(relay.counters().accept_failures, 0u);
+}
+
+// --- Introspection plane (/metrics, /healthz) ---------------------------
+
+std::size_t prometheus_series(const std::string& exposition) {
+  std::size_t count = 0;
+  for (std::size_t pos = exposition.find("# TYPE");
+       pos != std::string::npos;
+       pos = exposition.find("# TYPE", pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(RtIntrospection, RelayServesMetricsWithMergedReactorSeries) {
+  Fixture fx;
+  RelayDaemon relay{fx.reactor, 0};
+
+  // Real traffic first, so the counters have something to say.
+  std::optional<FetchResult> transfer;
+  fetch(fx.reactor, fx.via(relay),
+        [&](const FetchResult& r) { transfer = r; });
+  spin_until(fx.reactor, 10.0, [&] { return transfer.has_value(); });
+  ASSERT_TRUE(transfer->ok) << transfer->error;
+
+  // Origin-form GET /metrics against the relay's own port.
+  FetchRequest req;
+  req.origin.port = relay.port();
+  req.path = "/metrics";
+  req.capture_body = true;
+  std::optional<FetchResult> metrics;
+  fetch(fx.reactor, req, [&](const FetchResult& r) { metrics = r; });
+  spin_until(fx.reactor, 10.0, [&] { return metrics.has_value(); });
+  ASSERT_TRUE(metrics->ok) << metrics->error;
+  EXPECT_EQ(metrics->status, 200);
+
+  // The exposition carries the relay's own series plus the reactor's.
+  EXPECT_GE(prometheus_series(metrics->body), 20u);
+  EXPECT_NE(metrics->body.find("idr_rt_relay_transfers_forwarded 1"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_NE(metrics->body.find("idr_rt_relay_sessions_shed 0"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("idr_rt_reactor_polls"), std::string::npos);
+
+  // Introspection is accounted apart from forwarded traffic.
+  EXPECT_EQ(relay.transfers_forwarded(), 1u);
+  const obs::Snapshot snap = relay.metrics().snapshot();
+  EXPECT_EQ(snap.find("rt.relay.metrics_served")->count, 1u);
+}
+
+TEST(RtIntrospection, HealthzReportsStatusAndSessionsAsJson) {
+  Fixture fx;
+  RelayDaemon relay{fx.reactor, 0};
+
+  FetchRequest req;
+  req.origin.port = relay.port();
+  req.path = "/healthz";
+  req.capture_body = true;
+  std::optional<FetchResult> health;
+  fetch(fx.reactor, req, [&](const FetchResult& r) { health = r; });
+  spin_until(fx.reactor, 10.0, [&] { return health.has_value(); });
+  ASSERT_TRUE(health->ok) << health->error;
+  std::string error;
+  EXPECT_TRUE(obs::json_validate(health->body, &error))
+      << error << "\n" << health->body;
+  EXPECT_NE(health->body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(relay.metrics().snapshot().find("rt.relay.healthz_served")->count,
+            1u);
+}
+
+TEST(RtIntrospection, ServedEvenWhileSheddingAndCountedSeparately) {
+  Fixture fx;
+  fx.slow_relayed(50000.0);  // hold the only slot ~6 s
+  ServerLimits limits;
+  limits.max_sessions = 1;
+  RelayDaemon relay{fx.reactor, 0, limits};
+
+  std::optional<FetchResult> blocker;
+  fetch(fx.reactor, fx.via(relay),
+        [&](const FetchResult& r) { blocker = r; });
+  spin_until(fx.reactor, 10.0, [&] { return relay.active_sessions() == 1; });
+
+  // Over the cap, a forward request is shed — but /metrics and /healthz
+  // still answer 200: an overloaded daemon must stay observable.
+  FetchRequest metrics_req;
+  metrics_req.origin.port = relay.port();
+  metrics_req.path = "/metrics";
+  metrics_req.capture_body = true;
+  std::optional<FetchResult> metrics;
+  fetch(fx.reactor, metrics_req, [&](const FetchResult& r) { metrics = r; });
+  spin_until(fx.reactor, 10.0, [&] { return metrics.has_value(); });
+  ASSERT_TRUE(metrics->ok) << metrics->error;
+  EXPECT_EQ(metrics->status, 200);
+
+  FetchRequest health_req;
+  health_req.origin.port = relay.port();
+  health_req.path = "/healthz";
+  health_req.capture_body = true;
+  std::optional<FetchResult> health;
+  fetch(fx.reactor, health_req, [&](const FetchResult& r) { health = r; });
+  spin_until(fx.reactor, 10.0, [&] { return health.has_value(); });
+  ASSERT_TRUE(health->ok) << health->error;
+  EXPECT_NE(health->body.find("\"status\":\"shedding\""), std::string::npos)
+      << health->body;
+
+  // Introspection hits are not shed sessions and not forwarded transfers.
+  EXPECT_EQ(relay.counters().shed, 0u);
+  EXPECT_EQ(relay.transfers_forwarded(), 1u);
+  const obs::Snapshot snap = relay.metrics().snapshot();
+  EXPECT_EQ(snap.find("rt.relay.metrics_served")->count, 1u);
+  EXPECT_EQ(snap.find("rt.relay.healthz_served")->count, 1u);
+
+  // A forward request over the cap is still shed as before.
+  std::optional<FetchResult> shed;
+  fetch(fx.reactor, fx.via(relay), [&](const FetchResult& r) { shed = r; });
+  spin_until(fx.reactor, 10.0, [&] { return shed.has_value(); });
+  EXPECT_EQ(shed->status, 503);
+  EXPECT_EQ(relay.counters().shed, 1u);
+
+  spin_until(fx.reactor, 30.0, [&] { return blocker.has_value(); });
+  EXPECT_TRUE(blocker->ok) << blocker->error;
+}
+
+TEST(RtIntrospection, OriginServesMetricsAndHealthzToo) {
+  Reactor reactor;
+  HttpOriginServer origin{reactor, 0};
+  origin.add_resource("/blob", 50000);
+
+  FetchRequest req;
+  req.origin.port = origin.port();
+  req.path = "/blob";
+  std::optional<FetchResult> transfer;
+  fetch(reactor, req, [&](const FetchResult& r) { transfer = r; });
+  spin_until(reactor, 10.0, [&] { return transfer.has_value(); });
+  ASSERT_TRUE(transfer->ok) << transfer->error;
+
+  FetchRequest metrics_req;
+  metrics_req.origin.port = origin.port();
+  metrics_req.path = "/metrics";
+  metrics_req.capture_body = true;
+  std::optional<FetchResult> metrics;
+  fetch(reactor, metrics_req, [&](const FetchResult& r) { metrics = r; });
+  spin_until(reactor, 10.0, [&] { return metrics.has_value(); });
+  ASSERT_TRUE(metrics->ok) << metrics->error;
+  EXPECT_NE(metrics->body.find("idr_rt_origin_requests_served 1"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_NE(metrics->body.find("idr_rt_origin_bytes_sent"),
+            std::string::npos);
+
+  FetchRequest health_req;
+  health_req.origin.port = origin.port();
+  health_req.path = "/healthz";
+  health_req.capture_body = true;
+  std::optional<FetchResult> health;
+  fetch(reactor, health_req, [&](const FetchResult& r) { health = r; });
+  spin_until(reactor, 10.0, [&] { return health.has_value(); });
+  ASSERT_TRUE(health->ok) << health->error;
+  std::string error;
+  EXPECT_TRUE(obs::json_validate(health->body, &error)) << error;
+
+  // /metrics and /healthz do not count as served requests.
+  EXPECT_EQ(origin.requests_served(), 1u);
 }
 
 }  // namespace
