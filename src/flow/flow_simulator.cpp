@@ -48,6 +48,21 @@ FlowSimulator::Counters FlowSimulator::counters() const {
   return c;
 }
 
+FlowSimulator::Counters FlowSimulator::counters_from(
+    const obs::Snapshot& snapshot) {
+  auto series = [&](const char* name) -> std::uint64_t {
+    const obs::MetricValue* m = snapshot.find(name);
+    return m != nullptr ? m->count : 0;
+  };
+  Counters c;
+  c.reallocations = series("sim.flow.reallocations");
+  c.flows_touched = series("sim.flow.flows_touched");
+  c.maxmin_rounds = series("sim.flow.maxmin_rounds");
+  c.timer_rearms = series("sim.flow.timer_rearms");
+  c.skipped_events = series("sim.flow.skipped_events");
+  return c;
+}
+
 void FlowSimulator::attach_capacity_process(
     net::LinkId link, std::unique_ptr<net::CapacityProcess> process) {
   IDR_REQUIRE(process != nullptr, "attach_capacity_process: null process");

@@ -173,6 +173,11 @@ class FlowSimulator {
   /// Reallocation-path counter set, read from the registry series.
   Counters counters() const;
 
+  /// Reassembles a Counters set from a snapshot's `sim.flow.*` series —
+  /// how sharded runs recover their flow-layer work metrics after the
+  /// worlds that produced them are gone (absent series read as zero).
+  static Counters counters_from(const obs::Snapshot& snapshot);
+
   /// Derives a decorrelated RNG stream from this simulator's root seed;
   /// used by higher layers (e.g. the transfer engine's setup jitter) so a
   /// world stays fully determined by its construction seed.

@@ -289,43 +289,75 @@ Snapshot Snapshot::diff(const Snapshot& earlier) const {
 }
 
 void Snapshot::merge(const Snapshot& other) {
-  for (const MetricValue& incoming : other.metrics) {
-    MetricValue* mine = nullptr;
-    for (MetricValue& m : metrics) {
-      if (m.name == incoming.name) {
-        mine = &m;
-        break;
-      }
-    }
-    if (mine == nullptr) {
-      metrics.push_back(incoming);
-      continue;
-    }
-    IDR_REQUIRE(mine->kind == incoming.kind,
-                "Snapshot::merge: kind mismatch for '" + mine->name + "'");
+  // Merge is a sorted two-pointer walk: registry snapshots are produced
+  // sorted by name, and sharded runs merge thousands of them, so the
+  // per-incoming-series linear scan this used to do would be quadratic in
+  // the run size. Hand-built snapshots may arrive unsorted; restore the
+  // invariant first (stable, so duplicate names keep their order).
+  auto name_before = [](const MetricValue& a, const MetricValue& b) {
+    return a.name < b.name;
+  };
+  if (!std::is_sorted(metrics.begin(), metrics.end(), name_before)) {
+    std::stable_sort(metrics.begin(), metrics.end(), name_before);
+  }
+  if (other.metrics.empty()) return;
+  const std::vector<MetricValue>* rhs = &other.metrics;
+  std::vector<MetricValue> sorted_other;
+  if (!std::is_sorted(rhs->begin(), rhs->end(), name_before)) {
+    sorted_other = other.metrics;
+    std::stable_sort(sorted_other.begin(), sorted_other.end(), name_before);
+    rhs = &sorted_other;
+  }
+
+  auto combine = [](MetricValue& mine, const MetricValue& incoming) {
+    IDR_REQUIRE(mine.kind == incoming.kind,
+                "Snapshot::merge: kind mismatch for '" + mine.name + "'");
     switch (incoming.kind) {
       case MetricKind::Counter:
-        mine->count += incoming.count;
+        mine.count += incoming.count;
         break;
       case MetricKind::Gauge:
-        mine->value = incoming.value;
+        mine.value = incoming.value;
         break;
       case MetricKind::Histogram:
-        IDR_REQUIRE(mine->buckets.size() == incoming.buckets.size(),
+        IDR_REQUIRE(mine.buckets.size() == incoming.buckets.size(),
                     "Snapshot::merge: histogram layout mismatch for '" +
-                        mine->name + "'");
-        for (std::size_t i = 0; i < mine->buckets.size(); ++i) {
-          mine->buckets[i] += incoming.buckets[i];
+                        mine.name + "'");
+        for (std::size_t i = 0; i < mine.buckets.size(); ++i) {
+          mine.buckets[i] += incoming.buckets[i];
         }
-        mine->count += incoming.count;
-        mine->value += incoming.value;
+        mine.count += incoming.count;
+        mine.value += incoming.value;
         break;
     }
+  };
+
+  std::vector<MetricValue> merged;
+  merged.reserve(metrics.size() + rhs->size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < metrics.size() && j < rhs->size()) {
+    const MetricValue& a = metrics[i];
+    const MetricValue& b = (*rhs)[j];
+    if (a.name < b.name) {
+      merged.push_back(std::move(metrics[i++]));
+    } else if (b.name < a.name) {
+      merged.push_back(b);
+      ++j;
+    } else {
+      MetricValue m = std::move(metrics[i++]);
+      combine(m, (*rhs)[j++]);
+      // Duplicate names on the incoming side all fold into the first
+      // matching cell, as the linear-scan merge did.
+      while (j < rhs->size() && (*rhs)[j].name == m.name) {
+        combine(m, (*rhs)[j++]);
+      }
+      merged.push_back(std::move(m));
+    }
   }
-  std::sort(metrics.begin(), metrics.end(),
-            [](const MetricValue& a, const MetricValue& b) {
-              return a.name < b.name;
-            });
+  for (; i < metrics.size(); ++i) merged.push_back(std::move(metrics[i]));
+  for (; j < rhs->size(); ++j) merged.push_back((*rhs)[j]);
+  metrics = std::move(merged);
 }
 
 std::string Snapshot::to_json() const {

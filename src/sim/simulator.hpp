@@ -114,6 +114,17 @@ class Simulator {
   /// periodic cadences).
   std::uint64_t reschedules() const { return reschedules_; }
 
+  /// The three churn counters in one read — what per-world aggregators
+  /// (testbed sessions, shard merges) fold into their work tallies.
+  struct WorkCounters {
+    std::uint64_t executed = 0;
+    std::uint64_t cancellations = 0;
+    std::uint64_t reschedules = 0;
+  };
+  WorkCounters work() const {
+    return {executed_, cancellations_, reschedules_};
+  }
+
  private:
   // Heap entries carry the ordering key (time, seq) so sifts compare
   // within the contiguous heap array; the node index links back to the

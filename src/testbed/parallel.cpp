@@ -1,8 +1,18 @@
 #include "testbed/parallel.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace idr::testbed {
+
+std::size_t claim_chunk(std::size_t count, unsigned workers) {
+  if (count == 0 || workers == 0) return 1;
+  // Aim for ~8 claims per worker so late chunks can rebalance uneven
+  // task costs, capped at 16 indices — beyond that the atomic is already
+  // amortized into noise and larger chunks only hurt balance.
+  const std::size_t chunk = count / (static_cast<std::size_t>(workers) * 8);
+  return std::clamp<std::size_t>(chunk, 1, 16);
+}
 
 unsigned resolve_threads(unsigned requested) {
   if (requested > 0) return requested;

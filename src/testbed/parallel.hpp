@@ -27,6 +27,12 @@ namespace idr::testbed {
 /// integer; otherwise the hardware concurrency (min 1).
 unsigned resolve_threads(unsigned requested);
 
+/// Indices claimed per fetch_add: enough to amortize the shared counter
+/// on cheap tasks (one atomic op per chunk instead of per index), small
+/// enough that coarse tasks — shards costing seconds each — still
+/// balance across workers. Exposed for direct unit testing.
+std::size_t claim_chunk(std::size_t count, unsigned workers);
+
 /// Runs fn(0..count-1) across `threads` workers. Rethrows the first task
 /// exception (by task index) after all workers stop.
 template <typename Fn>
@@ -36,10 +42,23 @@ void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
       std::min<std::size_t>(resolve_threads(threads), count));
 
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    // Same contract as the threaded path: every task runs, and the first
+    // (lowest-index) exception is rethrown after the sweep — so a failing
+    // run reports the same error and covers the same tasks at any thread
+    // count.
+    std::exception_ptr serial_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!serial_error) serial_error = std::current_exception();
+      }
+    }
+    if (serial_error) std::rethrow_exception(serial_error);
     return;
   }
 
+  const std::size_t chunk = claim_chunk(count, workers);
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -47,17 +66,21 @@ void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
 
   auto worker = [&] {
     while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        // Keep the error of the lowest task index so reruns at different
-        // thread counts report the same failure.
-        if (i < first_error_index) {
-          first_error_index = i;
-          first_error = std::current_exception();
+      const std::size_t begin =
+          next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + chunk, count);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          // Keep the error of the lowest task index so reruns at
+          // different thread counts report the same failure.
+          if (i < first_error_index) {
+            first_error_index = i;
+            first_error = std::current_exception();
+          }
         }
       }
     }

@@ -57,7 +57,7 @@ WorldParams ScenarioGenerator::make_world(
   // a relay to the set never perturbs the parameters of the others.
   const std::uint64_t client_key = seed_ ^ (fnv1a(client.name) * 3) ^
                                    (fnv1a(server.name) * 7);
-  util::Rng direct_rng{util::splitmix64(client_key)};
+  util::Rng direct_rng{util::child_stream(client_key, 0)};
 
   // Client access link: stable, the potential shared bottleneck.
   params.access.mean =
@@ -102,8 +102,8 @@ WorldParams ScenarioGenerator::make_world(
     roster_hash ^= fnv1a(relay->name);
     params.relay_names.emplace_back(relay->name);
 
-    util::Rng pair_rng{util::splitmix64(client_key ^
-                                        (fnv1a(relay->name) * 11))};
+    util::Rng pair_rng{
+        util::child_stream(client_key, fnv1a(relay->name) * 11)};
 
     // Relay -> client gateway: the leg the paper identifies as the
     // indirect path's bottleneck. Its mean combines the client's inbound
@@ -152,7 +152,7 @@ WorldParams ScenarioGenerator::make_world(
   }
 
   params.process_seed =
-      util::splitmix64(client_key ^ (roster_hash * 13) ^ 0xABCDEF);
+      util::child_stream(client_key, (roster_hash * 13) ^ 0xABCDEF);
   return params;
 }
 

@@ -22,7 +22,7 @@ std::vector<const SiteProfile*> pick_relays(const SiteProfile& client,
   }
   // Deterministic per-client sample so every relay shows up across enough
   // clients for the Fig. 5 aggregation.
-  util::Rng rng{util::splitmix64(seed ^ fnv1a(client.name))};
+  util::Rng rng{util::child_stream(seed, fnv1a(client.name))};
   const auto picks = rng.sample_without_replacement(all.size(), count);
   std::vector<const SiteProfile*> out;
   for (std::size_t i : picks) out.push_back(&all[i]);
@@ -92,8 +92,8 @@ Section2Result run_section2(const Section2Config& config) {
     // process seed (make_world already folds the roster in, but keep the
     // transfer cadence seed distinct too).
     spec.client_seed =
-        util::splitmix64(config.seed ^ fnv1a(task.client->name) ^
-                         (fnv1a(task.relay->name) * 17));
+        util::child_stream(config.seed, fnv1a(task.client->name) ^
+                                            (fnv1a(task.relay->name) * 17));
     spec.transfers = config.transfers_per_session;
     spec.interval = config.interval;
     spec.session_relay_label = std::string(task.relay->name);

@@ -70,8 +70,8 @@ Section4Result run_section4(const Section4Config& config) {
     spec.interval = config.interval;
     spec.tracer = config.tracer;
     spec.trace_track = static_cast<std::uint32_t>(i);
-    spec.client_seed = util::splitmix64(
-        config.seed ^ fnv1a(client_name) ^ (task.set_size * 1000003ULL));
+    spec.client_seed = util::child_stream(
+        config.seed, fnv1a(client_name) ^ (task.set_size * 1000003ULL));
     const std::size_t n = task.set_size;
     const SubsetPolicyKind kind = config.policy;
     spec.policy_factory =

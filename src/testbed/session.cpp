@@ -119,11 +119,11 @@ SessionOutput run_session(const SessionSpec& spec) {
   session.faults_injected = world_b.engine().faults_injected();
   session.transfers_shed = world_b.engine().transfers_shed();
   session.transfers_queued = world_b.engine().transfers_queued();
-  const sim::Simulator& sa = world_a.simulator();
-  const sim::Simulator& sb = world_b.simulator();
-  session.sim_work.executed = sa.executed() + sb.executed();
-  session.sim_work.cancellations = sa.cancellations() + sb.cancellations();
-  session.sim_work.reschedules = sa.reschedules() + sb.reschedules();
+  const sim::Simulator::WorkCounters wa = world_a.simulator().work();
+  const sim::Simulator::WorkCounters wb = world_b.simulator().work();
+  session.sim_work.executed = wa.executed + wb.executed;
+  session.sim_work.cancellations = wa.cancellations + wb.cancellations;
+  session.sim_work.reschedules = wa.reschedules + wb.reschedules;
   // Fold the event-core totals into the selecting world's registry so one
   // snapshot carries the whole session, then merge the plain mirror's
   // series (same names; counters add).

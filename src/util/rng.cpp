@@ -14,6 +14,10 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+std::uint64_t child_stream(std::uint64_t parent, std::uint64_t salt) {
+  return splitmix64(parent ^ salt);
+}
+
 Rng Rng::child(std::uint64_t salt) const {
   // Hash the salt against a draw-independent fingerprint of this stream's
   // seed state. Using the engine state directly would make child() depend

@@ -15,6 +15,16 @@ namespace idr::util {
 /// Mixes a 64-bit value; used to derive decorrelated child seeds.
 std::uint64_t splitmix64(std::uint64_t x);
 
+/// THE seed-derivation rule for parallel and sharded execution: the seed
+/// of a child stream is `splitmix64(parent ^ salt)`. Every layer that
+/// fans a root seed out to independent tasks (sessions, shards, per-site
+/// parameter draws) derives through this function with a *stable* salt —
+/// an FNV-hashed name, a shard id, a task index — never through draw
+/// order, so any number of worker threads replays the identical streams.
+/// The rule is pinned by tests (test_util_rng) and must never change:
+/// all committed goldens and BENCH baselines depend on it.
+std::uint64_t child_stream(std::uint64_t parent, std::uint64_t salt);
+
 /// A seeded pseudo-random stream with the distributions the library needs.
 ///
 /// Thin wrapper over std::mt19937_64. Copyable (copies the full state), so

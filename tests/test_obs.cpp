@@ -185,6 +185,142 @@ TEST(Snapshot, MergeAddsCountersAndBuckets) {
   }
 }
 
+// --- Merge under concurrent-shard shapes ---------------------------------
+// The shard layer merges dozens of per-world snapshots in shard-index
+// order; these pin the shapes that merge meets there.
+
+TEST(Snapshot, MergeDisjointSeriesUnionsSorted) {
+  // Shards with non-overlapping series (e.g. per-shard gauges): merge is
+  // a pure sorted union, every cell preserved verbatim.
+  Registry a, b;
+  a.counter("shard0.transfers").inc(7);
+  a.gauge("shard0.depth").set(2.0);
+  b.counter("shard1.transfers").inc(9);
+  b.gauge("shard1.depth").set(5.0);
+
+  Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_EQ(merged.metrics.size(), 4u);
+  EXPECT_EQ(merged.find("shard0.transfers")->count, 7u);
+  EXPECT_EQ(merged.find("shard1.transfers")->count, 9u);
+  EXPECT_DOUBLE_EQ(merged.find("shard0.depth")->value, 2.0);
+  EXPECT_DOUBLE_EQ(merged.find("shard1.depth")->value, 5.0);
+  for (std::size_t i = 1; i < merged.metrics.size(); ++i) {
+    EXPECT_LT(merged.metrics[i - 1].name, merged.metrics[i].name);
+  }
+}
+
+TEST(Snapshot, MergeManyShardsAccumulatesSharedCounters) {
+  // The common shard shape: every world exports the same sim.* names.
+  // Folding N shards must sum counters regardless of how many snapshots
+  // the chain has already absorbed.
+  Snapshot merged;
+  std::uint64_t expected = 0;
+  for (int shard = 0; shard < 16; ++shard) {
+    Registry r;
+    r.counter("sim.flow.reallocations").inc(shard + 1);
+    r.counter("sim.core.events_executed").inc(100 * (shard + 1));
+    expected += shard + 1;
+    merged.merge(r.snapshot());
+  }
+  EXPECT_EQ(merged.find("sim.flow.reallocations")->count, expected);
+  EXPECT_EQ(merged.find("sim.core.events_executed")->count, 100 * expected);
+}
+
+TEST(Snapshot, MergeCounterTotalsAreOrderIndependent) {
+  // Counters and histograms are commutative under merge; only gauges are
+  // order-sensitive (last writer wins). The shard layer merges in index
+  // order for gauge stability, but counter totals must not depend on it.
+  Registry a, b, c;
+  a.counter("n").inc(1);
+  b.counter("n").inc(10);
+  c.counter("n").inc(100);
+  a.histogram("d", HistogramOptions{1.0, 16.0, 2}).observe(2.0);
+  b.histogram("d", HistogramOptions{1.0, 16.0, 2}).observe(4.0);
+  c.histogram("d", HistogramOptions{1.0, 16.0, 2}).observe(8.0);
+
+  Snapshot fwd;
+  fwd.merge(a.snapshot());
+  fwd.merge(b.snapshot());
+  fwd.merge(c.snapshot());
+  Snapshot rev;
+  rev.merge(c.snapshot());
+  rev.merge(b.snapshot());
+  rev.merge(a.snapshot());
+  EXPECT_EQ(fwd.find("n")->count, 111u);
+  EXPECT_EQ(rev.find("n")->count, 111u);
+  EXPECT_EQ(fwd.find("d")->count, 3u);
+  EXPECT_EQ(rev.find("d")->count, 3u);
+  ASSERT_EQ(fwd.find("d")->buckets.size(), rev.find("d")->buckets.size());
+  for (std::size_t i = 0; i < fwd.find("d")->buckets.size(); ++i) {
+    EXPECT_EQ(fwd.find("d")->buckets[i], rev.find("d")->buckets[i]);
+  }
+  EXPECT_DOUBLE_EQ(fwd.find("d")->value, rev.find("d")->value);
+}
+
+TEST(Snapshot, MergeAlignedHistogramsAddBucketwise) {
+  // Same layout on both sides: every bucket adds independently, and the
+  // moments (count, sum) follow.
+  const HistogramOptions opts{1.0, 16.0, 2};
+  Registry a, b;
+  Histogram ha = a.histogram("d", opts);
+  Histogram hb = b.histogram("d", opts);
+  ha.observe(1.0);
+  ha.observe(2.0);
+  hb.observe(2.0);
+  hb.observe(15.0);
+  hb.observe(1000.0);  // overflow rail
+
+  Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const MetricValue* d = merged.find("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count, 5u);
+  EXPECT_DOUBLE_EQ(d->value, 1.0 + 2.0 + 2.0 + 15.0 + 1000.0);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t n : d->buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, d->count);
+  // The overflow rail came only from b.
+  EXPECT_EQ(d->buckets.back(), 1u);
+}
+
+TEST(Snapshot, MergeHandlesUnsortedHandBuiltSnapshots) {
+  // Registry snapshots arrive sorted, but merge accepts hand-assembled
+  // snapshots (tools, tests) in any order and still produces a sorted,
+  // folded result.
+  auto counter_cell = [](std::string name, std::uint64_t n) {
+    MetricValue v;
+    v.name = std::move(name);
+    v.kind = MetricKind::Counter;
+    v.count = n;
+    return v;
+  };
+  Snapshot base;
+  base.metrics.push_back(counter_cell("z", 1));
+  base.metrics.push_back(counter_cell("a", 2));
+  Snapshot incoming;
+  incoming.metrics.push_back(counter_cell("m", 4));
+  incoming.metrics.push_back(counter_cell("a", 8));
+  incoming.metrics.push_back(counter_cell("a", 16));  // duplicate name
+
+  base.merge(incoming);
+  ASSERT_EQ(base.metrics.size(), 3u);
+  EXPECT_EQ(base.find("a")->count, 2u + 8u + 16u);
+  EXPECT_EQ(base.find("m")->count, 4u);
+  EXPECT_EQ(base.find("z")->count, 1u);
+  for (std::size_t i = 1; i < base.metrics.size(); ++i) {
+    EXPECT_LT(base.metrics[i - 1].name, base.metrics[i].name);
+  }
+}
+
+TEST(Snapshot, MergeKindMismatchFails) {
+  Registry a, b;
+  a.counter("x").inc(1);
+  b.gauge("x").set(1.0);
+  Snapshot merged = a.snapshot();
+  EXPECT_THROW(merged.merge(b.snapshot()), util::Error);
+}
+
 TEST(Snapshot, MergeRejectsMismatchedHistogramLayouts) {
   Registry a, b;
   a.histogram("d", HistogramOptions{1.0, 16.0, 2}).observe(2.0);

@@ -1,0 +1,114 @@
+// parallel_for / parallel_map / claim_chunk: the fork-join substrate the
+// shard layer rides on. The properties that matter are exactly-once
+// coverage at any thread count, deterministic exception selection (lowest
+// task index wins, so a failing run reports the same error at
+// IDR_THREADS=1 and =8), and index-ordered results from parallel_map.
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testbed/parallel.hpp"
+
+namespace idr::testbed {
+namespace {
+
+TEST(ClaimChunk, BoundsAndScaling) {
+  // Degenerate inputs: always a positive claim so workers make progress.
+  EXPECT_EQ(claim_chunk(0, 4), 1u);
+  EXPECT_EQ(claim_chunk(100, 0), 1u);
+  // Coarse task lists (shards: tens of items) claim one at a time so a
+  // slow shard never strands queued work behind it.
+  EXPECT_EQ(claim_chunk(16, 4), 1u);
+  EXPECT_EQ(claim_chunk(64, 8), 1u);
+  // Cheap fine-grained lists amortize the shared counter...
+  EXPECT_GT(claim_chunk(10000, 4), 1u);
+  // ...but the chunk is capped, keeping the tail imbalance bounded.
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    for (std::size_t count : {1u, 7u, 100u, 4096u, 1000000u}) {
+      const std::size_t chunk = claim_chunk(count, workers);
+      EXPECT_GE(chunk, 1u);
+      EXPECT_LE(chunk, 16u);
+    }
+  }
+}
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 3u, 4u, 8u}) {
+    for (std::size_t count :
+         {std::size_t{0}, std::size_t{1}, std::size_t{5}, std::size_t{64},
+          std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(count);
+      parallel_for(count, threads,
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "index " << i << " at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, CountSmallerThanThreads) {
+  std::atomic<int> total{0};
+  parallel_for(2, 8, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 2);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexAtAnyThreadCount) {
+  // Several tasks throw; the rethrown error must be the lowest index's
+  // regardless of which worker reached it first, and the non-throwing
+  // tasks must all still have run (workers drain, they don't abort).
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> hits(200);
+    try {
+      parallel_for(200, threads, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        if (i == 17 || i == 100 || i == 199) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected parallel_for to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 17") << "at " << threads << " threads";
+    }
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const std::vector<std::size_t> out = parallel_map<std::size_t>(
+        500, threads, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 500u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ResolveThreads, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+}
+
+TEST(ResolveThreads, EnvFallback) {
+  ::setenv("IDR_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0), 5u);
+  // Explicit request still beats the env.
+  EXPECT_EQ(resolve_threads(2), 2u);
+  // Junk and non-positive values fall through to hardware concurrency.
+  ::setenv("IDR_THREADS", "0", 1);
+  EXPECT_GE(resolve_threads(0), 1u);
+  ::setenv("IDR_THREADS", "banana", 1);
+  EXPECT_GE(resolve_threads(0), 1u);
+  ::unsetenv("IDR_THREADS");
+  EXPECT_GE(resolve_threads(0), 1u);
+}
+
+}  // namespace
+}  // namespace idr::testbed
