@@ -16,6 +16,7 @@ IndirectRoutingClient::IndirectRoutingClient(
               "client: invalid client node");
   IDR_REQUIRE(policy_ != nullptr, "client: null policy");
   IDR_REQUIRE(config_.probe_bytes > 0.0, "client: non-positive probe size");
+  stats_.set_estimate_half_life(config_.estimate_half_life);
 }
 
 void IndirectRoutingClient::register_relay(net::NodeId relay,
@@ -37,19 +38,19 @@ void IndirectRoutingClient::fetch(
   IDR_REQUIRE(on_done != nullptr, "fetch: null callback");
 
   const util::TimePoint now = engine_.flow_simulator().simulator().now();
-  std::vector<net::NodeId> candidates =
-      policy_->choose_candidates(stats_, rng_);
-  // Failed-relay blacklisting: relays serving out a penalty are dropped
-  // from the candidate set after the policy draw (policies are
-  // time-oblivious), and don't count as appearances — the race they were
-  // excluded from says nothing about their utilization.
-  candidates.erase(
-      std::remove_if(candidates.begin(), candidates.end(),
-                     [&](net::NodeId relay) {
-                       return stats_.blacklisted(relay, now);
-                     }),
-      candidates.end());
-  for (net::NodeId relay : candidates) stats_.note_appearance(relay);
+  // The decision carries the blacklist-filtered candidate set and, for
+  // race-skipping policies, an optional pinned relay (see
+  // SelectionDecision). Appearance accounting matches what actually
+  // happens: a pinned relay appears immediately; the fallback candidates
+  // only count as appearing if the pin fails and the race really runs —
+  // a race that never happened says nothing about their utilization.
+  SelectionDecision decision = policy_->decide(stats_, rng_, now);
+  const std::vector<net::NodeId>& candidates = decision.candidates;
+  if (decision.pinned.has_value()) {
+    stats_.note_appearance(*decision.pinned);
+  } else {
+    for (net::NodeId relay : candidates) stats_.note_appearance(relay);
+  }
 
   RaceSpec spec;
   spec.client = config_.client_node;
@@ -60,13 +61,20 @@ void IndirectRoutingClient::fetch(
   spec.tcp = config_.tcp;
   spec.probe_timeout = config_.probe_timeout;
   spec.retry = config_.retry;
+  spec.pinned_relay = decision.pinned;
+  spec.pinned_estimate_age = decision.pinned_age;
 
   const util::TimePoint start =
       engine_.flow_simulator().simulator().now();
   start_probe_race(
       engine_, spec,
-      [this, candidates, start, on_done = std::move(on_done)](
-          const RaceOutcome& outcome) {
+      [this, candidates, pinned = decision.pinned, start,
+       on_done = std::move(on_done)](const RaceOutcome& outcome) {
+        if (pinned.has_value() && !outcome.race_skipped) {
+          // The pin failed and a full race ran after all: the fallback
+          // candidates genuinely raced, so they appeared.
+          for (net::NodeId relay : candidates) stats_.note_appearance(relay);
+        }
         if (outcome.ok && outcome.chose_indirect) {
           stats_.note_selection(outcome.relay);
         }
@@ -89,6 +97,15 @@ void IndirectRoutingClient::fetch(
         if (outcome.ok && outcome.chose_indirect && !outcome.fell_back_direct &&
             stats_.has_relay(outcome.relay)) {
           stats_.note_recovery(outcome.relay);
+          // Feed the passive estimation plane: the steady-phase rate this
+          // relay just delivered. A race win renews freshness; a pinned
+          // (skipped-race) transfer only refines the value, so the pin
+          // goes stale on the policy's threshold timescale.
+          stats_.note_throughput(outcome.relay, outcome.steady_throughput(),
+                                 end,
+                                 outcome.race_skipped
+                                     ? EstimateSource::Passive
+                                     : EstimateSource::Race);
         }
         FetchRecord record;
         record.outcome = outcome;

@@ -34,6 +34,11 @@ struct ClientConfig {
   /// drain its queue, far shorter than the crash blacklist — the relay is
   /// alive and will have capacity again soon.
   Duration overload_penalty = 5.0;
+  /// Half-life of the passive throughput-estimate EWMA kept per relay
+  /// (see RelayStatsTable::note_throughput). Only consulted by
+  /// race-skipping and estimate-weighted policies; with the default
+  /// always-race policies the estimates are recorded but never read.
+  Duration estimate_half_life = 300.0;
 };
 
 /// Outcome of one selected fetch, with the candidates that were probed.

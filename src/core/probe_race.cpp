@@ -33,6 +33,10 @@ struct RaceState {
   std::optional<net::NodeId> winner;
   util::Duration probe_elapsed = 0.0;
 
+  /// True while the race is skipped on a pinned relay; cleared by
+  /// launch() when a pin failure forces a real race after all.
+  bool race_skipped = false;
+
   // Fault/retry accounting, stamped into every outcome.
   std::size_t probe_failures = 0;
   std::size_t retries = 0;
@@ -157,6 +161,7 @@ struct RaceState {
   }
 
   void stamp(RaceOutcome& outcome) const {
+    outcome.race_skipped = race_skipped;
     outcome.probe_failures = probe_failures;
     outcome.retries = retries;
     outcome.fell_back_direct = fell_back_direct;
@@ -244,6 +249,7 @@ void launch(const std::shared_ptr<RaceState>& state) {
     state->finish_error("unknown resource " + state->spec.resource);
     return;
   }
+  state->race_skipped = false;
   state->file_size = *size;
   state->start_time = state->simulator().now();
 
@@ -259,6 +265,16 @@ void launch(const std::shared_ptr<RaceState>& state) {
   state->probe_span = static_cast<std::uint64_t>(
       std::llround(std::min(state->spec.probe_bytes, state->file_size)));
   IDR_REQUIRE(state->probe_span > 0, "probe race: zero probe size");
+
+  // Selection-plane accounting: a race ran, and its probe overhead is the
+  // probe span sent down every losing lane (the winner's probe counts
+  // toward the file, exactly one lane wins). Charged at launch; lanes
+  // cancelled early still consumed capacity.
+  obs::Registry& select_metrics = state->fsim().metrics();
+  select_metrics.counter("sim.select.races_run").inc();
+  select_metrics.counter("sim.select.probe_bytes")
+      .inc(state->probe_span *
+           static_cast<std::uint64_t>(lanes.size() - 1));
 
   state->probes.resize(lanes.size());
   state->pending = lanes.size();
@@ -296,6 +312,53 @@ void launch(const std::shared_ptr<RaceState>& state) {
           start_direct_fallback(state, 0);
         });
   }
+}
+
+/// The skipped-race path: the selection policy pinned a relay with a
+/// fresh estimate, so the whole file is fetched through it in a single
+/// transfer — no probe range, no competing lanes, zero probe bytes. On
+/// failure the pin is abandoned honestly: the failure is charged to the
+/// relay (blacklist input) and the full race launches over the spec's
+/// candidate set, as if the pin had never existed.
+void start_pinned(const std::shared_ptr<RaceState>& state) {
+  const auto size = state->spec.server->resource_size(state->spec.resource);
+  if (!size) {
+    state->finish_error("unknown resource " + state->spec.resource);
+    return;
+  }
+  state->race_skipped = true;
+  state->file_size = *size;
+  state->start_time = state->simulator().now();
+  const net::NodeId pinned = *state->spec.pinned_relay;
+
+  obs::Registry& metrics = state->fsim().metrics();
+  metrics.counter("sim.select.races_skipped").inc();
+  metrics
+      .histogram("sim.select.estimate_age",
+                 obs::HistogramOptions{1e-1, 1e5, 4})
+      .observe(state->spec.pinned_estimate_age);
+
+  overlay::TransferRequest req;
+  req.client = state->spec.client;
+  req.server = state->spec.server;
+  req.resource = state->spec.resource;
+  req.relay = pinned;
+  req.tcp = state->spec.tcp;
+  state->engine->begin(
+      req, [state, pinned](const overlay::TransferResult& result) {
+        state->emit_attempt_span("pinned", result);
+        if (result.ok) {
+          state->winner = pinned;
+          // The whole transfer is "remainder": probe_elapsed stays 0 and
+          // steady_throughput measures the full single-lane fetch.
+          finish_success(state, &result);
+          return;
+        }
+        state->note_attempt_failure(pinned, result);
+        state->fsim().metrics()
+            .counter("sim.select.pinned_fallbacks").inc();
+        launch(state);
+      });
 }
 
 /// The "bytes=x-" remainder with bounded retry: first attempt rides the
@@ -400,12 +463,19 @@ void start_probe_race(overlay::TransferEngine& engine, const RaceSpec& spec,
   IDR_REQUIRE(spec.probe_timeout >= 0.0,
               "start_probe_race: negative probe timeout");
   IDR_REQUIRE(on_done != nullptr, "start_probe_race: null callback");
+  IDR_REQUIRE(!spec.pinned_relay.has_value() ||
+                  *spec.pinned_relay != net::kInvalidNode,
+              "start_probe_race: invalid pinned relay");
   auto state = std::make_shared<RaceState>();
   state->engine = &engine;
   state->spec = spec;
   state->on_done = std::move(on_done);
   engine.flow_simulator().metrics().counter("sim.race.races_started").inc();
-  launch(state);
+  if (state->spec.pinned_relay.has_value()) {
+    start_pinned(state);
+  } else {
+    launch(state);
+  }
 }
 
 }  // namespace idr::core

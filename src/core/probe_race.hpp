@@ -45,6 +45,17 @@ struct RaceSpec {
   /// fetch and the direct fallback. Consulted only after a failure, so a
   /// clean race never draws from the backoff stream.
   fault::RetryPolicy retry{};
+
+  /// When set, the race is skipped entirely: the whole file is fetched
+  /// through this relay in one transfer (no probe bytes, no competing
+  /// lanes). Should that transfer fail, the race launches over
+  /// `candidate_relays` as if the pin had never existed. Set by
+  /// race-skipping selection policies (race-on-staleness); nullopt — the
+  /// default — races exactly as before.
+  std::optional<net::NodeId> pinned_relay;
+  /// Age (seconds) of the estimate that justified the pin; recorded into
+  /// the sim.select.estimate_age histogram. Meaningless without a pin.
+  Duration pinned_estimate_age = 0.0;
 };
 
 struct RaceOutcome {
@@ -53,6 +64,12 @@ struct RaceOutcome {
 
   bool chose_indirect = false;
   net::NodeId relay = net::kInvalidNode;  // winner, when indirect
+
+  /// True when the probe race was skipped on a pinned relay and the whole
+  /// file rode that relay (probe_elapsed is 0 and no probe bytes were
+  /// spent). False whenever a race actually ran — including a race forced
+  /// by the pinned transfer failing.
+  bool race_skipped = false;
 
   /// Time from race start to the first probe completing.
   Duration probe_elapsed = 0.0;

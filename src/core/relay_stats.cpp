@@ -1,6 +1,8 @@
 #include "core/relay_stats.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -99,6 +101,97 @@ std::vector<RelayRecord> RelayStatsTable::top(std::size_t k) const {
   std::vector<RelayRecord> sorted = by_utilization();
   if (sorted.size() > k) sorted.resize(k);
   return sorted;
+}
+
+void RelayStatsTable::set_estimate_half_life(util::Duration half_life) {
+  IDR_REQUIRE(half_life > 0.0, "set_estimate_half_life: non-positive");
+  half_life_ = half_life;
+}
+
+void RelayStatsTable::note_throughput(net::NodeId relay,
+                                      util::Rate throughput,
+                                      util::TimePoint now,
+                                      EstimateSource source) {
+  IDR_REQUIRE(throughput >= 0.0, "note_throughput: negative rate");
+  RelayRecord& r = mutable_record(relay);
+  if (r.estimate_samples > 0) {
+    IDR_REQUIRE(now >= r.estimate_time,
+                "note_throughput: sim clock moved backwards");
+    // Fade the accumulated weight by the elapsed half-lives, then fold
+    // the new unit-weight sample in. At dt=0 this is a plain running
+    // average; at dt >> half_life the sample effectively replaces the
+    // estimate.
+    r.ewma_weight *= std::exp2(-(now - r.estimate_time) / half_life_);
+    r.ewma_throughput =
+        (r.ewma_throughput * r.ewma_weight + throughput) /
+        (r.ewma_weight + 1.0);
+    r.ewma_weight += 1.0;
+  } else {
+    r.ewma_throughput = throughput;
+    r.ewma_weight = 1.0;
+  }
+  r.estimate_time = now;
+  ++r.estimate_samples;
+  if (source == EstimateSource::Race) {
+    r.validated_time = now;
+    ++r.validated_samples;
+  }
+}
+
+bool RelayStatsTable::has_estimate(net::NodeId relay) const {
+  return record(relay).estimate_samples > 0;
+}
+
+util::Rate RelayStatsTable::estimate(net::NodeId relay) const {
+  return record(relay).ewma_throughput;
+}
+
+util::Duration RelayStatsTable::estimate_age(net::NodeId relay,
+                                             util::TimePoint now) const {
+  const RelayRecord& r = record(relay);
+  if (r.estimate_samples == 0) {
+    return std::numeric_limits<util::Duration>::infinity();
+  }
+  return now - r.estimate_time;
+}
+
+util::Duration RelayStatsTable::validated_age(net::NodeId relay,
+                                              util::TimePoint now) const {
+  const RelayRecord& r = record(relay);
+  if (r.validated_samples == 0) {
+    return std::numeric_limits<util::Duration>::infinity();
+  }
+  return now - r.validated_time;
+}
+
+net::NodeId RelayStatsTable::best_fresh_estimate(
+    util::TimePoint now, util::Duration max_age) const {
+  net::NodeId best = net::kInvalidNode;
+  double best_rate = -1.0;
+  for (const auto& r : records_) {
+    if (r.validated_samples == 0) continue;
+    if (now - r.validated_time > max_age) continue;
+    if (r.blacklisted_until > now) continue;
+    // Strict > keeps registration-order tie-break deterministic.
+    if (r.ewma_throughput > best_rate) {
+      best_rate = r.ewma_throughput;
+      best = r.relay;
+    }
+  }
+  return best;
+}
+
+double RelayStatsTable::selection_share(net::NodeId relay) const {
+  const std::size_t total = total_selections();
+  if (total == 0) return 0.0;
+  return static_cast<double>(record(relay).selections) /
+         static_cast<double>(total);
+}
+
+std::size_t RelayStatsTable::total_selections() const {
+  std::size_t total = 0;
+  for (const auto& r : records_) total += r.selections;
+  return total;
 }
 
 std::vector<std::pair<net::NodeId, double>>

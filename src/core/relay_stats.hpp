@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,16 @@
 #include "util/units.hpp"
 
 namespace idr::core {
+
+/// Where a throughput observation came from. A `Race` observation was
+/// validated by an actual probe race (the relay won against the direct
+/// path and every other candidate under current network conditions); a
+/// `Passive` observation rode a transfer the client routed without
+/// racing. Both refine the EWMA value, but only Race observations renew
+/// *freshness* — otherwise a pinned relay would keep re-validating
+/// itself forever and the client could ride a silently degrading path
+/// without ever re-probing.
+enum class EstimateSource { Race, Passive };
 
 struct RelayRecord {
   net::NodeId relay = net::kInvalidNode;
@@ -34,6 +45,23 @@ struct RelayRecord {
   /// apart from failures: an overloaded relay is alive and earns only a
   /// short flat penalty, not the doubling crash blacklist.
   std::size_t overloads = 0;
+
+  /// --- Passive estimation plane -------------------------------------------
+  /// Decayed EWMA of observed relay-path throughput (bytes/s): each sample
+  /// enters with weight 1 and fades by 2^(-age / half_life), so the
+  /// estimate tracks the recent past and old observations stop mattering
+  /// on the half-life timescale. Zero until the first observation.
+  double ewma_throughput = 0.0;
+  /// Total decayed weight behind the estimate (the EWMA denominator).
+  double ewma_weight = 0.0;
+  std::size_t estimate_samples = 0;
+  /// Sim-clock time of the last observation from any source.
+  util::TimePoint estimate_time = 0.0;
+  /// Sim-clock time of the last *race-validated* observation — the
+  /// timestamp staleness decisions key off (see EstimateSource).
+  util::TimePoint validated_time = 0.0;
+  /// Race-validated observations alone.
+  std::size_t validated_samples = 0;
 
   /// Section 4's utilization: selected / appeared.
   double utilization() const {
@@ -93,11 +121,53 @@ class RelayStatsTable {
   std::vector<std::pair<net::NodeId, double>> selection_weights(
       double exploration_floor = 0.05) const;
 
+  // --- Passive estimation plane ---------------------------------------------
+
+  /// Half-life (seconds) of the throughput EWMA decay. Applies to
+  /// subsequent note_throughput calls; existing estimates are untouched.
+  void set_estimate_half_life(util::Duration half_life);
+  util::Duration estimate_half_life() const { return half_life_; }
+
+  /// Records one observed relay-path throughput sample (bytes/s) at
+  /// sim-clock `now`. Earlier weight decays by 2^(-elapsed / half_life)
+  /// before the sample is folded in, so samples at the same instant
+  /// average and widely spaced ones replace. `source` distinguishes
+  /// race-validated observations (renew freshness) from passive ones
+  /// (refine the value only).
+  void note_throughput(net::NodeId relay, util::Rate throughput,
+                       util::TimePoint now, EstimateSource source);
+
+  bool has_estimate(net::NodeId relay) const;
+  /// Current EWMA estimate (bytes/s); 0 before the first observation.
+  util::Rate estimate(net::NodeId relay) const;
+  /// Seconds since the last observation from any source; +infinity when
+  /// the relay has never been observed. Monotone in `now` between
+  /// updates.
+  util::Duration estimate_age(net::NodeId relay, util::TimePoint now) const;
+  /// Seconds since the last *race-validated* observation; +infinity when
+  /// the relay has never won a race. The staleness rule's clock.
+  util::Duration validated_age(net::NodeId relay, util::TimePoint now) const;
+
+  /// The relay with the highest EWMA estimate among those whose
+  /// race-validated age is <= `max_age` and that are not blacklisted at
+  /// `now` — the race-on-staleness pin target. kInvalidNode when no
+  /// relay qualifies (all stale, unmeasured, or blacklisted). Ties break
+  /// to registration order, keeping the choice deterministic.
+  net::NodeId best_fresh_estimate(util::TimePoint now,
+                                  util::Duration max_age) const;
+
+  /// Share of all recorded selections this relay owns (0 when nothing
+  /// has been selected yet) — the quantity the hybrid policy's
+  /// utilization cap bounds.
+  double selection_share(net::NodeId relay) const;
+  std::size_t total_selections() const;
+
   const std::vector<RelayRecord>& records() const { return records_; }
 
  private:
   RelayRecord& mutable_record(net::NodeId relay);
   std::vector<RelayRecord> records_;
+  util::Duration half_life_ = 300.0;
 };
 
 }  // namespace idr::core

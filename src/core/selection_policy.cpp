@@ -6,6 +6,24 @@
 
 namespace idr::core {
 
+SelectionDecision SelectionPolicy::decide(const RelayStatsTable& stats,
+                                          util::Rng& rng,
+                                          util::TimePoint now) {
+  SelectionDecision decision;
+  decision.candidates = choose_candidates(stats, rng);
+  // Relays serving out a blacklist penalty are dropped after the policy
+  // draw (candidate policies are time-oblivious); doing it here rather
+  // than in the client makes "never returns a blacklisted relay" a
+  // property of every decision, pinned or raced.
+  decision.candidates.erase(
+      std::remove_if(decision.candidates.begin(), decision.candidates.end(),
+                     [&](net::NodeId relay) {
+                       return stats.blacklisted(relay, now);
+                     }),
+      decision.candidates.end());
+  return decision;
+}
+
 std::vector<net::NodeId> DirectOnlyPolicy::choose_candidates(
     const RelayStatsTable&, util::Rng&) {
   return {};
@@ -70,6 +88,111 @@ std::vector<net::NodeId> FullSetPolicy::choose_candidates(
   std::vector<net::NodeId> out;
   out.reserve(stats.relay_count());
   for (const auto& r : stats.records()) out.push_back(r.relay);
+  return out;
+}
+
+AlwaysRacePolicy::AlwaysRacePolicy(std::unique_ptr<SelectionPolicy> inner)
+    : inner_(std::move(inner)) {
+  IDR_REQUIRE(inner_ != nullptr, "AlwaysRacePolicy: null inner policy");
+}
+
+std::vector<net::NodeId> AlwaysRacePolicy::choose_candidates(
+    const RelayStatsTable& stats, util::Rng& rng) {
+  return inner_->choose_candidates(stats, rng);
+}
+
+RaceOnStalenessPolicy::RaceOnStalenessPolicy(
+    std::unique_ptr<SelectionPolicy> race_policy, util::Duration max_age)
+    : race_policy_(std::move(race_policy)), max_age_(max_age) {
+  IDR_REQUIRE(race_policy_ != nullptr,
+              "RaceOnStalenessPolicy: null race policy");
+  IDR_REQUIRE(max_age_ > 0.0,
+              "RaceOnStalenessPolicy: non-positive staleness threshold");
+}
+
+std::vector<net::NodeId> RaceOnStalenessPolicy::choose_candidates(
+    const RelayStatsTable& stats, util::Rng& rng) {
+  return race_policy_->choose_candidates(stats, rng);
+}
+
+SelectionDecision RaceOnStalenessPolicy::decide(const RelayStatsTable& stats,
+                                                util::Rng& rng,
+                                                util::TimePoint now) {
+  // The fallback candidate set is drawn eagerly, pin or no pin, so the
+  // RNG stream advances identically on every transfer — whether a race
+  // is skipped must never shift later draws (determinism across thread
+  // counts and against the always-race baseline depends on it).
+  SelectionDecision decision = SelectionPolicy::decide(stats, rng, now);
+  const net::NodeId pin = stats.best_fresh_estimate(now, max_age_);
+  if (pin != net::kInvalidNode) {
+    decision.pinned = pin;
+    decision.pinned_age = stats.validated_age(pin, now);
+  }
+  return decision;
+}
+
+HybridWeightedPassivePolicy::HybridWeightedPassivePolicy(
+    std::size_t subset_size, double utilization_cap, double exploration_floor)
+    : subset_size_(subset_size),
+      utilization_cap_(utilization_cap),
+      exploration_floor_(exploration_floor) {
+  IDR_REQUIRE(subset_size_ > 0, "HybridWeightedPassivePolicy: n must be > 0");
+  IDR_REQUIRE(utilization_cap_ > 0.0 && utilization_cap_ <= 1.0,
+              "HybridWeightedPassivePolicy: cap must be in (0, 1]");
+  IDR_REQUIRE(exploration_floor_ > 0.0,
+              "HybridWeightedPassivePolicy: floor must be positive so "
+              "unmeasured relays stay reachable");
+}
+
+std::vector<net::NodeId> HybridWeightedPassivePolicy::choose_candidates(
+    const RelayStatsTable& stats, util::Rng& rng) {
+  const auto& records = stats.records();
+  const std::size_t total = stats.total_selections();
+
+  // Estimates normalized against the current best so the floor has a
+  // stable meaning regardless of absolute throughput scale.
+  double max_estimate = 0.0;
+  for (const auto& r : records) {
+    max_estimate = std::max(max_estimate, r.ewma_throughput);
+  }
+
+  // A relay already holding more than its cap's share of all selections
+  // is excluded from the draw entirely (weight 0). weighted_index treats
+  // zero weights as unpickable — and falls back to uniform when *every*
+  // relay is capped, which is exactly the intended degenerate behavior.
+  // The cap only engages once enough selections exist for shares to be
+  // meaningful; early on everything is explored freely.
+  constexpr std::size_t kMinSelectionsForCap = 10;
+  std::vector<std::pair<net::NodeId, double>> weighted;
+  weighted.reserve(records.size());
+  for (const auto& r : records) {
+    const bool capped =
+        total >= kMinSelectionsForCap &&
+        static_cast<double>(r.selections) >
+            utilization_cap_ * static_cast<double>(total);
+    double weight = 0.0;
+    if (!capped) {
+      weight = exploration_floor_;
+      if (max_estimate > 0.0 && r.estimate_samples > 0) {
+        weight += r.ewma_throughput / max_estimate;
+      }
+    }
+    weighted.emplace_back(r.relay, weight);
+  }
+
+  const std::size_t n = std::min(subset_size_, weighted.size());
+  std::vector<net::NodeId> out;
+  out.reserve(n);
+  // Successive weighted draws without replacement, same idiom as the
+  // utilization-weighted policy.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<double> weights;
+    weights.reserve(weighted.size());
+    for (const auto& [relay, w] : weighted) weights.push_back(w);
+    const std::size_t pick = rng.weighted_index(weights);
+    out.push_back(weighted[pick].first);
+    weighted.erase(weighted.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
   return out;
 }
 

@@ -8,12 +8,27 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/relay_stats.hpp"
 #include "util/rng.hpp"
 
 namespace idr::core {
+
+/// Per-transfer routing decision. `candidates` is the probe set the race
+/// runs over; when `pinned` is set the client should skip the race and
+/// fetch the whole resource through that relay, keeping `candidates` as
+/// the fallback set should the pinned transfer fail. Candidates are
+/// already blacklist-filtered; the pinned relay (if any) is never
+/// blacklisted at decision time.
+struct SelectionDecision {
+  std::vector<net::NodeId> candidates;
+  std::optional<net::NodeId> pinned;
+  /// Age (seconds) of the pinned relay's race-validated estimate at
+  /// decision time. Meaningless unless `pinned` is set.
+  util::Duration pinned_age = 0.0;
+};
 
 class SelectionPolicy {
  public:
@@ -24,6 +39,14 @@ class SelectionPolicy {
   /// stream (policies must not keep their own hidden state streams).
   virtual std::vector<net::NodeId> choose_candidates(
       const RelayStatsTable& stats, util::Rng& rng) = 0;
+
+  /// Full per-transfer decision: candidate set plus an optional pinned
+  /// relay that skips the race. The base implementation races always —
+  /// choose_candidates filtered against the blacklist at `now`, no pin —
+  /// so every pre-existing policy keeps its exact behavior (including
+  /// RNG stream consumption) through this hook.
+  virtual SelectionDecision decide(const RelayStatsTable& stats,
+                                   util::Rng& rng, util::TimePoint now);
 
   virtual const char* name() const = 0;
 };
@@ -86,6 +109,69 @@ class FullSetPolicy final : public SelectionPolicy {
   std::vector<net::NodeId> choose_candidates(const RelayStatsTable& stats,
                                              util::Rng&) override;
   const char* name() const override { return "full-set"; }
+};
+
+/// Explicit races-every-transfer decorator over an inner candidate
+/// policy — the paper's behavior, named so a config can say so. Identical
+/// to handing the inner policy to the client directly; exists to make
+/// "always race" a first-class point in the policy matrix.
+class AlwaysRacePolicy final : public SelectionPolicy {
+ public:
+  explicit AlwaysRacePolicy(std::unique_ptr<SelectionPolicy> inner);
+  std::vector<net::NodeId> choose_candidates(const RelayStatsTable& stats,
+                                             util::Rng& rng) override;
+  const char* name() const override { return "always-race"; }
+
+ private:
+  std::unique_ptr<SelectionPolicy> inner_;
+};
+
+/// Skips the probe race when a race-validated throughput estimate is
+/// fresh: pins the transfer to the relay with the best estimate younger
+/// than `max_age`, keeping the inner policy's candidate set as the
+/// fallback race should the pinned transfer fail. When every estimate is
+/// stale (or none exists, or the best relays are blacklisted), races
+/// exactly like the inner policy. Because only race wins refresh
+/// validated age (see EstimateSource), a pinned relay goes stale on the
+/// threshold timescale and forces a re-validating race.
+class RaceOnStalenessPolicy final : public SelectionPolicy {
+ public:
+  RaceOnStalenessPolicy(std::unique_ptr<SelectionPolicy> race_policy,
+                        util::Duration max_age);
+  std::vector<net::NodeId> choose_candidates(const RelayStatsTable& stats,
+                                             util::Rng& rng) override;
+  SelectionDecision decide(const RelayStatsTable& stats, util::Rng& rng,
+                           util::TimePoint now) override;
+  const char* name() const override { return "race-on-staleness"; }
+  util::Duration max_age() const { return max_age_; }
+
+ private:
+  std::unique_ptr<SelectionPolicy> race_policy_;
+  util::Duration max_age_;
+};
+
+/// Bandwidth-weighted sampling over the passive EWMA estimates, with a
+/// per-relay utilization cap: a relay already holding more than
+/// `utilization_cap` of all selections is excluded from the weighted
+/// draw (unless every eligible relay is capped), so the fleet cannot
+/// herd onto the single top estimate — the saturation Table III of the
+/// paper shows. Relays without estimates ride on the exploration floor.
+/// Still races over the sampled set; the estimates shape *who gets
+/// probed*, not whether probing happens.
+class HybridWeightedPassivePolicy final : public SelectionPolicy {
+ public:
+  HybridWeightedPassivePolicy(std::size_t subset_size,
+                              double utilization_cap = 0.5,
+                              double exploration_floor = 0.05);
+  std::vector<net::NodeId> choose_candidates(const RelayStatsTable& stats,
+                                             util::Rng& rng) override;
+  const char* name() const override { return "hybrid-weighted-passive"; }
+  double utilization_cap() const { return utilization_cap_; }
+
+ private:
+  std::size_t subset_size_;
+  double utilization_cap_;
+  double exploration_floor_;
 };
 
 }  // namespace idr::core

@@ -19,6 +19,9 @@ struct RaceState {
   bool decided = false;
   bool finished = false;
   bool probe_verified = true;
+  /// True while the race is skipped on a pinned relay; cleared by
+  /// launch_race when a failed pin forces a real race after all.
+  bool race_skipped = false;
 
   // Winning lane once decided.
   bool indirect = false;
@@ -36,6 +39,7 @@ struct RaceState {
   util::Rng backoff_rng{0xF417u};
 
   void stamp(RaceResult& result) const {
+    result.race_skipped = race_skipped;
     result.probe_failures = probe_failures;
     result.retries = retries;
     result.fell_back_direct = fell_back_direct;
@@ -61,7 +65,7 @@ struct RaceState {
         m.counter("rt.race.overload_rejections").inc(overload_rejections);
       }
       if (fell_back_direct) m.counter("rt.race.fallbacks_direct").inc();
-      if (result.ok) {
+      if (result.ok && !result.race_skipped) {
         m.histogram("rt.race.probe_seconds",
                     obs::HistogramOptions{1e-4, 1e3, 4})
             .observe(result.probe_elapsed);
@@ -243,23 +247,22 @@ void on_probe_done(const std::shared_ptr<RaceState>& state,
   start_remainder(state, 0, /*via_direct=*/false);
 }
 
-}  // namespace
-
-void start_probe_race(Reactor& reactor, const RaceSpec& spec,
-                      RaceCallback on_done) {
-  IDR_REQUIRE(on_done != nullptr, "start_probe_race: null callback");
-  IDR_REQUIRE(spec.resource_size > 0, "start_probe_race: zero resource");
-  IDR_REQUIRE(spec.probe_bytes > 0, "start_probe_race: zero probe");
-
-  auto state = std::make_shared<RaceState>();
-  state->reactor = &reactor;
-  state->spec = spec;
-  state->on_done = std::move(on_done);
-  state->start_time = reactor.now();
-  if (spec.metrics) spec.metrics->counter("rt.race.races_started").inc();
-
+/// Launches the actual probe race: one lane per path, first probe wins.
+/// Called directly for always-race specs and as the fallback when a
+/// pinned (skipped-race) fetch fails.
+void launch_race(const std::shared_ptr<RaceState>& state) {
+  const RaceSpec& spec = state->spec;
+  state->race_skipped = false;
   const std::uint64_t probe =
       std::min(spec.probe_bytes, spec.resource_size);
+  if (spec.metrics) {
+    // Selection-plane accounting: a race ran; its probe overhead is the
+    // probe span down every losing lane (exactly one lane's probe counts
+    // toward the file).
+    spec.metrics->counter("rt.select.races_run").inc();
+    spec.metrics->counter("rt.select.probe_bytes")
+        .inc(probe * static_cast<std::uint64_t>(spec.relays.size()));
+  }
   state->pending = 1 + spec.relays.size();
   for (std::size_t lane = 0; lane < 1 + spec.relays.size(); ++lane) {
     FetchRequest req;
@@ -269,9 +272,74 @@ void start_probe_race(Reactor& reactor, const RaceSpec& spec,
     if (lane > 0) req.proxy = spec.relays[lane - 1];
     req.timeout_s = spec.timeout_s;
     state->lanes.push_back(
-        fetch(reactor, req, [state, lane](const FetchResult& result) {
+        fetch(*state->reactor, req, [state, lane](const FetchResult& result) {
           on_probe_done(state, lane, result);
         }));
+  }
+}
+
+/// The skipped-race path: fetch the whole resource through the pinned
+/// relay in one request — zero probe connections. On failure, fall back
+/// to the full race honestly (the pin is charged as a probe failure so
+/// callers' relay accounting sees the dead relay).
+void start_pinned(const std::shared_ptr<RaceState>& state) {
+  const RaceSpec& spec = state->spec;
+  state->race_skipped = true;
+  const std::size_t pinned = *spec.pinned_relay;
+  if (spec.metrics) {
+    spec.metrics->counter("rt.select.races_skipped").inc();
+    spec.metrics
+        ->histogram("rt.select.estimate_age",
+                    obs::HistogramOptions{1e-3, 1e5, 4})
+        .observe(spec.pinned_estimate_age_s);
+  }
+  FetchRequest req;
+  req.origin = spec.origin;
+  req.path = spec.path;
+  req.proxy = spec.relays[pinned];
+  req.timeout_s = spec.timeout_s;
+  fetch(*state->reactor, req,
+        [state, pinned](const FetchResult& result) {
+          if (state->finished) return;
+          if (result.ok) {
+            state->indirect = true;
+            state->relay_index = pinned;
+            state->probe_verified = result.body_verified;
+            // probe_elapsed stays 0: no probe phase existed.
+            finish_success(state, nullptr, /*covered_by_probe=*/false);
+            return;
+          }
+          ++state->probe_failures;
+          if (result.overloaded()) ++state->overload_rejections;
+          if (state->spec.metrics) {
+            state->spec.metrics->counter("rt.select.pinned_fallbacks").inc();
+          }
+          launch_race(state);
+        });
+}
+
+}  // namespace
+
+void start_probe_race(Reactor& reactor, const RaceSpec& spec,
+                      RaceCallback on_done) {
+  IDR_REQUIRE(on_done != nullptr, "start_probe_race: null callback");
+  IDR_REQUIRE(spec.resource_size > 0, "start_probe_race: zero resource");
+  IDR_REQUIRE(spec.probe_bytes > 0, "start_probe_race: zero probe");
+  IDR_REQUIRE(!spec.pinned_relay.has_value() ||
+                  *spec.pinned_relay < spec.relays.size(),
+              "start_probe_race: pinned relay index out of range");
+
+  auto state = std::make_shared<RaceState>();
+  state->reactor = &reactor;
+  state->spec = spec;
+  state->on_done = std::move(on_done);
+  state->start_time = reactor.now();
+  if (spec.metrics) spec.metrics->counter("rt.race.races_started").inc();
+
+  if (spec.pinned_relay.has_value()) {
+    start_pinned(state);
+  } else {
+    launch_race(state);
   }
 }
 

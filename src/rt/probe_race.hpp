@@ -35,6 +35,16 @@ struct RaceSpec {
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
   std::uint32_t trace_track = 0;
+
+  /// When set (an index into `relays`), the race is skipped: the whole
+  /// resource is fetched through that relay in one request — zero probe
+  /// connections, zero probe bytes. If the pinned fetch fails, the full
+  /// race launches over `relays` as if the pin had never existed. Set by
+  /// race-skipping selection (PassiveSelector); nullopt races as before.
+  std::optional<std::size_t> pinned_relay;
+  /// Age (seconds) of the estimate behind the pin, for the
+  /// rt.select.estimate_age histogram. Meaningless without a pin.
+  double pinned_estimate_age_s = 0.0;
 };
 
 struct RaceResult {
@@ -42,6 +52,10 @@ struct RaceResult {
   std::string error;
   bool chose_indirect = false;
   std::size_t relay_index = SIZE_MAX;  // into RaceSpec::relays
+  /// True when the race was skipped on a pinned relay and the whole
+  /// resource rode it (no probe connections were opened). False whenever
+  /// lanes actually raced — including a race forced by a failed pin.
+  bool race_skipped = false;
   double probe_elapsed = 0.0;
   double total_elapsed = 0.0;
   std::uint64_t total_bytes = 0;

@@ -1,0 +1,52 @@
+#include "rt/selection.hpp"
+
+#include "util/error.hpp"
+
+namespace idr::rt {
+
+PassiveSelector::PassiveSelector(std::size_t relay_count,
+                                 PassiveSelectorConfig config)
+    : config_(config) {
+  IDR_REQUIRE(relay_count > 0, "PassiveSelector: no relays");
+  IDR_REQUIRE(config_.half_life_s > 0.0,
+              "PassiveSelector: non-positive half-life");
+  IDR_REQUIRE(config_.staleness_threshold_s > 0.0,
+              "PassiveSelector: non-positive staleness threshold");
+  stats_.set_estimate_half_life(config_.half_life_s);
+  // Relay i is NodeId i — valid because kInvalidNode is UINT32_MAX, far
+  // above any realistic relay-set size.
+  for (std::size_t i = 0; i < relay_count; ++i) {
+    stats_.add_relay(static_cast<net::NodeId>(i),
+                     "relay-" + std::to_string(i));
+  }
+}
+
+std::optional<std::size_t> PassiveSelector::prepare(RaceSpec& spec,
+                                                    double now_s) {
+  IDR_REQUIRE(spec.relays.size() == stats_.relay_count(),
+              "PassiveSelector: relay set size changed");
+  const net::NodeId best =
+      stats_.best_fresh_estimate(now_s, config_.staleness_threshold_s);
+  if (best == net::kInvalidNode) {
+    spec.pinned_relay.reset();
+    return std::nullopt;
+  }
+  spec.pinned_relay = static_cast<std::size_t>(best);
+  spec.pinned_estimate_age_s = stats_.validated_age(best, now_s);
+  return spec.pinned_relay;
+}
+
+void PassiveSelector::observe(const RaceResult& result, double now_s) {
+  if (!result.ok || !result.chose_indirect || result.fell_back_direct) {
+    return;
+  }
+  if (result.relay_index >= stats_.relay_count()) return;
+  const auto relay = static_cast<net::NodeId>(result.relay_index);
+  stats_.note_selection(relay);
+  stats_.note_throughput(relay, result.throughput(), now_s,
+                         result.race_skipped
+                             ? core::EstimateSource::Passive
+                             : core::EstimateSource::Race);
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,53 @@
+// Passive relay selection for the socket stack: a PassiveSelector wraps
+// the shared core::RelayStatsTable estimation plane (decayed throughput
+// EWMA per relay, race-validated freshness) and drives the rt race's
+// pinned-relay fields — the race-on-staleness behavior over real
+// sockets. Relays are identified by their index in the RaceSpec::relays
+// vector; the caller keeps that vector stable across races.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "core/relay_stats.hpp"
+#include "rt/probe_race.hpp"
+
+namespace idr::rt {
+
+struct PassiveSelectorConfig {
+  /// EWMA half-life (seconds, reactor clock).
+  double half_life_s = 300.0;
+  /// Pin to the cached best relay while its race-validated estimate is
+  /// younger than this; race otherwise.
+  double staleness_threshold_s = 300.0;
+};
+
+/// Per-client passive estimation state for a fixed relay set. Feed every
+/// finished race to observe(); call prepare() before each race to let a
+/// fresh estimate skip it. Single-reactor (not thread-safe), like the
+/// rest of the rt client side.
+class PassiveSelector {
+ public:
+  PassiveSelector(std::size_t relay_count, PassiveSelectorConfig config);
+
+  /// Sets the spec's pinned-relay fields when some relay's race-validated
+  /// estimate is fresher than the staleness threshold at reactor time
+  /// `now_s`; leaves the spec racing otherwise. Returns the pinned index.
+  std::optional<std::size_t> prepare(RaceSpec& spec, double now_s);
+
+  /// Records a finished race into the estimation plane: an indirect win
+  /// feeds the winner's observed throughput — race-validated when a real
+  /// race ran, passive when the race was skipped on a pin — and a failed
+  /// or direct outcome leaves the estimates untouched.
+  void observe(const RaceResult& result, double now_s);
+
+  const core::RelayStatsTable& stats() const { return stats_; }
+  core::RelayStatsTable& stats() { return stats_; }
+
+ private:
+  core::RelayStatsTable stats_;
+  PassiveSelectorConfig config_;
+};
+
+}  // namespace idr::rt

@@ -1,0 +1,47 @@
+#include "testbed/policy.hpp"
+
+#include "util/error.hpp"
+
+namespace idr::testbed {
+
+std::unique_ptr<core::SelectionPolicy> make_policy(
+    const PolicyParams& params) {
+  switch (params.kind) {
+    case PolicyKind::Uniform:
+      return std::make_unique<core::UniformRandomSubsetPolicy>(
+          params.subset_size);
+    case PolicyKind::Weighted:
+      return std::make_unique<core::WeightedRandomSubsetPolicy>(
+          params.subset_size, params.exploration_floor);
+    case PolicyKind::FullSet:
+      return std::make_unique<core::FullSetPolicy>();
+    case PolicyKind::AlwaysRace:
+      return std::make_unique<core::AlwaysRacePolicy>(
+          std::make_unique<core::UniformRandomSubsetPolicy>(
+              params.subset_size));
+    case PolicyKind::RaceOnStaleness:
+      return std::make_unique<core::RaceOnStalenessPolicy>(
+          std::make_unique<core::UniformRandomSubsetPolicy>(
+              params.subset_size),
+          params.staleness_threshold);
+    case PolicyKind::HybridPassive:
+      return std::make_unique<core::HybridWeightedPassivePolicy>(
+          params.subset_size, params.utilization_cap,
+          params.exploration_floor);
+  }
+  ::idr::util::fail("make_policy: unknown policy kind");
+}
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Uniform: return "uniform";
+    case PolicyKind::Weighted: return "weighted";
+    case PolicyKind::FullSet: return "full-set";
+    case PolicyKind::AlwaysRace: return "always-race";
+    case PolicyKind::RaceOnStaleness: return "race-on-staleness";
+    case PolicyKind::HybridPassive: return "hybrid-passive";
+  }
+  return "unknown";
+}
+
+}  // namespace idr::testbed

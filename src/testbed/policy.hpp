@@ -1,0 +1,57 @@
+// Selection-policy configuration for testbed drivers: a small value type
+// (PolicyKind + parameters) that session planners, fleet specs and the
+// policy-matrix bench can carry and turn into a core::SelectionPolicy per
+// client. Keeping construction in one place means every driver names the
+// same policy the same way and the conformance tests cover exactly the
+// set the benches run.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/selection_policy.hpp"
+
+namespace idr::testbed {
+
+enum class PolicyKind {
+  /// Uniform random subset raced every transfer (the paper's Fig. 6 and
+  /// the seed behavior everywhere).
+  Uniform,
+  /// Utilization-weighted random subset, raced every transfer.
+  Weighted,
+  /// Every registered relay raced every transfer.
+  FullSet,
+  /// Uniform subset behind the explicit AlwaysRacePolicy decorator — the
+  /// named baseline of the policy matrix, bit-identical to Uniform.
+  AlwaysRace,
+  /// Skip the race onto the cached best relay while its race-validated
+  /// estimate is younger than `staleness_threshold`; race a uniform
+  /// subset otherwise.
+  RaceOnStaleness,
+  /// Estimate-weighted subset with a per-relay utilization cap, raced
+  /// every transfer.
+  HybridPassive,
+};
+
+struct PolicyParams {
+  PolicyKind kind = PolicyKind::Uniform;
+  /// Candidate-set size for the subset-drawing kinds (ignored by FullSet).
+  std::size_t subset_size = 2;
+  /// RaceOnStaleness: maximum race-validated estimate age (seconds)
+  /// before the pin expires and a race re-validates.
+  util::Duration staleness_threshold = 300.0;
+  /// HybridPassive: maximum share of all selections one relay may hold
+  /// before it is excluded from the weighted draw.
+  double utilization_cap = 0.5;
+  /// Weighted/HybridPassive exploration floor.
+  double exploration_floor = 0.05;
+};
+
+/// Builds a fresh policy instance from the params. Each client needs its
+/// own instance (policies may hold per-client state).
+std::unique_ptr<core::SelectionPolicy> make_policy(const PolicyParams& params);
+
+/// Stable display name for tables and bench JSON keys.
+const char* policy_kind_name(PolicyKind kind);
+
+}  // namespace idr::testbed

@@ -39,6 +39,10 @@ struct TransferObservation {
   std::size_t probe_failures = 0;
   std::size_t retries = 0;
   bool fell_back_direct = false;
+  /// True when the probe race was skipped on a pinned relay (a
+  /// race-skipping policy rode its cached estimate). Always false under
+  /// the default always-race policies.
+  bool race_skipped = false;
   /// Attempts rejected by relay admission control (503 shed) during this
   /// trial; a subset of the failures above in spirit but tallied apart —
   /// shed relays are alive, just full.

@@ -48,6 +48,7 @@ WorldParams ScenarioGenerator::make_world(
   params.fault = knobs_.fault;
   params.probe_timeout = knobs_.probe_timeout;
   params.retry = knobs_.retry;
+  params.estimate_half_life = knobs_.estimate_half_life;
 
   const double inbound_mbps = client_inbound_mbps_override > 0.0
                                   ? client_inbound_mbps_override

@@ -65,6 +65,11 @@ struct ScenarioKnobs {
   fault::FaultConfig fault{};
   util::Duration probe_timeout = 0.0;
   fault::RetryPolicy retry{};
+
+  /// Half-life of each client's passive throughput-estimate EWMA. Only
+  /// read by race-skipping / estimate-weighted selection policies; inert
+  /// under the default always-race policies.
+  util::Duration estimate_half_life = 300.0;
 };
 
 class ScenarioGenerator {

@@ -73,14 +73,23 @@ Section4Result run_section4(const Section4Config& config) {
     spec.client_seed = util::child_stream(
         config.seed, fnv1a(client_name) ^ (task.set_size * 1000003ULL));
     const std::size_t n = task.set_size;
-    const SubsetPolicyKind kind = config.policy;
-    spec.policy_factory =
-        [n, kind](ClientWorld&) -> std::unique_ptr<core::SelectionPolicy> {
-      if (kind == SubsetPolicyKind::Weighted) {
-        return std::make_unique<core::WeightedRandomSubsetPolicy>(n);
-      }
-      return std::make_unique<core::UniformRandomSubsetPolicy>(n);
-    };
+    if (config.policy_params.has_value()) {
+      PolicyParams params = *config.policy_params;
+      params.subset_size = n;
+      spec.policy_factory =
+          [params](ClientWorld&) -> std::unique_ptr<core::SelectionPolicy> {
+        return make_policy(params);
+      };
+    } else {
+      const SubsetPolicyKind kind = config.policy;
+      spec.policy_factory =
+          [n, kind](ClientWorld&) -> std::unique_ptr<core::SelectionPolicy> {
+        if (kind == SubsetPolicyKind::Weighted) {
+          return std::make_unique<core::WeightedRandomSubsetPolicy>(n);
+        }
+        return std::make_unique<core::UniformRandomSubsetPolicy>(n);
+      };
+    }
 
     SessionOutput output = run_session(spec);
 

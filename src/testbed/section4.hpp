@@ -8,8 +8,11 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "core/relay_stats.hpp"
 #include "obs/trace.hpp"
+#include "testbed/policy.hpp"
 #include "testbed/records.hpp"
 #include "testbed/scenario.hpp"
 
@@ -38,6 +41,11 @@ struct Section4Config {
   std::size_t transfers = 720;
   util::Duration interval = util::seconds(30);
   SubsetPolicyKind policy = SubsetPolicyKind::Uniform;
+  /// When set, overrides `policy` with the full PolicyParams family (the
+  /// policy-matrix bench path); the swept set size replaces
+  /// `policy_params->subset_size` per cell. Unset keeps the legacy
+  /// Uniform/Weighted switch above, bit-identical to the seed behavior.
+  std::optional<PolicyParams> policy_params;
   ScenarioKnobs knobs{};
   unsigned threads = 0;
   /// Optional span sink shared by every cell (the Tracer is thread-safe);

@@ -80,6 +80,7 @@ SessionOutput run_session(const SessionSpec& spec) {
       obs.probe_failures = record.outcome.probe_failures;
       obs.retries = record.outcome.retries;
       obs.fell_back_direct = record.outcome.fell_back_direct;
+      obs.race_skipped = record.outcome.race_skipped;
       obs.overload_rejections = record.outcome.overload_rejections;
       if (obs.ok) {
         obs.selected_rate = record.outcome.selected_throughput();

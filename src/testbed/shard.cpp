@@ -54,6 +54,9 @@ void ShardSummary::absorb(const SessionResult& session) {
     flags |= t.ok ? 1u : 0u;
     flags |= t.chose_indirect ? 2u : 0u;
     flags |= t.fell_back_direct ? 4u : 0u;
+    // Bit 3 is always clear under the default always-race policies, so
+    // pre-existing digests are unchanged.
+    flags |= t.race_skipped ? 8u : 0u;
     digest = mix(digest, flags);
     digest = mix(digest, t.start_time);
     digest = mix(digest, t.selected_rate);
@@ -257,10 +260,19 @@ std::vector<ShardSpec> plan_fleet_shards(const FleetSpec& spec,
       session.interval = spec.interval;
       session.client_seed =
           util::child_stream(shard_seed, fnv1a(client.name) * 29);
-      session.policy_factory =
-          [subset](ClientWorld&) -> std::unique_ptr<core::SelectionPolicy> {
-        return std::make_unique<core::UniformRandomSubsetPolicy>(subset);
-      };
+      if (spec.policy.has_value()) {
+        PolicyParams params = *spec.policy;
+        params.subset_size = subset;
+        session.policy_factory =
+            [params](ClientWorld&) -> std::unique_ptr<core::SelectionPolicy> {
+          return make_policy(params);
+        };
+      } else {
+        session.policy_factory =
+            [subset](ClientWorld&) -> std::unique_ptr<core::SelectionPolicy> {
+          return std::make_unique<core::UniformRandomSubsetPolicy>(subset);
+        };
+      }
       shard.sessions.push_back(std::move(session));
     }
     shards.push_back(std::move(shard));

@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "testbed/policy.hpp"
 #include "testbed/records.hpp"
 #include "testbed/scenario.hpp"
 #include "testbed/session.hpp"
@@ -137,6 +139,11 @@ struct FleetSpec {
   std::size_t clients_per_shard = 4;
   std::string server = "eBay";
   ScenarioKnobs knobs{};
+  /// When set, every client runs this selection policy family instead of
+  /// the default uniform subset (subset_size is still min(probe_set,
+  /// relays_per_client)). Each session builds its own policy instance, so
+  /// per-shard estimate state never crosses shard boundaries.
+  std::optional<PolicyParams> policy;
 };
 
 class SyntheticFleet {

@@ -160,6 +160,7 @@ std::unique_ptr<core::IndirectRoutingClient> ClientWorld::make_client(
   config.tcp = params_.tcp;
   config.probe_timeout = params_.probe_timeout;
   config.retry = params_.retry;
+  config.estimate_half_life = params_.estimate_half_life;
   auto client = std::make_unique<core::IndirectRoutingClient>(
       *engine_, config, std::move(policy), rng);
   for (std::size_t i = 0; i < relays_.size(); ++i) {

@@ -73,6 +73,9 @@ struct WorldParams {
   /// make_client (both zero-cost when faults never fire).
   Duration probe_timeout = 0.0;
   fault::RetryPolicy retry{};
+  /// Passive-estimate EWMA half-life forwarded into make_client (inert
+  /// under always-race policies).
+  Duration estimate_half_life = 300.0;
 };
 
 class ClientWorld {

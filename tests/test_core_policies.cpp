@@ -1,11 +1,16 @@
 #include <algorithm>
+#include <functional>
 #include <gtest/gtest.h>
 #include <map>
+#include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "core/relay_stats.hpp"
 #include "core/selection_policy.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace idr::core {
 namespace {
@@ -203,6 +208,167 @@ TEST(Policies, Names) {
   EXPECT_STREQ(WeightedRandomSubsetPolicy(1).name(),
                "weighted-random-subset");
   EXPECT_STREQ(FullSetPolicy().name(), "full-set");
+}
+
+// --- Policy-conformance matrix ----------------------------------------------
+//
+// Every SelectionPolicy — old and new — must satisfy the same contract
+// through the decide() hook: candidates exist in the stats table, the set
+// respects its size bound, blacklisted relays never appear (as candidate
+// or pin), and the decision is bitwise-deterministic given the same
+// util::Rng stream. One factory per policy, the whole matrix over all.
+
+struct PolicyCase {
+  std::string label;
+  std::function<std::unique_ptr<SelectionPolicy>()> make;
+  std::size_t size_bound;  // max candidates for a 10-relay table
+};
+
+std::vector<PolicyCase> conformance_cases() {
+  std::vector<PolicyCase> cases;
+  cases.push_back({"direct-only",
+                   [] { return std::make_unique<DirectOnlyPolicy>(); }, 0});
+  cases.push_back({"static-relay",
+                   [] { return std::make_unique<StaticRelayPolicy>(12); }, 1});
+  cases.push_back(
+      {"uniform-random-subset",
+       [] { return std::make_unique<UniformRandomSubsetPolicy>(3); }, 3});
+  cases.push_back(
+      {"weighted-random-subset",
+       [] { return std::make_unique<WeightedRandomSubsetPolicy>(3); }, 3});
+  cases.push_back({"full-set",
+                   [] { return std::make_unique<FullSetPolicy>(); }, 10});
+  cases.push_back({"always-race",
+                   [] {
+                     return std::make_unique<AlwaysRacePolicy>(
+                         std::make_unique<UniformRandomSubsetPolicy>(3));
+                   },
+                   3});
+  cases.push_back({"race-on-staleness",
+                   [] {
+                     return std::make_unique<RaceOnStalenessPolicy>(
+                         std::make_unique<UniformRandomSubsetPolicy>(3),
+                         100.0);
+                   },
+                   3});
+  cases.push_back(
+      {"hybrid-weighted-passive",
+       [] { return std::make_unique<HybridWeightedPassivePolicy>(3); }, 3});
+  return cases;
+}
+
+/// A 10-relay table with history every policy family reacts to: passive
+/// estimates (some fresh, some stale), utilization history, and two
+/// blacklisted relays (13 until t=500, 17 until t=2000).
+RelayStatsTable conformance_table() {
+  RelayStatsTable table = make_table(10);
+  for (int i = 0; i < 5; ++i) {
+    table.note_appearance(11);
+    table.note_selection(11);
+    table.note_appearance(14);
+  }
+  table.note_throughput(11, 800.0, 90.0, EstimateSource::Race);
+  table.note_throughput(13, 950.0, 95.0, EstimateSource::Race);  // blacklisted
+  table.note_throughput(14, 400.0, 10.0, EstimateSource::Race);  // stale-ish
+  table.note_throughput(15, 600.0, 80.0, EstimateSource::Passive);
+  table.note_failure(13, 99.0, 401.0, 401.0);   // blacklisted until 500
+  table.note_failure(17, 99.0, 1901.0, 1901.0);  // blacklisted until 2000
+  return table;
+}
+
+TEST(PolicyConformance, CandidatesExistAndRespectBounds) {
+  for (const PolicyCase& c : conformance_cases()) {
+    RelayStatsTable table = conformance_table();
+    auto policy = c.make();
+    util::Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+      const util::TimePoint now = 100.0 + i;
+      const SelectionDecision d = policy->decide(table, rng, now);
+      EXPECT_LE(d.candidates.size(), c.size_bound) << c.label;
+      std::set<net::NodeId> unique;
+      for (net::NodeId id : d.candidates) {
+        EXPECT_TRUE(table.has_relay(id)) << c.label;
+        unique.insert(id);
+      }
+      EXPECT_EQ(unique.size(), d.candidates.size())
+          << c.label << ": duplicate candidates";
+      if (d.pinned.has_value()) {
+        EXPECT_TRUE(table.has_relay(*d.pinned)) << c.label;
+        EXPECT_GE(d.pinned_age, 0.0) << c.label;
+      }
+    }
+  }
+}
+
+TEST(PolicyConformance, NeverReturnsBlacklistedRelays) {
+  for (const PolicyCase& c : conformance_cases()) {
+    RelayStatsTable table = conformance_table();
+    auto policy = c.make();
+    util::Rng rng(32);
+    for (int i = 0; i < 200; ++i) {
+      // Sweep now across relay 13's blacklist expiry so both regimes are
+      // exercised; relay 17 stays blacklisted throughout.
+      const util::TimePoint now = 100.0 + 4.0 * i;
+      const SelectionDecision d = policy->decide(table, rng, now);
+      for (net::NodeId id : d.candidates) {
+        EXPECT_FALSE(table.blacklisted(id, now))
+            << c.label << " at t=" << now;
+      }
+      if (d.pinned.has_value()) {
+        EXPECT_FALSE(table.blacklisted(*d.pinned, now))
+            << c.label << " pinned at t=" << now;
+      }
+    }
+  }
+}
+
+TEST(PolicyConformance, BitwiseDeterministicGivenSameRngStream) {
+  for (const PolicyCase& c : conformance_cases()) {
+    RelayStatsTable table_a = conformance_table();
+    RelayStatsTable table_b = conformance_table();
+    auto policy_a = c.make();
+    auto policy_b = c.make();
+    util::Rng rng_a(33);
+    util::Rng rng_b(33);
+    for (int i = 0; i < 100; ++i) {
+      const util::TimePoint now = 100.0 + i;
+      const SelectionDecision da = policy_a->decide(table_a, rng_a, now);
+      const SelectionDecision db = policy_b->decide(table_b, rng_b, now);
+      EXPECT_EQ(da.candidates, db.candidates) << c.label;
+      EXPECT_EQ(da.pinned.has_value(), db.pinned.has_value()) << c.label;
+      if (da.pinned.has_value() && db.pinned.has_value()) {
+        EXPECT_EQ(*da.pinned, *db.pinned) << c.label;
+        EXPECT_EQ(da.pinned_age, db.pinned_age) << c.label;
+      }
+      // Feed identical selection history back so stateful weighting sees
+      // the same table evolution on both sides.
+      for (net::NodeId id : da.candidates) table_a.note_appearance(id);
+      for (net::NodeId id : db.candidates) table_b.note_appearance(id);
+      if (!da.candidates.empty()) {
+        table_a.note_selection(da.candidates.front());
+        table_b.note_selection(db.candidates.front());
+      }
+    }
+  }
+}
+
+TEST(PolicyConformance, OnlyStalenessPolicyEverPins) {
+  for (const PolicyCase& c : conformance_cases()) {
+    RelayStatsTable table = conformance_table();
+    auto policy = c.make();
+    util::Rng rng(34);
+    bool pinned_once = false;
+    for (int i = 0; i < 50; ++i) {
+      if (policy->decide(table, rng, 100.0 + i).pinned.has_value()) {
+        pinned_once = true;
+      }
+    }
+    if (c.label == "race-on-staleness") {
+      EXPECT_TRUE(pinned_once) << c.label;  // relay 11 is fresh at t~100
+    } else {
+      EXPECT_FALSE(pinned_once) << c.label;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,347 @@
+// The passive estimation plane and the policies built on it: pinned
+// expected values for the decayed-EWMA math, staleness monotonicity, the
+// race/passive freshness split, best_fresh_estimate's selection rule, and
+// utilization-cap enforcement under randomized update streams.
+#include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/relay_stats.hpp"
+#include "core/selection_policy.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace idr::core {
+namespace {
+
+RelayStatsTable make_table(std::size_t n) {
+  RelayStatsTable table;
+  for (std::size_t i = 0; i < n; ++i) {
+    table.add_relay(static_cast<net::NodeId>(i + 10),
+                    "relay" + std::to_string(i));
+  }
+  return table;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(PassiveEstimate, FirstSampleIsTheEstimate) {
+  RelayStatsTable table = make_table(1);
+  EXPECT_FALSE(table.has_estimate(10));
+  EXPECT_DOUBLE_EQ(table.estimate(10), 0.0);
+  EXPECT_EQ(table.estimate_age(10, 1000.0), kInf);
+  EXPECT_EQ(table.validated_age(10, 1000.0), kInf);
+
+  table.note_throughput(10, 5.0e5, 100.0, EstimateSource::Race);
+  EXPECT_TRUE(table.has_estimate(10));
+  EXPECT_DOUBLE_EQ(table.estimate(10), 5.0e5);
+  EXPECT_DOUBLE_EQ(table.estimate_age(10, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(table.validated_age(10, 100.0), 0.0);
+  EXPECT_EQ(table.record(10).estimate_samples, 1u);
+  EXPECT_EQ(table.record(10).validated_samples, 1u);
+}
+
+TEST(PassiveEstimate, SameInstantSamplesAverage) {
+  RelayStatsTable table = make_table(1);
+  table.note_throughput(10, 100.0, 50.0, EstimateSource::Race);
+  table.note_throughput(10, 200.0, 50.0, EstimateSource::Race);
+  // dt = 0 => no decay: plain running average.
+  EXPECT_DOUBLE_EQ(table.estimate(10), 150.0);
+  table.note_throughput(10, 600.0, 50.0, EstimateSource::Race);
+  EXPECT_DOUBLE_EQ(table.estimate(10), 300.0);
+}
+
+TEST(PassiveEstimate, HalfLifeDecayPinnedValues) {
+  RelayStatsTable table = make_table(1);
+  table.set_estimate_half_life(10.0);
+  EXPECT_DOUBLE_EQ(table.estimate_half_life(), 10.0);
+
+  // t=0: first sample.
+  table.note_throughput(10, 100.0, 0.0, EstimateSource::Race);
+  EXPECT_DOUBLE_EQ(table.estimate(10), 100.0);
+
+  // t=10 (exactly one half-life): old weight 1 fades to 0.5, so
+  // estimate = (100 * 0.5 + 200) / (0.5 + 1) = 250 / 1.5.
+  table.note_throughput(10, 200.0, 10.0, EstimateSource::Race);
+  EXPECT_DOUBLE_EQ(table.estimate(10), 250.0 / 1.5);
+  EXPECT_DOUBLE_EQ(table.record(10).ewma_weight, 1.5);
+
+  // t=30 (two more half-lives): weight 1.5 fades to 0.375, so
+  // estimate = ((250/1.5) * 0.375 + 50) / 1.375.
+  table.note_throughput(10, 50.0, 30.0, EstimateSource::Race);
+  EXPECT_DOUBLE_EQ(table.estimate(10),
+                   ((250.0 / 1.5) * 0.375 + 50.0) / 1.375);
+  EXPECT_DOUBLE_EQ(table.record(10).ewma_weight, 1.375);
+  EXPECT_EQ(table.record(10).estimate_samples, 3u);
+}
+
+TEST(PassiveEstimate, LongGapEffectivelyReplaces) {
+  RelayStatsTable table = make_table(1);
+  table.set_estimate_half_life(10.0);
+  table.note_throughput(10, 1.0e9, 0.0, EstimateSource::Race);
+  // 50 half-lives later the old sample's weight is 2^-50 ~ 1e-15.
+  table.note_throughput(10, 100.0, 500.0, EstimateSource::Race);
+  EXPECT_NEAR(table.estimate(10), 100.0, 1e-3);
+}
+
+TEST(PassiveEstimate, ClockMovingBackwardsThrows) {
+  RelayStatsTable table = make_table(1);
+  table.note_throughput(10, 100.0, 50.0, EstimateSource::Race);
+  EXPECT_THROW(table.note_throughput(10, 100.0, 49.0, EstimateSource::Race),
+               util::Error);
+  EXPECT_THROW(table.note_throughput(10, -1.0, 60.0, EstimateSource::Race),
+               util::Error);
+}
+
+TEST(PassiveEstimate, AgesAreMonotoneInNow) {
+  RelayStatsTable table = make_table(1);
+  table.note_throughput(10, 100.0, 100.0, EstimateSource::Race);
+  double last_est = -1.0;
+  double last_val = -1.0;
+  for (double now = 100.0; now <= 1000.0; now += 37.0) {
+    const double est = table.estimate_age(10, now);
+    const double val = table.validated_age(10, now);
+    EXPECT_GT(est, last_est);
+    EXPECT_GT(val, last_val);
+    last_est = est;
+    last_val = val;
+  }
+}
+
+TEST(PassiveEstimate, PassiveSamplesRefineButNeverRefreshValidation) {
+  RelayStatsTable table = make_table(1);
+  table.note_throughput(10, 100.0, 0.0, EstimateSource::Race);
+  table.note_throughput(10, 300.0, 0.0, EstimateSource::Passive);
+  // The value moved (plain average at dt=0)...
+  EXPECT_DOUBLE_EQ(table.estimate(10), 200.0);
+  // ...but passive observations never renew freshness: only the race at
+  // t=0 validates, so validated age tracks t=0 while estimate age tracks
+  // the passive update.
+  table.note_throughput(10, 200.0, 40.0, EstimateSource::Passive);
+  EXPECT_DOUBLE_EQ(table.estimate_age(10, 50.0), 10.0);
+  EXPECT_DOUBLE_EQ(table.validated_age(10, 50.0), 50.0);
+  EXPECT_EQ(table.record(10).estimate_samples, 3u);
+  EXPECT_EQ(table.record(10).validated_samples, 1u);
+}
+
+TEST(BestFreshEstimate, PicksHighestFreshNonBlacklisted) {
+  RelayStatsTable table = make_table(4);
+  // 10: high estimate but stale. 11: fresh, medium. 12: fresh, best but
+  // blacklisted. 13: never measured.
+  table.note_throughput(10, 900.0, 0.0, EstimateSource::Race);
+  table.note_throughput(11, 500.0, 950.0, EstimateSource::Race);
+  table.note_throughput(12, 800.0, 960.0, EstimateSource::Race);
+  table.note_failure(12, 990.0, 100.0, 100.0);  // blacklisted until 1090
+
+  EXPECT_EQ(table.best_fresh_estimate(1000.0, 100.0), 11u);
+  // With a wide-enough freshness window the stale-but-big one wins.
+  EXPECT_EQ(table.best_fresh_estimate(1000.0, 2000.0), 10u);
+  // Once the blacklist expires the best fresh estimate is 12 again.
+  EXPECT_EQ(table.best_fresh_estimate(1100.0, 200.0), 12u);
+  // Nothing fresh at all.
+  EXPECT_EQ(table.best_fresh_estimate(5000.0, 10.0), net::kInvalidNode);
+}
+
+TEST(BestFreshEstimate, PassiveSamplesDontCountAsFresh) {
+  RelayStatsTable table = make_table(1);
+  table.note_throughput(10, 100.0, 0.0, EstimateSource::Passive);
+  // Passive-only history never qualifies: freshness is race-validated.
+  EXPECT_EQ(table.best_fresh_estimate(1.0, 1000.0), net::kInvalidNode);
+  table.note_throughput(10, 100.0, 2.0, EstimateSource::Race);
+  EXPECT_EQ(table.best_fresh_estimate(3.0, 1000.0), 10u);
+}
+
+TEST(BestFreshEstimate, TiesBreakToRegistrationOrder) {
+  RelayStatsTable table = make_table(3);
+  table.note_throughput(11, 100.0, 0.0, EstimateSource::Race);
+  table.note_throughput(10, 100.0, 0.0, EstimateSource::Race);
+  table.note_throughput(12, 100.0, 0.0, EstimateSource::Race);
+  EXPECT_EQ(table.best_fresh_estimate(1.0, 10.0), 10u);
+}
+
+TEST(SelectionShare, TracksSelections) {
+  RelayStatsTable table = make_table(2);
+  EXPECT_DOUBLE_EQ(table.selection_share(10), 0.0);
+  table.note_selection(10);
+  table.note_selection(10);
+  table.note_selection(11);
+  EXPECT_EQ(table.total_selections(), 3u);
+  EXPECT_DOUBLE_EQ(table.selection_share(10), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(table.selection_share(11), 1.0 / 3.0);
+}
+
+TEST(DecideBase, FiltersBlacklistedAndNeverPins) {
+  RelayStatsTable table = make_table(4);
+  table.note_failure(11, 0.0, 1000.0, 1000.0);
+  util::Rng rng(1);
+  FullSetPolicy policy;
+  const SelectionDecision decision = policy.decide(table, rng, 10.0);
+  EXPECT_FALSE(decision.pinned.has_value());
+  ASSERT_EQ(decision.candidates.size(), 3u);
+  for (net::NodeId id : decision.candidates) EXPECT_NE(id, 11u);
+  // Past the penalty the relay is eligible again.
+  util::Rng rng2(1);
+  EXPECT_EQ(policy.decide(table, rng2, 2000.0).candidates.size(), 4u);
+}
+
+TEST(AlwaysRace, MatchesInnerPolicyDraws) {
+  RelayStatsTable table = make_table(8);
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  AlwaysRacePolicy wrapped(std::make_unique<UniformRandomSubsetPolicy>(3));
+  UniformRandomSubsetPolicy bare(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(wrapped.choose_candidates(table, rng_a),
+              bare.choose_candidates(table, rng_b));
+  }
+  util::Rng rng(1);
+  EXPECT_FALSE(wrapped.decide(table, rng, 0.0).pinned.has_value());
+  EXPECT_STREQ(wrapped.name(), "always-race");
+}
+
+TEST(RaceOnStaleness, PinsWhileFreshRacesWhenStale) {
+  RelayStatsTable table = make_table(5);
+  RaceOnStalenessPolicy policy(std::make_unique<UniformRandomSubsetPolicy>(2),
+                               100.0);
+  util::Rng rng(7);
+
+  // No estimates yet: a plain race.
+  SelectionDecision d0 = policy.decide(table, rng, 0.0);
+  EXPECT_FALSE(d0.pinned.has_value());
+  EXPECT_EQ(d0.candidates.size(), 2u);
+
+  // A race win at t=10 makes relay 12 pinnable until t=110.
+  table.note_throughput(12, 700.0, 10.0, EstimateSource::Race);
+  SelectionDecision d1 = policy.decide(table, rng, 60.0);
+  ASSERT_TRUE(d1.pinned.has_value());
+  EXPECT_EQ(*d1.pinned, 12u);
+  EXPECT_DOUBLE_EQ(d1.pinned_age, 50.0);
+  // The fallback candidate set is still drawn.
+  EXPECT_EQ(d1.candidates.size(), 2u);
+
+  // Past the threshold the pin expires.
+  EXPECT_FALSE(policy.decide(table, rng, 111.0).pinned.has_value());
+  EXPECT_STREQ(policy.name(), "race-on-staleness");
+}
+
+TEST(RaceOnStaleness, RngConsumptionIndependentOfPinning) {
+  // Whether a pin exists must not change how much of the caller's RNG
+  // stream a decision consumes — downstream draws would shift otherwise.
+  RelayStatsTable fresh = make_table(5);
+  fresh.note_throughput(12, 700.0, 0.0, EstimateSource::Race);
+  RelayStatsTable stale = make_table(5);
+
+  RaceOnStalenessPolicy policy_a(
+      std::make_unique<UniformRandomSubsetPolicy>(2), 100.0);
+  RaceOnStalenessPolicy policy_b(
+      std::make_unique<UniformRandomSubsetPolicy>(2), 100.0);
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  for (int i = 0; i < 20; ++i) {
+    const SelectionDecision da = policy_a.decide(fresh, rng_a, 1.0);
+    const SelectionDecision db = policy_b.decide(stale, rng_b, 1.0);
+    EXPECT_TRUE(da.pinned.has_value());
+    EXPECT_FALSE(db.pinned.has_value());
+    EXPECT_EQ(da.candidates, db.candidates);
+  }
+}
+
+TEST(RaceOnStaleness, NeverPinsBlacklistedRelay) {
+  RelayStatsTable table = make_table(3);
+  table.note_throughput(11, 900.0, 0.0, EstimateSource::Race);
+  table.note_throughput(12, 100.0, 0.0, EstimateSource::Race);
+  table.note_failure(11, 1.0, 1000.0, 1000.0);
+  RaceOnStalenessPolicy policy(std::make_unique<UniformRandomSubsetPolicy>(1),
+                               1000.0);
+  util::Rng rng(3);
+  const SelectionDecision d = policy.decide(table, rng, 2.0);
+  ASSERT_TRUE(d.pinned.has_value());
+  EXPECT_EQ(*d.pinned, 12u);  // the lesser-but-clean estimate wins
+}
+
+TEST(HybridPassive, PrefersHighEstimates) {
+  RelayStatsTable table = make_table(3);
+  table.note_throughput(10, 1000.0, 0.0, EstimateSource::Race);
+  table.note_throughput(11, 100.0, 0.0, EstimateSource::Race);
+  HybridWeightedPassivePolicy policy(1, /*cap=*/1.0, /*floor=*/0.05);
+  util::Rng rng(11);
+  std::map<net::NodeId, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[policy.choose_candidates(table, rng).at(0)];
+  }
+  // Weights: 10 -> 1.05, 11 -> 0.15, 12 (unmeasured) -> 0.05.
+  EXPECT_GT(counts[10], counts[11] * 3);
+  EXPECT_GT(counts[11], counts[12]);
+  EXPECT_GT(counts[12], 0);  // exploration floor keeps it alive
+  EXPECT_STREQ(policy.name(), "hybrid-weighted-passive");
+}
+
+TEST(HybridPassive, CapEnforcedUnderRandomizedStreams) {
+  // Closed loop under a randomized update stream: relay 10 always has a
+  // dominating estimate, every draw is recorded as a selection, and
+  // estimates jitter randomly — yet 10's share of selections must stay
+  // pinned near the cap instead of running away to 100%.
+  RelayStatsTable table = make_table(4);
+  const double cap = 0.4;
+  HybridWeightedPassivePolicy policy(1, cap, 0.05);
+  util::Rng rng(123);
+  double now = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    now += 1.0;
+    table.note_throughput(10, 1.0e6 * (1.0 + rng.uniform()), now,
+                          EstimateSource::Race);
+    table.note_throughput(11, 10.0 * rng.uniform(), now,
+                          EstimateSource::Race);
+    const auto picks = policy.choose_candidates(table, rng);
+    ASSERT_EQ(picks.size(), 1u);
+    table.note_selection(picks[0]);
+  }
+  const double total = static_cast<double>(table.total_selections());
+  // One draw of slack: the cap check runs against the pre-draw totals.
+  EXPECT_LE(table.record(10).selections / total, cap + 2.0 / total);
+  // The cap redistributes, it does not starve: the dominating relay still
+  // gets picked up to its cap, and the others absorb the remainder.
+  EXPECT_GT(table.record(10).selections / total, cap * 0.8);
+  EXPECT_GT(table.record(11).selections, 0u);
+  EXPECT_GT(table.record(12).selections, 0u);
+  EXPECT_GT(table.record(13).selections, 0u);
+}
+
+TEST(HybridPassive, AllCappedFallsBackToUniform) {
+  RelayStatsTable table = make_table(2);
+  // Both relays above a tiny cap: the weighted draw would see all zeros,
+  // which weighted_index resolves as a uniform choice — set size must
+  // still be honored.
+  for (int i = 0; i < 10; ++i) {
+    table.note_selection(10);
+    table.note_selection(11);
+  }
+  HybridWeightedPassivePolicy policy(2, 0.1, 0.05);
+  util::Rng rng(5);
+  const auto picks = policy.choose_candidates(table, rng);
+  EXPECT_EQ(picks.size(), 2u);
+  std::set<net::NodeId> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 2u);
+}
+
+TEST(NewPolicies, InvalidConstruction) {
+  EXPECT_THROW(AlwaysRacePolicy(nullptr), util::Error);
+  EXPECT_THROW(RaceOnStalenessPolicy(nullptr, 10.0), util::Error);
+  EXPECT_THROW(RaceOnStalenessPolicy(
+                   std::make_unique<UniformRandomSubsetPolicy>(1), 0.0),
+               util::Error);
+  EXPECT_THROW(HybridWeightedPassivePolicy(0), util::Error);
+  EXPECT_THROW(HybridWeightedPassivePolicy(1, 0.0), util::Error);
+  EXPECT_THROW(HybridWeightedPassivePolicy(1, 1.5), util::Error);
+  EXPECT_THROW(HybridWeightedPassivePolicy(1, 0.5, 0.0), util::Error);
+  RelayStatsTable table = make_table(1);
+  EXPECT_THROW(table.set_estimate_half_life(0.0), util::Error);
+  EXPECT_THROW(table.note_throughput(99, 1.0, 0.0, EstimateSource::Race),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace idr::core

@@ -4,10 +4,12 @@
 
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "rt/http_client.hpp"
 #include "rt/http_server.hpp"
 #include "rt/probe_race.hpp"
 #include "rt/relay_daemon.hpp"
+#include "rt/selection.hpp"
 
 namespace idr::rt {
 namespace {
@@ -181,6 +183,102 @@ TEST(RtRace, ProbeCoveringFileSkipsRemainder) {
   spin_until(fx.reactor, 10.0, [&] { return result.has_value(); });
   ASSERT_TRUE(result->ok) << result->error;
   EXPECT_DOUBLE_EQ(result->total_elapsed, result->probe_elapsed);
+}
+
+std::uint64_t counter_of(const obs::Registry& registry, const char* name) {
+  const obs::MetricValue* m = registry.snapshot().find(name);
+  return m != nullptr ? m->count : 0;
+}
+
+TEST(RtSelect, FreshEstimateSkipsRaceWithZeroProbeConnections) {
+  Fixture fx;
+  fx.shape(/*direct=*/60000.0, /*relayed=*/0.0);
+  obs::Registry registry;
+  PassiveSelectorConfig config;
+  config.staleness_threshold_s = 300.0;
+  PassiveSelector selector(1, config);
+
+  RaceSpec spec;
+  spec.origin.port = fx.origin.port();
+  spec.path = "/blob";
+  spec.resource_size = 400000;
+  spec.probe_bytes = 100000;
+  spec.relays = {Endpoint{"127.0.0.1", fx.relay.port()}};
+  spec.metrics = &registry;
+
+  // Race 1: a real race. The relay wins (direct is shaped slow) and its
+  // observed throughput becomes a race-validated estimate.
+  ASSERT_FALSE(selector.prepare(spec, fx.reactor.now()).has_value());
+  std::optional<RaceResult> first;
+  start_probe_race(fx.reactor, spec, [&](const RaceResult& r) { first = r; });
+  spin_until(fx.reactor, 30.0, [&] { return first.has_value(); });
+  ASSERT_TRUE(first->ok) << first->error;
+  ASSERT_TRUE(first->chose_indirect);
+  EXPECT_FALSE(first->race_skipped);
+  selector.observe(*first, fx.reactor.now());
+  EXPECT_EQ(counter_of(registry, "rt.select.races_run"), 1u);
+
+  // Race 2: the estimate is seconds old — prepare() pins, and the whole
+  // transfer rides the relay in a single request: no probe connections
+  // at all (the first race cost three origin requests: two probe lanes
+  // plus the winner's remainder).
+  const std::size_t origin_before = fx.origin.requests_served();
+  const std::size_t forwarded_before = fx.relay.transfers_forwarded();
+  const auto pinned = selector.prepare(spec, fx.reactor.now());
+  ASSERT_TRUE(pinned.has_value());
+  EXPECT_EQ(*pinned, 0u);
+  std::optional<RaceResult> second;
+  start_probe_race(fx.reactor, spec,
+                   [&](const RaceResult& r) { second = r; });
+  spin_until(fx.reactor, 30.0, [&] { return second.has_value(); });
+  ASSERT_TRUE(second->ok) << second->error;
+  EXPECT_TRUE(second->race_skipped);
+  EXPECT_TRUE(second->chose_indirect);
+  EXPECT_EQ(second->relay_index, 0u);
+  EXPECT_EQ(second->total_bytes, 400000u);
+  EXPECT_TRUE(second->body_verified);
+  EXPECT_DOUBLE_EQ(second->probe_elapsed, 0.0);
+  EXPECT_EQ(fx.origin.requests_served() - origin_before, 1u);
+  EXPECT_EQ(fx.relay.transfers_forwarded() - forwarded_before, 1u);
+  EXPECT_EQ(counter_of(registry, "rt.select.races_skipped"), 1u);
+  EXPECT_EQ(counter_of(registry, "rt.select.races_run"), 1u);
+  EXPECT_EQ(counter_of(registry, "rt.select.pinned_fallbacks"), 0u);
+  selector.observe(*second, fx.reactor.now());
+  // The skipped race's sample refines the estimate passively but must
+  // not re-validate freshness: only real races renew the pin.
+  EXPECT_EQ(selector.stats().record(0).validated_samples, 1u);
+  EXPECT_EQ(selector.stats().record(0).estimate_samples, 2u);
+}
+
+TEST(RtSelect, DeadPinnedRelayFallsBackToFullRace) {
+  Fixture fx;
+  obs::Registry registry;
+  RaceSpec spec;
+  spec.origin.port = fx.origin.port();
+  spec.path = "/blob";
+  spec.resource_size = 400000;
+  spec.probe_bytes = 100000;
+  // Pin points at a crashed relay (closed port); the live relay and the
+  // direct path remain as the fallback race.
+  spec.relays = {Endpoint{"127.0.0.1", 1},
+                 Endpoint{"127.0.0.1", fx.relay.port()}};
+  spec.metrics = &registry;
+  spec.timeout_s = 10.0;
+  spec.pinned_relay = 0;
+  spec.pinned_estimate_age_s = 1.0;
+
+  std::optional<RaceResult> result;
+  start_probe_race(fx.reactor, spec,
+                   [&](const RaceResult& r) { result = r; });
+  spin_until(fx.reactor, 30.0, [&] { return result.has_value(); });
+  // The transfer must still succeed — via the full race, not the pin.
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_FALSE(result->race_skipped);
+  EXPECT_EQ(result->total_bytes, 400000u);
+  EXPECT_TRUE(result->body_verified);
+  EXPECT_EQ(counter_of(registry, "rt.select.races_skipped"), 1u);
+  EXPECT_EQ(counter_of(registry, "rt.select.pinned_fallbacks"), 1u);
+  EXPECT_EQ(counter_of(registry, "rt.select.races_run"), 1u);
 }
 
 TEST(RtRace, AllLanesFailingReportsError) {

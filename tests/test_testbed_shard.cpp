@@ -160,6 +160,77 @@ TEST(RunSharded, BitwiseIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(RunSharded, PassivePoliciesBitwiseIdenticalAcrossThreadCounts) {
+  // The estimate plane is per-client state: each session owns its own
+  // RelayStatsTable, so pinning decisions made from passive estimates
+  // must not leak across shards or depend on execution interleaving.
+  // Run the two estimate-driven policies across thread counts and demand
+  // the same bitwise digests and merged metrics as the 1-thread run.
+  for (const PolicyKind kind :
+       {PolicyKind::RaceOnStaleness, PolicyKind::HybridPassive}) {
+    FleetSpec spec = small_fleet();
+    PolicyParams params;
+    params.kind = kind;
+    // 2.5x the 6-minute cadence: each race win pins the next couple of
+    // transfers, then goes stale — both regimes exercised per session.
+    params.staleness_threshold = 900.0;
+    params.utilization_cap = 0.4;
+    spec.policy = params;
+
+    const SyntheticFleet fleet(spec);
+    const ShardRunResult base =
+        run_sharded(plan_fleet_shards(spec, fleet), 1);
+    EXPECT_EQ(base.summary.transfers,
+              spec.clients * spec.transfers_per_client);
+    EXPECT_EQ(base.summary.failed, 0u) << policy_kind_name(kind);
+    if (kind == PolicyKind::RaceOnStaleness) {
+      // The fleet actually skipped races somewhere, or the digest check
+      // proves nothing new about the pinned path.
+      const obs::MetricValue* skipped =
+          base.metrics.find("sim.select.races_skipped");
+      ASSERT_NE(skipped, nullptr);
+      EXPECT_GT(skipped->count, 0u);
+    }
+    const std::string base_json = base.metrics.to_json();
+    for (unsigned threads : {2u, 4u}) {
+      const ShardRunResult run =
+          run_sharded(plan_fleet_shards(spec, fleet), threads);
+      EXPECT_EQ(run.summary.digest, base.summary.digest)
+          << policy_kind_name(kind) << " digest diverged at " << threads
+          << " threads";
+      EXPECT_EQ(run.metrics.to_json(), base_json)
+          << policy_kind_name(kind) << " metrics diverged at " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST(RunSharded, PolicyChangesTheRunDefaultDoesNot) {
+  // FleetSpec.policy == nullopt and an explicit AlwaysRace-over-uniform
+  // must be behaviorally identical (same digest): the hook's default
+  // preserves the pre-policy runs bit for bit. A pinning policy, by
+  // contrast, must actually change the transfer stream.
+  const FleetSpec plain = small_fleet();
+  FleetSpec always = small_fleet();
+  PolicyParams params;
+  params.kind = PolicyKind::AlwaysRace;
+  always.policy = params;
+  FleetSpec stale = small_fleet();
+  params.kind = PolicyKind::RaceOnStaleness;
+  params.staleness_threshold = 900.0;
+  stale.policy = params;
+
+  const SyntheticFleet fleet(plain);
+  const ShardRunResult plain_run =
+      run_sharded(plan_fleet_shards(plain, fleet), 2);
+  const ShardRunResult always_run =
+      run_sharded(plan_fleet_shards(always, fleet), 2);
+  const ShardRunResult stale_run =
+      run_sharded(plan_fleet_shards(stale, fleet), 2);
+  EXPECT_EQ(always_run.summary.digest, plain_run.summary.digest);
+  EXPECT_NE(stale_run.summary.digest, plain_run.summary.digest);
+}
+
 TEST(RunSharded, ShardSeriesAndWorkTotals) {
   const FleetSpec spec = small_fleet();
   const SyntheticFleet fleet(spec);
