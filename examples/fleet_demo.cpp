@@ -1,0 +1,373 @@
+// The fleet control plane, end to end on real sockets: an origin, a
+// fleet of relay daemons, a FleetDirectory heartbeating all of them, and
+// a pool of concurrent clients racing transfers the whole time — while
+// every relay in the fleet is restarted underneath them.
+//
+// Relay 0 is killed abruptly (crash); the rest drain gracefully (the
+// /healthz advertisement flips to "draining" before the listener
+// closes). Either way the run must end with zero failed transfers, every
+// relay re-admitted after probation, detection of each death within two
+// heartbeat intervals, and no race probe spent on a relay the directory
+// had excluded.
+//
+// `--gate` runs the same scenario as a CI gate (nonzero exit on any
+// violated invariant); `--out=PATH` dumps the fleet metrics snapshot and
+// the gate verdicts as JSON.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "rt/fleet.hpp"
+#include "rt/http_server.hpp"
+#include "rt/probe_race.hpp"
+#include "rt/relay_daemon.hpp"
+#include "util/error.hpp"
+
+using namespace idr;
+using namespace idr::rt;
+
+namespace {
+
+constexpr std::uint64_t kResourceSize = 300'000;
+constexpr const char* kPath = "/fleet.bin";
+constexpr double kHeartbeatS = 0.1;
+// Down is declared after down_after_misses (=2) silent intervals;
+// allow the probe timeout plus loaded-reactor scheduling jitter on top.
+constexpr double kDetectSlackS = 0.25;
+constexpr std::size_t kMinTransfers = 20;
+// Hold the dead relay's port closed for this long after the directory
+// marks it Down before rebinding. A race drawn in the pre-detection
+// window still holds the old candidate set, and its in-race retries
+// (base 0.05 s, 2 attempts) may re-dial the port after the restart —
+// which would land bytes on the reborn instance and void the
+// zero-bytes-while-excluded proof. The grace outlives any such stale
+// retry chain, so every late dial meets a closed port instead.
+constexpr double kRebirthGraceS = 0.4;
+
+struct RelaySlot {
+  std::uint16_t port = 0;
+  std::string name;
+  std::unique_ptr<RelayDaemon> daemon;
+  int generation = 1;
+  bool drained = false;        // drain callback fired
+  bool rebirth_checked = false;  // zero-probe-bytes check done
+  bool rebirth_clean = false;
+};
+
+struct GateCheck {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  std::size_t relay_count = 3;
+  std::size_t client_count = 4;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gate") {
+      gate = true;
+    } else if (arg.rfind("--relays=", 0) == 0) {
+      relay_count = std::strtoul(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      client_count = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--gate] [--relays=N] [--clients=N] "
+                  "[--out=PATH]\n", argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (relay_count < 2) relay_count = 2;
+
+  Reactor reactor;
+
+  // Origin: direct path shaped slow, relayed path fast, so races choose
+  // relays whenever one is eligible — which keeps the fleet on the hot
+  // path while we restart it.
+  HttpOriginServer origin(reactor, 0);
+  origin.add_resource(kPath, kResourceSize);
+  origin.set_shaping_policy([](const http::Request& request) {
+    return request.headers.has("Via") ? 4e6 : 400e3;
+  });
+
+  std::vector<RelaySlot> slots(relay_count);
+  for (std::size_t i = 0; i < relay_count; ++i) {
+    slots[i].daemon = std::make_unique<RelayDaemon>(reactor, 0);
+    slots[i].port = slots[i].daemon->port();
+    slots[i].name = "relay-" + std::to_string(i);
+  }
+
+  FleetConfig fleet_config;
+  fleet_config.heartbeat_interval_s = kHeartbeatS;
+  fleet_config.probe_timeout_s = 0.08;
+  fleet_config.probe_connect_timeout_s = 0.05;
+  fleet_config.probe_backoff_max_s = 0.4;
+  fleet_config.membership.probation_s = 0.3;
+  FleetDirectory directory(reactor, fleet_config);
+  std::vector<Endpoint> all_relays;
+  for (const RelaySlot& slot : slots) {
+    all_relays.push_back(Endpoint{"127.0.0.1", slot.port});
+    directory.add_relay(all_relays.back(), slot.name);
+  }
+  directory.start();
+
+  std::printf("fleet_demo: %zu relays, %zu concurrent clients, "
+              "heartbeat %.0f ms\n",
+              relay_count, client_count, kHeartbeatS * 1000.0);
+
+  // --- The client pool: races back to back, relays filtered through the
+  // directory at launch time.
+  std::size_t completed = 0, failed = 0, relayed = 0, went_direct = 0;
+  std::size_t fell_back = 0, races_inflight = 0;
+  bool stop_launching = false;
+  std::function<void()> launch = [&] {
+    if (stop_launching) return;
+    ++races_inflight;
+    RaceSpec spec;
+    spec.origin = Endpoint{"127.0.0.1", origin.port()};
+    spec.path = kPath;
+    spec.resource_size = kResourceSize;
+    spec.probe_bytes = 50'000;
+    spec.timeout_s = 20.0;
+    spec.retry.max_retries = 2;
+    spec.retry.base_delay = 0.05;
+    spec.retry.max_delay = 0.5;
+    for (std::size_t i : directory.eligible_indices(all_relays)) {
+      spec.relays.push_back(all_relays[i]);
+    }
+    start_probe_race(reactor, spec, [&](const RaceResult& result) {
+      --races_inflight;
+      if (!result.ok) {
+        ++failed;
+        std::fprintf(stderr, "transfer FAILED: %s\n",
+                     result.error.c_str());
+      } else {
+        ++completed;
+        if (result.chose_indirect) ++relayed; else ++went_direct;
+        if (result.fell_back_direct) ++fell_back;
+      }
+      launch();
+    });
+  };
+  for (std::size_t i = 0; i < client_count; ++i) launch();
+
+  // --- The rolling restart, one relay at a time, driven from the poll
+  // loop so daemon teardown never happens inside a daemon callback.
+  enum class Stage { Start, Draining, WaitDown, WaitAlive, Done };
+  std::size_t current = 0;
+  Stage stage = Stage::Start;
+  double down_seen_s = -1.0;  // when the directory marked the victim Down
+  std::size_t settle_floor = 0;  // completed count to reach after restarts
+  std::vector<GateCheck> checks;
+
+  const auto step_restart = [&] {
+    if (stage == Stage::Done) return;
+    RelaySlot& slot = slots[current];
+    const Endpoint endpoint{"127.0.0.1", slot.port};
+    switch (stage) {
+      case Stage::Start: {
+        if (completed < 3) return;  // restart only once under real load
+        if (current == 0) {
+          // Crash: no advertisement, no drain — detection must come from
+          // missed heartbeats alone.
+          std::printf("[%6.2fs] killing %s abruptly\n", reactor.now(),
+                      slot.name.c_str());
+          slot.daemon.reset();
+          slot.drained = true;
+          stage = Stage::WaitDown;
+        } else {
+          std::printf("[%6.2fs] draining %s\n", reactor.now(),
+                      slot.name.c_str());
+          slot.drained = false;
+          slot.daemon->drain([&slot] { slot.drained = true; });
+          stage = Stage::Draining;
+        }
+        return;
+      }
+      case Stage::Draining:
+        if (!slot.drained) return;
+        slot.daemon.reset();  // listener already closed; safe teardown
+        stage = Stage::WaitDown;
+        return;
+      case Stage::WaitDown:
+        if (directory.health(endpoint) != core::RelayHealth::Down) return;
+        if (down_seen_s < 0.0) down_seen_s = reactor.now();
+        if (reactor.now() < down_seen_s + kRebirthGraceS) return;
+        try {
+          slot.daemon = std::make_unique<RelayDaemon>(reactor, slot.port);
+        } catch (const util::Error&) {
+          return;  // port momentarily busy; retry next tick
+        }
+        down_seen_s = -1.0;
+        ++slot.generation;
+        slot.rebirth_checked = false;
+        std::printf("[%6.2fs] %s restarted (gen %d), awaiting "
+                    "re-admission\n",
+                    reactor.now(), slot.name.c_str(), slot.generation);
+        stage = Stage::WaitAlive;
+        return;
+      case Stage::WaitAlive: {
+        const core::RelayHealth health = directory.health(endpoint);
+        if (health == core::RelayHealth::Probation &&
+            !slot.rebirth_checked) {
+          // The zero-probe-bytes proof: this instance has existed only
+          // while the directory excluded it (Down, then Probation), so
+          // the only requests it may have seen are heartbeats.
+          const obs::Snapshot snap = slot.daemon->metrics().snapshot();
+          const obs::MetricValue* dials =
+              snap.find("rt.relay.upstream_connects");
+          slot.rebirth_checked = true;
+          slot.rebirth_clean = slot.daemon->transfers_forwarded() == 0 &&
+                               (dials == nullptr || dials->count == 0);
+        }
+        if (health != core::RelayHealth::Alive) return;
+        std::printf("[%6.2fs] %s re-admitted\n", reactor.now(),
+                    slot.name.c_str());
+        if (++current >= slots.size()) {
+          stage = Stage::Done;
+          settle_floor = completed + 5;
+        } else {
+          stage = Stage::Start;
+        }
+        return;
+      }
+      case Stage::Done:
+        return;
+    }
+  };
+
+  const double deadline_s = 120.0;
+  while (reactor.now() < deadline_s) {
+    reactor.poll(0.005);
+    step_restart();
+    if (stage == Stage::Done && completed >= settle_floor &&
+        completed >= kMinTransfers) {
+      break;
+    }
+  }
+  stop_launching = true;
+  const double drain_deadline = reactor.now() + 30.0;
+  while (races_inflight > 0 && reactor.now() < drain_deadline) {
+    reactor.poll(0.005);
+  }
+  directory.stop();
+
+  // --- Verdicts.
+  const obs::Snapshot fleet_snap = directory.metrics().snapshot();
+  const auto fleet_count = [&](const char* name) -> std::uint64_t {
+    const obs::MetricValue* m = fleet_snap.find(name);
+    return m ? m->count : 0;
+  };
+  const obs::MetricValue* detect_max =
+      fleet_snap.find("rt.fleet.detect_seconds_max");
+
+  checks.push_back({"rolling_restart_completed", stage == Stage::Done,
+                    "stage reached Done before the deadline"});
+  checks.push_back({"zero_failed_transfers", failed == 0,
+                    std::to_string(failed) + " failed of " +
+                        std::to_string(completed + failed)});
+  checks.push_back({"enough_transfers", completed >= kMinTransfers,
+                    std::to_string(completed) + " completed (floor " +
+                        std::to_string(kMinTransfers) + ")"});
+
+  bool all_alive = true;
+  for (const RelaySlot& slot : slots) {
+    all_alive = all_alive && slot.generation == 2 &&
+                directory.health(Endpoint{"127.0.0.1", slot.port}) ==
+                    core::RelayHealth::Alive;
+  }
+  checks.push_back({"every_relay_restarted_and_readmitted", all_alive,
+                    "all generations == 2 and Alive at end"});
+
+  const double detect_bound =
+      2.0 * kHeartbeatS + fleet_config.probe_timeout_s + kDetectSlackS;
+  const double detect_value = detect_max ? detect_max->value : -1.0;
+  checks.push_back(
+      {"detect_within_two_intervals",
+       fleet_count("rt.fleet.marked_down") >= relay_count &&
+           detect_value > 0.0 && detect_value <= detect_bound,
+       "max " + std::to_string(detect_value) + " s, bound " +
+           std::to_string(detect_bound) + " s, " +
+           std::to_string(fleet_count("rt.fleet.marked_down")) +
+           " down transitions"});
+
+  bool rebirths_clean = true;
+  for (const RelaySlot& slot : slots) {
+    rebirths_clean =
+        rebirths_clean && slot.rebirth_checked && slot.rebirth_clean;
+  }
+  checks.push_back({"zero_probe_bytes_while_excluded", rebirths_clean,
+                    "restarted instances saw no transfer or upstream "
+                    "dial before re-admission"});
+  checks.push_back({"exclusions_observed",
+                    fleet_count("rt.fleet.candidates_excluded") > 0,
+                    std::to_string(
+                        fleet_count("rt.fleet.candidates_excluded")) +
+                        " candidates excluded from races"});
+
+  std::printf("\n%zu transfers: %zu relayed, %zu direct, %zu salvaged "
+              "by direct fallback, %zu FAILED\n",
+              completed + failed, relayed, went_direct, fell_back, failed);
+  std::printf("probes: %llu sent, %llu ok, %llu missed\n",
+              static_cast<unsigned long long>(
+                  fleet_count("rt.fleet.probes_sent")),
+              static_cast<unsigned long long>(
+                  fleet_count("rt.fleet.probes_ok")),
+              static_cast<unsigned long long>(
+                  fleet_count("rt.fleet.probes_missed")));
+
+  bool all_pass = true;
+  for (const GateCheck& check : checks) {
+    all_pass = all_pass && check.pass;
+    std::printf("%-38s %s  (%s)\n", check.name.c_str(),
+                check.pass ? "PASS" : "FAIL", check.detail.c_str());
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << "{\"demo\":\"fleet_demo\",\"gate\":" << (gate ? "true" : "false")
+        << ",\"transfers_completed\":" << completed
+        << ",\"transfers_failed\":" << failed
+        << ",\"relayed\":" << relayed
+        << ",\"direct\":" << went_direct
+        << ",\"checks\":[";
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      if (i != 0) out << ",";
+      out << "{\"name\":\"" << json_escape(checks[i].name)
+          << "\",\"pass\":" << (checks[i].pass ? "true" : "false")
+          << ",\"detail\":\"" << json_escape(checks[i].detail) << "\"}";
+    }
+    out << "],\"fleet_metrics\":" << fleet_snap.to_json() << "}\n";
+    std::printf("metrics dump written to %s\n", out_path.c_str());
+  }
+
+  if (!all_pass) {
+    std::printf("\nFLEET GATE: FAIL\n");
+    return 1;
+  }
+  std::printf("\nFLEET GATE: PASS\n");
+  return 0;
+}

@@ -1,0 +1,193 @@
+#include "core/membership.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace idr::core {
+
+const char* relay_health_name(RelayHealth health) {
+  switch (health) {
+    case RelayHealth::Alive: return "alive";
+    case RelayHealth::Suspect: return "suspect";
+    case RelayHealth::Down: return "down";
+    case RelayHealth::Probation: return "probation";
+    case RelayHealth::Draining: return "draining";
+    case RelayHealth::Shedding: return "shedding";
+  }
+  return "unknown";
+}
+
+MembershipTable::MembershipTable(MembershipConfig config)
+    : config_(config) {
+  IDR_REQUIRE(config_.suspect_after_misses >= 1,
+              "MembershipTable: suspect threshold must be >= 1");
+  IDR_REQUIRE(config_.down_after_misses >= config_.suspect_after_misses,
+              "MembershipTable: down threshold below suspect threshold");
+  IDR_REQUIRE(config_.probation_s >= 0.0,
+              "MembershipTable: negative probation");
+}
+
+void MembershipTable::add_relay(net::NodeId relay, std::string name,
+                                util::TimePoint now) {
+  IDR_REQUIRE(relay != net::kInvalidNode, "MembershipTable: invalid relay");
+  if (find(relay) != nullptr) return;
+  MemberRecord record;
+  record.relay = relay;
+  record.name = std::move(name);
+  record.last_contact = now;
+  records_.push_back(std::move(record));
+}
+
+void MembershipTable::remove_relay(net::NodeId relay) {
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [relay](const MemberRecord& r) {
+                                  return r.relay == relay;
+                                }),
+                 records_.end());
+}
+
+bool MembershipTable::has_relay(net::NodeId relay) const {
+  return find(relay) != nullptr;
+}
+
+MemberRecord* MembershipTable::find(net::NodeId relay) {
+  for (auto& record : records_) {
+    if (record.relay == relay) return &record;
+  }
+  return nullptr;
+}
+
+const MemberRecord* MembershipTable::find(net::NodeId relay) const {
+  for (const auto& record : records_) {
+    if (record.relay == relay) return &record;
+  }
+  return nullptr;
+}
+
+MemberRecord& MembershipTable::mutable_record(net::NodeId relay) {
+  MemberRecord* record = find(relay);
+  IDR_REQUIRE(record != nullptr, "MembershipTable: unknown relay");
+  return *record;
+}
+
+const MemberRecord& MembershipTable::record(net::NodeId relay) const {
+  const MemberRecord* record = find(relay);
+  IDR_REQUIRE(record != nullptr, "MembershipTable: unknown relay");
+  return *record;
+}
+
+HeartbeatOutcome MembershipTable::note_heartbeat(net::NodeId relay,
+                                                 HeartbeatStatus status,
+                                                 double retry_after_s,
+                                                 util::TimePoint now) {
+  MemberRecord& record = mutable_record(relay);
+  HeartbeatOutcome outcome;
+  outcome.before = record.health;
+  record.consecutive_misses = 0;
+  record.last_contact = now;
+
+  switch (status) {
+    case HeartbeatStatus::Draining:
+      record.health = RelayHealth::Draining;
+      break;
+    case HeartbeatStatus::Shedding:
+      record.health = RelayHealth::Shedding;
+      record.shed_hold_until =
+          now + (retry_after_s > 0.0 ? retry_after_s
+                                     : config_.default_shed_hold_s);
+      break;
+    case HeartbeatStatus::Ok:
+      switch (outcome.before) {
+        case RelayHealth::Down:
+          // Recovery starts a probation clock; the relay stays excluded
+          // until it has answered "ok" past the window.
+          record.health = RelayHealth::Probation;
+          record.probation_until = now + config_.probation_s;
+          break;
+        case RelayHealth::Probation:
+          if (now >= record.probation_until) {
+            record.health = RelayHealth::Alive;
+            ++record.readmissions;
+          }
+          break;
+        default:
+          // Suspect, Draining, Shedding and Alive all return to Alive on
+          // a clean answer: a drained relay answering "ok" is the
+          // restarted instance, a shed one has headroom again.
+          record.health = RelayHealth::Alive;
+          break;
+      }
+      break;
+  }
+  outcome.after = record.health;
+  return outcome;
+}
+
+HeartbeatOutcome MembershipTable::note_miss(net::NodeId relay,
+                                            util::TimePoint now) {
+  MemberRecord& record = mutable_record(relay);
+  HeartbeatOutcome outcome;
+  outcome.before = record.health;
+  if (record.consecutive_misses == 0) record.miss_run_start = now;
+  ++record.consecutive_misses;
+
+  if (record.consecutive_misses >= config_.down_after_misses) {
+    if (outcome.before != RelayHealth::Down) {
+      record.health = RelayHealth::Down;
+      ++record.times_down;
+      outcome.since_last_contact = now - record.last_contact;
+    }
+  } else if (record.consecutive_misses >= config_.suspect_after_misses) {
+    // Draining keeps its label while misses accumulate: it is already
+    // excluded, and "draining" explains *why* better than "suspect".
+    if (outcome.before == RelayHealth::Alive ||
+        outcome.before == RelayHealth::Probation ||
+        outcome.before == RelayHealth::Shedding) {
+      record.health = RelayHealth::Suspect;
+      ++record.times_suspect;
+    }
+  }
+  outcome.after = record.health;
+  return outcome;
+}
+
+RelayHealth MembershipTable::health(net::NodeId relay) const {
+  const MemberRecord* record = find(relay);
+  return record != nullptr ? record->health : RelayHealth::Alive;
+}
+
+bool MembershipTable::eligible(net::NodeId relay, util::TimePoint now) const {
+  const MemberRecord* record = find(relay);
+  if (record == nullptr) return true;
+  switch (record->health) {
+    case RelayHealth::Alive:
+    case RelayHealth::Suspect:
+      return true;
+    case RelayHealth::Shedding:
+      return now >= record->shed_hold_until;
+    case RelayHealth::Down:
+    case RelayHealth::Draining:
+    case RelayHealth::Probation:
+      return false;
+  }
+  return true;
+}
+
+std::size_t MembershipTable::alive_count() const {
+  std::size_t count = 0;
+  for (const auto& record : records_) {
+    if (record.health == RelayHealth::Alive) ++count;
+  }
+  return count;
+}
+
+std::size_t MembershipTable::eligible_count(util::TimePoint now) const {
+  std::size_t count = 0;
+  for (const auto& record : records_) {
+    if (eligible(record.relay, now)) ++count;
+  }
+  return count;
+}
+
+}  // namespace idr::core

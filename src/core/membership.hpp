@@ -1,0 +1,161 @@
+// Fleet membership: the liveness state machine both stacks share.
+//
+// The paper's experiment assumes a fixed, always-on relay set; operating
+// the rt stack as a cluster means the opposite — relays come and go, and
+// *who is currently alive and underloaded* matters as much as raw
+// capacity estimates (the passive plane of relay_stats.hpp only learns a
+// relay died after a transfer through it fails). A MembershipTable turns
+// periodic heartbeat observations into a per-relay health state:
+//
+//   alive ──miss──▶ suspect ──miss──▶ down ──ok──▶ probation ──▶ alive
+//     │                                              (after probation_s)
+//     ├─healthz "draining"──▶ draining   (operator shutdown; excluded)
+//     └─healthz "shedding"──▶ shedding   (overloaded; held out for the
+//                                         relay's Retry-After hint)
+//
+// The table is transport-agnostic: the rt FleetDirectory feeds it from
+// real /healthz probes on the reactor clock, and simulated drivers can
+// feed it from a fault schedule on the sim clock — same transitions,
+// same timers, one state machine.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/units.hpp"
+
+namespace idr::core {
+
+enum class RelayHealth : std::uint8_t {
+  /// Answering heartbeats with status "ok"; a full member.
+  Alive,
+  /// Missed at least suspect_after_misses consecutive heartbeats — still
+  /// probed, still selectable (one lost probe must not evict a relay the
+  /// paper's data shows is usually fine), but one more miss from Down.
+  Suspect,
+  /// Missed down_after_misses consecutive heartbeats: treated as dead.
+  /// Excluded from selection; probed at a backed-off cadence.
+  Down,
+  /// Came back after Down; excluded until it stays healthy for the
+  /// configured probation window, so a flapping relay cannot churn the
+  /// candidate set on every bounce.
+  Probation,
+  /// Advertised "draining" on /healthz: an operator is shutting it down.
+  /// Excluded immediately — the whole point of self-advertisement is
+  /// that clients stop dialing *before* the listener closes.
+  Draining,
+  /// Advertised "shedding" (admission control engaged): alive but
+  /// overloaded. Held out of selection until its Retry-After hint
+  /// expires, then eligible again (deprioritized, not banished).
+  Shedding,
+};
+
+const char* relay_health_name(RelayHealth health);
+
+/// What a heartbeat response said. Miss (timeout / refused / garbage) is
+/// reported through note_miss, not a status.
+enum class HeartbeatStatus : std::uint8_t { Ok, Shedding, Draining };
+
+struct MembershipConfig {
+  /// Consecutive misses before Alive degrades to Suspect.
+  std::size_t suspect_after_misses = 1;
+  /// Consecutive misses before any state collapses to Down.
+  std::size_t down_after_misses = 2;
+  /// How long a relay recovering from Down must keep answering "ok"
+  /// before it is re-admitted to selection.
+  util::Duration probation_s = 1.0;
+  /// Fallback hold for a shedding relay whose healthz carried no
+  /// Retry-After hint.
+  util::Duration default_shed_hold_s = 1.0;
+};
+
+/// Per-relay membership record. All timestamps are on the caller's clock
+/// (reactor seconds for rt, sim seconds for the testbed).
+struct MemberRecord {
+  net::NodeId relay = net::kInvalidNode;
+  std::string name;
+  RelayHealth health = RelayHealth::Alive;
+  /// Length of the current heartbeat-miss run.
+  std::size_t consecutive_misses = 0;
+  /// Last time the relay answered a heartbeat at all (any status).
+  util::TimePoint last_contact = 0.0;
+  /// First miss of the current run (undefined while the run is empty).
+  util::TimePoint miss_run_start = 0.0;
+  /// Probation: earliest time an "ok" heartbeat re-admits the relay.
+  util::TimePoint probation_until = 0.0;
+  /// Shedding: excluded from selection until this deadline.
+  util::TimePoint shed_hold_until = 0.0;
+  /// Transition odometers (monotonic).
+  std::size_t times_suspect = 0;
+  std::size_t times_down = 0;
+  std::size_t readmissions = 0;
+};
+
+/// Outcome of one heartbeat observation: the transition it caused (if
+/// any) plus the latency datum the caller's metrics want.
+struct HeartbeatOutcome {
+  RelayHealth before = RelayHealth::Alive;
+  RelayHealth after = RelayHealth::Alive;
+  bool transitioned() const { return before != after; }
+  /// On a transition *to Down*: seconds since the relay last answered a
+  /// heartbeat — the conservative time-to-detect bound (the relay died
+  /// no earlier than its last answer). Zero otherwise.
+  util::Duration since_last_contact = 0.0;
+};
+
+class MembershipTable {
+ public:
+  explicit MembershipTable(MembershipConfig config = {});
+
+  const MembershipConfig& config() const { return config_; }
+
+  /// Registers a relay (idempotent per id). New members start Alive with
+  /// `now` as their last contact: an unprobed relay is presumed healthy,
+  /// so wiring a directory into an existing client changes nothing until
+  /// heartbeats actually report otherwise.
+  void add_relay(net::NodeId relay, std::string name,
+                 util::TimePoint now = 0.0);
+  /// Drops a relay (hot reload removing it from the fleet). No-op for
+  /// unknown ids.
+  void remove_relay(net::NodeId relay);
+
+  bool has_relay(net::NodeId relay) const;
+  std::size_t relay_count() const { return records_.size(); }
+
+  /// Applies a successful heartbeat response at time `now`.
+  /// `retry_after_s` is the Retry-After hint from a shedding relay's
+  /// healthz (0 = absent; the config default hold applies).
+  HeartbeatOutcome note_heartbeat(net::NodeId relay, HeartbeatStatus status,
+                                  double retry_after_s, util::TimePoint now);
+  /// Applies a missed heartbeat (timeout, refused connect, unparseable
+  /// response) at time `now`.
+  HeartbeatOutcome note_miss(net::NodeId relay, util::TimePoint now);
+
+  /// Health of a tracked relay; Alive for unknown ids (mirrors
+  /// eligible(): the table never vetoes what it is not tracking).
+  RelayHealth health(net::NodeId relay) const;
+  /// Whether selection may hand a transfer to this relay at `now`:
+  /// Alive and Suspect are eligible; Down, Draining and Probation are
+  /// not; Shedding becomes eligible again once its Retry-After hold
+  /// expires. Unknown relays are eligible (the directory only ever
+  /// *removes* options; it must never veto a relay it is not tracking).
+  bool eligible(net::NodeId relay, util::TimePoint now) const;
+
+  std::size_t alive_count() const;
+  std::size_t eligible_count(util::TimePoint now) const;
+
+  const MemberRecord& record(net::NodeId relay) const;
+  const std::vector<MemberRecord>& records() const { return records_; }
+
+ private:
+  MemberRecord& mutable_record(net::NodeId relay);
+  MemberRecord* find(net::NodeId relay);
+  const MemberRecord* find(net::NodeId relay) const;
+
+  MembershipConfig config_;
+  std::vector<MemberRecord> records_;
+};
+
+}  // namespace idr::core

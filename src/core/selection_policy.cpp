@@ -11,14 +11,15 @@ SelectionDecision SelectionPolicy::decide(const RelayStatsTable& stats,
                                           util::TimePoint now) {
   SelectionDecision decision;
   decision.candidates = choose_candidates(stats, rng);
-  // Relays serving out a blacklist penalty are dropped after the policy
-  // draw (candidate policies are time-oblivious); doing it here rather
-  // than in the client makes "never returns a blacklisted relay" a
-  // property of every decision, pinned or raced.
+  // Relays serving out a blacklist penalty — or vetoed by the fleet
+  // membership directory — are dropped after the policy draw (candidate
+  // policies are time-oblivious); doing it here rather than in the
+  // client makes "never returns a blacklisted or dead relay" a property
+  // of every decision, pinned or raced.
   decision.candidates.erase(
       std::remove_if(decision.candidates.begin(), decision.candidates.end(),
                      [&](net::NodeId relay) {
-                       return stats.blacklisted(relay, now);
+                       return !admissible(stats, relay, now);
                      }),
       decision.candidates.end());
   return decision;
@@ -124,7 +125,10 @@ SelectionDecision RaceOnStalenessPolicy::decide(const RelayStatsTable& stats,
   // counts and against the always-race baseline depends on it).
   SelectionDecision decision = SelectionPolicy::decide(stats, rng, now);
   const net::NodeId pin = stats.best_fresh_estimate(now, max_age_);
-  if (pin != net::kInvalidNode) {
+  // A fresh estimate is not enough: a pin must also clear the membership
+  // veto, or a drained relay with a recent race win would keep drawing
+  // whole transfers while the directory screams "draining".
+  if (pin != net::kInvalidNode && admissible(stats, pin, now)) {
     decision.pinned = pin;
     decision.pinned_age = stats.validated_age(pin, now);
   }

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/membership.hpp"
 #include "core/relay_stats.hpp"
 #include "util/rng.hpp"
 
@@ -48,7 +49,32 @@ class SelectionPolicy {
   virtual SelectionDecision decide(const RelayStatsTable& stats,
                                    util::Rng& rng, util::TimePoint now);
 
+  /// Optional fleet-membership filter: when a table is set, decide()
+  /// drops candidates (and refuses pins) the directory marks ineligible
+  /// — down, draining, on probation, or holding a Retry-After — *before*
+  /// the race, so dead relays never cost probe connections. The filter
+  /// runs after the policy's own draw, exactly like the blacklist, so
+  /// RNG stream consumption is unchanged whether or not a table is set.
+  /// Null (the default) disables it; the caller keeps ownership and the
+  /// table must outlive the policy.
+  void set_membership(const MembershipTable* membership) {
+    membership_ = membership;
+  }
+  const MembershipTable* membership() const { return membership_; }
+
   virtual const char* name() const = 0;
+
+ protected:
+  /// Blacklist + membership veto, the one filter every decision path
+  /// (raced candidates and pins alike) must pass.
+  bool admissible(const RelayStatsTable& stats, net::NodeId relay,
+                  util::TimePoint now) const {
+    return !stats.blacklisted(relay, now) &&
+           (membership_ == nullptr || membership_->eligible(relay, now));
+  }
+
+ private:
+  const MembershipTable* membership_ = nullptr;
 };
 
 /// Never probes any relay: the direct path is always used. Baseline.

@@ -61,11 +61,10 @@ void Connection::handle_events(IoEvents events) {
       err_msg = "connection refused (injected fault)";
     }
     if (!err_msg.empty()) {
-      if (registered_) {
-        reactor_.remove_fd(fd_.get());
-        registered_ = false;
-      }
-      fd_.reset();
+      // Full close(), not just an fd reset: on_data_/on_close_ hold the
+      // owner's self-referencing captures, and with the fd already gone a
+      // later close() would early-return and never release them.
+      close();
       if (cb) cb(err_msg);
       return;
     }

@@ -1,0 +1,269 @@
+#include "rt/fleet.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/log.hpp"
+#include "rt/governance.hpp"
+
+namespace idr::rt {
+
+FleetDirectory::FleetDirectory(Reactor& reactor, FleetConfig config)
+    : reactor_(reactor), config_(config), table_(config.membership) {
+  c_probes_sent_ = metrics_.counter("rt.fleet.probes_sent");
+  c_probes_ok_ = metrics_.counter("rt.fleet.probes_ok");
+  c_probes_missed_ = metrics_.counter("rt.fleet.probes_missed");
+  c_transitions_ = metrics_.counter("rt.fleet.transitions");
+  c_marked_suspect_ = metrics_.counter("rt.fleet.marked_suspect");
+  c_marked_down_ = metrics_.counter("rt.fleet.marked_down");
+  c_readmitted_ = metrics_.counter("rt.fleet.readmitted");
+  c_candidates_excluded_ = metrics_.counter("rt.fleet.candidates_excluded");
+  c_relays_added_ = metrics_.counter("rt.fleet.relays_added");
+  c_relays_removed_ = metrics_.counter("rt.fleet.relays_removed");
+  c_reloads_ = metrics_.counter("rt.fleet.reloads");
+  g_relays_ = metrics_.gauge("rt.fleet.relays");
+  g_alive_ = metrics_.gauge("rt.fleet.alive");
+  g_eligible_ = metrics_.gauge("rt.fleet.eligible");
+  g_detect_seconds_max_ = metrics_.gauge("rt.fleet.detect_seconds_max");
+  h_detect_seconds_ = metrics_.histogram(
+      "rt.fleet.detect_seconds", obs::HistogramOptions{1e-3, 60.0, 4});
+  h_probe_rtt_seconds_ = metrics_.histogram(
+      "rt.fleet.probe_rtt_seconds", obs::HistogramOptions{1e-5, 10.0, 4});
+}
+
+FleetDirectory::~FleetDirectory() { stop(); }
+
+std::string FleetDirectory::key(const Endpoint& endpoint) {
+  return endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+FleetDirectory::ProbeState* FleetDirectory::find(const Endpoint& endpoint) {
+  const auto it = by_endpoint_.find(key(endpoint));
+  if (it == by_endpoint_.end()) return nullptr;
+  return &members_.at(it->second);
+}
+
+const FleetDirectory::ProbeState* FleetDirectory::find(
+    const Endpoint& endpoint) const {
+  const auto it = by_endpoint_.find(key(endpoint));
+  if (it == by_endpoint_.end()) return nullptr;
+  return &members_.at(it->second);
+}
+
+net::NodeId FleetDirectory::add_relay(const Endpoint& endpoint,
+                                      std::string name) {
+  if (const ProbeState* existing = find(endpoint)) return existing->id;
+  const net::NodeId id = next_id_++;
+  ProbeState state;
+  state.id = id;
+  state.endpoint = endpoint;
+  state.name = name.empty() ? key(endpoint) : std::move(name);
+  state.cadence_s = config_.heartbeat_interval_s;
+  by_endpoint_.emplace(key(endpoint), id);
+  table_.add_relay(id, state.name, reactor_.now());
+  members_.emplace(id, std::move(state));
+  c_relays_added_.inc();
+  refresh_gauges();
+  // A freshly added relay is probed at once: discovery should not wait
+  // out a full interval.
+  if (running_) schedule_probe(id, 0.0);
+  return id;
+}
+
+void FleetDirectory::remove_relay(const Endpoint& endpoint) {
+  const auto it = by_endpoint_.find(key(endpoint));
+  if (it == by_endpoint_.end()) return;
+  const net::NodeId id = it->second;
+  ProbeState& state = members_.at(id);
+  if (state.timer != 0) {
+    reactor_.cancel_timer(state.timer);
+    state.timer = 0;
+  }
+  state.inflight.cancel();
+  table_.remove_relay(id);
+  members_.erase(id);
+  by_endpoint_.erase(it);
+  c_relays_removed_.inc();
+  refresh_gauges();
+}
+
+void FleetDirectory::reload(const std::vector<Endpoint>& relays) {
+  c_reloads_.inc();
+  std::set<std::string> wanted;
+  for (const Endpoint& endpoint : relays) wanted.insert(key(endpoint));
+  // Remove first (ids of survivors must not be disturbed), then add.
+  std::vector<Endpoint> gone;
+  for (const auto& [id, state] : members_) {
+    if (wanted.find(key(state.endpoint)) == wanted.end()) {
+      gone.push_back(state.endpoint);
+    }
+  }
+  for (const Endpoint& endpoint : gone) remove_relay(endpoint);
+  for (const Endpoint& endpoint : relays) add_relay(endpoint);
+}
+
+void FleetDirectory::start() {
+  if (running_) return;
+  running_ = true;
+  for (const auto& [id, state] : members_) schedule_probe(id, 0.0);
+}
+
+void FleetDirectory::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& [id, state] : members_) {
+    if (state.timer != 0) {
+      reactor_.cancel_timer(state.timer);
+      state.timer = 0;
+    }
+    state.inflight.cancel();
+    state.probe_inflight = false;
+  }
+}
+
+core::RelayHealth FleetDirectory::health(const Endpoint& endpoint) const {
+  const ProbeState* state = find(endpoint);
+  return state ? table_.health(state->id) : core::RelayHealth::Alive;
+}
+
+bool FleetDirectory::eligible(const Endpoint& endpoint) const {
+  const ProbeState* state = find(endpoint);
+  return state == nullptr || table_.eligible(state->id, reactor_.now());
+}
+
+std::vector<std::size_t> FleetDirectory::eligible_indices(
+    const std::vector<Endpoint>& candidates) const {
+  std::vector<std::size_t> kept;
+  kept.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (eligible(candidates[i])) {
+      kept.push_back(i);
+    } else {
+      c_candidates_excluded_.inc();
+    }
+  }
+  return kept;
+}
+
+std::vector<FleetMember> FleetDirectory::members() const {
+  std::vector<FleetMember> out;
+  out.reserve(members_.size());
+  for (const auto& [id, state] : members_) {
+    FleetMember member;
+    member.id = id;
+    member.endpoint = state.endpoint;
+    member.name = state.name;
+    member.health = table_.health(id);
+    out.push_back(std::move(member));
+  }
+  return out;
+}
+
+void FleetDirectory::schedule_probe(net::NodeId id, double delay_s) {
+  ProbeState& state = members_.at(id);
+  if (state.timer != 0) reactor_.cancel_timer(state.timer);
+  state.timer = reactor_.add_timer(delay_s, [this, id] {
+    const auto it = members_.find(id);
+    if (it == members_.end()) return;  // removed while the timer slept
+    it->second.timer = 0;
+    launch_probe(id);
+  });
+}
+
+void FleetDirectory::launch_probe(net::NodeId id) {
+  ProbeState& state = members_.at(id);
+  if (state.probe_inflight) {
+    // Previous probe still pending (should not outlive its own timeout,
+    // but never let the probe loop die): try again next interval.
+    schedule_probe(id, state.cadence_s);
+    return;
+  }
+  state.probe_inflight = true;
+  c_probes_sent_.inc();
+  FetchRequest request;
+  request.origin = state.endpoint;
+  request.path = "/healthz";
+  request.timeout_s = config_.probe_timeout_s;
+  request.connect_timeout_s = config_.probe_connect_timeout_s;
+  request.capture_body = true;
+  state.inflight =
+      fetch(reactor_, request, [this, id](const FetchResult& result) {
+        // The directory may have dropped this relay while the probe was
+        // in flight (hot reload); results for ghosts are ignored.
+        const auto it = members_.find(id);
+        if (it == members_.end()) return;
+        it->second.probe_inflight = false;
+        on_probe_result(id, result);
+      });
+}
+
+void FleetDirectory::on_probe_result(net::NodeId id,
+                                     const FetchResult& result) {
+  ProbeState& state = members_.at(id);
+  const double now = reactor_.now();
+
+  std::optional<HealthzInfo> info;
+  if (result.ok && result.status == 200) info = parse_healthz(result.body);
+
+  core::HeartbeatOutcome outcome;
+  if (info) {
+    c_probes_ok_.inc();
+    h_probe_rtt_seconds_.observe(result.elapsed());
+    core::HeartbeatStatus status = core::HeartbeatStatus::Ok;
+    if (info->status == "draining") {
+      status = core::HeartbeatStatus::Draining;
+    } else if (info->status == "shedding") {
+      status = core::HeartbeatStatus::Shedding;
+    }
+    outcome = table_.note_heartbeat(id, status, info->retry_after_s, now);
+    state.cadence_s = config_.heartbeat_interval_s;
+  } else {
+    // Timeout, refused connect, non-200, or an unparseable body: a miss.
+    c_probes_missed_.inc();
+    outcome = table_.note_miss(id, now);
+    // Back off only once the relay is confirmed Down: suspicion must be
+    // resolved at full cadence (or detection would take longer than the
+    // promised down_after_misses intervals), but probing a corpse gets
+    // exponentially cheaper up to the cap — and snaps back to the
+    // heartbeat interval on first contact.
+    if (table_.health(id) == core::RelayHealth::Down) {
+      state.cadence_s =
+          std::min(state.cadence_s * 2.0, config_.probe_backoff_max_s);
+    }
+  }
+  apply_outcome(state, outcome);
+  refresh_gauges();  // a shed hold can expire without a transition
+  schedule_probe(id, state.cadence_s);
+}
+
+void FleetDirectory::apply_outcome(const ProbeState& state,
+                                   const core::HeartbeatOutcome& outcome) {
+  if (!outcome.transitioned()) return;
+  c_transitions_.inc();
+  using core::RelayHealth;
+  if (outcome.after == RelayHealth::Suspect) c_marked_suspect_.inc();
+  if (outcome.after == RelayHealth::Down) {
+    c_marked_down_.inc();
+    h_detect_seconds_.observe(outcome.since_last_contact);
+    g_detect_seconds_max_.set(std::max(g_detect_seconds_max_.value(),
+                                       outcome.since_last_contact));
+  }
+  if (outcome.before == RelayHealth::Probation &&
+      outcome.after == RelayHealth::Alive) {
+    c_readmitted_.inc();
+  }
+  IDR_OBS_LOG(obs::Severity::Info, "rt.fleet",
+              "relay " << state.name << ": "
+                       << core::relay_health_name(outcome.before) << " -> "
+                       << core::relay_health_name(outcome.after));
+  refresh_gauges();
+}
+
+void FleetDirectory::refresh_gauges() {
+  g_relays_.set(static_cast<double>(members_.size()));
+  g_alive_.set(static_cast<double>(table_.alive_count()));
+  g_eligible_.set(
+      static_cast<double>(table_.eligible_count(reactor_.now())));
+}
+
+}  // namespace idr::rt

@@ -1,0 +1,164 @@
+// The relay fleet control plane: live discovery over the HTTP plane.
+//
+// A FleetDirectory owns the socket-side half of the membership model
+// (core/membership.hpp): it probes every registered relay's /healthz on
+// a heartbeat cadence — short per-probe connect and response timeouts,
+// exponential backoff while a relay keeps missing — parses the status
+// the relay self-advertises ("ok" / "shedding" / "draining" plus a
+// Retry-After hint), and feeds each observation into a MembershipTable
+// on the reactor clock. Selection consults the directory *before* a
+// race: a dead or draining relay never gets a probe lane, so the race's
+// probe bytes go only to relays that might actually win.
+//
+// The directory is strictly opt-in. Nothing in the rt stack constructs
+// one implicitly; a client that never wires a directory races exactly
+// as before, byte for byte.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/membership.hpp"
+#include "obs/metrics.hpp"
+#include "rt/http_client.hpp"
+
+namespace idr::rt {
+
+struct FleetConfig {
+  /// Heartbeat cadence for a healthy relay.
+  double heartbeat_interval_s = 0.25;
+  /// Per-probe bound on the whole /healthz exchange.
+  double probe_timeout_s = 0.2;
+  /// Tighter bound on TCP connect alone (a dead host must cost one
+  /// connect timeout, not a response timeout).
+  double probe_connect_timeout_s = 0.1;
+  /// While a relay misses, its probe cadence backs off exponentially
+  /// from heartbeat_interval_s up to this cap — a down relay is still
+  /// probed (that is how recovery is discovered) but cheaply.
+  double probe_backoff_max_s = 1.0;
+  /// The shared state machine's thresholds and probation window.
+  core::MembershipConfig membership{};
+};
+
+/// One relay as the directory tracks it.
+struct FleetMember {
+  net::NodeId id = net::kInvalidNode;  // directory-assigned, stable
+  Endpoint endpoint;
+  std::string name;  // "host:port" unless the caller supplied one
+  core::RelayHealth health = core::RelayHealth::Alive;
+};
+
+/// Heartbeat prober + membership view for a set of relay endpoints.
+/// Single-reactor, like every rt daemon; all callbacks fire on the loop.
+class FleetDirectory {
+ public:
+  FleetDirectory(Reactor& reactor, FleetConfig config = {});
+  ~FleetDirectory();
+
+  FleetDirectory(const FleetDirectory&) = delete;
+  FleetDirectory& operator=(const FleetDirectory&) = delete;
+
+  /// Registers a relay (idempotent per endpoint). Starts Alive —
+  /// presumed healthy until heartbeats say otherwise. Returns its
+  /// directory id. Probing starts immediately when the directory is
+  /// running.
+  net::NodeId add_relay(const Endpoint& endpoint, std::string name = "");
+  /// Drops a relay: its probes stop, its membership record is erased.
+  void remove_relay(const Endpoint& endpoint);
+  /// SIGHUP-style hot reload: the directory converges on exactly
+  /// `relays` — new endpoints are added (Alive, probed at once), absent
+  /// ones removed, surviving ones keep their health state and history.
+  void reload(const std::vector<Endpoint>& relays);
+
+  /// Starts / stops the heartbeat plane. start() probes every relay
+  /// immediately, then settles into the configured cadence; stop()
+  /// cancels timers and in-flight probes (observations already fed to
+  /// the table remain).
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  std::size_t relay_count() const { return members_.size(); }
+  /// Health of a tracked endpoint; Alive for unknown endpoints (the
+  /// directory never vetoes what it does not track).
+  core::RelayHealth health(const Endpoint& endpoint) const;
+  bool eligible(const Endpoint& endpoint) const;
+
+  /// The selection-side filter: indices into `candidates` whose relays
+  /// the directory considers eligible right now. Unknown endpoints pass
+  /// through. Exclusions land on the rt.fleet.candidates_excluded
+  /// counter — the observable proof that no race probe was spent on a
+  /// down or draining relay.
+  std::vector<std::size_t> eligible_indices(
+      const std::vector<Endpoint>& candidates) const;
+
+  /// Current membership snapshot, one entry per tracked relay.
+  std::vector<FleetMember> members() const;
+
+  /// The shared state machine (rt feeds it; tests and the sim read it).
+  const core::MembershipTable& table() const { return table_; }
+
+  const FleetConfig& config() const { return config_; }
+
+  /// `rt.fleet.*` series (Sync::Atomic).
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+ private:
+  struct ProbeState {
+    net::NodeId id = net::kInvalidNode;
+    Endpoint endpoint;
+    std::string name;
+    TimerId timer = 0;
+    FetchHandle inflight;
+    /// Explicit in-flight marker: FetchHandle::active() can lag the
+    /// fetch's completion (the connection may keep its callbacks — and
+    /// so the fetch state — alive briefly after finish), so the prober
+    /// tracks its own lifecycle.
+    bool probe_inflight = false;
+    /// Current probe delay; heartbeat_interval_s while healthy, doubled
+    /// per miss up to probe_backoff_max_s.
+    double cadence_s = 0.0;
+  };
+
+  static std::string key(const Endpoint& endpoint);
+  ProbeState* find(const Endpoint& endpoint);
+  const ProbeState* find(const Endpoint& endpoint) const;
+  void schedule_probe(net::NodeId id, double delay_s);
+  void launch_probe(net::NodeId id);
+  void on_probe_result(net::NodeId id, const FetchResult& result);
+  void apply_outcome(const ProbeState& state,
+                     const core::HeartbeatOutcome& outcome);
+  void refresh_gauges();
+
+  Reactor& reactor_;
+  FleetConfig config_;
+  core::MembershipTable table_;
+  bool running_ = false;
+  net::NodeId next_id_ = 0;
+  std::map<std::string, net::NodeId> by_endpoint_;  // "host:port" -> id
+  std::map<net::NodeId, ProbeState> members_;
+
+  obs::Registry metrics_{obs::Registry::Sync::Atomic};
+  obs::Counter c_probes_sent_;
+  obs::Counter c_probes_ok_;
+  obs::Counter c_probes_missed_;
+  obs::Counter c_transitions_;
+  obs::Counter c_marked_suspect_;
+  obs::Counter c_marked_down_;
+  obs::Counter c_readmitted_;
+  obs::Counter c_candidates_excluded_;
+  obs::Counter c_relays_added_;
+  obs::Counter c_relays_removed_;
+  obs::Counter c_reloads_;
+  obs::Gauge g_relays_;
+  obs::Gauge g_alive_;
+  obs::Gauge g_eligible_;
+  obs::Gauge g_detect_seconds_max_;
+  obs::Histogram h_detect_seconds_;
+  obs::Histogram h_probe_rtt_seconds_;
+};
+
+}  // namespace idr::rt

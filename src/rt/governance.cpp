@@ -46,15 +46,66 @@ http::Response make_metrics_response(std::string exposition) {
 }
 
 http::Response make_healthz_response(std::string_view status,
-                                     std::size_t sessions) {
+                                     std::size_t sessions,
+                                     double retry_after_s) {
   http::Response response;
   response.status = 200;
   response.reason = std::string(http::default_reason(200));
   response.headers.set("Content-Type", "application/json");
   response.headers.set("Connection", "close");
   response.body = "{\"status\":\"" + std::string(status) +
-                  "\",\"sessions\":" + std::to_string(sessions) + "}\n";
+                  "\",\"sessions\":" + std::to_string(sessions);
+  if (retry_after_s > 0.0) {
+    response.body +=
+        ",\"retry_after\":" +
+        std::to_string(static_cast<long long>(std::ceil(retry_after_s)));
+  }
+  response.body += "}\n";
   return response;
+}
+
+namespace {
+
+/// Value of a `"key":` field in a flat JSON object; npos-start when the
+/// key is absent.
+std::string_view field_value(std::string_view body, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t pos = body.find(needle);
+  if (pos == std::string_view::npos) return {};
+  std::string_view rest = body.substr(pos + needle.size());
+  const std::size_t end = rest.find_first_of(",}");
+  return end == std::string_view::npos ? rest : rest.substr(0, end);
+}
+
+}  // namespace
+
+std::optional<HealthzInfo> parse_healthz(std::string_view body) {
+  std::string_view status = field_value(body, "status");
+  if (status.size() < 2 || status.front() != '"' || status.back() != '"') {
+    return std::nullopt;
+  }
+  HealthzInfo info;
+  info.status = std::string(status.substr(1, status.size() - 2));
+  if (std::string_view sessions = field_value(body, "sessions");
+      !sessions.empty()) {
+    std::size_t value = 0;
+    for (char c : sessions) {
+      if (c < '0' || c > '9') { value = 0; break; }
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    info.sessions = value;
+  }
+  if (std::string_view retry = field_value(body, "retry_after");
+      !retry.empty()) {
+    double value = 0.0;
+    bool numeric = !retry.empty();
+    for (char c : retry) {
+      if (c < '0' || c > '9') { numeric = false; break; }
+      value = value * 10.0 + static_cast<double>(c - '0');
+    }
+    if (numeric) info.retry_after_s = value;
+  }
+  return info;
 }
 
 }  // namespace idr::rt

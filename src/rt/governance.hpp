@@ -10,6 +10,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
 
 #include "http/message.hpp"
 #include "http/parser.hpp"
@@ -73,8 +76,27 @@ bool is_introspection_target(std::string_view target);
 http::Response make_metrics_response(std::string exposition);
 
 /// 200 application/json liveness response. `status` is "ok", "shedding",
-/// or "draining"; `sessions` the daemon's current session count.
+/// or "draining"; `sessions` the daemon's current session count. A
+/// positive `retry_after_s` adds a `"retry_after"` hint (integral
+/// seconds, rounded up) — the shedding relay's pacing advice, mirrored
+/// from the 503 plane so heartbeat probes learn it without being shed
+/// themselves. Zero keeps the body byte-identical to the pre-fleet
+/// shape.
 http::Response make_healthz_response(std::string_view status,
-                                     std::size_t sessions);
+                                     std::size_t sessions,
+                                     double retry_after_s = 0.0);
+
+/// The fields a /healthz body advertises, as a heartbeat probe reads
+/// them back.
+struct HealthzInfo {
+  std::string status;       // "ok" | "shedding" | "draining"
+  std::size_t sessions = 0;
+  double retry_after_s = 0.0;  // 0 when the body carried no hint
+};
+
+/// Parses a make_healthz_response body. Tolerates unknown extra fields;
+/// nullopt when no status field is present (the probe should count the
+/// heartbeat as a miss rather than guess).
+std::optional<HealthzInfo> parse_healthz(std::string_view body);
 
 }  // namespace idr::rt

@@ -22,6 +22,7 @@ struct FetchState {
   bool range_resolved = false;
   bool finished = false;
   TimerId timeout_timer = 0;
+  TimerId connect_timer = 0;
 
   void finish(bool ok, const std::string& error) {
     if (finished) return;
@@ -38,6 +39,14 @@ struct FetchState {
     if (timeout_timer != 0) {
       reactor->cancel_timer(timeout_timer);
       timeout_timer = 0;
+    }
+    cancel_connect_timer();
+  }
+
+  void cancel_connect_timer() {
+    if (connect_timer != 0) {
+      reactor->cancel_timer(connect_timer);
+      connect_timer = 0;
     }
   }
 };
@@ -172,9 +181,16 @@ FetchHandle fetch(Reactor& reactor, const FetchRequest& request,
   state->timeout_timer = reactor.add_timer(request.timeout_s, [state] {
     state->finish(false, "timeout");
   });
+  if (request.connect_timeout_s > 0.0) {
+    state->connect_timer =
+        reactor.add_timer(request.connect_timeout_s, [state] {
+          state->finish(false, "connect timeout");
+        });
+  }
 
   state->conn->await_connect([state](const std::string& error) {
     if (state->finished) return;
+    state->cancel_connect_timer();
     if (!error.empty()) {
       state->finish(false, "connect: " + error);
       return;

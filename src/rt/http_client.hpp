@@ -30,6 +30,10 @@ struct FetchRequest {
   std::optional<Endpoint> proxy;
   /// Abort if the response hasn't completed within this many seconds.
   double timeout_s = 30.0;
+  /// Separate, tighter bound on TCP connect alone (0 = only timeout_s
+  /// applies). Heartbeat probes set this so a dead relay is detected in
+  /// one probe interval instead of hanging a transfer-sized timeout.
+  double connect_timeout_s = 0.0;
   /// Copy the response body into FetchResult::body (off by default:
   /// transfers only need counts, and bulk bodies would double memory).
   bool capture_body = false;

@@ -22,6 +22,9 @@ struct RelayDaemon::Session {
   http::ResponseParser response_parser;
   bool forwarding = false;  // response bytes streaming client-ward
   bool shed = false;        // admitted only to be told 503
+  /// Accepted after drain() began: may read introspection, forwards get
+  /// 503, and its lifetime does not hold the drain open.
+  bool drain_exempt = false;
   TimerWheel::Token idle_token = 0;
 };
 
@@ -53,6 +56,8 @@ RelayDaemon::RelayDaemon(Reactor& reactor, std::uint16_t port,
   c_upstream_connects_ = metrics_.counter("rt.relay.upstream_connects");
   c_metrics_served_ = metrics_.counter("rt.relay.metrics_served");
   c_healthz_served_ = metrics_.counter("rt.relay.healthz_served");
+  c_drain_rejected_ = metrics_.counter("rt.relay.drain_rejected");
+  c_limits_reloaded_ = metrics_.counter("rt.relay.limits_reloaded");
   g_sessions_active_ = metrics_.gauge("rt.relay.sessions_active");
   g_sessions_peak_ = metrics_.gauge("rt.relay.sessions_peak");
   g_draining_ = metrics_.gauge("rt.relay.draining");
@@ -84,7 +89,10 @@ RelayDaemon::~RelayDaemon() {
 
 void RelayDaemon::on_accept() {
   while (true) {
-    if (draining_ || !listener_open_) return;
+    // Draining does NOT stop accepting: new arrivals must be able to
+    // read the "draining" advertisement (heartbeat probes) or a fast
+    // 503 (misdirected transfers) until the listener actually closes.
+    if (!listener_open_) return;
     if (limits_.governs_admission() &&
         sessions_.size() >= limits_.max_sessions + limits_.shed_burst) {
       // Hard cap: past the shed burst even 503s are too expensive; park
@@ -131,7 +139,7 @@ void RelayDaemon::pause_accept(double delay_s) {
 
 void RelayDaemon::resume_accept() {
   accept_paused_ = false;
-  if (!listener_open_ || draining_) return;
+  if (!listener_open_) return;
   reactor_.update_fd(listen_fd_.get(), true, false);
   on_accept();  // drain whatever queued while paused
 }
@@ -144,9 +152,16 @@ void RelayDaemon::erase_session(const std::shared_ptr<Session>& session) {
   sessions_.erase(session);
   g_sessions_active_.set(static_cast<double>(sessions_.size()));
   if (draining_) {
-    c_drained_.inc();
-    if (sessions_.empty()) finish_drain();
+    if (!session->drain_exempt) c_drained_.inc();
+    if (drain_complete()) finish_drain();
   }
+}
+
+bool RelayDaemon::drain_complete() const {
+  for (const auto& session : sessions_) {
+    if (!session->drain_exempt) return false;
+  }
+  return true;
 }
 
 void RelayDaemon::drop(const std::shared_ptr<Session>& session) {
@@ -179,6 +194,19 @@ void RelayDaemon::touch_idle(const std::shared_ptr<Session>& session) {
   }
 }
 
+void RelayDaemon::arm_idle(const std::shared_ptr<Session>& session) {
+  if (!idle_wheel_ || session->idle_token != 0) return;
+  std::weak_ptr<Session> weak = session;
+  session->idle_token =
+      idle_wheel_->add(limits_.idle_timeout_s, [this, weak] {
+        if (auto s = weak.lock()) {
+          s->idle_token = 0;  // fired; nothing to cancel
+          c_idle_reaped_.inc();
+          drop(s);
+        }
+      });
+}
+
 void RelayDaemon::start_session(FdHandle fd) {
   auto session = std::make_shared<Session>();
   session->client = Connection::adopt(reactor_, std::move(fd));
@@ -188,27 +216,24 @@ void RelayDaemon::start_session(FdHandle fd) {
   g_sessions_peak_.set(std::max(g_sessions_peak_.value(),
                                 static_cast<double>(sessions_.size())));
 
-  // Admission: past the soft cap the session exists only to be told 503
-  // (sent once the client's first bytes arrive, so the response never
-  // races the client's own write).
-  if (limits_.governs_admission() &&
-      sessions_.size() > limits_.max_sessions) {
+  if (draining_) {
+    // Drain era: the session exists to answer introspection (or a fast
+    // 503 for a forward request); it never reaches admission control
+    // and never holds the drain open.
+    session->drain_exempt = true;
+    c_accepted_.inc();
+  } else if (limits_.governs_admission() &&
+             sessions_.size() > limits_.max_sessions) {
+    // Admission: past the soft cap the session exists only to be told
+    // 503 (sent once the client's first bytes arrive, so the response
+    // never races the client's own write).
     session->shed = true;
   } else {
     c_accepted_.inc();
   }
 
   std::weak_ptr<Session> weak = session;
-  if (idle_wheel_) {
-    session->idle_token =
-        idle_wheel_->add(limits_.idle_timeout_s, [this, weak] {
-          if (auto s = weak.lock()) {
-            s->idle_token = 0;  // fired; nothing to cancel
-            c_idle_reaped_.inc();
-            drop(s);
-          }
-        });
-  }
+  arm_idle(session);
   session->client->set_on_close([this, weak](const std::string&) {
     if (auto s = weak.lock()) {
       if (s->upstream) s->upstream->close();
@@ -224,8 +249,11 @@ void RelayDaemon::start_session(FdHandle fd) {
     // exactly when an operator needs them — everything else gets the 503.
     s->request_parser.feed(data);
     if (s->request_parser.state() == http::ParseState::Error) {
-      if (s->shed) {
+      if (s->drain_exempt) {
         s->forwarding = true;  // swallow any further request bytes
+        drain_reject(s);
+      } else if (s->shed) {
+        s->forwarding = true;
         shed_session(s);
       } else {
         c_rejects_bad_request_.inc();
@@ -236,6 +264,11 @@ void RelayDaemon::start_session(FdHandle fd) {
     if (s->request_parser.state() == http::ParseState::Complete) {
       c_requests_parsed_.inc();
       if (maybe_serve_introspection(s)) return;
+      if (s->drain_exempt) {
+        s->forwarding = true;
+        drain_reject(s);
+        return;
+      }
       if (s->shed) {
         s->forwarding = true;
         shed_session(s);
@@ -258,14 +291,31 @@ bool RelayDaemon::maybe_serve_introspection(
         make_metrics_response(snap.to_prometheus()).serialize());
     c_metrics_served_.inc();
   } else {
+    // Daemon-level status, not just this session's fate: a fleet probe
+    // must see "shedding" whenever admission control is engaged, even
+    // though the probe itself was served.
+    const bool shedding =
+        session->shed || (limits_.governs_admission() &&
+                          sessions_.size() > limits_.max_sessions);
     const char* status =
-        draining_ ? "draining" : (session->shed ? "shedding" : "ok");
+        draining_ ? "draining" : (shedding ? "shedding" : "ok");
     session->client->write(
-        make_healthz_response(status, sessions_.size()).serialize());
+        make_healthz_response(status, sessions_.size(),
+                              shedding && !draining_
+                                  ? limits_.retry_after_s
+                                  : 0.0)
+            .serialize());
     c_healthz_served_.inc();
   }
   drop_when_drained(session);
   return true;
+}
+
+void RelayDaemon::drain_reject(const std::shared_ptr<Session>& session) {
+  c_drain_rejected_.inc();
+  session->client->write(
+      make_overload_response(limits_.retry_after_s).serialize());
+  drop_when_drained(session);
 }
 
 void RelayDaemon::drain(std::function<void()> on_drained) {
@@ -273,11 +323,33 @@ void RelayDaemon::drain(std::function<void()> on_drained) {
   if (!draining_) {
     draining_ = true;
     g_draining_.set(1.0);
-    if (listener_open_ && !accept_paused_) {
-      reactor_.update_fd(listen_fd_.get(), false, false);
-    }
+    // The advertisement flips NOW — before any session finishes, before
+    // the listener closes — and the listener keeps accepting so probes
+    // can actually read it. Clients get their window to stop dialing.
   }
-  if (sessions_.empty()) finish_drain();
+  if (drain_complete()) finish_drain();
+}
+
+void RelayDaemon::reload_limits(const ServerLimits& limits) {
+  limits_ = limits;
+  c_limits_reloaded_.inc();
+  g_limit_max_sessions_.set(static_cast<double>(limits_.max_sessions));
+  if (limits_.governs_idle()) {
+    if (!idle_wheel_) {
+      const double tick = std::max(0.005, limits_.idle_timeout_s / 4.0);
+      idle_wheel_ = std::make_unique<TimerWheel>(reactor_, tick);
+      // Sessions admitted before the reload join the reaper from now.
+      for (const auto& session : sessions_) arm_idle(session);
+    }
+    // An existing wheel keeps its tick; sessions pick up the new
+    // timeout on their next activity (touch_idle reschedules with
+    // limits_.idle_timeout_s).
+  } else if (idle_wheel_) {
+    for (const auto& session : sessions_) session->idle_token = 0;
+    idle_wheel_.reset();
+  }
+  // A raised cap may unblock arrivals parked in the kernel backlog.
+  if (!accept_paused_ && listener_open_ && !draining_) on_accept();
 }
 
 void RelayDaemon::finish_drain() {

@@ -7,8 +7,15 @@
 // Overload governance (ServerLimits) is opt-in: a capped relay sheds
 // excess sessions with 503 + Retry-After, pauses the listener past a
 // shed burst, reaps idle connections through a timer wheel, and survives
-// accept() failures with backoff instead of aborting. drain() stops
-// accepting, lets in-flight sessions finish, then closes the listener.
+// accept() failures with backoff instead of aborting.
+//
+// drain() is advertised, not silent: /healthz flips to "draining" at
+// call time and the listener KEEPS accepting while in-flight sessions
+// finish — new arrivals are answered (introspection served, forward
+// requests told 503 + Retry-After) so fleet heartbeats and clients learn
+// the relay is going away *before* the listener closes. Once the last
+// pre-drain session completes, the listener closes and `on_drained`
+// fires.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +50,12 @@ class RelayDaemon {
   std::uint64_t bytes_forwarded() const { return c_bytes_forwarded_.value(); }
 
   const ServerLimits& limits() const { return limits_; }
+  /// SIGHUP-style hot reload: swaps the governance knobs without
+  /// restarting the daemon or disturbing in-flight sessions. Admission
+  /// caps apply from the next accept; parser limits from the next
+  /// session; the idle reaper is created/destroyed as the new timeout
+  /// demands (existing sessions are re-armed or released accordingly).
+  void reload_limits(const ServerLimits& limits);
   /// Governance accounting, read from the `rt.relay.*` registry series.
   GovernanceCounters counters() const;
   std::size_t active_sessions() const { return sessions_.size(); }
@@ -53,9 +66,10 @@ class RelayDaemon {
   obs::Registry& metrics() { return metrics_; }
   const obs::Registry& metrics() const { return metrics_; }
 
-  /// Graceful shutdown: stop accepting, let in-flight sessions complete,
-  /// then close the listener and fire `on_drained` (at most once; fires
-  /// immediately when already idle).
+  /// Graceful, advertised shutdown: /healthz reports "draining"
+  /// immediately, new forward requests are refused with 503 while
+  /// in-flight sessions complete, then the listener closes and
+  /// `on_drained` fires (at most once; immediately when already idle).
   void drain(std::function<void()> on_drained = nullptr);
   bool draining() const { return draining_; }
 
@@ -70,6 +84,13 @@ class RelayDaemon {
   bool maybe_serve_introspection(const std::shared_ptr<Session>& session);
   void connect_upstream(const std::shared_ptr<Session>& session);
   void shed_session(const std::shared_ptr<Session>& session);
+  /// 503s a forward request that arrived while draining (the session was
+  /// accepted only so introspection stays reachable).
+  void drain_reject(const std::shared_ptr<Session>& session);
+  /// True once every pre-drain session has finished (drain-era
+  /// introspection sessions do not hold the drain open).
+  bool drain_complete() const;
+  void arm_idle(const std::shared_ptr<Session>& session);
   void reject(const std::shared_ptr<Session>& session, int status);
   void drop(const std::shared_ptr<Session>& session);
   void erase_session(const std::shared_ptr<Session>& session);
@@ -110,6 +131,8 @@ class RelayDaemon {
   obs::Counter c_upstream_connects_;
   obs::Counter c_metrics_served_;
   obs::Counter c_healthz_served_;
+  obs::Counter c_drain_rejected_;
+  obs::Counter c_limits_reloaded_;
   obs::Gauge g_sessions_active_;
   obs::Gauge g_sessions_peak_;
   obs::Gauge g_draining_;

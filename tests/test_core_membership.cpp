@@ -1,0 +1,263 @@
+// Unit tests for the fleet membership state machine (core/membership.hpp):
+// miss-driven degradation, probation on recovery, self-advertised
+// draining/shedding, and the eligibility rules selection relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/membership.hpp"
+#include "core/relay_stats.hpp"
+#include "core/selection_policy.hpp"
+#include "util/rng.hpp"
+
+namespace idr::core {
+namespace {
+
+MembershipConfig fast_config() {
+  MembershipConfig config;
+  config.suspect_after_misses = 1;
+  config.down_after_misses = 2;
+  config.probation_s = 1.0;
+  config.default_shed_hold_s = 0.5;
+  return config;
+}
+
+TEST(Membership, NewRelayStartsAliveAndEligible) {
+  MembershipTable table(fast_config());
+  table.add_relay(7, "r7", 10.0);
+  EXPECT_TRUE(table.has_relay(7));
+  EXPECT_EQ(table.health(7), RelayHealth::Alive);
+  EXPECT_TRUE(table.eligible(7, 10.0));
+  EXPECT_EQ(table.record(7).last_contact, 10.0);
+  EXPECT_EQ(table.alive_count(), 1u);
+}
+
+TEST(Membership, UnknownRelayIsNeverVetoed) {
+  MembershipTable table(fast_config());
+  EXPECT_TRUE(table.eligible(999, 0.0));
+  EXPECT_EQ(table.health(999), RelayHealth::Alive);
+}
+
+TEST(Membership, MissesDegradeAliveToSuspectToDown) {
+  MembershipTable table(fast_config());
+  table.add_relay(1, "r1", 0.0);
+  table.note_heartbeat(1, HeartbeatStatus::Ok, 0.0, 1.0);
+
+  auto first = table.note_miss(1, 2.0);
+  EXPECT_EQ(first.before, RelayHealth::Alive);
+  EXPECT_EQ(first.after, RelayHealth::Suspect);
+  // Suspect is still eligible: one lost probe must not evict a relay.
+  EXPECT_TRUE(table.eligible(1, 2.0));
+
+  auto second = table.note_miss(1, 3.0);
+  EXPECT_EQ(second.before, RelayHealth::Suspect);
+  EXPECT_EQ(second.after, RelayHealth::Down);
+  EXPECT_FALSE(table.eligible(1, 3.0));
+  // Detection latency: measured from the last answered heartbeat — the
+  // conservative bound on how long the death went unnoticed.
+  EXPECT_DOUBLE_EQ(second.since_last_contact, 2.0);
+  EXPECT_EQ(table.record(1).times_suspect, 1u);
+  EXPECT_EQ(table.record(1).times_down, 1u);
+}
+
+TEST(Membership, RecoveryPassesThroughProbation) {
+  MembershipTable table(fast_config());
+  table.add_relay(1, "r1", 0.0);
+  table.note_miss(1, 1.0);
+  table.note_miss(1, 2.0);
+  ASSERT_EQ(table.health(1), RelayHealth::Down);
+
+  // First "ok" after Down: probation, still excluded.
+  auto back = table.note_heartbeat(1, HeartbeatStatus::Ok, 0.0, 5.0);
+  EXPECT_EQ(back.after, RelayHealth::Probation);
+  EXPECT_FALSE(table.eligible(1, 5.0));
+
+  // Healthy answers inside the window do not readmit early.
+  auto early = table.note_heartbeat(1, HeartbeatStatus::Ok, 0.0, 5.5);
+  EXPECT_EQ(early.after, RelayHealth::Probation);
+  EXPECT_FALSE(table.eligible(1, 5.5));
+
+  // After probation_s of good behavior: alive again.
+  auto readmit = table.note_heartbeat(1, HeartbeatStatus::Ok, 0.0, 6.2);
+  EXPECT_EQ(readmit.after, RelayHealth::Alive);
+  EXPECT_TRUE(table.eligible(1, 6.2));
+  EXPECT_EQ(table.record(1).readmissions, 1u);
+}
+
+TEST(Membership, FlappingRelayRestartsProbationFromDown) {
+  MembershipTable table(fast_config());
+  table.add_relay(1, "r1", 0.0);
+  table.note_miss(1, 1.0);
+  table.note_miss(1, 2.0);
+  table.note_heartbeat(1, HeartbeatStatus::Ok, 0.0, 3.0);  // probation
+  // Misses during probation collapse straight back toward Down.
+  table.note_miss(1, 3.2);
+  EXPECT_EQ(table.health(1), RelayHealth::Suspect);
+  table.note_miss(1, 3.4);
+  EXPECT_EQ(table.health(1), RelayHealth::Down);
+  EXPECT_EQ(table.record(1).times_down, 2u);
+}
+
+TEST(Membership, DrainingExcludedImmediately) {
+  MembershipTable table(fast_config());
+  table.add_relay(1, "r1", 0.0);
+  auto outcome =
+      table.note_heartbeat(1, HeartbeatStatus::Draining, 0.0, 1.0);
+  EXPECT_EQ(outcome.after, RelayHealth::Draining);
+  EXPECT_FALSE(table.eligible(1, 1.0));
+  // A draining relay that stops answering (listener closed) goes Down.
+  table.note_miss(1, 2.0);
+  EXPECT_EQ(table.health(1), RelayHealth::Draining);  // one miss: keep label
+  table.note_miss(1, 3.0);
+  EXPECT_EQ(table.health(1), RelayHealth::Down);
+}
+
+TEST(Membership, SheddingHeldForRetryAfterHint) {
+  MembershipTable table(fast_config());
+  table.add_relay(1, "r1", 0.0);
+  auto outcome =
+      table.note_heartbeat(1, HeartbeatStatus::Shedding, 2.0, 10.0);
+  EXPECT_EQ(outcome.after, RelayHealth::Shedding);
+  EXPECT_FALSE(table.eligible(1, 10.0));
+  EXPECT_FALSE(table.eligible(1, 11.9));
+  // Past the hint the relay is selectable again (deprioritized, not
+  // banished) even before the next heartbeat flips it back to Alive.
+  EXPECT_TRUE(table.eligible(1, 12.1));
+  // An "ok" heartbeat readmits directly — no probation for overload.
+  auto ok = table.note_heartbeat(1, HeartbeatStatus::Ok, 0.0, 13.0);
+  EXPECT_EQ(ok.after, RelayHealth::Alive);
+}
+
+TEST(Membership, SheddingWithoutHintUsesDefaultHold) {
+  MembershipTable table(fast_config());
+  table.add_relay(1, "r1", 0.0);
+  table.note_heartbeat(1, HeartbeatStatus::Shedding, 0.0, 10.0);
+  EXPECT_FALSE(table.eligible(1, 10.4));
+  EXPECT_TRUE(table.eligible(1, 10.6));
+}
+
+TEST(Membership, CountsAndRemoval) {
+  MembershipTable table(fast_config());
+  table.add_relay(1, "a", 0.0);
+  table.add_relay(2, "b", 0.0);
+  table.add_relay(3, "c", 0.0);
+  table.note_miss(2, 1.0);
+  table.note_miss(2, 2.0);  // down
+  table.note_heartbeat(3, HeartbeatStatus::Draining, 0.0, 1.0);
+  EXPECT_EQ(table.alive_count(), 1u);
+  EXPECT_EQ(table.eligible_count(2.0), 1u);
+  table.remove_relay(2);
+  EXPECT_FALSE(table.has_relay(2));
+  EXPECT_EQ(table.relay_count(), 2u);
+  // Re-adding starts a fresh record.
+  table.add_relay(2, "b2", 9.0);
+  EXPECT_EQ(table.health(2), RelayHealth::Alive);
+  EXPECT_EQ(table.record(2).times_down, 0u);
+}
+
+TEST(Membership, AddIsIdempotent) {
+  MembershipTable table(fast_config());
+  table.add_relay(1, "a", 0.0);
+  table.note_miss(1, 1.0);
+  table.add_relay(1, "a", 2.0);  // no reset
+  EXPECT_EQ(table.health(1), RelayHealth::Suspect);
+  EXPECT_EQ(table.relay_count(), 1u);
+}
+
+// --- Selection integration: the membership veto in SelectionPolicy. ---
+
+RelayStatsTable stats_table(std::size_t n) {
+  RelayStatsTable table;
+  for (std::size_t i = 0; i < n; ++i) {
+    table.add_relay(static_cast<net::NodeId>(i + 10),
+                    "relay" + std::to_string(i));
+  }
+  return table;
+}
+
+TEST(SelectionMembership, IneligibleCandidatesDroppedBeforeTheRace) {
+  RelayStatsTable stats = stats_table(3);  // relays 10, 11, 12
+  MembershipTable membership(fast_config());
+  for (net::NodeId id : {10u, 11u, 12u}) membership.add_relay(id, "", 0.0);
+  membership.note_miss(11, 1.0);
+  membership.note_miss(11, 2.0);  // 11 is Down
+  membership.note_heartbeat(12, HeartbeatStatus::Draining, 0.0, 2.0);
+
+  FullSetPolicy policy;
+  util::Rng rng(1);
+  auto before = policy.decide(stats, rng, 3.0);
+  EXPECT_EQ(before.candidates.size(), 3u);
+
+  policy.set_membership(&membership);
+  auto after = policy.decide(stats, rng, 3.0);
+  ASSERT_EQ(after.candidates.size(), 1u);
+  EXPECT_EQ(after.candidates[0], 10u);
+}
+
+TEST(SelectionMembership, FilterDoesNotPerturbTheRngStream) {
+  // The veto runs after the policy's draw, like the blacklist, so a
+  // configured membership table must leave RNG consumption bitwise
+  // identical — the determinism the golden gates stand on.
+  RelayStatsTable stats = stats_table(6);
+  MembershipTable membership(fast_config());
+  for (std::size_t i = 0; i < 6; ++i) {
+    membership.add_relay(static_cast<net::NodeId>(i + 10), "", 0.0);
+  }
+  membership.note_miss(12, 1.0);
+  membership.note_miss(12, 2.0);  // 12 is Down
+
+  UniformRandomSubsetPolicy bare(3);
+  UniformRandomSubsetPolicy vetoed(3);
+  vetoed.set_membership(&membership);
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = bare.decide(stats, rng_a, 3.0);
+    const auto b = vetoed.decide(stats, rng_b, 3.0);
+    // Same draw, minus the down relay.
+    std::vector<net::NodeId> expect;
+    for (net::NodeId id : a.candidates) {
+      if (id != 12u) expect.push_back(id);
+    }
+    EXPECT_EQ(b.candidates, expect);
+  }
+  // Streams stayed in lockstep through 50 decisions.
+  EXPECT_DOUBLE_EQ(rng_a.uniform(), rng_b.uniform());
+}
+
+TEST(SelectionMembership, StalenessPinRefusedForIneligibleRelay) {
+  RelayStatsTable stats = stats_table(2);  // relays 10, 11
+  // Relay 10 holds the only fresh race-validated estimate: it would be
+  // the pin.
+  stats.note_throughput(10, 5e6, 100.0, EstimateSource::Race);
+
+  RaceOnStalenessPolicy policy(std::make_unique<FullSetPolicy>(), 300.0);
+  util::Rng rng(7);
+  auto pinned = policy.decide(stats, rng, 150.0);
+  ASSERT_TRUE(pinned.pinned.has_value());
+  EXPECT_EQ(*pinned.pinned, 10u);
+
+  // Mark 10 draining: the pin must be refused and the race fall through
+  // to the (filtered) candidate set.
+  MembershipTable membership(fast_config());
+  membership.add_relay(10, "", 0.0);
+  membership.note_heartbeat(10, HeartbeatStatus::Draining, 0.0, 120.0);
+  policy.set_membership(&membership);
+  auto refused = policy.decide(stats, rng, 150.0);
+  EXPECT_FALSE(refused.pinned.has_value());
+  ASSERT_EQ(refused.candidates.size(), 1u);
+  EXPECT_EQ(refused.candidates[0], 11u);
+}
+
+TEST(Membership, HealthNamesAreStable) {
+  EXPECT_STREQ(relay_health_name(RelayHealth::Alive), "alive");
+  EXPECT_STREQ(relay_health_name(RelayHealth::Suspect), "suspect");
+  EXPECT_STREQ(relay_health_name(RelayHealth::Down), "down");
+  EXPECT_STREQ(relay_health_name(RelayHealth::Probation), "probation");
+  EXPECT_STREQ(relay_health_name(RelayHealth::Draining), "draining");
+  EXPECT_STREQ(relay_health_name(RelayHealth::Shedding), "shedding");
+}
+
+}  // namespace
+}  // namespace idr::core

@@ -1,0 +1,434 @@
+// Fleet control-plane tests over real loopback sockets: the
+// FleetDirectory's heartbeat probes must drive the membership state
+// machine through every transition the fleet model promises —
+// fault-injected death (suspect, then down), recovery through probation,
+// advertised draining before the listener closes, shedding held out via
+// Retry-After — plus hot reload of both the relay list and a daemon's
+// ServerLimits mid-run.
+//
+// The FleetSoak suite (ctest label `soak`) rolls a seeded sequence of
+// kill/restart rounds under concurrent transfer load and requires zero
+// failed transfers throughout.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rt/fault_shim.hpp"
+#include "rt/fleet.hpp"
+#include "rt/http_server.hpp"
+#include "rt/probe_race.hpp"
+#include "rt/relay_daemon.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace idr::rt {
+namespace {
+
+void spin_until(Reactor& reactor, double deadline_s,
+                const std::function<bool()>& done) {
+  const double deadline = reactor.now() + deadline_s;
+  while (!done() && reactor.now() < deadline) {
+    reactor.poll(0.01);
+  }
+  ASSERT_TRUE(done()) << "condition not reached within deadline";
+}
+
+struct ShimGuard {
+  ShimGuard() { FaultShim::instance().clear(); }
+  ~ShimGuard() { FaultShim::instance().clear(); }
+};
+
+/// Fast fleet config: 20 ms heartbeats so state transitions land well
+/// inside test deadlines even under sanitizers.
+FleetConfig fast_fleet() {
+  FleetConfig config;
+  config.heartbeat_interval_s = 0.02;
+  config.probe_timeout_s = 0.2;
+  config.probe_connect_timeout_s = 0.1;
+  config.probe_backoff_max_s = 0.08;
+  config.membership.probation_s = 0.1;
+  return config;
+}
+
+std::uint64_t fleet_count(const FleetDirectory& directory,
+                          const char* name) {
+  const obs::Snapshot snap = directory.metrics().snapshot();
+  const obs::MetricValue* metric = snap.find(name);
+  return metric ? metric->count : 0;
+}
+
+TEST(RtFleet, DropOnConnectDrivesSuspectThenDownThenProbationRecovery) {
+  ShimGuard guard;
+  Reactor reactor;
+  RelayDaemon relay(reactor, 0);
+  const Endpoint endpoint{"127.0.0.1", relay.port()};
+
+  FleetDirectory directory(reactor, fast_fleet());
+  directory.add_relay(endpoint, "victim");
+  directory.start();
+  spin_until(reactor, 5.0, [&] {
+    return fleet_count(directory, "rt.fleet.probes_ok") >= 2;
+  });
+  EXPECT_EQ(directory.health(endpoint), core::RelayHealth::Alive);
+
+  // Every subsequent probe dial is refused: the injected equivalent of a
+  // crashed relay host.
+  FaultRule rule;
+  rule.kind = FaultKind::kDropOnConnect;
+  rule.uses = -1;
+  FaultShim::instance().arm(relay.port(), rule);
+
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(endpoint) == core::RelayHealth::Suspect;
+  });
+  // One miss: suspected but still eligible.
+  EXPECT_TRUE(directory.eligible(endpoint));
+
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(endpoint) == core::RelayHealth::Down;
+  });
+  EXPECT_FALSE(directory.eligible(endpoint));
+  EXPECT_EQ(fleet_count(directory, "rt.fleet.marked_down"), 1u);
+  // Detection latency was recorded, bounded by two heartbeat intervals
+  // plus probe-timeout slack.
+  const obs::Snapshot snap = directory.metrics().snapshot();
+  const obs::MetricValue* detect =
+      snap.find("rt.fleet.detect_seconds_max");
+  ASSERT_NE(detect, nullptr);
+  EXPECT_GT(detect->value, 0.0);
+  EXPECT_LE(detect->value, 2 * 0.02 + 0.1 + 0.2);
+
+  // Recovery: probes reach the (still-running) daemon again. The relay
+  // must pass through Probation — excluded — before re-admission.
+  FaultShim::instance().clear();
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(endpoint) == core::RelayHealth::Probation;
+  });
+  EXPECT_FALSE(directory.eligible(endpoint));
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(endpoint) == core::RelayHealth::Alive;
+  });
+  EXPECT_TRUE(directory.eligible(endpoint));
+  EXPECT_EQ(fleet_count(directory, "rt.fleet.readmitted"), 1u);
+}
+
+TEST(RtFleet, DrainingAdvertisedBeforeListenerClosesAndExcluded) {
+  ShimGuard guard;
+  Reactor reactor;
+  HttpOriginServer origin(reactor, 0);
+  origin.add_resource("/blob", 400000);
+  origin.set_shaping_policy([](const http::Request&) { return 100e3; });
+
+  RelayDaemon relay(reactor, 0);
+  const Endpoint endpoint{"127.0.0.1", relay.port()};
+
+  FleetDirectory directory(reactor, fast_fleet());
+  directory.add_relay(endpoint, "drainer");
+  directory.start();
+  spin_until(reactor, 5.0, [&] {
+    return fleet_count(directory, "rt.fleet.probes_ok") >= 1;
+  });
+
+  // A slow relayed transfer holds the drain open for multiple heartbeat
+  // intervals (400 KB at 100 KB/s = ~4 s).
+  FetchRequest req;
+  req.origin.port = origin.port();
+  req.path = "/blob";
+  req.proxy = endpoint;
+  req.timeout_s = 30.0;
+  std::optional<FetchResult> transfer;
+  fetch(reactor, req, [&](const FetchResult& r) { transfer = r; });
+  spin_until(reactor, 5.0,
+             [&] { return relay.transfers_forwarded() == 1; });
+
+  bool drained = false;
+  relay.drain([&] { drained = true; });
+
+  // The advertisement is observable IMMEDIATELY — while the in-flight
+  // transfer still runs and the listener still answers probes.
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(endpoint) == core::RelayHealth::Draining;
+  });
+  EXPECT_FALSE(drained);
+  EXPECT_FALSE(transfer.has_value());
+  EXPECT_FALSE(directory.eligible(endpoint));
+
+  // Selection spends zero race probes on it: the candidate filter drops
+  // the endpoint and counts the exclusion.
+  const std::uint64_t excluded_before =
+      fleet_count(directory, "rt.fleet.candidates_excluded");
+  EXPECT_TRUE(directory.eligible_indices({endpoint}).empty());
+  EXPECT_EQ(fleet_count(directory, "rt.fleet.candidates_excluded"),
+            excluded_before + 1);
+
+  // Heartbeats keep landing while draining (the listener is open until
+  // the last pre-drain session finishes).
+  const std::uint64_t ok_before =
+      fleet_count(directory, "rt.fleet.probes_ok");
+  spin_until(reactor, 5.0, [&] {
+    return fleet_count(directory, "rt.fleet.probes_ok") >= ok_before + 3;
+  });
+  EXPECT_EQ(directory.health(endpoint), core::RelayHealth::Draining);
+
+  // The in-flight transfer completes intact; only then does the drain
+  // finish and the listener close — after which misses take the relay
+  // Down (still labelled draining until the down threshold).
+  // The relay-side drop and the client-side parse completion land a
+  // poll apart; wait for both.
+  spin_until(reactor, 30.0,
+             [&] { return drained && transfer.has_value(); });
+  EXPECT_TRUE(transfer->ok);
+  EXPECT_TRUE(transfer->body_verified);
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(endpoint) == core::RelayHealth::Down;
+  });
+}
+
+TEST(RtFleet, SheddingDeprioritizedViaRetryAfterThenReadmitted) {
+  ShimGuard guard;
+  Reactor reactor;
+  HttpOriginServer origin(reactor, 0);
+  origin.add_resource("/blob", 300000);
+  origin.set_shaping_policy([](const http::Request&) { return 100e3; });
+
+  ServerLimits limits;
+  limits.max_sessions = 1;
+  limits.retry_after_s = 30.0;  // hold must clearly outlast the test spin
+  RelayDaemon relay(reactor, 0, limits);
+  const Endpoint endpoint{"127.0.0.1", relay.port()};
+
+  FleetDirectory directory(reactor, fast_fleet());
+  directory.add_relay(endpoint, "shedder");
+  directory.start();
+
+  // Saturate the single admission slot with a slow transfer.
+  FetchRequest req;
+  req.origin.port = origin.port();
+  req.path = "/blob";
+  req.proxy = endpoint;
+  req.timeout_s = 30.0;
+  std::optional<FetchResult> transfer;
+  fetch(reactor, req, [&](const FetchResult& r) { transfer = r; });
+  spin_until(reactor, 5.0,
+             [&] { return relay.transfers_forwarded() == 1; });
+
+  // Heartbeats read daemon-level "shedding" + the Retry-After hint —
+  // they are served, not shed, yet report the overload.
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(endpoint) == core::RelayHealth::Shedding;
+  });
+  EXPECT_FALSE(directory.eligible(endpoint));
+  EXPECT_GE(directory.table().record(0).shed_hold_until,
+            reactor.now() + 20.0);
+
+  // Load clears; the next "ok" heartbeat readmits with no probation.
+  spin_until(reactor, 30.0, [&] { return transfer.has_value(); });
+  EXPECT_TRUE(transfer->ok);
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(endpoint) == core::RelayHealth::Alive;
+  });
+  EXPECT_TRUE(directory.eligible(endpoint));
+}
+
+TEST(RtFleet, HotReloadSwapsRelaySetWithoutDisturbingSurvivors) {
+  ShimGuard guard;
+  Reactor reactor;
+  RelayDaemon relay_a(reactor, 0);
+  RelayDaemon relay_b(reactor, 0);
+  RelayDaemon relay_c(reactor, 0);
+  const Endpoint a{"127.0.0.1", relay_a.port()};
+  const Endpoint b{"127.0.0.1", relay_b.port()};
+  const Endpoint c{"127.0.0.1", relay_c.port()};
+
+  FleetDirectory directory(reactor, fast_fleet());
+  directory.add_relay(a, "a");
+  directory.add_relay(b, "b");
+  directory.start();
+  spin_until(reactor, 5.0, [&] {
+    return fleet_count(directory, "rt.fleet.probes_ok") >= 4;
+  });
+
+  // Degrade b so the reload demonstrably preserves survivor state.
+  FaultRule rule;
+  rule.kind = FaultKind::kDropOnConnect;
+  rule.uses = -1;
+  FaultShim::instance().arm(relay_b.port(), rule);
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(b) == core::RelayHealth::Down;
+  });
+
+  directory.reload({b, c});  // a leaves, c joins, b survives
+  EXPECT_EQ(directory.relay_count(), 2u);
+  EXPECT_FALSE(directory.eligible(b));  // still Down — history kept
+  EXPECT_EQ(directory.health(c), core::RelayHealth::Alive);
+  // The departed relay is no longer tracked (and never vetoed).
+  EXPECT_TRUE(directory.eligible(a));
+  EXPECT_EQ(fleet_count(directory, "rt.fleet.reloads"), 1u);
+  EXPECT_EQ(fleet_count(directory, "rt.fleet.relays_removed"), 1u);
+
+  // The new member is probed for real.
+  const std::uint64_t ok_before =
+      fleet_count(directory, "rt.fleet.probes_ok");
+  spin_until(reactor, 5.0, [&] {
+    return fleet_count(directory, "rt.fleet.probes_ok") >= ok_before + 2;
+  });
+}
+
+TEST(RtFleet, ReloadLimitsAppliesGovernanceMidRun) {
+  ShimGuard guard;
+  Reactor reactor;
+  HttpOriginServer origin(reactor, 0);
+  origin.add_resource("/blob", 300000);
+  origin.set_shaping_policy([](const http::Request&) { return 100e3; });
+
+  RelayDaemon relay(reactor, 0);  // ungoverned at birth
+  const Endpoint endpoint{"127.0.0.1", relay.port()};
+  EXPECT_FALSE(relay.limits().governs_admission());
+
+  // Occupy the daemon, then hot-reload a 1-session cap under it.
+  FetchRequest req;
+  req.origin.port = origin.port();
+  req.path = "/blob";
+  req.proxy = endpoint;
+  req.timeout_s = 30.0;
+  std::optional<FetchResult> transfer;
+  fetch(reactor, req, [&](const FetchResult& r) { transfer = r; });
+  spin_until(reactor, 5.0,
+             [&] { return relay.transfers_forwarded() == 1; });
+
+  ServerLimits limits;
+  limits.max_sessions = 1;
+  limits.retry_after_s = 7.0;
+  relay.reload_limits(limits);
+  EXPECT_TRUE(relay.limits().governs_admission());
+
+  // The very next heartbeat sees daemon-level "shedding" with the new
+  // Retry-After — governance took effect without a restart.
+  FleetDirectory directory(reactor, fast_fleet());
+  directory.add_relay(endpoint, "reloaded");
+  directory.start();
+  spin_until(reactor, 5.0, [&] {
+    return directory.health(endpoint) == core::RelayHealth::Shedding;
+  });
+
+  // And the in-flight transfer admitted under the old limits finishes
+  // untouched.
+  spin_until(reactor, 30.0, [&] { return transfer.has_value(); });
+  EXPECT_TRUE(transfer->ok);
+  EXPECT_TRUE(transfer->body_verified);
+  const obs::Snapshot snap = relay.metrics().snapshot();
+  const obs::MetricValue* reloaded =
+      snap.find("rt.relay.limits_reloaded");
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->count, 1u);
+}
+
+// --- Soak: seeded rolling kill/restart rounds under transfer load. ---
+
+TEST(FleetSoak, SeededKillRestartRoundsLoseNothing) {
+  ShimGuard guard;
+  Reactor reactor;
+  HttpOriginServer origin(reactor, 0);
+  constexpr std::uint64_t kSize = 150000;
+  origin.add_resource("/blob", kSize);
+  origin.set_shaping_policy([](const http::Request& r) {
+    return r.headers.has("Via") ? 4e6 : 400e3;
+  });
+
+  constexpr std::size_t kRelays = 3;
+  struct Slot {
+    std::uint16_t port = 0;
+    std::unique_ptr<RelayDaemon> daemon;
+  };
+  std::vector<Slot> slots(kRelays);
+  std::vector<Endpoint> endpoints;
+  for (auto& slot : slots) {
+    slot.daemon = std::make_unique<RelayDaemon>(reactor, 0);
+    slot.port = slot.daemon->port();
+    endpoints.push_back(Endpoint{"127.0.0.1", slot.port});
+  }
+
+  FleetConfig config = fast_fleet();
+  config.heartbeat_interval_s = 0.05;
+  FleetDirectory directory(reactor, config);
+  for (std::size_t i = 0; i < kRelays; ++i) {
+    directory.add_relay(endpoints[i], "soak-" + std::to_string(i));
+  }
+  directory.start();
+
+  std::size_t completed = 0, failed = 0;
+  bool stop = false;
+  std::size_t inflight = 0;
+  std::function<void()> launch = [&] {
+    if (stop) return;
+    ++inflight;
+    RaceSpec spec;
+    spec.origin = Endpoint{"127.0.0.1", origin.port()};
+    spec.path = "/blob";
+    spec.resource_size = kSize;
+    spec.probe_bytes = 30000;
+    spec.timeout_s = 20.0;
+    spec.retry.max_retries = 2;
+    spec.retry.base_delay = 0.05;
+    spec.retry.max_delay = 0.5;
+    for (std::size_t i : directory.eligible_indices(endpoints)) {
+      spec.relays.push_back(endpoints[i]);
+    }
+    start_probe_race(reactor, spec, [&](const RaceResult& result) {
+      --inflight;
+      result.ok ? ++completed : ++failed;
+      launch();
+    });
+  };
+  for (int i = 0; i < 3; ++i) launch();
+
+  // The seed fixes the victim sequence; the run itself is real sockets.
+  util::Rng rng(0x5eedf1ee7u);
+  constexpr int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::size_t victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kRelays) - 1));
+    Slot& slot = slots[victim];
+
+    slot.daemon.reset();  // abrupt kill, mid-whatever
+    spin_until(reactor, 20.0, [&] {
+      return directory.health(endpoints[victim]) ==
+             core::RelayHealth::Down;
+    });
+
+    // Rebind the same port (SO_REUSEADDR); retry briefly if the kernel
+    // still holds it.
+    spin_until(reactor, 20.0, [&] {
+      if (slot.daemon) return true;
+      try {
+        slot.daemon = std::make_unique<RelayDaemon>(reactor, slot.port);
+      } catch (const util::Error&) {
+      }
+      return slot.daemon != nullptr;
+    });
+    spin_until(reactor, 20.0, [&] {
+      return directory.health(endpoints[victim]) ==
+             core::RelayHealth::Alive;
+    });
+    ASSERT_EQ(failed, 0u) << "transfers lost in round " << round;
+  }
+
+  const std::size_t floor = completed + 3;
+  spin_until(reactor, 20.0, [&] { return completed >= floor; });
+  stop = true;
+  spin_until(reactor, 30.0, [&] { return inflight == 0; });
+
+  EXPECT_EQ(failed, 0u);
+  EXPECT_GE(completed, static_cast<std::size_t>(kRounds));
+  EXPECT_GE(fleet_count(directory, "rt.fleet.marked_down"),
+            static_cast<std::uint64_t>(kRounds));
+  EXPECT_GE(fleet_count(directory, "rt.fleet.readmitted"),
+            static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(directory.table().eligible_count(reactor.now()), kRelays);
+}
+
+}  // namespace
+}  // namespace idr::rt
