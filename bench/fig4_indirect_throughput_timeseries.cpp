@@ -18,6 +18,11 @@ int main(int argc, char** argv) {
   tracer.set_enabled(obs::out_enabled());
   testbed::Section2Config config = bench::section2_good_relay_config(opts);
   config.tracer = &tracer;
+  // Each session samples its selecting world every 10 virtual minutes;
+  // the windowed deltas below come from diffing those snapshots — the
+  // exact machinery behind `GET /metrics?window=<s>` on the rt daemons.
+  config.sample_period = util::minutes(10);
+  config.sample_capacity = 128;
   const testbed::Section2Result result =
       testbed::run_section2(config);
 
@@ -25,9 +30,11 @@ int main(int argc, char** argv) {
   for (const char* client : kShown) {
     std::vector<double> times, rates;
     util::OnlineStats indirect_stats, direct_stats;
+    const obs::TimeSeries* series = nullptr;
     for (const auto& s : result.sessions) {
       if (s.client != client) continue;
       direct_stats.merge(s.direct_rate_stats);
+      if (series == nullptr) series = &s.series;
       for (const auto& t : s.transfers) {
         if (t.ok && t.chose_indirect) {
           times.push_back(t.start_time / 60.0);  // minutes
@@ -58,8 +65,23 @@ int main(int argc, char** argv) {
                 times.size(), indirect_stats.mean(), indirect_stats.cv(),
                 slope_per_hour);
     std::printf("  direct-path cv over same period: %.2f (indirect should "
-                "be steadier)\n\n",
+                "be steadier)\n",
                 direct_stats.cv());
+    // Trailing-2h windowed rates from the virtual-time sampler, per
+    // minute: transfer completions and indirect race wins should both be
+    // flat across windows when the paper's "no trend" claim holds.
+    if (series != nullptr && series->size() >= 2) {
+      const double kWindowS = 2.0 * 3600.0;
+      const auto win = series->window(kWindowS);
+      std::printf("  windowed (last %.0f min of one session, %zu samples): "
+                  "%.2f transfers/min, %.2f indirect wins/min\n",
+                  win.duration / 60.0, win.samples,
+                  series->rate("sim.engine.transfers_completed", kWindowS) *
+                      60.0,
+                  series->rate("sim.race.races_won_indirect", kWindowS) *
+                      60.0);
+    }
+    std::printf("\n");
   }
   bench::finish_run("fig4", bench::total_metrics(result.sessions),
                    &tracer);

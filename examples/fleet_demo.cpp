@@ -19,14 +19,20 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/fleet.hpp"
+#include "rt/http_client.hpp"
 #include "rt/http_server.hpp"
 #include "rt/probe_race.hpp"
 #include "rt/relay_daemon.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 using namespace idr;
 using namespace idr::rt;
@@ -81,6 +87,8 @@ int main(int argc, char** argv) {
   std::size_t relay_count = 3;
   std::size_t client_count = 4;
   std::string out_path;
+  std::string trace_path;
+  std::string flights_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--gate") {
@@ -91,9 +99,14 @@ int main(int argc, char** argv) {
       client_count = std::strtoul(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
+    } else if (arg.rfind("--flights-out=", 0) == 0) {
+      flights_path = arg.substr(14);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s [--gate] [--relays=N] [--clients=N] "
-                  "[--out=PATH]\n", argv[0]);
+                  "[--out=PATH] [--trace-out=PATH] [--flights-out=PATH]\n",
+                  argv[0]);
       return 0;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -104,6 +117,18 @@ int main(int argc, char** argv) {
 
   Reactor reactor;
 
+  // Cross-hop tracing is always on here: one shared tracer, each role on
+  // its own Chrome process row, every transfer stitched across client,
+  // relay, and origin by its trace id — the merged export IS one of the
+  // gate's artifacts.
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr std::uint64_t kClientPid = 1;
+  constexpr std::uint64_t kOriginPid = 2;
+  constexpr std::uint64_t kRelayPidBase = 10;
+  tracer.set_process_name(kClientPid, "clients");
+  tracer.set_process_name(kOriginPid, "origin");
+
   // Origin: direct path shaped slow, relayed path fast, so races choose
   // relays whenever one is eligible — which keeps the fleet on the hot
   // path while we restart it.
@@ -112,12 +137,18 @@ int main(int argc, char** argv) {
   origin.set_shaping_policy([](const http::Request& request) {
     return request.headers.has("Via") ? 4e6 : 400e3;
   });
+  origin.set_tracer(&tracer, kOriginPid, 0);
+  // Feed /metrics?window=<s>: four samples per second is plenty for the
+  // 2-second window the gate queries mid-run.
+  origin.enable_sampling(0.25);
 
   std::vector<RelaySlot> slots(relay_count);
   for (std::size_t i = 0; i < relay_count; ++i) {
     slots[i].daemon = std::make_unique<RelayDaemon>(reactor, 0);
     slots[i].port = slots[i].daemon->port();
     slots[i].name = "relay-" + std::to_string(i);
+    slots[i].daemon->set_tracer(&tracer, kRelayPidBase + i, 0);
+    tracer.set_process_name(kRelayPidBase + i, slots[i].name);
   }
 
   FleetConfig fleet_config;
@@ -143,6 +174,16 @@ int main(int argc, char** argv) {
   std::size_t completed = 0, failed = 0, relayed = 0, went_direct = 0;
   std::size_t fell_back = 0, races_inflight = 0;
   bool stop_launching = false;
+  // Every race gets a fresh trace context (seeded, so two runs of the
+  // same build emit the same ids) and records one client-side flight.
+  util::Rng trace_rng(0xF1EE7);
+  obs::FlightRecorder client_flights(4096);
+  struct CompletedTransfer {
+    std::uint64_t trace_id = 0;
+    bool chose_indirect = false;
+  };
+  std::vector<CompletedTransfer> completed_transfers;
+  std::unordered_set<std::uint64_t> launched_traces;
   std::function<void()> launch = [&] {
     if (stop_launching) return;
     ++races_inflight;
@@ -155,10 +196,17 @@ int main(int argc, char** argv) {
     spec.retry.max_retries = 2;
     spec.retry.base_delay = 0.05;
     spec.retry.max_delay = 0.5;
+    spec.tracer = &tracer;
+    spec.trace_pid = kClientPid;
+    spec.trace = obs::make_trace_context(trace_rng);
+    spec.flights = &client_flights;
     for (std::size_t i : directory.eligible_indices(all_relays)) {
       spec.relays.push_back(all_relays[i]);
     }
-    start_probe_race(reactor, spec, [&](const RaceResult& result) {
+    launched_traces.insert(spec.trace.trace_id);
+    const std::uint64_t trace_id = spec.trace.trace_id;
+    start_probe_race(reactor, spec,
+                     [&, trace_id](const RaceResult& result) {
       --races_inflight;
       if (!result.ok) {
         ++failed;
@@ -168,6 +216,7 @@ int main(int argc, char** argv) {
         ++completed;
         if (result.chose_indirect) ++relayed; else ++went_direct;
         if (result.fell_back_direct) ++fell_back;
+        completed_transfers.push_back({trace_id, result.chose_indirect});
       }
       launch();
     });
@@ -221,6 +270,8 @@ int main(int argc, char** argv) {
         } catch (const util::Error&) {
           return;  // port momentarily busy; retry next tick
         }
+        // The reborn instance keeps its predecessor's Chrome process row.
+        slot.daemon->set_tracer(&tracer, kRelayPidBase + current, 0);
         down_seen_s = -1.0;
         ++slot.generation;
         slot.rebirth_checked = false;
@@ -259,18 +310,39 @@ int main(int argc, char** argv) {
     }
   };
 
+  // Mid-run windowed-metrics probe: once the restarts are done (clients
+  // are still racing), ask the origin what moved in the last 2 seconds.
+  bool window_requested = false, window_done = false;
+  int window_status = 0;
+  std::string window_body;
+  const auto request_window = [&] {
+    window_requested = true;
+    FetchRequest req;
+    req.origin = Endpoint{"127.0.0.1", origin.port()};
+    req.path = "/metrics?window=2";
+    req.timeout_s = 5.0;
+    req.capture_body = true;
+    fetch(reactor, req, [&](const FetchResult& result) {
+      window_done = true;
+      window_status = result.status;
+      window_body = result.body;
+    });
+  };
+
   const double deadline_s = 120.0;
   while (reactor.now() < deadline_s) {
     reactor.poll(0.005);
     step_restart();
+    if (stage == Stage::Done && !window_requested) request_window();
     if (stage == Stage::Done && completed >= settle_floor &&
-        completed >= kMinTransfers) {
+        completed >= kMinTransfers && window_done) {
       break;
     }
   }
   stop_launching = true;
   const double drain_deadline = reactor.now() + 30.0;
-  while (races_inflight > 0 && reactor.now() < drain_deadline) {
+  while ((races_inflight > 0 || (window_requested && !window_done)) &&
+         reactor.now() < drain_deadline) {
     reactor.poll(0.005);
   }
   directory.stop();
@@ -328,6 +400,56 @@ int main(int argc, char** argv) {
                         fleet_count("rt.fleet.candidates_excluded")) +
                         " candidates excluded from races"});
 
+  // --- Merged-trace verdicts: every completed transfer must appear on
+  // every hop it touched (client span always; origin always — both lanes
+  // end there; relay spans whenever the race chose indirect), and no
+  // server span may carry a trace id we never launched.
+  enum : unsigned { kRoleClient = 1, kRoleRelay = 2, kRoleOrigin = 4 };
+  std::unordered_map<std::uint64_t, unsigned> trace_roles;
+  std::size_t orphan_server_spans = 0;
+  for (const obs::TraceEvent& ev : tracer.events()) {
+    if (ev.trace_id == 0) continue;
+    const bool relay_span = ev.name.rfind("relay.", 0) == 0;
+    const bool origin_span = ev.name.rfind("origin.", 0) == 0;
+    unsigned& mask = trace_roles[ev.trace_id];
+    if (relay_span) mask |= kRoleRelay;
+    if (origin_span) mask |= kRoleOrigin;
+    if (ev.name == "probe_race") mask |= kRoleClient;
+    if ((relay_span || origin_span) &&
+        launched_traces.count(ev.trace_id) == 0) {
+      ++orphan_server_spans;
+    }
+  }
+  std::size_t missing_links = 0;
+  for (const CompletedTransfer& transfer : completed_transfers) {
+    unsigned need = kRoleClient | kRoleOrigin;
+    if (transfer.chose_indirect) need |= kRoleRelay;
+    const auto it = trace_roles.find(transfer.trace_id);
+    if (it == trace_roles.end() || (it->second & need) != need) {
+      ++missing_links;
+    }
+  }
+  checks.push_back(
+      {"merged_trace_links_all_hops",
+       missing_links == 0 && !completed_transfers.empty(),
+       std::to_string(completed_transfers.size() - missing_links) + " of " +
+           std::to_string(completed_transfers.size()) +
+           " completed transfers fully linked"});
+  checks.push_back({"zero_orphan_server_spans", orphan_server_spans == 0,
+                    std::to_string(orphan_server_spans) +
+                        " server spans with unknown trace ids"});
+
+  const bool window_live =
+      window_done && window_status == 200 &&
+      window_body.find("\"metrics\":[{") != std::string::npos &&
+      window_body.find("\"rate\":") != std::string::npos;
+  checks.push_back({"windowed_metrics_live", window_live,
+                    window_done
+                        ? "/metrics?window=2 -> " +
+                              std::to_string(window_status) + ", " +
+                              std::to_string(window_body.size()) + " bytes"
+                        : "window query never completed"});
+
   std::printf("\n%zu transfers: %zu relayed, %zu direct, %zu salvaged "
               "by direct fallback, %zu FAILED\n",
               completed + failed, relayed, went_direct, fell_back, failed);
@@ -362,6 +484,21 @@ int main(int argc, char** argv) {
     }
     out << "],\"fleet_metrics\":" << fleet_snap.to_json() << "}\n";
     std::printf("metrics dump written to %s\n", out_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream(trace_path) << tracer.to_chrome_json();
+    std::printf("merged trace (%zu events) written to %s\n", tracer.size(),
+                trace_path.c_str());
+  }
+  if (!flights_path.empty()) {
+    std::ofstream out(flights_path);
+    out << client_flights.to_jsonl();
+    out << origin.flights().to_jsonl();
+    for (const RelaySlot& slot : slots) {
+      if (slot.daemon) out << slot.daemon->flights().to_jsonl();
+    }
+    std::printf("flight records written to %s\n", flights_path.c_str());
   }
 
   if (!all_pass) {

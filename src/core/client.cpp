@@ -63,6 +63,7 @@ void IndirectRoutingClient::fetch(
   spec.retry = config_.retry;
   spec.pinned_relay = decision.pinned;
   spec.pinned_estimate_age = decision.pinned_age;
+  spec.flights = config_.flights;
 
   const util::TimePoint start =
       engine_.flow_simulator().simulator().now();

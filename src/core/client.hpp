@@ -39,6 +39,11 @@ struct ClientConfig {
   /// race-skipping and estimate-weighted policies; with the default
   /// always-race policies the estimates are recorded but never read.
   Duration estimate_half_life = 300.0;
+
+  /// When set, every race this client runs appends a FlightRecord
+  /// (source "sim.race") to the ring. Null — the default — records
+  /// nothing.
+  obs::FlightRecorder* flights = nullptr;
 };
 
 /// Outcome of one selected fetch, with the candidates that were probed.

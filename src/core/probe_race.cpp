@@ -37,6 +37,11 @@ struct RaceState {
   /// launch() when a pin failure forces a real race after all.
   bool race_skipped = false;
 
+  /// Cross-hop identity for this race's spans and flight record; invalid
+  /// when neither the caller nor the tracer asked for one.
+  obs::TraceContext trace;
+  std::uint64_t attempt_seq = 0;  // per-attempt child-span salt
+
   // Fault/retry accounting, stamped into every outcome.
   std::size_t probe_failures = 0;
   std::size_t retries = 0;
@@ -63,8 +68,27 @@ struct RaceState {
     return t != nullptr && t->enabled() ? t : nullptr;
   }
 
+  /// Establishes the race's trace context exactly once: the caller's
+  /// (e.g. a testbed session) when provided, otherwise self-derived from
+  /// the seeded RNG tree — but only while the world tracer is on, so
+  /// untraced runs derive nothing and replay bitwise.
+  void ensure_trace() {
+    if (trace.valid()) return;
+    if (spec.trace.valid()) {
+      trace = spec.trace;
+      return;
+    }
+    if (tracer() == nullptr) return;
+    std::uint64_t salt = 0;
+    static_assert(sizeof(salt) == sizeof(start_time));
+    std::memcpy(&salt, &start_time, sizeof(salt));
+    util::Rng id_rng = fsim().derive_rng(salt ^ 0x712ACEull);
+    trace = obs::make_trace_context(id_rng);
+  }
+
   /// One complete span per transfer attempt inside the race (probe lane,
-  /// remainder, fallback), parented under the race span by time nesting.
+  /// remainder, fallback), parented under the race span by time nesting
+  /// and — when the race carries a context — by explicit span ids.
   void emit_attempt_span(const char* name,
                          const overlay::TransferResult& result) {
     obs::Tracer* t = tracer();
@@ -75,9 +99,20 @@ struct RaceState {
       args += ",\"relay\":" + std::to_string(result.relay);
     }
     args += '}';
-    t->complete(name, "sim.race", fsim().trace_track(),
-                result.start_time * 1e6, result.elapsed() * 1e6,
-                std::move(args));
+    obs::TraceEvent ev;
+    ev.name = name;
+    ev.category = "sim.race";
+    ev.phase = 'X';
+    ev.track = fsim().trace_track();
+    ev.ts_us = result.start_time * 1e6;
+    ev.dur_us = result.elapsed() * 1e6;
+    if (trace.valid()) {
+      ev.trace_id = trace.trace_id;
+      ev.span_id = trace.child(0x500 + ++attempt_seq).span_id;
+      ev.parent_span = trace.span_id;
+    }
+    ev.args_json = std::move(args);
+    t->append(std::move(ev));
   }
 
   /// The enclosing race span plus the race-level counters, emitted exactly
@@ -105,6 +140,7 @@ struct RaceState {
                      obs::HistogramOptions{1e-3, 1e3, 4})
           .observe(outcome.probe_elapsed);
     }
+    record_flight(outcome);
     obs::Tracer* t = tracer();
     if (t == nullptr) return;
     std::string args = "{\"ok\":";
@@ -116,9 +152,50 @@ struct RaceState {
     }
     if (outcome.fell_back_direct) args += ",\"fell_back_direct\":true";
     args += '}';
-    t->complete("probe_race", "sim.race", fsim().trace_track(),
-                start_time * 1e6, outcome.total_elapsed * 1e6,
-                std::move(args));
+    obs::TraceEvent ev;
+    ev.name = "probe_race";
+    ev.category = "sim.race";
+    ev.phase = 'X';
+    ev.track = fsim().trace_track();
+    ev.ts_us = start_time * 1e6;
+    ev.dur_us = outcome.total_elapsed * 1e6;
+    if (trace.valid()) {
+      ev.trace_id = trace.trace_id;
+      ev.span_id = trace.span_id;
+    }
+    ev.args_json = std::move(args);
+    t->append(std::move(ev));
+  }
+
+  /// The per-transfer flight record, mirrored from the outcome (one per
+  /// race, success or failure), when the caller supplied a ring.
+  void record_flight(const RaceOutcome& outcome) {
+    if (spec.flights == nullptr) return;
+    obs::FlightRecord rec;
+    rec.trace_id = trace.trace_id;
+    rec.source = "sim.race";
+    rec.peer = spec.resource;
+    rec.start_time = start_time;
+    rec.ok = outcome.ok;
+    rec.chose_indirect = outcome.chose_indirect;
+    rec.race_skipped = outcome.race_skipped;
+    rec.fell_back_direct = outcome.fell_back_direct;
+    rec.relay_index = outcome.chose_indirect
+                          ? static_cast<std::int64_t>(outcome.relay)
+                          : -1;
+    rec.probe_elapsed_s = outcome.probe_elapsed;
+    rec.total_elapsed_s = outcome.total_elapsed;
+    rec.bytes_total = static_cast<std::uint64_t>(
+        std::llround(outcome.total_bytes));
+    rec.bytes_probe =
+        outcome.race_skipped
+            ? 0
+            : probe_span * static_cast<std::uint64_t>(
+                               spec.candidate_relays.size());
+    rec.retries = outcome.retries;
+    rec.probe_failures = outcome.probe_failures;
+    rec.overload_rejections = outcome.overload_rejections;
+    spec.flights->record(std::move(rec));
   }
 
   util::Rng& rng() {
@@ -252,6 +329,7 @@ void launch(const std::shared_ptr<RaceState>& state) {
   state->race_skipped = false;
   state->file_size = *size;
   state->start_time = state->simulator().now();
+  state->ensure_trace();
 
   // Direct probe first, then one per candidate relay. The probe range is
   // bytes=0-(x-1); if the file is smaller than x the range resolves to the
@@ -329,6 +407,7 @@ void start_pinned(const std::shared_ptr<RaceState>& state) {
   state->race_skipped = true;
   state->file_size = *size;
   state->start_time = state->simulator().now();
+  state->ensure_trace();
   const net::NodeId pinned = *state->spec.pinned_relay;
 
   obs::Registry& metrics = state->fsim().metrics();

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
 #include "overlay/transfer_engine.hpp"
 
 namespace idr::core {
@@ -45,6 +47,16 @@ struct RaceSpec {
   /// fetch and the direct fallback. Consulted only after a failure, so a
   /// clean race never draws from the backoff stream.
   fault::RetryPolicy retry{};
+
+  /// Cross-hop trace identity for this transfer's spans. Invalid — the
+  /// default — and with the world tracer enabled, the race derives its
+  /// own context from the flow simulator's seeded RNG tree; with the
+  /// tracer off nothing is derived at all, so traced and untraced runs
+  /// schedule identically.
+  obs::TraceContext trace{};
+  /// When set, one FlightRecord (source "sim.race") is appended per
+  /// finished race — success or failure. Works with or without tracing.
+  obs::FlightRecorder* flights = nullptr;
 
   /// When set, the race is skipped entirely: the whole file is fetched
   /// through this relay in one transfer (no probe bytes, no competing

@@ -1,0 +1,67 @@
+#include "http/traceparent.hpp"
+
+namespace idr::http {
+
+namespace {
+
+constexpr std::size_t kLength = 55;  // 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return 10 + (c - 'a');
+  return -1;  // uppercase is invalid on the wire per the W3C grammar
+}
+
+/// Parses exactly `digits` lowercase hex characters into out.
+bool parse_hex(std::string_view s, std::size_t pos, std::size_t digits,
+               std::uint64_t& out) {
+  out = 0;
+  for (std::size_t i = 0; i < digits; ++i) {
+    const int d = hex_digit(s[pos + i]);
+    if (d < 0) return false;
+    out = (out << 4) | static_cast<std::uint64_t>(d);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string format_traceparent(const obs::TraceContext& ctx) {
+  if (!ctx.valid()) return {};
+  std::string out = "00-0000000000000000";
+  out += obs::trace_hex(ctx.trace_id);
+  out += '-';
+  out += obs::trace_hex(ctx.span_id);
+  out += "-01";
+  return out;
+}
+
+std::optional<obs::TraceContext> parse_traceparent(std::string_view value) {
+  if (value.size() != kLength) return std::nullopt;
+  if (value[2] != '-' || value[35] != '-' || value[52] != '-') {
+    return std::nullopt;
+  }
+  std::uint64_t version = 0;
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span = 0;
+  std::uint64_t flags = 0;
+  if (!parse_hex(value, 0, 2, version) ||
+      !parse_hex(value, 3, 16, trace_hi) ||
+      !parse_hex(value, 19, 16, trace_lo) ||
+      !parse_hex(value, 36, 16, span) ||
+      !parse_hex(value, 53, 2, flags)) {
+    return std::nullopt;
+  }
+  // Version ff is forbidden; the all-zero trace-id and parent-id are the
+  // spec's explicit invalid values.
+  if (version == 0xFF) return std::nullopt;
+  if ((trace_hi | trace_lo) == 0 || span == 0) return std::nullopt;
+  obs::TraceContext ctx;
+  ctx.trace_id = trace_hi ^ trace_lo;  // fold 128 -> 64; identity for ours
+  if (ctx.trace_id == 0) return std::nullopt;
+  ctx.span_id = span;
+  return ctx;
+}
+
+}  // namespace idr::http

@@ -1,0 +1,38 @@
+// W3C Trace Context `traceparent` codec for the cross-hop tracing plane.
+//
+// Wire format (version 00):
+//
+//   traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// Our TraceContext carries 64-bit ids, so the encoder zero-pads the trace
+// id's high half and the decoder folds a foreign 128-bit trace id to 64
+// bits by XORing its halves — the identity mapping for everything we emit
+// ourselves, so a context round-trips bitwise through the header.
+//
+// The parser is strict the way the rest of src/http is: exact length,
+// dashes in the mandated positions, lowercase hex only, and the spec's
+// all-zero trace-id / parent-id values rejected as invalid. Anything
+// malformed yields nullopt and the caller proceeds untraced — a hostile
+// header must never break a transfer (test_http_hostile holds us to it).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace idr::http {
+
+/// Header name, lowercase per the W3C registration.
+inline constexpr std::string_view kTraceparentHeader = "traceparent";
+
+/// "00-<trace>-<span>-01" (version 00, sampled flag set). The context
+/// must be valid(); an invalid context encodes as an empty string so
+/// callers can `if (!v.empty()) headers.set(...)`.
+std::string format_traceparent(const obs::TraceContext& ctx);
+
+/// Strict parse; nullopt on any deviation from the grammar above.
+std::optional<obs::TraceContext> parse_traceparent(std::string_view value);
+
+}  // namespace idr::http

@@ -1,0 +1,85 @@
+#include "obs/flight.hpp"
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace idr::obs {
+
+std::string FlightRecord::to_json() const {
+  std::string out = "{\"trace_id\":\"";
+  out += trace_hex(trace_id);
+  out += "\",\"source\":";
+  json_append_string(out, source);
+  out += ",\"peer\":";
+  json_append_string(out, peer);
+  out += ",\"start_time\":";
+  json_append_double(out, start_time);
+  out += ",\"ok\":";
+  out += ok ? "true" : "false";
+  out += ",\"chose_indirect\":";
+  out += chose_indirect ? "true" : "false";
+  out += ",\"race_skipped\":";
+  out += race_skipped ? "true" : "false";
+  out += ",\"fell_back_direct\":";
+  out += fell_back_direct ? "true" : "false";
+  out += ",\"relay_index\":" + std::to_string(relay_index);
+  out += ",\"queued_delay_s\":";
+  json_append_double(out, queued_delay_s);
+  out += ",\"probe_elapsed_s\":";
+  json_append_double(out, probe_elapsed_s);
+  out += ",\"total_elapsed_s\":";
+  json_append_double(out, total_elapsed_s);
+  out += ",\"bytes_total\":" + std::to_string(bytes_total);
+  out += ",\"bytes_probe\":" + std::to_string(bytes_probe);
+  out += ",\"retries\":" + std::to_string(retries);
+  out += ",\"probe_failures\":" + std::to_string(probe_failures);
+  out += ",\"overload_rejections\":" + std::to_string(overload_rejections);
+  out += ",\"status\":" + std::to_string(status);
+  out += '}';
+  return out;
+}
+
+void FlightRecorder::record(FlightRecord rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() == capacity_) records_.pop_front();
+  records_.push_back(std::move(rec));
+  ++total_;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::uint64_t FlightRecorder::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::vector<FlightRecord> FlightRecorder::last(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = records_.size();
+  if (n != 0 && n < count) count = n;
+  std::vector<FlightRecord> out;
+  out.reserve(count);
+  for (std::size_t i = records_.size() - count; i < records_.size(); ++i) {
+    out.push_back(records_[i]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_jsonl(std::size_t n) const {
+  std::string out;
+  for (const FlightRecord& rec : last(n)) {
+    out += rec.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace idr::obs

@@ -1,0 +1,81 @@
+// Per-transfer flight records: one compact phase breakdown per finished
+// transfer (or served request), kept in a fixed-capacity ring.
+//
+// Where the metrics registry aggregates and the tracer records spans, a
+// flight record answers "what happened to THAT transfer": which relay the
+// race chose, whether the race was skipped on a fresh pin, how long the
+// probe phase took, how many retries/fallbacks/overload rejections it
+// burned, and how many bytes moved — the paper's per-transfer latency
+// decomposition as data. Both probe-race implementations and the rt
+// daemons fill the same record shape, so one JSONL schema covers sim
+// client, rt client, relay, and origin.
+//
+// The ring is mutex-guarded (testbed sessions record from parallel_map
+// workers; the daemons' /debug/flights reads while the loop writes) and
+// drops the oldest record when full — it is a flight recorder, not a log.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace idr::obs {
+
+struct FlightRecord {
+  std::uint64_t trace_id = 0;    // 0 when the transfer carried no context
+  std::string source;            // emitting role: "sim.race", "rt.race",
+                                 // "rt.relay", "rt.origin", ...
+  std::string peer;              // what was fetched / who asked
+  double start_time = 0.0;       // emitting role's clock domain, seconds
+  bool ok = false;
+  bool chose_indirect = false;
+  bool race_skipped = false;     // fresh pin: no probe phase at all
+  bool fell_back_direct = false;
+  std::int64_t relay_index = -1; // -1: direct (or not a selection record)
+  double queued_delay_s = 0.0;   // admission queue wait, when known
+  double probe_elapsed_s = 0.0;  // race start -> winner decided
+  double total_elapsed_s = 0.0;
+  std::uint64_t bytes_total = 0;
+  std::uint64_t bytes_probe = 0; // probe-phase overhead bytes
+  std::uint64_t retries = 0;
+  std::uint64_t probe_failures = 0;
+  std::uint64_t overload_rejections = 0;
+  int status = 0;                // HTTP status for server-side records
+
+  /// Single-line JSON object, stable field order; zero/absent numeric
+  /// fields still render so the schema is fixed.
+  std::string to_json() const;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(FlightRecord rec);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Records ever recorded, including ones the ring has since dropped.
+  std::uint64_t total() const;
+  void clear();
+
+  /// The newest `n` records, oldest first (all of them when n == 0 or
+  /// n >= size).
+  std::vector<FlightRecord> last(std::size_t n = 0) const;
+
+  /// Newest `n` records as JSONL, one record per line, oldest first.
+  std::string to_jsonl(std::size_t n = 0) const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<FlightRecord> records_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace idr::obs

@@ -130,6 +130,35 @@ std::size_t histogram_bucket_index(const HistogramOptions& opts, double x) {
   return std::min(i, count - 2);
 }
 
+double histogram_percentile(const MetricValue& hist, double q) {
+  if (hist.kind != MetricKind::Histogram || hist.buckets.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (std::uint64_t b : hist.buckets) total += b;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  const HistogramOptions& opts = hist.histogram_opts;
+  const std::size_t count = hist.buckets.size();
+  double cum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double in_bucket = static_cast<double>(hist.buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket < target) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i == 0) return opts.min;             // underflow: below min
+    if (i == count - 1) return opts.max;     // overflow: at/above max
+    const double lo = histogram_bucket_lower(opts, i);
+    const double hi = (i + 1 == count - 1)
+                          ? opts.max
+                          : histogram_bucket_lower(opts, i + 1);
+    const double frac = (target - cum) / in_bucket;
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return opts.max;
+}
+
 // --- Handles ----------------------------------------------------------------
 
 void Counter::inc(std::uint64_t n) const {

@@ -76,6 +76,15 @@ double histogram_bucket_lower(const HistogramOptions& opts, std::size_t i);
 /// Bucket index `observe(x)` lands in.
 std::size_t histogram_bucket_index(const HistogramOptions& opts, double x);
 
+struct MetricValue;
+
+/// Quantile estimate (q in [0,1]) from an exported histogram's bucket
+/// counts, linearly interpolated inside the covering bucket. Underflow
+/// resolves to `min`, overflow to `max`, an empty histogram to 0. Works
+/// on windowed deltas as well as cumulative snapshots — the time-series
+/// sampler's "p99 over the last W seconds" is this on a diffed value.
+double histogram_percentile(const MetricValue& hist, double q);
+
 class Counter {
  public:
   Counter() = default;

@@ -41,4 +41,12 @@ int dump_run(std::string_view run_name, const Snapshot& snapshot,
   return files;
 }
 
+bool dump_flights(std::string_view run_name, const FlightRecorder& flights) {
+  const std::string dir = out_dir();
+  if (dir.empty() || flights.size() == 0) return false;
+  const std::string path =
+      dir + "/" + std::string(run_name) + "_flights.jsonl";
+  return write_file(path, flights.to_jsonl());
+}
+
 }  // namespace idr::obs

@@ -5,6 +5,8 @@
 //   <dir>/<run>_metrics.prom   (Snapshot::to_prometheus)
 //   <dir>/<run>_trace.json     (Tracer::to_chrome_json, if a tracer was
 //                               supplied and captured events)
+//   <dir>/<run>_flights.jsonl  (FlightRecorder::to_jsonl, via the
+//                               dump_flights companion)
 // and when unset it is a no-op, so the dormant-by-default contract holds
 // without call sites branching on the environment themselves.
 #pragma once
@@ -12,6 +14,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -32,5 +35,9 @@ bool write_file(const std::string& path, std::string_view content);
 /// Returns the number of files written (0 when the sink is off).
 int dump_run(std::string_view run_name, const Snapshot& snapshot,
              const Tracer* tracer = nullptr);
+
+/// Writes <dir>/<run>_flights.jsonl when the sink is on and the recorder
+/// holds records. Returns true when a file was written.
+bool dump_flights(std::string_view run_name, const FlightRecorder& flights);
 
 }  // namespace idr::obs

@@ -1,0 +1,89 @@
+#include "obs/timeseries.hpp"
+
+#include "obs/json.hpp"
+
+namespace idr::obs {
+
+void TimeSeries::push(double t, Snapshot snapshot) {
+  if (samples_.size() == capacity_) samples_.pop_front();
+  samples_.emplace_back(t, std::move(snapshot));
+}
+
+TimeSeries::Window TimeSeries::window(double window_s) const {
+  Window out;
+  if (samples_.empty()) return out;
+  const double latest = samples_.back().first;
+  const double cutoff = window_s > 0.0 ? latest - window_s : -1e300;
+  std::size_t base = samples_.size();  // oldest sample inside the window
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (samples_[i].first >= cutoff) {
+      base = i;
+      break;
+    }
+  }
+  out.samples = samples_.size() - base;
+  if (out.samples < 2) return out;
+  out.duration = latest - samples_[base].first;
+  out.delta = samples_.back().second.diff(samples_[base].second);
+  return out;
+}
+
+double TimeSeries::rate(std::string_view name, double window_s) const {
+  const Window w = window(window_s);
+  if (w.duration <= 0.0) return 0.0;
+  const MetricValue* m = w.delta.find(name);
+  if (m == nullptr) return 0.0;
+  return static_cast<double>(m->count) / w.duration;
+}
+
+std::string TimeSeries::window_json(double window_s) const {
+  const Window w = window(window_s);
+  std::string out = "{\"window_seconds\":";
+  json_append_double(out, window_s);
+  out += ",\"duration_seconds\":";
+  json_append_double(out, w.duration);
+  out += ",\"samples\":" + std::to_string(w.samples);
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& m : w.delta.metrics) {
+    const bool active = m.kind == MetricKind::Gauge ? m.value != 0.0
+                                                    : m.count != 0;
+    if (!active) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    json_append_string(out, m.name);
+    switch (m.kind) {
+      case MetricKind::Counter:
+        out += ",\"kind\":\"counter\",\"delta\":" + std::to_string(m.count);
+        out += ",\"rate\":";
+        json_append_double(out, w.duration > 0.0
+                                    ? static_cast<double>(m.count) /
+                                          w.duration
+                                    : 0.0);
+        break;
+      case MetricKind::Gauge:
+        out += ",\"kind\":\"gauge\",\"value\":";
+        json_append_double(out, m.value);
+        break;
+      case MetricKind::Histogram:
+        out += ",\"kind\":\"histogram\",\"delta\":" +
+               std::to_string(m.count);
+        out += ",\"rate\":";
+        json_append_double(out, w.duration > 0.0
+                                    ? static_cast<double>(m.count) /
+                                          w.duration
+                                    : 0.0);
+        out += ",\"p50\":";
+        json_append_double(out, histogram_percentile(m, 0.50));
+        out += ",\"p99\":";
+        json_append_double(out, histogram_percentile(m, 0.99));
+        break;
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace idr::obs

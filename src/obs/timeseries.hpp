@@ -1,0 +1,75 @@
+// Windowed time-series over cumulative metric snapshots.
+//
+// A TimeSeries is a fixed-capacity ring of (time, Snapshot) samples pushed
+// by a periodic ticker — the rt stack arms a TimerWheel, the simulator
+// schedules a virtual-time event — and answers "what happened in the last
+// W seconds" by diffing the newest sample against the oldest sample still
+// inside the window (Snapshot::diff already has exactly the delta
+// semantics we need: counters and histogram buckets subtract, gauges keep
+// their latest value).
+//
+// The clock domain is whatever the pusher stamps: virtual seconds in sim,
+// Reactor::now() seconds in rt. The series never reads a clock itself, so
+// one implementation backs both `/metrics?window=<s>` on the daemons and
+// the virtual-time Fig. 4 rewrite.
+//
+// Not internally synchronized: push and query from the owning thread (the
+// reactor loop / the sim world). Copyable, so testbed results can carry
+// their session's series across the parallel_map join.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace idr::obs {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Appends one cumulative sample; evicts the oldest when full. Times
+  /// must be non-decreasing (same clock as every other push).
+  void push(double t, Snapshot snapshot);
+
+  std::size_t size() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return samples_.empty(); }
+  double latest_time() const {
+    return samples_.empty() ? 0.0 : samples_.back().first;
+  }
+  void clear() { samples_.clear(); }
+
+  /// Delta over (approximately) the trailing `window_s` seconds: the
+  /// newest sample diffed against the oldest sample with
+  /// t >= latest - window_s. `samples` counts samples inside the window;
+  /// fewer than two means no rate can be formed and `delta` is empty.
+  /// window_s <= 0 spans the whole ring.
+  struct Window {
+    double duration = 0.0;     // actual span between the two samples used
+    std::size_t samples = 0;
+    Snapshot delta;
+  };
+  Window window(double window_s) const;
+
+  /// Windowed rate of one counter or histogram-count series, per second.
+  /// 0 when the series is absent or the window holds < 2 samples.
+  double rate(std::string_view name, double window_s) const;
+
+  /// Rendered window: {"window_seconds":...,"duration_seconds":...,
+  /// "samples":N,"metrics":[...]} listing only series active inside the
+  /// window — counters/histograms with a nonzero delta (with per-second
+  /// rates, histograms also p50/p99), gauges with a nonzero value.
+  std::string window_json(double window_s) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::pair<double, Snapshot>> samples_;
+};
+
+}  // namespace idr::obs

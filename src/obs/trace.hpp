@@ -25,7 +25,37 @@
 #include <string_view>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace idr::obs {
+
+/// Identity of one cross-hop transfer: a 64-bit trace id shared by every
+/// span the transfer produces (client, relay, origin) plus the span id of
+/// the current hop. Ids are drawn from the seeded util RNG streams — sim
+/// traces replay bitwise — and zero means "no context" everywhere, so a
+/// default-constructed TraceContext is inert.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+
+  /// Child context: same trace, span id derived from this span id and a
+  /// caller-chosen salt via the repo-wide child_stream rule. Deterministic
+  /// and collision-free across the salts one race uses.
+  TraceContext child(std::uint64_t salt) const {
+    std::uint64_t id = util::child_stream(span_id, salt);
+    if (id == 0) id = 1;  // keep "zero = absent" unambiguous
+    return TraceContext{trace_id, id};
+  }
+};
+
+/// Fresh root context from an RNG stream (two draws, both forced nonzero).
+TraceContext make_trace_context(util::Rng& rng);
+
+/// 16-digit lowercase hex, zero padded — the id wire format shared by the
+/// traceparent header and the Chrome export.
+std::string trace_hex(std::uint64_t id);
 
 /// Type-erased monotonic "now" in microseconds.
 struct TraceClock {
@@ -43,10 +73,18 @@ struct TraceClock {
 struct TraceEvent {
   std::string name;
   std::string category;
-  char phase = 'X';          // 'X' complete, 'i' instant
+  char phase = 'X';          // 'X' complete, 'i' instant, 's'/'t'/'f' flow
+                             // binds, 'M' metadata
+  std::uint64_t pid = 1;     // Chrome pid: one box per role (client/relay/
+                             // origin); 1 everywhere pre-existing callers
+                             // don't care
   std::uint64_t track = 0;   // Chrome tid: one row per session/thread
   double ts_us = 0.0;
   double dur_us = 0.0;       // complete events only
+  std::uint64_t flow_id = 0;     // 's'/'t'/'f' events: the flow being bound
+  std::uint64_t trace_id = 0;    // cross-hop identity, folded into args
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
   std::string args_json;     // pre-rendered JSON object, may be empty
 };
 
@@ -72,6 +110,23 @@ class Tracer {
   void instant(std::string_view name, std::string_view category,
                std::uint64_t track, double ts_us,
                std::string args_json = {});
+
+  /// Appends a fully caller-built event (pid, trace ids, flow id, ...).
+  /// No-op when disabled.
+  void append(TraceEvent ev);
+
+  /// Appends a flow-bind event: 's' starts a flow, 't' continues it on
+  /// another row, 'f' finishes it (bound to the enclosing slice). The
+  /// flow_id links binds across pids/tracks — we use the trace id, so one
+  /// transfer renders as a single arrowed chain in Perfetto.
+  void flow(char phase, std::string_view name, std::string_view category,
+            std::uint64_t pid, std::uint64_t track, double ts_us,
+            std::uint64_t flow_id);
+
+  /// Chrome 'M' metadata: names the pid box / tid row in the viewer.
+  void set_process_name(std::uint64_t pid, std::string_view name);
+  void set_thread_name(std::uint64_t pid, std::uint64_t track,
+                       std::string_view name);
 
   std::size_t size() const;
   std::vector<TraceEvent> events() const;  // copy, for tests

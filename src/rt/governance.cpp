@@ -31,8 +31,80 @@ http::Response make_overload_response(double retry_after_s) {
   return response;
 }
 
+namespace {
+
+/// Strict non-negative number ("12", "2.5"); false on anything else.
+bool parse_number(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  double value = 0.0;
+  std::size_t i = 0;
+  bool any = false;
+  for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+    value = value * 10.0 + (s[i] - '0');
+    any = true;
+  }
+  if (i < s.size() && s[i] == '.') {
+    double scale = 0.1;
+    for (++i; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+      value += (s[i] - '0') * scale;
+      scale *= 0.1;
+      any = true;
+    }
+  }
+  if (!any || i != s.size()) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+IntrospectionQuery parse_introspection_target(std::string_view target) {
+  IntrospectionQuery query;
+  const std::size_t qmark = target.find('?');
+  const std::string_view path =
+      qmark == std::string_view::npos ? target : target.substr(0, qmark);
+  if (path == "/metrics") {
+    query.kind = IntrospectionQuery::Kind::Metrics;
+  } else if (path == "/healthz") {
+    query.kind = IntrospectionQuery::Kind::Healthz;
+  } else if (path == "/debug/flights") {
+    query.kind = IntrospectionQuery::Kind::Flights;
+  } else {
+    return query;
+  }
+  if (qmark == std::string_view::npos) return query;
+  std::string_view rest = target.substr(qmark + 1);
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    if (key == "format") {
+      query.json = value == "json";
+    } else if (key == "window") {
+      double seconds = 0.0;
+      if (parse_number(value, seconds) && seconds > 0.0) {
+        query.window_s = seconds;
+        query.json = true;  // windowed rates only exist as JSON
+      }
+    } else if (key == "n") {
+      double n = 0.0;
+      if (parse_number(value, n) && n >= 1.0 && n == std::floor(n)) {
+        query.last_n = static_cast<std::size_t>(n);
+      }
+    }
+    // unknown keys ignored
+  }
+  return query;
+}
+
 bool is_introspection_target(std::string_view target) {
-  return target == "/metrics" || target == "/healthz";
+  return parse_introspection_target(target).is_introspection();
 }
 
 http::Response make_metrics_response(std::string exposition) {
@@ -42,6 +114,26 @@ http::Response make_metrics_response(std::string exposition) {
   response.headers.set("Content-Type", "text/plain; version=0.0.4");
   response.headers.set("Connection", "close");
   response.body = std::move(exposition);
+  return response;
+}
+
+http::Response make_json_response(std::string body) {
+  http::Response response;
+  response.status = 200;
+  response.reason = std::string(http::default_reason(200));
+  response.headers.set("Content-Type", "application/json");
+  response.headers.set("Connection", "close");
+  response.body = std::move(body);
+  return response;
+}
+
+http::Response make_flights_response(std::string jsonl) {
+  http::Response response;
+  response.status = 200;
+  response.reason = std::string(http::default_reason(200));
+  response.headers.set("Content-Type", "application/x-ndjson");
+  response.headers.set("Connection", "close");
+  response.body = std::move(jsonl);
   return response;
 }
 

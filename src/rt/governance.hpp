@@ -65,15 +65,48 @@ bool accept_errno_is_transient(int err);
 /// up) and Connection: close.
 http::Response make_overload_response(double retry_after_s);
 
+/// One parsed introspection request. The plane grew query parameters in
+/// the observability-part-2 PR:
+///   /metrics                 — prometheus text exposition (as before)
+///   /metrics?format=json     — Snapshot::to_json of the same registry
+///   /metrics?window=<s>      — windowed rates from the daemon's sampler
+///                              (JSON; requires enable_sampling)
+///   /debug/flights           — last N flight records as JSONL
+///   /debug/flights?n=<k>     — last k records
+///   /healthz                 — liveness (as before)
+/// Unknown query parameters are ignored so probes can evolve.
+struct IntrospectionQuery {
+  enum class Kind { None, Metrics, Healthz, Flights };
+  Kind kind = Kind::None;
+  bool json = false;         // /metrics?format=json
+  double window_s = 0.0;     // /metrics?window=<s>; 0 = cumulative
+  std::size_t last_n = 64;   // /debug/flights?n=<k>
+
+  bool is_introspection() const { return kind != Kind::None; }
+};
+
+/// Splits an origin-form target into path + query and classifies it.
+/// Kind::None for everything outside the introspection plane.
+IntrospectionQuery parse_introspection_target(std::string_view target);
+
 /// True when an origin-form request target addresses the introspection
-/// plane ("/metrics" or "/healthz"). Introspection requests are served by
-/// every rt daemon — even one that is shedding load, since an operator
-/// needs exactly those endpoints to see WHY it is shedding — and are
-/// never counted as forwarded/served traffic.
+/// plane ("/metrics", "/healthz", "/debug/flights", with or without a
+/// query). Introspection requests are served by every rt daemon — even
+/// one that is shedding load, since an operator needs exactly those
+/// endpoints to see WHY it is shedding — and are never counted as
+/// forwarded/served traffic.
 bool is_introspection_target(std::string_view target);
 
 /// 200 text/plain response carrying a prometheus text exposition.
 http::Response make_metrics_response(std::string exposition);
+
+/// 200 application/json response (the ?format=json and ?window=<s>
+/// variants of /metrics).
+http::Response make_json_response(std::string body);
+
+/// 200 application/x-ndjson response carrying flight records, one JSON
+/// object per line.
+http::Response make_flights_response(std::string jsonl);
 
 /// 200 application/json liveness response. `status` is "ok", "shedding",
 /// or "draining"; `sessions` the daemon's current session count. A

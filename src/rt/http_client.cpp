@@ -1,6 +1,7 @@
 #include "rt/http_client.hpp"
 
 #include "http/parser.hpp"
+#include "http/traceparent.hpp"
 #include "rt/fault_shim.hpp"
 #include "rt/http_server.hpp"
 #include "util/error.hpp"
@@ -207,6 +208,10 @@ FetchHandle fetch(Reactor& reactor, const FetchRequest& request,
     if (state->request.range) {
       req.headers.add("Range",
                       http::format_range_header(*state->request.range));
+    }
+    if (state->request.trace.valid()) {
+      req.headers.add(std::string(http::kTraceparentHeader),
+                      http::format_traceparent(state->request.trace));
     }
     state->conn->write(req.serialize());
   });

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "http/range.hpp"
+#include "obs/trace.hpp"
 #include "rt/connection.hpp"
 
 namespace idr::rt {
@@ -37,6 +38,10 @@ struct FetchRequest {
   /// Copy the response body into FetchResult::body (off by default:
   /// transfers only need counts, and bulk bodies would double memory).
   bool capture_body = false;
+  /// When valid, the request carries a `traceparent` header so relay and
+  /// origin can emit server spans under the same trace id. Default
+  /// (invalid) adds no header — the wire format is unchanged.
+  obs::TraceContext trace{};
 };
 
 struct FetchResult {

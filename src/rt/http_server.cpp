@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "http/range.hpp"
+#include "http/traceparent.hpp"
 #include "obs/log.hpp"
 #include "util/error.hpp"
 
@@ -30,6 +31,18 @@ struct HttpOriginServer::Session {
   bool sending = false;
   bool shed = false;  // admitted only to be told 503
   TimerWheel::Token idle_token = 0;
+
+  // Cross-hop tracing + flight-record state for the request being served
+  // (reset per pipelined request). `trace` is the caller's context
+  // (invalid when the request carried no traceparent); `server_ctx`
+  // roots this hop's own span ids under it.
+  obs::TraceContext trace;
+  obs::TraceContext server_ctx;
+  double request_start = 0.0;
+  double serve_start = 0.0;
+  std::uint64_t serve_length = 0;
+  int status = 0;
+  std::string peer;  // resolved request path
 };
 
 HttpOriginServer::HttpOriginServer(Reactor& reactor, std::uint16_t port,
@@ -57,6 +70,7 @@ HttpOriginServer::HttpOriginServer(Reactor& reactor, std::uint16_t port,
   c_responses_not_found_ = metrics_.counter("rt.origin.responses_not_found");
   c_metrics_served_ = metrics_.counter("rt.origin.metrics_served");
   c_healthz_served_ = metrics_.counter("rt.origin.healthz_served");
+  c_flights_served_ = metrics_.counter("rt.origin.flights_served");
   g_sessions_active_ = metrics_.gauge("rt.origin.sessions_active");
   g_sessions_peak_ = metrics_.gauge("rt.origin.sessions_peak");
   g_draining_ = metrics_.gauge("rt.origin.draining");
@@ -65,6 +79,25 @@ HttpOriginServer::HttpOriginServer(Reactor& reactor, std::uint16_t port,
   g_limit_max_sessions_.set(static_cast<double>(limits_.max_sessions));
   h_response_bytes_ = metrics_.histogram("rt.origin.response_bytes",
                                          obs::HistogramOptions{1.0, 1e9, 2});
+}
+
+void HttpOriginServer::set_tracer(obs::Tracer* tracer, std::uint64_t pid,
+                                  std::uint64_t track) {
+  tracer_ = tracer;
+  trace_pid_ = pid;
+  trace_track_ = track;
+}
+
+void HttpOriginServer::enable_sampling(double period_s,
+                                       std::size_t capacity) {
+  sampler_ = std::make_unique<MetricsSampler>(
+      reactor_, [this] { return merged_snapshot(); }, period_s, capacity);
+}
+
+obs::Snapshot HttpOriginServer::merged_snapshot() {
+  obs::Snapshot snap = metrics_.snapshot();
+  snap.merge(reactor_.metrics().snapshot());
+  return snap;
 }
 
 GovernanceCounters HttpOriginServer::counters() const {
@@ -190,6 +223,7 @@ void HttpOriginServer::start_session(FdHandle fd) {
   auto session = std::make_shared<Session>();
   session->conn = Connection::adopt(reactor_, std::move(fd));
   session->parser.set_limits(limits_.parser);
+  session->request_start = reactor_.now();
   sessions_.insert(session);
   g_sessions_active_.set(static_cast<double>(sessions_.size()));
   g_sessions_peak_.set(std::max(g_sessions_peak_.value(),
@@ -250,6 +284,7 @@ void HttpOriginServer::start_session(FdHandle fd) {
         handle_request(s);
         if (!s->conn || s->conn->closed()) return;
         s->parser.reset();  // pipeline-friendly: keep-alive next request
+        s->request_start = reactor_.now();
       }
     }
   });
@@ -257,22 +292,49 @@ void HttpOriginServer::start_session(FdHandle fd) {
 
 bool HttpOriginServer::maybe_serve_introspection(
     const std::shared_ptr<Session>& session) {
-  // Accept absolute-form targets like the resource plane does.
-  std::string path = session->parser.request().target;
-  if (const auto url = http::parse_http_url(path)) path = url->path;
-  if (!is_introspection_target(path)) return false;
-  if (path == "/metrics") {
-    obs::Snapshot snap = metrics_.snapshot();
-    snap.merge(reactor_.metrics().snapshot());
-    session->conn->write(
-        make_metrics_response(snap.to_prometheus()).serialize());
-    c_metrics_served_.inc();
-  } else {
-    const char* status =
-        draining_ ? "draining" : (session->shed ? "shedding" : "ok");
-    session->conn->write(
-        make_healthz_response(status, sessions_.size()).serialize());
-    c_healthz_served_.inc();
+  // Accept absolute-form targets like the resource plane does. The query
+  // string survives the strip: parse_http_url keeps it in `path`.
+  std::string target = session->parser.request().target;
+  if (const auto url = http::parse_http_url(target)) target = url->path;
+  const IntrospectionQuery query = parse_introspection_target(target);
+  if (!query.is_introspection()) return false;
+  switch (query.kind) {
+    case IntrospectionQuery::Kind::Metrics:
+      if (query.window_s > 0.0) {
+        // Windowed rates need the sampler's history; without one, answer
+        // with a well-formed empty window rather than a 404.
+        std::string body;
+        if (sampler_) {
+          sampler_->sample_now();
+          body = sampler_->series().window_json(query.window_s);
+        } else {
+          body = obs::TimeSeries(1).window_json(query.window_s);
+        }
+        session->conn->write(make_json_response(body).serialize());
+      } else if (query.json) {
+        session->conn->write(
+            make_json_response(merged_snapshot().to_json()).serialize());
+      } else {
+        session->conn->write(
+            make_metrics_response(merged_snapshot().to_prometheus())
+                .serialize());
+      }
+      c_metrics_served_.inc();
+      break;
+    case IntrospectionQuery::Kind::Flights:
+      session->conn->write(
+          make_flights_response(flights_.to_jsonl(query.last_n))
+              .serialize());
+      c_flights_served_.inc();
+      break;
+    default: {
+      const char* status =
+          draining_ ? "draining" : (session->shed ? "shedding" : "ok");
+      session->conn->write(
+          make_healthz_response(status, sessions_.size()).serialize());
+      c_healthz_served_.inc();
+      break;
+    }
   }
   // Introspection responses carry Connection: close; honour it.
   close_when_drained(session);
@@ -355,12 +417,46 @@ void HttpOriginServer::handle_request(
   const http::Request& request = session->parser.request();
   c_requests_served_.inc();
 
+  // Adopt the caller's trace context, if the request carries one, and
+  // emit this hop's parse span under it.
+  session->trace = obs::TraceContext{};
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    if (const auto tp = request.headers.get(http::kTraceparentHeader)) {
+      if (auto ctx = http::parse_traceparent(*tp)) {
+        session->trace = *ctx;
+        session->server_ctx = ctx->child(++trace_seq_);
+        obs::TraceEvent ev;
+        ev.name = "origin.parse";
+        ev.category = "rt.origin";
+        ev.phase = 'X';
+        ev.pid = trace_pid_;
+        ev.track = trace_track_;
+        ev.ts_us = session->request_start * 1e6;
+        ev.dur_us = reactor_.now() * 1e6 - ev.ts_us;
+        ev.trace_id = session->trace.trace_id;
+        ev.span_id = session->server_ctx.child(1).span_id;
+        ev.parent_span = session->trace.span_id;
+        tracer_->append(std::move(ev));
+        tracer_->flow('t', "transfer", "rt.origin", trace_pid_,
+                      trace_track_, session->request_start * 1e6,
+                      session->trace.trace_id);
+      }
+    }
+  }
+
   std::uint64_t offset = 0, length = 0;
   const http::Response resp = make_response(request, &offset, &length);
   if (resp.status == 404) c_responses_not_found_.inc();
   if (resp.status == 206 || resp.status == 416) c_responses_range_.inc();
   h_response_bytes_.observe(static_cast<double>(length));
   session->conn->write(resp.serialize());
+
+  std::string path = request.target;
+  if (const auto url = http::parse_http_url(path)) path = url->path;
+  session->peer = std::move(path);
+  session->status = resp.status;
+  session->serve_start = reactor_.now();
+  session->serve_length = length;
 
   session->body_offset = offset;
   session->body_remaining = length;
@@ -369,7 +465,41 @@ void HttpOriginServer::handle_request(
   if (!session->sending && length > 0) {
     session->sending = true;
     pump_body(session);
+  } else if (length == 0) {
+    finish_serve(session);
   }
+}
+
+void HttpOriginServer::finish_serve(
+    const std::shared_ptr<Session>& session) {
+  const double now = reactor_.now();
+  if (tracer_ != nullptr && tracer_->enabled() && session->trace.valid() &&
+      session->serve_length > 0) {
+    obs::TraceEvent ev;
+    ev.name = "origin.stream";
+    ev.category = "rt.origin";
+    ev.phase = 'X';
+    ev.pid = trace_pid_;
+    ev.track = trace_track_;
+    ev.ts_us = session->serve_start * 1e6;
+    ev.dur_us = now * 1e6 - ev.ts_us;
+    ev.trace_id = session->trace.trace_id;
+    ev.span_id = session->server_ctx.child(2).span_id;
+    ev.parent_span = session->trace.span_id;
+    ev.args_json = "{\"bytes\":" + std::to_string(session->serve_length) +
+                   ",\"status\":" + std::to_string(session->status) + "}";
+    tracer_->append(std::move(ev));
+  }
+  obs::FlightRecord rec;
+  rec.trace_id = session->trace.trace_id;
+  rec.source = "rt.origin";
+  rec.peer = session->peer;
+  rec.start_time = session->request_start;
+  rec.ok = session->status == 200 || session->status == 206;
+  rec.status = session->status;
+  rec.bytes_total = session->serve_length;
+  rec.total_elapsed_s = now - session->request_start;
+  flights_.record(std::move(rec));
 }
 
 void HttpOriginServer::pump_body(const std::shared_ptr<Session>& session) {
@@ -406,6 +536,7 @@ void HttpOriginServer::pump_body(const std::shared_ptr<Session>& session) {
     session->body_remaining -= chunk;
     if (session->body_remaining == 0) {
       session->sending = false;
+      finish_serve(session);
       return;
     }
     std::weak_ptr<Session> weak = session;

@@ -16,9 +16,12 @@
 
 #include "http/message.hpp"
 #include "http/parser.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/connection.hpp"
 #include "rt/governance.hpp"
+#include "rt/sampler.hpp"
 #include "rt/timer_wheel.hpp"
 
 namespace idr::rt {
@@ -63,6 +66,20 @@ class HttpOriginServer {
   obs::Registry& metrics() { return metrics_; }
   const obs::Registry& metrics() const { return metrics_; }
 
+  /// Wires server-side span emission: requests arriving with a valid
+  /// `traceparent` get origin.parse / origin.stream spans under the
+  /// caller's trace id, on Chrome process `pid`, row `track`. Null tracer
+  /// (default) emits nothing.
+  void set_tracer(obs::Tracer* tracer, std::uint64_t pid,
+                  std::uint64_t track);
+
+  /// Starts the periodic metrics sampler backing `/metrics?window=<s>`.
+  void enable_sampling(double period_s, std::size_t capacity = 256);
+
+  /// Per-request flight records (source "rt.origin"), newest-N ring;
+  /// served live as `GET /debug/flights`.
+  const obs::FlightRecorder& flights() const { return flights_; }
+
   /// Graceful shutdown: stop accepting, let in-flight sessions complete,
   /// then close the listener and fire `on_drained` (at most once; fires
   /// immediately when already idle).
@@ -89,6 +106,11 @@ class HttpOriginServer {
   http::Response make_response(const http::Request& request,
                                std::uint64_t* body_offset,
                                std::uint64_t* body_length) const;
+  /// Server + reactor registries, the exposition `GET /metrics` serves.
+  obs::Snapshot merged_snapshot();
+  /// Emits the request's origin.stream span and flight record once its
+  /// last body byte is queued (or immediately for bodyless responses).
+  void finish_serve(const std::shared_ptr<Session>& session);
 
   Reactor& reactor_;
   FdHandle listen_fd_;
@@ -103,6 +125,15 @@ class HttpOriginServer {
   bool draining_ = false;
   std::function<void()> on_drained_;
   std::unordered_set<std::shared_ptr<Session>> sessions_;
+
+  // Cross-hop tracing (dormant until set_tracer) and per-request flight
+  // records (always on: the ring is tiny and lock-light).
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t trace_pid_ = 1;
+  std::uint64_t trace_track_ = 0;
+  std::uint64_t trace_seq_ = 0;  // per-request child-context salt
+  obs::FlightRecorder flights_{128};
+  std::unique_ptr<MetricsSampler> sampler_;
 
   // `rt.origin.*` series; handles resolved once at construction.
   obs::Registry metrics_{obs::Registry::Sync::Atomic};
@@ -119,6 +150,7 @@ class HttpOriginServer {
   obs::Counter c_responses_not_found_;
   obs::Counter c_metrics_served_;
   obs::Counter c_healthz_served_;
+  obs::Counter c_flights_served_;
   obs::Gauge g_sessions_active_;
   obs::Gauge g_sessions_peak_;
   obs::Gauge g_draining_;

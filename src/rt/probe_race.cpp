@@ -34,9 +34,20 @@ struct RaceState {
   bool fell_back_direct = false;
   std::size_t overload_rejections = 0;
 
+  /// Probe-phase overhead bytes (probe span down every lane beyond the
+  /// one that counts toward the file), for the flight record.
+  std::uint64_t probe_overhead_bytes = 0;
+
   /// Jitter stream for backoff delays; fixed seed — wall-clock retry
   /// spacing needs decorrelation, not reproducibility.
   util::Rng backoff_rng{0xF417u};
+
+  /// Child context for one outbound fetch; invalid (no header) when the
+  /// race itself carries no context.
+  obs::TraceContext fetch_trace(std::uint64_t salt) const {
+    return spec.trace.valid() ? spec.trace.child(salt)
+                              : obs::TraceContext{};
+  }
 
   void stamp(RaceResult& result) const {
     result.race_skipped = race_skipped;
@@ -83,10 +94,51 @@ struct RaceState {
       args += ",\"fell_back_direct\":";
       args += result.fell_back_direct ? "true" : "false";
       args += "}";
-      spec.tracer->complete("probe_race", "rt.race", spec.trace_track,
-                            start_time * 1e6,
-                            (reactor->now() - start_time) * 1e6,
-                            std::move(args));
+      const double end_us = reactor->now() * 1e6;
+      obs::TraceEvent ev;
+      ev.name = "probe_race";
+      ev.category = "rt.race";
+      ev.phase = 'X';
+      ev.pid = spec.trace_pid;
+      ev.track = spec.trace_track;
+      ev.ts_us = start_time * 1e6;
+      ev.dur_us = end_us - ev.ts_us;
+      ev.trace_id = spec.trace.trace_id;
+      ev.span_id = spec.trace.span_id;
+      ev.args_json = std::move(args);
+      spec.tracer->append(std::move(ev));
+      if (spec.trace.valid()) {
+        // Flow chain: 's' here at race start, 't' on each server hop,
+        // 'f' back here at completion — one arrowed chain per transfer.
+        spec.tracer->flow('s', "transfer", "rt.race", spec.trace_pid,
+                          spec.trace_track, start_time * 1e6,
+                          spec.trace.trace_id);
+        spec.tracer->flow('f', "transfer", "rt.race", spec.trace_pid,
+                          spec.trace_track, end_us, spec.trace.trace_id);
+      }
+    }
+    if (spec.flights) {
+      obs::FlightRecord rec;
+      rec.trace_id = spec.trace.trace_id;
+      rec.source = "rt.race";
+      rec.peer = spec.origin.host + ":" +
+                 std::to_string(spec.origin.port) + spec.path;
+      rec.start_time = start_time;
+      rec.ok = result.ok;
+      rec.chose_indirect = result.chose_indirect;
+      rec.race_skipped = result.race_skipped;
+      rec.fell_back_direct = result.fell_back_direct;
+      rec.relay_index = result.chose_indirect
+                            ? static_cast<std::int64_t>(result.relay_index)
+                            : -1;
+      rec.probe_elapsed_s = result.probe_elapsed;
+      rec.total_elapsed_s = result.total_elapsed;
+      rec.bytes_total = result.total_bytes;
+      rec.bytes_probe = probe_overhead_bytes;
+      rec.retries = result.retries;
+      rec.probe_failures = result.probe_failures;
+      rec.overload_rejections = result.overload_rejections;
+      spec.flights->record(std::move(rec));
     }
   }
 
@@ -140,6 +192,7 @@ void start_direct_fallback(const std::shared_ptr<RaceState>& state,
   req.origin = state->spec.origin;
   req.path = state->spec.path;
   req.timeout_s = state->spec.timeout_s;
+  req.trace = state->fetch_trace(0x300 + attempt);
   fetch(*state->reactor, req,
         [state, attempt, probe_error](const FetchResult& result) {
           if (state->finished) return;
@@ -184,6 +237,8 @@ void start_remainder(const std::shared_ptr<RaceState>& state,
     rest.proxy = state->spec.relays[state->relay_index];
   }
   rest.timeout_s = state->spec.timeout_s;
+  rest.trace =
+      state->fetch_trace(0x200 + attempt * 4 + (via_direct ? 1 : 0));
   fetch(*state->reactor, rest,
         [state, attempt, via_direct](const FetchResult& remainder) {
           if (state->finished) return;
@@ -263,6 +318,8 @@ void launch_race(const std::shared_ptr<RaceState>& state) {
     spec.metrics->counter("rt.select.probe_bytes")
         .inc(probe * static_cast<std::uint64_t>(spec.relays.size()));
   }
+  state->probe_overhead_bytes =
+      probe * static_cast<std::uint64_t>(spec.relays.size());
   state->pending = 1 + spec.relays.size();
   for (std::size_t lane = 0; lane < 1 + spec.relays.size(); ++lane) {
     FetchRequest req;
@@ -271,6 +328,7 @@ void launch_race(const std::shared_ptr<RaceState>& state) {
     req.range = http::range_first_bytes(probe);
     if (lane > 0) req.proxy = spec.relays[lane - 1];
     req.timeout_s = spec.timeout_s;
+    req.trace = state->fetch_trace(0x100 + lane);
     state->lanes.push_back(
         fetch(*state->reactor, req, [state, lane](const FetchResult& result) {
           on_probe_done(state, lane, result);
@@ -298,6 +356,7 @@ void start_pinned(const std::shared_ptr<RaceState>& state) {
   req.path = spec.path;
   req.proxy = spec.relays[pinned];
   req.timeout_s = spec.timeout_s;
+  req.trace = state->fetch_trace(0x400);
   fetch(*state->reactor, req,
         [state, pinned](const FetchResult& result) {
           if (state->finished) return;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rt/http_client.hpp"
@@ -35,6 +36,18 @@ struct RaceSpec {
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
   std::uint32_t trace_track = 0;
+  /// Cross-hop identity for this transfer. When valid, every probe and
+  /// transfer request the race issues carries a `traceparent` child of it
+  /// (relay and origin answer with server spans under the same trace id),
+  /// the probe_race span carries the ids, and flow-bind events link the
+  /// chain. Invalid (default): no header, no flow events — byte-identical
+  /// wire traffic.
+  obs::TraceContext trace{};
+  /// Chrome pid for this client's spans in a merged multi-role trace.
+  std::uint64_t trace_pid = 1;
+  /// When set, the race appends one FlightRecord (source "rt.race") on
+  /// completion.
+  obs::FlightRecorder* flights = nullptr;
 
   /// When set (an index into `relays`), the race is skipped: the whole
   /// resource is fetched through that relay in one request — zero probe

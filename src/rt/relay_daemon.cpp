@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "http/message.hpp"
+#include "http/traceparent.hpp"
 #include "obs/log.hpp"
 #include "rt/fault_shim.hpp"
 #include "util/error.hpp"
@@ -26,6 +27,20 @@ struct RelayDaemon::Session {
   /// 503, and its lifetime does not hold the drain open.
   bool drain_exempt = false;
   TimerWheel::Token idle_token = 0;
+
+  // Cross-hop tracing + flight-record state. `trace` is the context the
+  // client sent (invalid when the request carried no traceparent);
+  // `server_ctx` roots this hop's own span ids under it.
+  obs::TraceContext trace;
+  obs::TraceContext server_ctx;
+  double accept_time = 0.0;
+  double connect_start = 0.0;
+  double first_byte_time = 0.0;
+  bool saw_upstream_byte = false;
+  bool is_forward = false;       // reached connect_upstream
+  bool flight_recorded = false;
+  std::uint64_t bytes_forwarded = 0;
+  std::string peer;              // the forwarded target
 };
 
 RelayDaemon::RelayDaemon(Reactor& reactor, std::uint16_t port,
@@ -56,6 +71,7 @@ RelayDaemon::RelayDaemon(Reactor& reactor, std::uint16_t port,
   c_upstream_connects_ = metrics_.counter("rt.relay.upstream_connects");
   c_metrics_served_ = metrics_.counter("rt.relay.metrics_served");
   c_healthz_served_ = metrics_.counter("rt.relay.healthz_served");
+  c_flights_served_ = metrics_.counter("rt.relay.flights_served");
   c_drain_rejected_ = metrics_.counter("rt.relay.drain_rejected");
   c_limits_reloaded_ = metrics_.counter("rt.relay.limits_reloaded");
   g_sessions_active_ = metrics_.gauge("rt.relay.sessions_active");
@@ -66,6 +82,45 @@ RelayDaemon::RelayDaemon(Reactor& reactor, std::uint16_t port,
   g_limit_max_sessions_.set(static_cast<double>(limits_.max_sessions));
   h_forward_chunk_bytes_ = metrics_.histogram(
       "rt.relay.forward_chunk_bytes", obs::HistogramOptions{1.0, 1e7, 2});
+}
+
+void RelayDaemon::set_tracer(obs::Tracer* tracer, std::uint64_t pid,
+                             std::uint64_t track) {
+  tracer_ = tracer;
+  trace_pid_ = pid;
+  trace_track_ = track;
+}
+
+void RelayDaemon::enable_sampling(double period_s, std::size_t capacity) {
+  sampler_ = std::make_unique<MetricsSampler>(
+      reactor_, [this] { return merged_snapshot(); }, period_s, capacity);
+}
+
+obs::Snapshot RelayDaemon::merged_snapshot() {
+  obs::Snapshot snap = metrics_.snapshot();
+  snap.merge(reactor_.metrics().snapshot());
+  return snap;
+}
+
+void RelayDaemon::record_flight(const std::shared_ptr<Session>& session) {
+  if (!session->is_forward || session->flight_recorded) return;
+  session->flight_recorded = true;
+  obs::FlightRecord rec;
+  rec.trace_id = session->trace.trace_id;
+  rec.source = "rt.relay";
+  rec.peer = session->peer;
+  rec.start_time = session->accept_time;
+  rec.ok = session->response_parser.state() == http::ParseState::Complete;
+  rec.total_elapsed_s = reactor_.now() - session->accept_time;
+  rec.bytes_total = session->bytes_forwarded;
+  // The response status is only meaningful once the header block parsed;
+  // a session dropped mid-headers records 0.
+  const http::ParseState rstate = session->response_parser.state();
+  rec.status = rstate == http::ParseState::Body ||
+                       rstate == http::ParseState::Complete
+                   ? session->response_parser.response().status
+                   : 0;
+  flights_.record(std::move(rec));
 }
 
 GovernanceCounters RelayDaemon::counters() const {
@@ -145,6 +200,7 @@ void RelayDaemon::resume_accept() {
 }
 
 void RelayDaemon::erase_session(const std::shared_ptr<Session>& session) {
+  record_flight(session);
   if (idle_wheel_ && session->idle_token != 0) {
     idle_wheel_->cancel(session->idle_token);
     session->idle_token = 0;
@@ -211,6 +267,7 @@ void RelayDaemon::start_session(FdHandle fd) {
   auto session = std::make_shared<Session>();
   session->client = Connection::adopt(reactor_, std::move(fd));
   session->request_parser.set_limits(limits_.parser);
+  session->accept_time = reactor_.now();
   sessions_.insert(session);
   g_sessions_active_.set(static_cast<double>(sessions_.size()));
   g_sessions_peak_.set(std::max(g_sessions_peak_.value(),
@@ -263,6 +320,33 @@ void RelayDaemon::start_session(FdHandle fd) {
     }
     if (s->request_parser.state() == http::ParseState::Complete) {
       c_requests_parsed_.inc();
+      // Adopt the caller's trace context, if the request carries one, and
+      // emit this hop's parse span under it.
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        const http::Request& request = s->request_parser.request();
+        if (const auto tp = request.headers.get(http::kTraceparentHeader)) {
+          if (auto ctx = http::parse_traceparent(*tp)) {
+            s->trace = *ctx;
+            s->server_ctx = ctx->child(++trace_seq_);
+            const double now_us = reactor_.now() * 1e6;
+            obs::TraceEvent ev;
+            ev.name = "relay.parse";
+            ev.category = "rt.relay";
+            ev.phase = 'X';
+            ev.pid = trace_pid_;
+            ev.track = trace_track_;
+            ev.ts_us = s->accept_time * 1e6;
+            ev.dur_us = now_us - ev.ts_us;
+            ev.trace_id = s->trace.trace_id;
+            ev.span_id = s->server_ctx.child(1).span_id;
+            ev.parent_span = s->trace.span_id;
+            tracer_->append(std::move(ev));
+            tracer_->flow('t', "transfer", "rt.relay", trace_pid_,
+                          trace_track_, s->accept_time * 1e6,
+                          s->trace.trace_id);
+          }
+        }
+      }
       if (maybe_serve_introspection(s)) return;
       if (s->drain_exempt) {
         s->forwarding = true;
@@ -282,14 +366,38 @@ void RelayDaemon::start_session(FdHandle fd) {
 bool RelayDaemon::maybe_serve_introspection(
     const std::shared_ptr<Session>& session) {
   const http::Request& request = session->request_parser.request();
-  if (!is_introspection_target(request.target)) return false;
+  const IntrospectionQuery query =
+      parse_introspection_target(request.target);
+  if (!query.is_introspection()) return false;
   session->forwarding = true;  // request consumed; no upstream leg
-  if (request.target == "/metrics") {
-    obs::Snapshot snap = metrics_.snapshot();
-    snap.merge(reactor_.metrics().snapshot());
-    session->client->write(
-        make_metrics_response(snap.to_prometheus()).serialize());
+  if (query.kind == IntrospectionQuery::Kind::Metrics) {
+    if (query.window_s > 0.0) {
+      // Windowed rates from the sampler; without one, a well-formed
+      // empty window (0 samples) rather than a 404 — probes can tell
+      // "sampling off" from "endpoint missing".
+      std::string body;
+      if (sampler_) {
+        sampler_->sample_now();  // make the newest window edge current
+        body = sampler_->series().window_json(query.window_s);
+      } else {
+        body = obs::TimeSeries(1).window_json(query.window_s);
+      }
+      session->client->write(
+          make_json_response(std::move(body)).serialize());
+    } else if (query.json) {
+      session->client->write(
+          make_json_response(merged_snapshot().to_json()).serialize());
+    } else {
+      session->client->write(
+          make_metrics_response(merged_snapshot().to_prometheus())
+              .serialize());
+    }
     c_metrics_served_.inc();
+  } else if (query.kind == IntrospectionQuery::Kind::Flights) {
+    session->client->write(
+        make_flights_response(flights_.to_jsonl(query.last_n))
+            .serialize());
+    c_flights_served_.inc();
   } else {
     // Daemon-level status, not just this session's fate: a fleet probe
     // must see "shedding" whenever admission control is engaged, even
@@ -415,6 +523,9 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
     session->upstream->set_fault(*rule);
   }
   session->forwarding = true;
+  session->is_forward = true;
+  session->peer = request.target;
+  session->connect_start = reactor_.now();
   c_transfers_.inc();
 
   std::weak_ptr<Session> weak = session;
@@ -429,11 +540,29 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
     auto s = weak.lock();
     if (!s) return;
     touch_idle(s);
+    if (!s->saw_upstream_byte) {
+      s->saw_upstream_byte = true;
+      s->first_byte_time = reactor_.now();
+      if (tracer_ != nullptr && tracer_->enabled() && s->trace.valid()) {
+        obs::TraceEvent ev;
+        ev.name = "relay.first_byte";
+        ev.category = "rt.relay";
+        ev.phase = 'i';
+        ev.pid = trace_pid_;
+        ev.track = trace_track_;
+        ev.ts_us = s->first_byte_time * 1e6;
+        ev.trace_id = s->trace.trace_id;
+        ev.span_id = s->server_ctx.child(3).span_id;
+        ev.parent_span = s->trace.span_id;
+        tracer_->append(std::move(ev));
+      }
+    }
     // Stream bytes through; track framing so the session can be dropped
     // cleanly at message end.
     s->response_parser.feed(data);
     s->client->write(data);
     c_bytes_forwarded_.inc(data.size());
+    s->bytes_forwarded += data.size();
     h_forward_chunk_bytes_.observe(static_cast<double>(data.size()));
     // Backpressure: pause upstream reads while the client leg is backed
     // up; resume from a cheap poll timer.
@@ -445,6 +574,22 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
       });
     }
     if (s->response_parser.state() == http::ParseState::Complete) {
+      if (tracer_ != nullptr && tracer_->enabled() && s->trace.valid()) {
+        obs::TraceEvent ev;
+        ev.name = "relay.stream";
+        ev.category = "rt.relay";
+        ev.phase = 'X';
+        ev.pid = trace_pid_;
+        ev.track = trace_track_;
+        ev.ts_us = s->first_byte_time * 1e6;
+        ev.dur_us = reactor_.now() * 1e6 - ev.ts_us;
+        ev.trace_id = s->trace.trace_id;
+        ev.span_id = s->server_ctx.child(4).span_id;
+        ev.parent_span = s->trace.span_id;
+        ev.args_json =
+            "{\"bytes\":" + std::to_string(s->bytes_forwarded) + "}";
+        tracer_->append(std::move(ev));
+      }
       // One transfer per connection: close the upstream; keep the client
       // connection open until its send queue drains, then close it too.
       s->upstream->close();
@@ -461,14 +606,47 @@ void RelayDaemon::connect_upstream(const std::shared_ptr<Session>& session) {
           reject(s, 504);
           return;
         }
+        if (tracer_ != nullptr && tracer_->enabled() && s->trace.valid()) {
+          obs::TraceEvent ev;
+          ev.name = "relay.upstream_connect";
+          ev.category = "rt.relay";
+          ev.phase = 'X';
+          ev.pid = trace_pid_;
+          ev.track = trace_track_;
+          ev.ts_us = s->connect_start * 1e6;
+          ev.dur_us = reactor_.now() * 1e6 - ev.ts_us;
+          ev.trace_id = s->trace.trace_id;
+          ev.span_id = s->server_ctx.child(2).span_id;
+          ev.parent_span = s->trace.span_id;
+          tracer_->append(std::move(ev));
+        }
         // Forward the request in origin-form with a Via header — both
         // correct proxy behaviour and the seam tests use to emulate
-        // asymmetric path quality at the origin.
+        // asymmetric path quality at the origin. Per RFC 7230 §5.7.1 we
+        // append to any Via chain already present (collapsing it to one
+        // header) instead of adding a duplicate, and the token carries
+        // the protocol version the request actually arrived with.
         http::Request upstream_req = s->request_parser.request();
         upstream_req.target = url.path;
         upstream_req.headers.set("Host", url.host + ":" +
                                              std::to_string(url.port));
-        upstream_req.headers.add("Via", "1.1 indiroute-relay");
+        std::string via;
+        for (std::size_t i = 0; i < upstream_req.headers.size(); ++i) {
+          const auto& [name, value] = upstream_req.headers.entry(i);
+          if (name.size() == 3 && (name[0] == 'V' || name[0] == 'v') &&
+              (name[1] == 'I' || name[1] == 'i') &&
+              (name[2] == 'A' || name[2] == 'a')) {
+            if (!via.empty()) via += ", ";
+            via += value;
+          }
+        }
+        std::string_view proto = upstream_req.version;
+        if (proto.size() > 5 && proto.substr(0, 5) == "HTTP/") {
+          proto.remove_prefix(5);
+        }
+        if (!via.empty()) via += ", ";
+        via += std::string(proto) + " indiroute-relay";
+        upstream_req.headers.set("Via", std::move(via));
         s->upstream->write(upstream_req.serialize());
       });
 }

@@ -24,9 +24,12 @@
 #include <unordered_set>
 
 #include "http/parser.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/connection.hpp"
 #include "rt/governance.hpp"
+#include "rt/sampler.hpp"
 #include "rt/timer_wheel.hpp"
 
 namespace idr::rt {
@@ -66,6 +69,23 @@ class RelayDaemon {
   obs::Registry& metrics() { return metrics_; }
   const obs::Registry& metrics() const { return metrics_; }
 
+  /// Wires server-side span emission: requests arriving with a valid
+  /// `traceparent` get relay.parse / relay.upstream_connect /
+  /// relay.first_byte / relay.stream spans under the caller's trace id,
+  /// on Chrome process `pid`, row `track`. Null tracer (default) emits
+  /// nothing.
+  void set_tracer(obs::Tracer* tracer, std::uint64_t pid,
+                  std::uint64_t track);
+
+  /// Starts the periodic metrics sampler backing `/metrics?window=<s>`.
+  /// Without it, window queries answer with an empty (but well-formed)
+  /// window.
+  void enable_sampling(double period_s, std::size_t capacity = 256);
+
+  /// Per-session flight records (source "rt.relay"), newest-N ring;
+  /// served live as `GET /debug/flights`.
+  const obs::FlightRecorder& flights() const { return flights_; }
+
   /// Graceful, advertised shutdown: /healthz reports "draining"
   /// immediately, new forward requests are refused with 503 while
   /// in-flight sessions complete, then the listener closes and
@@ -102,6 +122,10 @@ class RelayDaemon {
   void resume_when_drained(std::weak_ptr<Session> session);
   /// Closes the session once its last bytes reach the kernel.
   void drop_when_drained(std::weak_ptr<Session> session);
+  /// Daemon + reactor registries, the exposition `GET /metrics` serves.
+  obs::Snapshot merged_snapshot();
+  /// Appends the session's flight record (forward sessions only, once).
+  void record_flight(const std::shared_ptr<Session>& session);
 
   Reactor& reactor_;
   FdHandle listen_fd_;
@@ -114,6 +138,15 @@ class RelayDaemon {
   bool draining_ = false;
   std::function<void()> on_drained_;
   std::unordered_set<std::shared_ptr<Session>> sessions_;
+
+  // Cross-hop tracing (dormant until set_tracer) and per-session flight
+  // records (always on: the ring is tiny and lock-light).
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t trace_pid_ = 1;
+  std::uint64_t trace_track_ = 0;
+  std::uint64_t trace_seq_ = 0;  // per-session child-context salt
+  obs::FlightRecorder flights_{128};
+  std::unique_ptr<MetricsSampler> sampler_;
 
   // `rt.relay.*` series; handles resolved once at construction.
   obs::Registry metrics_{obs::Registry::Sync::Atomic};
@@ -131,6 +164,7 @@ class RelayDaemon {
   obs::Counter c_upstream_connects_;
   obs::Counter c_metrics_served_;
   obs::Counter c_healthz_served_;
+  obs::Counter c_flights_served_;
   obs::Counter c_drain_rejected_;
   obs::Counter c_limits_reloaded_;
   obs::Gauge g_sessions_active_;

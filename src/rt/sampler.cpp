@@ -1,0 +1,37 @@
+#include "rt/sampler.hpp"
+
+#include <utility>
+
+namespace idr::rt {
+
+MetricsSampler::MetricsSampler(Reactor& reactor, SnapshotFn snapshot_fn,
+                               double period_s, std::size_t capacity)
+    : reactor_(reactor),
+      snapshot_fn_(std::move(snapshot_fn)),
+      period_s_(period_s > 0.0 ? period_s : 1.0),
+      series_(capacity),
+      // Tick at the sampling period; the wheel rounds deadlines up to a
+      // tick, so one-slot-per-period keeps firings on cadence.
+      wheel_(reactor, period_s_ > 0.0 ? period_s_ : 1.0, 8) {
+  sample_now();
+  arm();
+}
+
+MetricsSampler::~MetricsSampler() {
+  if (armed_) wheel_.cancel(token_);
+}
+
+void MetricsSampler::sample_now() {
+  if (snapshot_fn_) series_.push(reactor_.now(), snapshot_fn_());
+}
+
+void MetricsSampler::arm() {
+  armed_ = true;
+  token_ = wheel_.add(period_s_, [this] {
+    armed_ = false;
+    sample_now();
+    arm();
+  });
+}
+
+}  // namespace idr::rt

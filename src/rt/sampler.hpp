@@ -1,0 +1,55 @@
+// Periodic metrics sampler for the rt daemons.
+//
+// Arms a TimerWheel on the daemon's reactor and, every `period_s`, pushes
+// one cumulative Snapshot (whatever the daemon's snapshot function
+// returns — typically its own registry merged with the reactor's) into an
+// obs::TimeSeries stamped with Reactor::now(). The series then answers
+// `/metrics?window=<s>` — "what was the shed rate in the 10 s around that
+// detect event" — without the daemon keeping any per-window state itself.
+//
+// Construction is the opt-in: daemons that never call enable_sampling()
+// do no periodic work at all, keeping the dormant-by-default contract.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "rt/timer_wheel.hpp"
+
+namespace idr::rt {
+
+class MetricsSampler {
+ public:
+  using SnapshotFn = std::function<obs::Snapshot()>;
+
+  /// Starts sampling immediately (first sample is taken synchronously so
+  /// a window query can never see an empty series after construction).
+  MetricsSampler(Reactor& reactor, SnapshotFn snapshot_fn, double period_s,
+                 std::size_t capacity = 256);
+  ~MetricsSampler();
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  const obs::TimeSeries& series() const { return series_; }
+  double period_seconds() const { return period_s_; }
+
+  /// Takes one sample now, outside the periodic cadence (daemons call it
+  /// before answering a window query so the newest edge is current).
+  void sample_now();
+
+ private:
+  void arm();
+
+  Reactor& reactor_;
+  SnapshotFn snapshot_fn_;
+  double period_s_;
+  obs::TimeSeries series_;
+  TimerWheel wheel_;
+  TimerWheel::Token token_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace idr::rt

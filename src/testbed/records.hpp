@@ -8,6 +8,7 @@
 
 #include "core/metrics.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -82,6 +83,10 @@ struct SessionResult {
   /// engine, probe races), plus `sim.core.*` event-core totals. Drivers
   /// merge these across sessions for the run-level exposition.
   obs::Snapshot metrics;
+  /// Periodic Snapshots of the selecting world (virtual time), populated
+  /// only when SessionSpec::sample_period > 0 — windowed rates come from
+  /// diffing these.
+  obs::TimeSeries series;
   /// Fault totals over the session: per-trial counters summed, plus the
   /// number of transfers the selecting world's fault plane killed or
   /// refused (includes cancelled probe losers the trials never report).

@@ -99,6 +99,9 @@ Section2Result run_section2(const Section2Config& config) {
     spec.session_relay_label = std::string(task.relay->name);
     spec.tracer = config.tracer;
     spec.trace_track = static_cast<std::uint32_t>(i);
+    spec.flights = config.flights;
+    spec.sample_period = config.sample_period;
+    spec.sample_capacity = config.sample_capacity;
     spec.policy_factory = [](ClientWorld& world) {
       return std::make_unique<core::StaticRelayPolicy>(world.relay_node(0));
     };

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "testbed/records.hpp"
 #include "testbed/scenario.hpp"
@@ -49,6 +50,12 @@ struct Section2Config {
   /// Optional span sink shared by every session (the Tracer is
   /// thread-safe); each session traces on its own track (task index).
   obs::Tracer* tracer = nullptr;
+  /// Forwarded into every SessionSpec: per-race flight records (the ring
+  /// is mutex-guarded, so parallel_map workers may share it) and the
+  /// virtual-time sampling that fills each result's TimeSeries.
+  obs::FlightRecorder* flights = nullptr;
+  util::Duration sample_period = 0.0;
+  std::size_t sample_capacity = 256;
 };
 
 struct Section2Result {

@@ -51,7 +51,8 @@ SessionOutput run_session(const SessionSpec& spec) {
     world_b.flow_simulator().set_tracer(spec.tracer, spec.trace_track);
   }
   auto client = world_b.make_client(spec.policy_factory(world_b),
-                                    util::Rng(spec.client_seed));
+                                    util::Rng(spec.client_seed),
+                                    spec.flights);
 
   SessionOutput output;
   SessionResult& session = output.result;
@@ -60,6 +61,29 @@ SessionOutput run_session(const SessionSpec& spec) {
   session.transfers.resize(spec.transfers);
 
   std::size_t pending_b = spec.transfers;
+
+  // Virtual-time sampler: one Snapshot of the selecting world's registry
+  // per period, self-rescheduling like the cadence events. The event
+  // simply stays scheduled when the last transfer completes — the run
+  // loop below exits on pending_b, not on queue exhaustion.
+  sim::EventId sample_event = 0;
+  if (spec.sample_period > 0.0) {
+    IDR_REQUIRE(spec.sample_capacity > 0,
+                "run_session: zero sample capacity");
+    session.series = obs::TimeSeries(spec.sample_capacity);
+    session.series.push(world_b.simulator().now(),
+                        world_b.flow_simulator().metrics().snapshot());
+    sample_event =
+        world_b.simulator().schedule_in(spec.sample_period, [&] {
+          session.series.push(
+              world_b.simulator().now(),
+              world_b.flow_simulator().metrics().snapshot());
+          world_b.simulator().reschedule_at(
+              sample_event,
+              world_b.simulator().now() + spec.sample_period);
+        });
+  }
+
   Cadence cad_b;
   cad_b.event = world_b.simulator().schedule_at(1.0, [&] {
     const std::size_t k = cad_b.k++;

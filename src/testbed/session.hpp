@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "testbed/records.hpp"
 #include "testbed/world.hpp"
@@ -30,6 +31,15 @@ struct SessionSpec {
   /// `trace_track` becomes the Chrome tid, one row per session.
   obs::Tracer* tracer = nullptr;
   std::uint32_t trace_track = 0;
+  /// When set, every race the selecting client runs appends a
+  /// FlightRecord (source "sim.race") to the ring.
+  obs::FlightRecorder* flights = nullptr;
+  /// Virtual-time metrics sampling for the selecting world: > 0 pushes
+  /// one registry Snapshot per period into the result's `series`, which
+  /// windowed-rate consumers (e.g. the Fig. 4 time-series bench) diff.
+  /// 0 — the default — schedules no event at all.
+  util::Duration sample_period = 0.0;
+  std::size_t sample_capacity = 256;
 };
 
 struct SessionOutput {

@@ -151,7 +151,8 @@ const std::string& ClientWorld::relay_name_of(net::NodeId node) const {
 }
 
 std::unique_ptr<core::IndirectRoutingClient> ClientWorld::make_client(
-    std::unique_ptr<core::SelectionPolicy> policy, util::Rng rng) {
+    std::unique_ptr<core::SelectionPolicy> policy, util::Rng rng,
+    obs::FlightRecorder* flights) {
   core::ClientConfig config;
   config.client_node = client_;
   config.server = server_.get();
@@ -161,6 +162,7 @@ std::unique_ptr<core::IndirectRoutingClient> ClientWorld::make_client(
   config.probe_timeout = params_.probe_timeout;
   config.retry = params_.retry;
   config.estimate_half_life = params_.estimate_half_life;
+  config.flights = flights;
   auto client = std::make_unique<core::IndirectRoutingClient>(
       *engine_, config, std::move(policy), rng);
   for (std::size_t i = 0; i < relays_.size(); ++i) {

@@ -112,9 +112,11 @@ class ClientWorld {
   /// and this is the selecting mirror).
   const fault::FaultSchedule& fault_schedule() const { return schedule_; }
 
-  /// Builds a ready-to-use selecting client bound to this world.
+  /// Builds a ready-to-use selecting client bound to this world. When
+  /// `flights` is set, every race appends a FlightRecord to the ring.
   std::unique_ptr<core::IndirectRoutingClient> make_client(
-      std::unique_ptr<core::SelectionPolicy> policy, util::Rng rng);
+      std::unique_ptr<core::SelectionPolicy> policy, util::Rng rng,
+      obs::FlightRecorder* flights = nullptr);
 
   /// Starts a plain full-file direct download (the reference process).
   overlay::TransferHandle begin_direct_download(

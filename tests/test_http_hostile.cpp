@@ -8,6 +8,8 @@
 
 #include <string>
 
+#include "http/traceparent.hpp"
+
 namespace idr::http {
 namespace {
 
@@ -177,6 +179,46 @@ TEST(HostileParser, LimitsSurviveReset) {
             tiny_limits().max_start_line_bytes);
   p.feed("GET /" + std::string(500, 'b'));
   EXPECT_EQ(p.state(), ParseState::Error);
+}
+
+TEST(HostileTraceparent, MalformedHeadersParseToNothingNotACrash) {
+  // A hostile traceparent must never break a transfer: every deviation
+  // from the W3C grammar yields nullopt and the hop proceeds untraced.
+  const char* corpus[] = {
+      // wrong length
+      "",
+      "00",
+      "00-0000000000000000000000000000000a-000000000000000b-0",
+      "00-0000000000000000000000000000000a-000000000000000b-012",
+      "00-0000000000000000000000000000000a-000000000000000b-01 ",
+      // uppercase hex is invalid on the wire
+      "00-0000000000000000000000000000000A-000000000000000b-01",
+      "00-0000000000000000000000000000000a-000000000000000B-01",
+      "0A-0000000000000000000000000000000a-000000000000000b-01",
+      // dashes in the wrong positions
+      "00_0000000000000000000000000000000a-000000000000000b-01",
+      "00-0000000000000000000000000000000a_000000000000000b-01",
+      "00-0000000000000000000000000000000a-000000000000000b_01",
+      // non-hex filler
+      "00-000000000000000000000000000000zz-000000000000000b-01",
+      "00-0000000000000000000000000000000a-00000000000000zz-01",
+      "00-0000000000000000000000000000000a-000000000000000b-zz",
+      // the spec's explicit invalid values
+      "00-00000000000000000000000000000000-000000000000000b-01",
+      "00-0000000000000000000000000000000a-0000000000000000-01",
+      "ff-0000000000000000000000000000000a-000000000000000b-01",
+      // a 128-bit trace id whose halves XOR to zero folds to "absent"
+      "00-000000000000000a000000000000000a-000000000000000b-01",
+  };
+  for (const char* value : corpus) {
+    EXPECT_FALSE(parse_traceparent(value).has_value()) << value;
+  }
+  // The well-formed neighbour of the corpus still parses, so the
+  // rejections above are the grammar's doing, not a dead parser.
+  EXPECT_TRUE(parse_traceparent(
+                  "00-0000000000000000000000000000000a-"
+                  "000000000000000b-01")
+                  .has_value());
 }
 
 }  // namespace

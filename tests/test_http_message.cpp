@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "http/traceparent.hpp"
+
 namespace idr::http {
 namespace {
 
@@ -124,6 +126,39 @@ TEST(Url, Rejections) {
   EXPECT_FALSE(parse_http_url("http://h:0/").has_value());
   EXPECT_FALSE(parse_http_url("http://h:99999/").has_value());
   EXPECT_FALSE(parse_http_url("http://h:abc/").has_value());
+}
+
+TEST(Traceparent, FormatIsVersion00SampledWithPaddedIds) {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0xDEADBEEFCAFEBABEull;
+  ctx.span_id = 0xabc;
+  EXPECT_EQ(format_traceparent(ctx),
+            "00-0000000000000000deadbeefcafebabe-0000000000000abc-01");
+  // An invalid context encodes as empty so callers can skip the header.
+  EXPECT_EQ(format_traceparent(obs::TraceContext{}), "");
+}
+
+TEST(Traceparent, RoundTripsBitwise) {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x0123456789abcdefull;
+  ctx.span_id = 0xfedcba9876543210ull;
+  const auto parsed = parse_traceparent(format_traceparent(ctx));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, ctx.trace_id);
+  EXPECT_EQ(parsed->span_id, ctx.span_id);
+}
+
+TEST(Traceparent, Foreign128BitTraceIdFoldsByXor) {
+  const auto parsed = parse_traceparent(
+      "00-00000000000000ff000000000000000f-0000000000000001-01");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, 0xffull ^ 0x0full);
+  // Foreign versions and flag bytes we don't emit still parse (only ff
+  // and malformed hex are rejected).
+  EXPECT_TRUE(parse_traceparent(
+                  "01-0000000000000000000000000000000a-"
+                  "000000000000000b-00")
+                  .has_value());
 }
 
 }  // namespace

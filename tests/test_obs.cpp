@@ -8,11 +8,15 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace idr::obs {
 namespace {
@@ -427,6 +431,233 @@ TEST(Tracer, ScopedSpanEmitsOnlyWhenEnabled) {
   EXPECT_EQ(ev.name, "poll");
   EXPECT_DOUBLE_EQ(ev.ts_us, 10.0);
   EXPECT_DOUBLE_EQ(ev.dur_us, 15.0);
+}
+
+// --- Trace contexts -------------------------------------------------------
+
+TEST(TraceContext, DefaultIsInertAndChildrenAreDeterministic) {
+  TraceContext none;
+  EXPECT_FALSE(none.valid());
+
+  util::Rng rng(42);
+  const TraceContext root = make_trace_context(rng);
+  EXPECT_TRUE(root.valid());
+  EXPECT_NE(root.span_id, 0u);
+
+  // Same salt, same child; different salts diverge; the trace id rides
+  // along unchanged.
+  const TraceContext a = root.child(1);
+  const TraceContext b = root.child(2);
+  EXPECT_EQ(a.trace_id, root.trace_id);
+  EXPECT_EQ(a.span_id, root.child(1).span_id);
+  EXPECT_NE(a.span_id, b.span_id);
+  EXPECT_NE(a.span_id, 0u);
+  EXPECT_NE(a.span_id, root.span_id);
+}
+
+TEST(TraceContext, HexIsPaddedLowercase) {
+  EXPECT_EQ(trace_hex(0), "0000000000000000");
+  EXPECT_EQ(trace_hex(0xabc), "0000000000000abc");
+  EXPECT_EQ(trace_hex(0xDEADBEEFCAFEBABEull), "deadbeefcafebabe");
+}
+
+// --- Component log filter -------------------------------------------------
+
+TEST(Log, FilterSpecAppliesPerComponentWithPrefixMatch) {
+  ASSERT_TRUE(set_log_filter("warn,rt.relay=debug,obs.sink=off"));
+  // Component rules cover themselves and dotted children only.
+  EXPECT_TRUE(log_enabled(Severity::Debug, "rt.relay"));
+  EXPECT_TRUE(log_enabled(Severity::Debug, "rt.relay.accept"));
+  EXPECT_FALSE(log_enabled(Severity::Debug, "rt.relayx"));
+  // Everything else falls to the spec's bare default.
+  EXPECT_FALSE(log_enabled(Severity::Info, "rt.origin"));
+  EXPECT_TRUE(log_enabled(Severity::Warn, "rt.origin"));
+  // off silences even errors for that component.
+  EXPECT_FALSE(log_enabled(Severity::Error, "obs.sink"));
+  EXPECT_FALSE(log_enabled(Severity::Error, "obs.sink.trace"));
+
+  // Longest matching prefix wins regardless of rule order.
+  ASSERT_TRUE(set_log_filter("rt=off,rt.relay=info"));
+  EXPECT_TRUE(log_enabled(Severity::Info, "rt.relay"));
+  EXPECT_FALSE(log_enabled(Severity::Error, "rt.origin"));
+
+  // Severity::Off as the message level never logs.
+  EXPECT_FALSE(log_enabled(Severity::Off, "rt.relay"));
+
+  ASSERT_TRUE(set_log_filter(""));  // back to global-threshold behaviour
+}
+
+TEST(Log, MalformedSpecsAreRejectedAndKeepThePreviousFilter) {
+  ASSERT_TRUE(set_log_filter("error"));
+  EXPECT_FALSE(set_log_filter("verbose"));
+  EXPECT_FALSE(set_log_filter("rt.relay="));
+  EXPECT_FALSE(set_log_filter("=debug"));
+  EXPECT_FALSE(set_log_filter("warn,,info"));
+  // The error-only filter installed above is still in force.
+  EXPECT_FALSE(log_enabled(Severity::Warn, "rt.relay"));
+  EXPECT_TRUE(log_enabled(Severity::Error, "rt.relay"));
+  ASSERT_TRUE(set_log_filter(""));
+}
+
+// --- Flight records -------------------------------------------------------
+
+TEST(Flight, RingEvictsOldestAndKeepsLifetimeTotal) {
+  FlightRecorder ring(2);
+  for (int i = 0; i < 3; ++i) {
+    FlightRecord rec;
+    rec.source = "sim.race";
+    rec.peer = "/r" + std::to_string(i);
+    ring.record(std::move(rec));
+  }
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.total(), 3u);  // includes the evicted record
+
+  // last() returns oldest-first; last(n) trims to the newest n.
+  const auto all = ring.last();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].peer, "/r1");
+  EXPECT_EQ(all[1].peer, "/r2");
+  const auto newest = ring.last(1);
+  ASSERT_EQ(newest.size(), 1u);
+  EXPECT_EQ(newest[0].peer, "/r2");
+
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total(), 3u);
+}
+
+TEST(Flight, JsonlIsOneValidObjectPerLineWithFixedSchema) {
+  FlightRecorder ring;
+  FlightRecord rec;
+  rec.trace_id = 0xabc;
+  rec.source = "rt.relay";
+  rec.peer = "/blob";
+  rec.ok = true;
+  rec.chose_indirect = true;
+  rec.relay_index = 0;
+  rec.bytes_total = 400000;
+  rec.status = 200;
+  ring.record(rec);
+  ring.record(FlightRecord{});  // all defaults must still render
+
+  const std::string jsonl = ring.to_jsonl();
+  std::size_t lines = 0, start = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string error;
+    EXPECT_TRUE(json_validate(jsonl.substr(start, end - start), &error))
+        << error;
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+  // Ids use the shared 16-hex wire format; zero fields stay present.
+  EXPECT_NE(jsonl.find("\"trace_id\":\"0000000000000abc\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"trace_id\":\"0000000000000000\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"chose_indirect\":true"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"relay_index\":-1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"overload_rejections\":0"), std::string::npos);
+}
+
+// --- Windowed time series -------------------------------------------------
+
+/// Pushes one sample at `t` with counter n=`n` and gauge v=`v`.
+void push_sample(TimeSeries& series, double t, std::uint64_t n, double v) {
+  Registry registry;
+  Counter c = registry.counter("n");
+  Gauge g = registry.gauge("v");
+  c.inc(n);
+  g.set(v);
+  series.push(t, registry.snapshot());
+}
+
+TEST(TimeSeries, WindowDiffsNewestAgainstOldestInsideWindow) {
+  TimeSeries series(8);
+  push_sample(series, 0.0, 0, 1.0);
+  push_sample(series, 10.0, 40, 2.0);
+  push_sample(series, 20.0, 100, 3.0);
+
+  // A 12 s window reaches back to the t=10 sample only.
+  TimeSeries::Window w = series.window(12.0);
+  EXPECT_EQ(w.samples, 2u);
+  EXPECT_DOUBLE_EQ(w.duration, 10.0);
+  EXPECT_EQ(w.delta.find("n")->count, 60u);
+  EXPECT_DOUBLE_EQ(w.delta.find("v")->value, 3.0);  // gauges: latest
+  EXPECT_DOUBLE_EQ(series.rate("n", 12.0), 6.0);
+
+  // window_s <= 0 spans the whole ring.
+  w = series.window(0.0);
+  EXPECT_EQ(w.samples, 3u);
+  EXPECT_DOUBLE_EQ(w.duration, 20.0);
+  EXPECT_EQ(w.delta.find("n")->count, 100u);
+  EXPECT_DOUBLE_EQ(series.rate("n", 0.0), 5.0);
+
+  // Absent series rate is 0, not an error.
+  EXPECT_DOUBLE_EQ(series.rate("missing", 0.0), 0.0);
+}
+
+TEST(TimeSeries, FewerThanTwoSamplesFormNoRate) {
+  TimeSeries series(4);
+  EXPECT_TRUE(series.empty());
+  EXPECT_EQ(series.window(10.0).samples, 0u);
+  EXPECT_DOUBLE_EQ(series.rate("n", 10.0), 0.0);
+  push_sample(series, 5.0, 7, 0.0);
+  EXPECT_EQ(series.window(10.0).samples, 1u);
+  EXPECT_DOUBLE_EQ(series.rate("n", 10.0), 0.0);
+  // A window too narrow to reach the previous sample also yields none.
+  push_sample(series, 100.0, 14, 0.0);
+  EXPECT_EQ(series.window(1.0).samples, 1u);
+}
+
+TEST(TimeSeries, RingEvictionBoundsTheLookback) {
+  TimeSeries series(2);
+  push_sample(series, 0.0, 0, 0.0);
+  push_sample(series, 10.0, 10, 0.0);
+  push_sample(series, 20.0, 30, 0.0);  // evicts the t=0 sample
+  EXPECT_EQ(series.size(), 2u);
+  const TimeSeries::Window w = series.window(0.0);
+  EXPECT_DOUBLE_EQ(w.duration, 10.0);
+  EXPECT_EQ(w.delta.find("n")->count, 20u);
+  EXPECT_DOUBLE_EQ(series.latest_time(), 20.0);
+}
+
+TEST(TimeSeries, WindowJsonListsOnlyActiveSeries) {
+  TimeSeries series(8);
+  {
+    Registry registry;
+    Counter active = registry.counter("busy");
+    Counter idle = registry.counter("idle");
+    Gauge level = registry.gauge("level");
+    active.inc(5);
+    (void)idle;
+    series.push(0.0, registry.snapshot());
+    active.inc(10);
+    level.set(2.5);
+    series.push(4.0, registry.snapshot());
+  }
+  const std::string json = series.window_json(30.0);
+  std::string error;
+  EXPECT_TRUE(json_validate(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"window_seconds\":30"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":2"), std::string::npos);
+  // The busy counter shows its delta and per-second rate...
+  EXPECT_NE(json.find("\"name\":\"busy\",\"kind\":\"counter\","
+                      "\"delta\":10,\"rate\":2.5"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"level\",\"kind\":\"gauge\""),
+            std::string::npos);
+  // ...while the idle counter (zero delta) is omitted.
+  EXPECT_EQ(json.find("\"idle\""), std::string::npos);
+
+  // The empty series renders the fixed shape with no metrics at all.
+  const std::string empty = TimeSeries(1).window_json(2.0);
+  EXPECT_TRUE(json_validate(empty, &error)) << error;
+  EXPECT_NE(empty.find("\"samples\":0"), std::string::npos);
+  EXPECT_NE(empty.find("\"metrics\":[]"), std::string::npos);
 }
 
 // --- Sink gate ------------------------------------------------------------

@@ -485,5 +485,238 @@ TEST(RtIntrospection, OriginServesMetricsAndHealthzToo) {
   EXPECT_EQ(origin.requests_served(), 1u);
 }
 
+// --- Introspection plane, part 2: JSON, windows, flights ----------------
+
+TEST(Governance, IntrospectionQueryParsing) {
+  using Kind = IntrospectionQuery::Kind;
+
+  IntrospectionQuery q = parse_introspection_target("/metrics");
+  EXPECT_EQ(q.kind, Kind::Metrics);
+  EXPECT_FALSE(q.json);
+  EXPECT_DOUBLE_EQ(q.window_s, 0.0);
+
+  q = parse_introspection_target("/metrics?format=json");
+  EXPECT_EQ(q.kind, Kind::Metrics);
+  EXPECT_TRUE(q.json);
+
+  // Unknown format values keep the default exposition.
+  q = parse_introspection_target("/metrics?format=xml");
+  EXPECT_EQ(q.kind, Kind::Metrics);
+  EXPECT_FALSE(q.json);
+
+  // A window implies JSON (windowed rates have no text exposition).
+  q = parse_introspection_target("/metrics?window=2.5");
+  EXPECT_EQ(q.kind, Kind::Metrics);
+  EXPECT_TRUE(q.json);
+  EXPECT_DOUBLE_EQ(q.window_s, 2.5);
+
+  // Bad window values are ignored, not errors.
+  for (const char* target :
+       {"/metrics?window=0", "/metrics?window=-3", "/metrics?window=abc",
+        "/metrics?window="}) {
+    q = parse_introspection_target(target);
+    EXPECT_EQ(q.kind, Kind::Metrics) << target;
+    EXPECT_DOUBLE_EQ(q.window_s, 0.0) << target;
+  }
+
+  q = parse_introspection_target("/debug/flights");
+  EXPECT_EQ(q.kind, Kind::Flights);
+  EXPECT_EQ(q.last_n, 64u);
+  q = parse_introspection_target("/debug/flights?n=5");
+  EXPECT_EQ(q.last_n, 5u);
+  // Non-integral or non-positive n keeps the default.
+  for (const char* target :
+       {"/debug/flights?n=0", "/debug/flights?n=2.5",
+        "/debug/flights?n=many"}) {
+    EXPECT_EQ(parse_introspection_target(target).last_n, 64u) << target;
+  }
+
+  // Unknown query keys are ignored so probes can evolve.
+  q = parse_introspection_target("/healthz?verbose=1&foo=bar");
+  EXPECT_EQ(q.kind, Kind::Healthz);
+
+  // Everything else stays off the introspection plane.
+  for (const char* target :
+       {"/blob", "/metricsx", "/debug", "/debug/flightsx", "/", ""}) {
+    EXPECT_EQ(parse_introspection_target(target).kind, Kind::None)
+        << target;
+  }
+}
+
+TEST(RtIntrospection, MetricsAsJsonOnBothDaemons) {
+  Fixture fx;
+  RelayDaemon relay{fx.reactor, 0};
+
+  std::optional<FetchResult> transfer;
+  fetch(fx.reactor, fx.via(relay),
+        [&](const FetchResult& r) { transfer = r; });
+  spin_until(fx.reactor, 10.0, [&] { return transfer.has_value(); });
+  ASSERT_TRUE(transfer->ok) << transfer->error;
+
+  auto fetch_body = [&](std::uint16_t port,
+                        const char* path) -> std::string {
+    FetchRequest req;
+    req.origin.port = port;
+    req.path = path;
+    req.capture_body = true;
+    std::optional<FetchResult> result;
+    fetch(fx.reactor, req, [&](const FetchResult& r) { result = r; });
+    spin_until(fx.reactor, 10.0, [&] { return result.has_value(); });
+    EXPECT_TRUE(result->ok) << result->error;
+    EXPECT_EQ(result->status, 200);
+    return result->body;
+  };
+
+  // Same registries as the text exposition, rendered as one JSON object.
+  const std::string relay_json =
+      fetch_body(relay.port(), "/metrics?format=json");
+  std::string error;
+  EXPECT_TRUE(obs::json_validate(relay_json, &error)) << error;
+  EXPECT_NE(relay_json.find("\"rt.relay.transfers_forwarded\""),
+            std::string::npos)
+      << relay_json;
+  EXPECT_NE(relay_json.find("\"rt.reactor.polls\""), std::string::npos);
+
+  const std::string origin_json =
+      fetch_body(fx.origin.port(), "/metrics?format=json");
+  EXPECT_TRUE(obs::json_validate(origin_json, &error)) << error;
+  EXPECT_NE(origin_json.find("\"rt.origin.requests_served\""),
+            std::string::npos)
+      << origin_json;
+
+  // The JSON variant counts as a metrics hit, not as traffic.
+  EXPECT_EQ(relay.metrics().snapshot().find("rt.relay.metrics_served")
+                ->count,
+            1u);
+  EXPECT_EQ(relay.transfers_forwarded(), 1u);
+  EXPECT_EQ(fx.origin.requests_served(), 1u);
+}
+
+TEST(RtIntrospection, WindowedMetricsNeedASamplerButStayWellFormed) {
+  Fixture fx;
+  RelayDaemon sampled{fx.reactor, 0};
+  sampled.enable_sampling(/*period_s=*/0.05);
+  RelayDaemon unsampled{fx.reactor, 0};
+
+  std::optional<FetchResult> transfer;
+  fetch(fx.reactor, fx.via(sampled),
+        [&](const FetchResult& r) { transfer = r; });
+  spin_until(fx.reactor, 10.0, [&] { return transfer.has_value(); });
+  ASSERT_TRUE(transfer->ok) << transfer->error;
+  // Let at least one sampler tick land after the transfer so the window
+  // delta sees the forwarded counters (the query itself adds the closing
+  // sample).
+  const double until = fx.reactor.now() + 0.2;
+  while (fx.reactor.now() < until) fx.reactor.poll(0.02);
+
+  auto fetch_window = [&](const RelayDaemon& relay) -> std::string {
+    FetchRequest req;
+    req.origin.port = relay.port();
+    req.path = "/metrics?window=30";
+    req.capture_body = true;
+    std::optional<FetchResult> result;
+    fetch(fx.reactor, req, [&](const FetchResult& r) { result = r; });
+    spin_until(fx.reactor, 10.0, [&] { return result.has_value(); });
+    EXPECT_TRUE(result->ok) << result->error;
+    EXPECT_EQ(result->status, 200);
+    return result->body;
+  };
+
+  // Sampled daemon: the window carries real per-second rates.
+  const std::string live = fetch_window(sampled);
+  std::string error;
+  EXPECT_TRUE(obs::json_validate(live, &error)) << error << "\n" << live;
+  EXPECT_NE(live.find("\"window_seconds\":30"), std::string::npos) << live;
+  EXPECT_NE(live.find("\"rt.relay.transfers_forwarded\""),
+            std::string::npos)
+      << live;
+  EXPECT_NE(live.find("\"rate\":"), std::string::npos) << live;
+
+  // Without enable_sampling there is nothing to diff, but the answer is
+  // still well-formed JSON with an empty metrics list — not an error.
+  const std::string empty = fetch_window(unsampled);
+  EXPECT_TRUE(obs::json_validate(empty, &error)) << error << "\n" << empty;
+  EXPECT_NE(empty.find("\"samples\":0"), std::string::npos) << empty;
+  EXPECT_NE(empty.find("\"metrics\":[]"), std::string::npos) << empty;
+}
+
+TEST(RtIntrospection, FlightRecordsServedAsJsonl) {
+  Fixture fx;
+  RelayDaemon relay{fx.reactor, 0};
+
+  // Two forwarded transfers: two relay flight records, two origin ones.
+  for (int i = 0; i < 2; ++i) {
+    std::optional<FetchResult> transfer;
+    fetch(fx.reactor, fx.via(relay),
+          [&](const FetchResult& r) { transfer = r; });
+    spin_until(fx.reactor, 10.0, [&] { return transfer.has_value(); });
+    ASSERT_TRUE(transfer->ok) << transfer->error;
+  }
+  EXPECT_EQ(relay.flights().size(), 2u);
+  EXPECT_EQ(fx.origin.flights().size(), 2u);
+
+  auto fetch_flights = [&](std::uint16_t port,
+                           const char* path) -> std::string {
+    FetchRequest req;
+    req.origin.port = port;
+    req.path = path;
+    req.capture_body = true;
+    std::optional<FetchResult> result;
+    fetch(fx.reactor, req, [&](const FetchResult& r) { result = r; });
+    spin_until(fx.reactor, 10.0, [&] { return result.has_value(); });
+    EXPECT_TRUE(result->ok) << result->error;
+    EXPECT_EQ(result->status, 200);
+    return result->body;
+  };
+
+  auto line_count = [](const std::string& body) {
+    std::size_t lines = 0;
+    for (char c : body) lines += c == '\n';
+    return lines;
+  };
+
+  const std::string relay_flights =
+      fetch_flights(relay.port(), "/debug/flights");
+  EXPECT_EQ(line_count(relay_flights), 2u) << relay_flights;
+  EXPECT_NE(relay_flights.find("\"source\":\"rt.relay\""),
+            std::string::npos)
+      << relay_flights;
+  EXPECT_NE(relay_flights.find("\"peer\":"), std::string::npos);
+
+  // Every line is one valid JSON object.
+  std::size_t start = 0;
+  while (start < relay_flights.size()) {
+    const std::size_t end = relay_flights.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string error;
+    EXPECT_TRUE(obs::json_validate(
+        relay_flights.substr(start, end - start), &error))
+        << error;
+    start = end + 1;
+  }
+
+  // ?n=1 trims to the newest record only.
+  EXPECT_EQ(line_count(fetch_flights(relay.port(), "/debug/flights?n=1")),
+            1u);
+
+  const std::string origin_flights =
+      fetch_flights(fx.origin.port(), "/debug/flights");
+  EXPECT_NE(origin_flights.find("\"source\":\"rt.origin\""),
+            std::string::npos)
+      << origin_flights;
+  EXPECT_NE(origin_flights.find("\"status\":200"), std::string::npos);
+
+  // Flight serving is accounted on its own counter, apart from traffic.
+  EXPECT_EQ(relay.metrics().snapshot().find("rt.relay.flights_served")
+                ->count,
+            2u);
+  EXPECT_EQ(fx.origin.metrics()
+                .snapshot()
+                .find("rt.origin.flights_served")
+                ->count,
+            1u);
+  EXPECT_EQ(relay.transfers_forwarded(), 2u);
+}
+
 }  // namespace
 }  // namespace idr::rt

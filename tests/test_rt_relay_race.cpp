@@ -2,14 +2,18 @@
 // the full indirect-routing pipeline on actual sockets.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <optional>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/http_client.hpp"
 #include "rt/http_server.hpp"
 #include "rt/probe_race.hpp"
 #include "rt/relay_daemon.hpp"
 #include "rt/selection.hpp"
+#include "util/rng.hpp"
 
 namespace idr::rt {
 namespace {
@@ -279,6 +283,124 @@ TEST(RtSelect, DeadPinnedRelayFallsBackToFullRace) {
   EXPECT_EQ(counter_of(registry, "rt.select.races_skipped"), 1u);
   EXPECT_EQ(counter_of(registry, "rt.select.pinned_fallbacks"), 1u);
   EXPECT_EQ(counter_of(registry, "rt.select.races_run"), 1u);
+}
+
+TEST(RtRelay, AppendsToExistingViaChainWithReceivedProtocol) {
+  Fixture fx;
+  // Capture the Via header as the origin sees it; the shaping policy is
+  // the one hook that reads the forwarded request's headers.
+  std::string via_at_origin;
+  fx.origin.set_shaping_policy([&](const http::Request& r) {
+    if (const auto via = r.headers.get("Via")) via_at_origin = *via;
+    return 0.0;
+  });
+
+  // A raw absolute-form request already carrying a Via chain — two
+  // headers, as an earlier multi-hop proxy path would leave them. RFC
+  // 7230 §5.7.1: the relay must append its own token to the collapsed
+  // chain, not add a duplicate header, and the token carries the
+  // protocol version the request actually arrived with.
+  FdHandle sock = connect_nonblocking("127.0.0.1", fx.relay.port());
+  const std::string wire =
+      "GET http://127.0.0.1:" + std::to_string(fx.origin.port()) +
+      "/blob HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "Via: 1.0 edge-cache\r\n"
+      "Via: 1.1 corp-proxy\r\n"
+      "\r\n";
+  std::size_t sent = 0;
+  spin_until(fx.reactor, 10.0, [&] {
+    if (sent < wire.size()) {
+      const ssize_t n = ::send(sock.get(), wire.data() + sent,
+                               wire.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) sent += static_cast<std::size_t>(n);
+    }
+    return !via_at_origin.empty();
+  });
+  EXPECT_EQ(via_at_origin, "1.0 edge-cache, 1.1 corp-proxy, "
+                           "1.1 indiroute-relay");
+}
+
+TEST(RtTrace, MergedTraceLinksClientRelayAndOriginSpans) {
+  Fixture fx;
+  fx.shape(/*direct=*/60000.0, /*relayed=*/0.0);  // the relay wins
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  fx.relay.set_tracer(&tracer, /*pid=*/10, /*track=*/0);
+  fx.origin.set_tracer(&tracer, /*pid=*/2, /*track=*/0);
+
+  util::Rng rng(7);
+  RaceSpec spec;
+  spec.origin.port = fx.origin.port();
+  spec.path = "/blob";
+  spec.resource_size = 400000;
+  spec.probe_bytes = 100000;
+  spec.relays = {Endpoint{"127.0.0.1", fx.relay.port()}};
+  spec.tracer = &tracer;
+  spec.trace = obs::make_trace_context(rng);
+  spec.trace_pid = 1;
+  std::optional<RaceResult> result;
+  start_probe_race(fx.reactor, spec,
+                   [&](const RaceResult& r) { result = r; });
+  spin_until(fx.reactor, 30.0, [&] { return result.has_value(); });
+  ASSERT_TRUE(result->ok) << result->error;
+  ASSERT_TRUE(result->chose_indirect);
+
+  // One causally linked trace: the client's race span plus both hops'
+  // server spans all carry the caller's trace id, and the flow binds use
+  // it as the flow id so the viewer draws one arrowed chain.
+  bool client_race = false, relay_parse = false, relay_stream = false;
+  bool origin_parse = false, origin_stream = false;
+  bool flow_start = false, flow_step = false, flow_finish = false;
+  for (const auto& ev : tracer.events()) {
+    if (ev.phase == 's') flow_start |= ev.flow_id == spec.trace.trace_id;
+    if (ev.phase == 't') flow_step |= ev.flow_id == spec.trace.trace_id;
+    if (ev.phase == 'f') flow_finish |= ev.flow_id == spec.trace.trace_id;
+    if (ev.phase != 'X') continue;
+    // Every span of this run belongs to the one trace — nothing orphaned,
+    // nothing cross-linked.
+    EXPECT_EQ(ev.trace_id, spec.trace.trace_id) << ev.name;
+    EXPECT_NE(ev.span_id, 0u) << ev.name;
+    if (ev.name == "probe_race") {
+      client_race = true;
+      EXPECT_EQ(ev.pid, 1u);
+      EXPECT_EQ(ev.span_id, spec.trace.span_id);
+    } else if (ev.name == "relay.parse") {
+      relay_parse = true;
+      EXPECT_EQ(ev.pid, 10u);
+      EXPECT_NE(ev.parent_span, 0u);
+    } else if (ev.name == "relay.stream") {
+      relay_stream = true;
+    } else if (ev.name == "origin.parse") {
+      origin_parse = true;
+      EXPECT_EQ(ev.pid, 2u);
+      EXPECT_NE(ev.parent_span, 0u);
+    } else if (ev.name == "origin.stream") {
+      origin_stream = true;
+    }
+  }
+  EXPECT_TRUE(client_race);
+  EXPECT_TRUE(relay_parse);
+  EXPECT_TRUE(relay_stream);
+  EXPECT_TRUE(origin_parse);
+  EXPECT_TRUE(origin_stream);
+  EXPECT_TRUE(flow_start);
+  EXPECT_TRUE(flow_step);
+  EXPECT_TRUE(flow_finish);
+
+  // A context-free transfer through the same traced daemons emits no
+  // server spans at all: requests without a traceparent stay invisible,
+  // so a merged fleet trace can never contain orphan server spans.
+  const std::size_t before = tracer.size();
+  std::optional<FetchResult> plain;
+  FetchRequest req;
+  req.origin.port = fx.origin.port();
+  req.path = "/blob";
+  req.proxy = Endpoint{"127.0.0.1", fx.relay.port()};
+  fetch(fx.reactor, req, [&](const FetchResult& r) { plain = r; });
+  spin_until(fx.reactor, 30.0, [&] { return plain.has_value(); });
+  ASSERT_TRUE(plain->ok) << plain->error;
+  EXPECT_EQ(tracer.size(), before);
 }
 
 TEST(RtRace, AllLanesFailingReportsError) {
